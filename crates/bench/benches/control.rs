@@ -1,0 +1,77 @@
+//! Control generation and gate-level synthesis performance, plus the
+//! simulator's throughput (§VI/§VII tooling costs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rsched_core::schedule;
+use rsched_ctrl::{generate, synthesize, ControlStyle};
+use rsched_designs::random::{random_constraint_graph, RandomGraphConfig};
+use rsched_sim::{DelaySource, Simulator};
+
+fn control_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("control_generation");
+    for n in [50usize, 200, 800] {
+        let g = random_constraint_graph(
+            n as u64,
+            &RandomGraphConfig {
+                n_ops: n,
+                ..Default::default()
+            },
+        );
+        let omega = schedule(&g).expect("well-posed");
+        for style in [ControlStyle::Counter, ControlStyle::ShiftRegister] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("generate_{style:?}"), n),
+                &(&g, &omega),
+                |b, (g, omega)| b.iter(|| generate(g, omega, style)),
+            );
+            let unit = generate(&g, &omega, style);
+            group.bench_with_input(
+                BenchmarkId::new(format!("synthesize_{style:?}"), n),
+                &unit,
+                |b, unit| b.iter(|| synthesize(unit)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn simulation_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    for n in [50usize, 200] {
+        let g = random_constraint_graph(
+            n as u64,
+            &RandomGraphConfig {
+                n_ops: n,
+                ..Default::default()
+            },
+        );
+        let omega = schedule(&g).expect("well-posed");
+        let unit = generate(&g, &omega, ControlStyle::ShiftRegister);
+        group.bench_with_input(BenchmarkId::new("behavioural", n), &(), |b, ()| {
+            b.iter(|| {
+                Simulator::new(&g, &unit)
+                    .run(&DelaySource::random(7, 5))
+                    .expect("simulates")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("gate_level", n), &(), |b, ()| {
+            b.iter(|| {
+                Simulator::new(&g, &unit)
+                    .run_gate_level(&DelaySource::random(7, 5))
+                    .expect("simulates")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(15)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = control_generation, simulation_throughput
+}
+criterion_main!(benches);

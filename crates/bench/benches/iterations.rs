@@ -1,0 +1,41 @@
+//! Theorem 8 ablation: scheduling cost as the number of backward edges
+//! (maximum timing constraints) grows — the iteration bound is
+//! `L + 1 ≤ |E_b| + 1`, and in practice far fewer iterations run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rsched_core::schedule;
+use rsched_designs::random::{random_constraint_graph, RandomGraphConfig};
+
+fn iterations_vs_backward_edges(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backward_edge_scaling");
+    for n_max in [0usize, 4, 16, 64] {
+        let g = random_constraint_graph(
+            99,
+            &RandomGraphConfig {
+                n_ops: 300,
+                n_max_constraints: n_max,
+                ..Default::default()
+            },
+        );
+        // Record the actual iteration count once (printed by Criterion's
+        // bench id for context).
+        let iters = schedule(&g).expect("well-posed").iterations();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("Eb{}_iters{}", g.n_backward_edges(), iters)),
+            &g,
+            |b, g| b.iter(|| schedule(g).expect("well-posed")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(15)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = iterations_vs_backward_edges
+}
+criterion_main!(benches);

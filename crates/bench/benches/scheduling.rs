@@ -1,0 +1,55 @@
+//! Scheduling performance: iterative incremental scheduling vs the
+//! per-anchor decomposition baseline (§IV-E), plus the eight paper
+//! benchmarks (§VII run-time claim).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rsched_core::baseline::schedule_by_decomposition;
+use rsched_core::schedule;
+use rsched_designs::benchmarks::all_benchmarks;
+use rsched_designs::random::{random_constraint_graph, RandomGraphConfig};
+use rsched_sgraph::schedule_design;
+
+fn scheduling_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduling_scaling");
+    for n in [50usize, 200, 800] {
+        let g = random_constraint_graph(
+            n as u64,
+            &RandomGraphConfig {
+                n_ops: n,
+                ..Default::default()
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("iterative_incremental", n), &g, |b, g| {
+            b.iter(|| schedule(g).expect("well-posed"))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("per_anchor_decomposition", n),
+            &g,
+            |b, g| b.iter(|| schedule_by_decomposition(g).expect("feasible")),
+        );
+    }
+    group.finish();
+}
+
+fn paper_benchmarks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper_benchmarks");
+    for bench in all_benchmarks() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(bench.name),
+            &bench.design,
+            |b, design| b.iter(|| schedule_design(design).expect("schedules")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(15)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = scheduling_scaling, paper_benchmarks
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Regenerates Table I: translation of sequencing edges and timing
+//! constraints into constraint-graph edges.
+
+use rsched_graph::{ConstraintGraph, ExecDelay};
+
+fn main() {
+    let mut g = ConstraintGraph::new();
+    let vi = g.add_operation("vi", ExecDelay::Fixed(3));
+    let vj = g.add_operation("vj", ExecDelay::Fixed(1));
+    let anchor = g.add_operation("a", ExecDelay::Unbounded);
+
+    let seq = g.add_dependency(vi, vj).expect("valid edge");
+    let seq_anchor = g.add_dependency(anchor, vj).expect("valid edge");
+    let min = g.add_min_constraint(vi, vj, 5).expect("valid constraint");
+    let max = g.add_max_constraint(vi, vj, 7).expect("valid constraint");
+
+    println!("Table I — translation to constraint graph");
+    println!(
+        "{:<34} {:<9} {:<12} {:<12}",
+        "item", "type", "edge", "edge weight"
+    );
+    println!("{}", "-".repeat(70));
+    for (label, id) in [
+        ("sequencing edge (vi, vj)", seq),
+        ("sequencing edge (a, vj), a anchor", seq_anchor),
+        ("minimum constraint l_ij = 5", min),
+        ("maximum constraint u_ij = 7", max),
+    ] {
+        let e = g.edge(id);
+        let kind = if e.is_forward() {
+            "forward"
+        } else {
+            "backward"
+        };
+        println!(
+            "{:<34} {:<9} {:<12} {:<12}",
+            label,
+            kind,
+            format!("({}, {})", e.from(), e.to()),
+            e.weight().to_string()
+        );
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table III: full vs minimum anchor sets across the eight
+//! benchmark designs, measured against the paper's published values.
+
+fn main() {
+    let rows = rsched_bench::measure_all();
+    print!("{}", rsched_bench::render_table3(&rows));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table IV: maximum and sum-of-maximum offsets, full vs
+//! minimum anchor sets, measured against the paper's published values.
+
+fn main() {
+    let rows = rsched_bench::measure_all();
+    print!("{}", rsched_bench::render_table4(&rows));
+}

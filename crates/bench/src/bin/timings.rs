@@ -1,0 +1,12 @@
+//! §VII run-time claim: every benchmark schedules in negligible time
+//! ("most examples take less than 1 s ... worst case 2 s" on a
+//! DecStation 5000/200).
+
+fn main() {
+    println!("scheduling wall-clock per benchmark (full hierarchy)");
+    println!("{:<22} {:>12}", "design", "seconds");
+    println!("{}", "-".repeat(36));
+    for row in rsched_bench::measure_all() {
+        println!("{:<22} {:>12.6}", row.name, row.seconds);
+    }
+}

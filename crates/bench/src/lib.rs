@@ -1,0 +1,171 @@
+//! Benchmark harness: regenerates every table and figure of the paper.
+//!
+//! Each table/figure has a binary (`cargo run --bin table3`, `fig10`, …)
+//! that prints the paper's layout with measured values next to the
+//! published ones; the Criterion benches under `benches/` cover the §VII
+//! run-time claims and the ablations called out in DESIGN.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use rsched_designs::benchmarks::{all_benchmarks, Benchmark};
+use rsched_sgraph::{schedule_design, AnchorStats, DesignSchedule};
+
+/// One measured row of Table III / Table IV for a benchmark design.
+#[derive(Debug, Clone)]
+pub struct MeasuredRow {
+    /// Design name.
+    pub name: &'static str,
+    /// The measured hierarchy statistics.
+    pub stats: AnchorStats,
+    /// The paper's published numbers.
+    pub paper: rsched_designs::benchmarks::PaperRow,
+    /// Wall-clock seconds to schedule the whole hierarchy (lowering,
+    /// well-posedness, redundancy removal, scheduling).
+    pub seconds: f64,
+}
+
+/// Schedules every benchmark and collects its statistics.
+///
+/// # Panics
+///
+/// Panics if a bundled benchmark fails to schedule (a bug, covered by the
+/// design tests).
+pub fn measure_all() -> Vec<MeasuredRow> {
+    all_benchmarks()
+        .into_iter()
+        .map(
+            |Benchmark {
+                 name,
+                 design,
+                 paper,
+             }| {
+                let start = Instant::now();
+                let scheduled = schedule_design(&design).expect("benchmarks schedule cleanly");
+                let seconds = start.elapsed().as_secs_f64();
+                MeasuredRow {
+                    name,
+                    stats: scheduled.anchor_stats(),
+                    paper,
+                    seconds,
+                }
+            },
+        )
+        .collect()
+}
+
+/// Schedules one benchmark by name.
+///
+/// # Panics
+///
+/// Panics for unknown names or scheduling failures.
+pub fn schedule_benchmark(name: &str) -> DesignSchedule {
+    let bench = all_benchmarks()
+        .into_iter()
+        .find(|b| b.name == name)
+        .unwrap_or_else(|| panic!("unknown benchmark '{name}'"));
+    schedule_design(&bench.design).expect("benchmarks schedule cleanly")
+}
+
+/// Renders Table III (full vs minimum anchor sets) with measured and
+/// published values side by side.
+pub fn render_table3(rows: &[MeasuredRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table III — comparison between full and minimum anchor sets"
+    );
+    let _ = writeln!(
+        out,
+        "{:<20} {:>7} | {:>5} {:>5} {:>5} {:>5} | {:>5} {:>5} {:>5} {:>5}",
+        "", "", "ΣA(v)", "", "avg", "", "ΣIR(v)", "", "avg", ""
+    );
+    let _ = writeln!(
+        out,
+        "{:<20} {:>7} | {:>5} {:>5} {:>5} {:>5} | {:>5} {:>5} {:>5} {:>5}",
+        "design", "|A|/|V|", "meas", "paper", "meas", "paper", "meas", "paper", "meas", "paper"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(96));
+    for row in rows {
+        let s = &row.stats;
+        let p = &row.paper;
+        let _ = writeln!(
+            out,
+            "{:<20} {:>7} | {:>5} {:>5} {:>5.2} {:>5.2} | {:>5} {:>5} {:>5.2} {:>5.2}",
+            row.name,
+            format!("{}/{}", s.n_anchors, s.n_vertices),
+            s.total_full,
+            p.total_full,
+            s.avg_full(),
+            p.total_full as f64 / p.vertices as f64,
+            s.total_irredundant,
+            p.total_min,
+            s.avg_irredundant(),
+            p.total_min as f64 / p.vertices as f64,
+        );
+    }
+    out
+}
+
+/// Renders Table IV (max offsets) with measured and published values.
+pub fn render_table4(rows: &[MeasuredRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table IV — maximum and sum-of-maximum offsets, full vs minimum anchor sets"
+    );
+    let _ = writeln!(
+        out,
+        "{:<20} | {:>4} {:>5} {:>6} {:>6} | {:>4} {:>5} {:>6} {:>6}",
+        "", "full", "", "", "", "min", "", "", ""
+    );
+    let _ = writeln!(
+        out,
+        "{:<20} | {:>4} {:>5} {:>6} {:>6} | {:>4} {:>5} {:>6} {:>6}",
+        "design", "max", "paper", "sum", "paper", "max", "paper", "sum", "paper"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(84));
+    for row in rows {
+        let s = &row.stats;
+        let p = &row.paper;
+        let _ = writeln!(
+            out,
+            "{:<20} | {:>4} {:>5} {:>6} {:>6} | {:>4} {:>5} {:>6} {:>6}",
+            row.name,
+            s.max_offset_full,
+            p.max_full,
+            s.sum_max_offsets_full,
+            p.sum_full,
+            s.max_offset_min,
+            p.max_min,
+            s.sum_max_offsets_min,
+            p.sum_min,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_render_every_benchmark() {
+        let rows = measure_all();
+        assert_eq!(rows.len(), 8);
+        let t3 = render_table3(&rows);
+        let t4 = render_table4(&rows);
+        for row in &rows {
+            assert!(t3.contains(row.name));
+            assert!(t4.contains(row.name));
+        }
+        // §VII claim: every design schedules in far under the paper's
+        // 1–2 s (on 1990 hardware); allow generous slack for debug builds.
+        for row in &rows {
+            assert!(row.seconds < 5.0, "{} took {:.3}s", row.name, row.seconds);
+        }
+    }
+}

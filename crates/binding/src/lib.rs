@@ -1,0 +1,555 @@
+//! Module binding and constrained conflict resolution.
+//!
+//! Relative scheduling assumes "module binding has been performed prior to
+//! scheduling \[and\] any conflict caused by the assignment of multiple
+//! operations to a single module has already been resolved by introducing
+//! sequencing dependencies between these operations" (§II). Hebe performs
+//! this with *constrained conflict resolution*: a binding of operations to
+//! resource instances is chosen, concurrent operations sharing an instance
+//! are serialized, and "both heuristic and exact branch and bound search
+//! for a serialization that satisfies the required timing constraints can
+//! be used" (§VII).
+//!
+//! This crate provides exactly that substrate:
+//!
+//! * [`ResourcePool`] — the available resource kinds and instance counts;
+//! * [`bind`] — concurrency-aware greedy assignment of operations to
+//!   instances (graph coloring over the "may overlap" relation);
+//! * [`resolve_conflicts`] — serialization of each instance's operations,
+//!   with [`Strategy::Heuristic`] (ASAP ordering) or
+//!   [`Strategy::Exhaustive`] (branch-and-bound over orders, minimizing
+//!   schedule length while meeting the timing constraints).
+//!
+//! # Example
+//!
+//! ```
+//! use rsched_graph::{ConstraintGraph, ExecDelay};
+//! use rsched_binding::{bind, resolve_conflicts, ResourcePool, Strategy};
+//! use std::collections::HashMap;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut g = ConstraintGraph::new();
+//! let m1 = g.add_operation("mul1", ExecDelay::Fixed(2));
+//! let m2 = g.add_operation("mul2", ExecDelay::Fixed(2));
+//! g.polarize()?;
+//! // One multiplier for two concurrent multiplications.
+//! let pool = ResourcePool::new().with_kind("mult", 1);
+//! let classes = HashMap::from([(m1, "mult".to_owned()), (m2, "mult".to_owned())]);
+//! let binding = bind(&g, &classes, &pool)?;
+//! let report = resolve_conflicts(&mut g, &binding, Strategy::Heuristic)?;
+//! assert_eq!(report.added_edges.len(), 1); // m1 and m2 serialized
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod list_schedule;
+
+pub use list_schedule::{list_schedule, ListSchedule};
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use rsched_core::{schedule, ScheduleError};
+use rsched_graph::{ConstraintGraph, GraphError, VertexId};
+
+/// The available resources: named kinds with instance counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResourcePool {
+    kinds: Vec<(String, usize)>,
+}
+
+impl ResourcePool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        ResourcePool::default()
+    }
+
+    /// Adds (or extends) a resource kind with `instances` units.
+    pub fn with_kind(mut self, kind: impl Into<String>, instances: usize) -> Self {
+        self.kinds.push((kind.into(), instances));
+        self
+    }
+
+    /// `true` if the pool declares `kind` at all (possibly with zero
+    /// instances).
+    pub fn has_kind(&self, kind: &str) -> bool {
+        self.kinds.iter().any(|(k, _)| k == kind)
+    }
+
+    /// Number of instances of `kind` (0 for unknown kinds).
+    pub fn instances(&self, kind: &str) -> usize {
+        self.kinds
+            .iter()
+            .filter(|(k, _)| k == kind)
+            .map(|(_, n)| *n)
+            .sum()
+    }
+}
+
+/// A resource instance: kind plus index within the kind.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Instance {
+    /// Resource kind.
+    pub kind: String,
+    /// Instance index, `0..pool.instances(kind)`.
+    pub index: usize,
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.kind, self.index)
+    }
+}
+
+/// An assignment of operations to resource instances.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Binding {
+    assignments: HashMap<VertexId, Instance>,
+}
+
+impl Binding {
+    /// The instance an operation is bound to, if any.
+    pub fn instance_of(&self, v: VertexId) -> Option<&Instance> {
+        self.assignments.get(&v)
+    }
+
+    /// All operations bound to each instance.
+    pub fn by_instance(&self) -> HashMap<Instance, Vec<VertexId>> {
+        let mut map: HashMap<Instance, Vec<VertexId>> = HashMap::new();
+        for (&v, inst) in &self.assignments {
+            map.entry(inst.clone()).or_default().push(v);
+        }
+        for ops in map.values_mut() {
+            ops.sort();
+        }
+        map
+    }
+
+    /// Number of bound operations.
+    pub fn len(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// `true` when nothing is bound.
+    pub fn is_empty(&self) -> bool {
+        self.assignments.is_empty()
+    }
+}
+
+/// Binding / conflict-resolution errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BindError {
+    /// An operation's class names a resource kind absent from the pool.
+    UnknownKind {
+        /// The operation.
+        vertex: VertexId,
+        /// The missing kind.
+        kind: String,
+    },
+    /// A resource kind exists but has zero instances.
+    NoInstances {
+        /// The kind with no units.
+        kind: String,
+    },
+    /// Serialization would close a dependency cycle.
+    Graph(GraphError),
+    /// No serialization order satisfies the timing constraints.
+    NoFeasibleSerialization {
+        /// The instance whose operations cannot be ordered.
+        instance: Instance,
+    },
+    /// Scheduling failed for a reason unrelated to the serialization
+    /// search (e.g. the input constraints were already inconsistent).
+    Schedule(ScheduleError),
+}
+
+impl fmt::Display for BindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BindError::UnknownKind { vertex, kind } => {
+                write!(f, "operation {vertex} requires unknown resource kind '{kind}'")
+            }
+            BindError::NoInstances { kind } => {
+                write!(f, "resource kind '{kind}' has no instances")
+            }
+            BindError::Graph(e) => write!(f, "{e}"),
+            BindError::NoFeasibleSerialization { instance } => write!(
+                f,
+                "no serialization of the operations sharing {instance} satisfies the timing constraints"
+            ),
+            BindError::Schedule(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for BindError {}
+
+impl From<GraphError> for BindError {
+    fn from(e: GraphError) -> Self {
+        BindError::Graph(e)
+    }
+}
+
+/// Assigns each classified operation to an instance of its resource kind,
+/// spreading *concurrent* operations (unordered in `G_f`) across distinct
+/// instances where capacity allows (greedy coloring in id order).
+///
+/// Operations not present in `classes` are unbound (they use dedicated
+/// hardware).
+///
+/// # Errors
+///
+/// Returns [`BindError::UnknownKind`] / [`BindError::NoInstances`] when
+/// the pool cannot supply a class.
+pub fn bind(
+    graph: &ConstraintGraph,
+    classes: &HashMap<VertexId, String>,
+    pool: &ResourcePool,
+) -> Result<Binding, BindError> {
+    let mut by_kind: HashMap<&str, Vec<VertexId>> = HashMap::new();
+    let mut ordered: Vec<(&VertexId, &String)> = classes.iter().collect();
+    ordered.sort();
+    for (v, kind) in ordered {
+        if pool.kinds.iter().all(|(k, _)| k != kind) {
+            return Err(BindError::UnknownKind {
+                vertex: *v,
+                kind: kind.clone(),
+            });
+        }
+        by_kind.entry(kind.as_str()).or_default().push(*v);
+    }
+    let mut binding = Binding::default();
+    for (kind, ops) in by_kind {
+        let n = pool.instances(kind);
+        if n == 0 {
+            return Err(BindError::NoInstances {
+                kind: kind.to_owned(),
+            });
+        }
+        // Greedy coloring: for each op (id order), pick the lowest-index
+        // instance not used by a concurrent (unordered) op.
+        let mut used: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+        for &v in &ops {
+            let concurrent = |other: VertexId| {
+                !graph.has_forward_path(v, other) && !graph.has_forward_path(other, v)
+            };
+            let slot = (0..n)
+                .find(|&i| !used[i].iter().any(|&o| concurrent(o)))
+                .unwrap_or_else(|| {
+                    // All instances have a concurrent occupant: pick the
+                    // least loaded (serialization will resolve it).
+                    (0..n).min_by_key(|&i| used[i].len()).expect("n > 0")
+                });
+            used[slot].push(v);
+            binding.assignments.insert(
+                v,
+                Instance {
+                    kind: kind.to_owned(),
+                    index: slot,
+                },
+            );
+        }
+    }
+    Ok(binding)
+}
+
+/// How conflict resolution searches for a serialization order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Order each instance's unordered operations by their ASAP offset
+    /// from the source (ties by id). Fast; may fail where an exact search
+    /// would succeed.
+    Heuristic,
+    /// Branch-and-bound over all serialization orders, returning one that
+    /// schedules successfully with minimum sink offset. Exponential in the
+    /// size of each conflict group (groups are small in practice).
+    Exhaustive,
+}
+
+/// The sequencing edges added by conflict resolution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConflictReport {
+    /// Added edges, in insertion order.
+    pub added_edges: Vec<(VertexId, VertexId)>,
+}
+
+/// Serializes operations bound to the same instance by adding sequencing
+/// dependencies, so that the graph satisfies the pre-scheduling assumption
+/// of §II.
+///
+/// # Errors
+///
+/// * [`BindError::NoFeasibleSerialization`] when no order meets the timing
+///   constraints (exhaustive mode), or the heuristic order fails;
+/// * [`BindError::Graph`] for structural failures.
+pub fn resolve_conflicts(
+    graph: &mut ConstraintGraph,
+    binding: &Binding,
+    strategy: Strategy,
+) -> Result<ConflictReport, BindError> {
+    let mut report = ConflictReport::default();
+    let mut groups: Vec<(Instance, Vec<VertexId>)> = binding.by_instance().into_iter().collect();
+    groups.sort_by(|a, b| a.0.cmp(&b.0));
+    for (instance, ops) in groups {
+        if ops.len() < 2 {
+            continue;
+        }
+        match strategy {
+            Strategy::Heuristic => {
+                let order = asap_order(graph, &ops);
+                serialize_in_order(graph, &order, &mut report)?;
+                if schedule(graph).is_err() {
+                    return Err(BindError::NoFeasibleSerialization { instance });
+                }
+            }
+            Strategy::Exhaustive => {
+                let Some((order, _len)) = best_order(graph, &ops) else {
+                    return Err(BindError::NoFeasibleSerialization { instance });
+                };
+                serialize_in_order(graph, &order, &mut report)?;
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Orders `ops` by ASAP offset from the source (unbounded delays at 0),
+/// falling back to id order for unreachable or tied vertices.
+fn asap_order(graph: &ConstraintGraph, ops: &[VertexId]) -> Vec<VertexId> {
+    let lp = graph.longest_paths_from(graph.source()).ok();
+    let mut order: Vec<VertexId> = ops.to_vec();
+    order.sort_by_key(|&v| (lp.as_ref().and_then(|lp| lp.length_to(v)).unwrap_or(0), v));
+    order
+}
+
+/// Adds the chain edges serializing `order`, skipping already-ordered
+/// pairs.
+fn serialize_in_order(
+    graph: &mut ConstraintGraph,
+    order: &[VertexId],
+    report: &mut ConflictReport,
+) -> Result<(), BindError> {
+    for w in order.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        if graph.has_forward_path(a, b) {
+            continue;
+        }
+        graph.add_dependency(a, b)?;
+        report.added_edges.push((a, b));
+    }
+    Ok(())
+}
+
+/// Branch-and-bound over serialization orders: tries every topologically
+/// admissible permutation of `ops`, keeping the one whose schedule has the
+/// smallest sink offset. Returns `None` when no order schedules.
+fn best_order(graph: &ConstraintGraph, ops: &[VertexId]) -> Option<(Vec<VertexId>, i64)> {
+    let mut best: Option<(Vec<VertexId>, i64)> = None;
+    let mut current = Vec::with_capacity(ops.len());
+    let mut remaining: Vec<VertexId> = ops.to_vec();
+    search(graph, &mut current, &mut remaining, &mut best);
+    best
+}
+
+fn search(
+    graph: &ConstraintGraph,
+    current: &mut Vec<VertexId>,
+    remaining: &mut Vec<VertexId>,
+    best: &mut Option<(Vec<VertexId>, i64)>,
+) {
+    if remaining.is_empty() {
+        let mut trial = graph.clone();
+        let mut report = ConflictReport::default();
+        if serialize_in_order(&mut trial, current, &mut report).is_err() {
+            return;
+        }
+        let Ok(omega) = schedule(&trial) else {
+            return;
+        };
+        let len = omega.offset(trial.sink(), trial.source()).unwrap_or(0);
+        if best.as_ref().is_none_or(|(_, b)| len < *b) {
+            *best = Some((current.clone(), len));
+        }
+        return;
+    }
+    for i in 0..remaining.len() {
+        let v = remaining[i];
+        // Admissibility: v must not be forced after any remaining op.
+        if remaining
+            .iter()
+            .any(|&o| o != v && graph.has_forward_path(o, v))
+        {
+            continue;
+        }
+        remaining.swap_remove(i);
+        current.push(v);
+        search(graph, current, remaining, best);
+        current.pop();
+        remaining.push(v);
+        let last = remaining.len() - 1;
+        remaining.swap(i, last);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsched_graph::ExecDelay;
+
+    fn two_muls() -> (ConstraintGraph, VertexId, VertexId) {
+        let mut g = ConstraintGraph::new();
+        let m1 = g.add_operation("mul1", ExecDelay::Fixed(2));
+        let m2 = g.add_operation("mul2", ExecDelay::Fixed(2));
+        g.polarize().unwrap();
+        (g, m1, m2)
+    }
+
+    #[test]
+    fn concurrent_ops_spread_across_instances() {
+        let (g, m1, m2) = two_muls();
+        let pool = ResourcePool::new().with_kind("mult", 2);
+        let classes = HashMap::from([(m1, "mult".to_owned()), (m2, "mult".to_owned())]);
+        let binding = bind(&g, &classes, &pool).unwrap();
+        assert_ne!(binding.instance_of(m1), binding.instance_of(m2));
+    }
+
+    #[test]
+    fn ordered_ops_share_an_instance() {
+        let mut g = ConstraintGraph::new();
+        let m1 = g.add_operation("mul1", ExecDelay::Fixed(2));
+        let m2 = g.add_operation("mul2", ExecDelay::Fixed(2));
+        g.add_dependency(m1, m2).unwrap();
+        g.polarize().unwrap();
+        let pool = ResourcePool::new().with_kind("mult", 2);
+        let classes = HashMap::from([(m1, "mult".to_owned()), (m2, "mult".to_owned())]);
+        let binding = bind(&g, &classes, &pool).unwrap();
+        assert_eq!(binding.instance_of(m1), binding.instance_of(m2));
+    }
+
+    #[test]
+    fn conflict_resolution_serializes_shared_instance() {
+        let (mut g, m1, m2) = two_muls();
+        let pool = ResourcePool::new().with_kind("mult", 1);
+        let classes = HashMap::from([(m1, "mult".to_owned()), (m2, "mult".to_owned())]);
+        let binding = bind(&g, &classes, &pool).unwrap();
+        let report = resolve_conflicts(&mut g, &binding, Strategy::Heuristic).unwrap();
+        assert_eq!(report.added_edges.len(), 1);
+        assert!(g.has_forward_path(m1, m2) || g.has_forward_path(m2, m1));
+        // Post-condition of §II: all same-instance ops pairwise ordered.
+        let omega = schedule(&g).unwrap();
+        let (o1, o2) = (
+            omega.offset(m1, g.source()).unwrap(),
+            omega.offset(m2, g.source()).unwrap(),
+        );
+        assert_eq!((o1 - o2).abs(), 2, "one multiply waits for the other");
+    }
+
+    #[test]
+    fn heuristic_fails_where_exhaustive_succeeds() {
+        // m2 must start within 2 cycles of m1. Serializing m1 (5 cycles)
+        // before m2 closes a positive cycle (unfeasible); the valid order
+        // is m2 before m1. The ASAP heuristic ties at offset 0 and picks
+        // id order (m1 first) — and fails; the exact search succeeds.
+        let mut g = ConstraintGraph::new();
+        let m1 = g.add_operation("mul1", ExecDelay::Fixed(5));
+        let m2 = g.add_operation("mul2", ExecDelay::Fixed(1));
+        g.add_max_constraint(m1, m2, 2).unwrap();
+        g.polarize().unwrap();
+        let pool = ResourcePool::new().with_kind("mult", 1);
+        let classes = HashMap::from([(m1, "mult".to_owned()), (m2, "mult".to_owned())]);
+        let binding = bind(&g, &classes, &pool).unwrap();
+
+        let mut heuristic_graph = g.clone();
+        let err =
+            resolve_conflicts(&mut heuristic_graph, &binding, Strategy::Heuristic).unwrap_err();
+        assert!(matches!(err, BindError::NoFeasibleSerialization { .. }));
+
+        let mut exact_graph = g.clone();
+        let report = resolve_conflicts(&mut exact_graph, &binding, Strategy::Exhaustive).unwrap();
+        assert_eq!(report.added_edges, vec![(m2, m1)]);
+        let omega = schedule(&exact_graph).unwrap();
+        assert_eq!(omega.offset(m2, exact_graph.source()), Some(0));
+        assert_eq!(omega.offset(m1, exact_graph.source()), Some(1));
+    }
+
+    #[test]
+    fn exhaustive_detects_infeasible_groups() {
+        // Both ops must start within 1 cycle of activation but share one
+        // 3-cycle unit: no order works.
+        let mut g = ConstraintGraph::new();
+        let m1 = g.add_operation("mul1", ExecDelay::Fixed(3));
+        let m2 = g.add_operation("mul2", ExecDelay::Fixed(3));
+        g.polarize().unwrap();
+        g.add_max_constraint(g.source(), m1, 1).unwrap();
+        g.add_max_constraint(g.source(), m2, 1).unwrap();
+        let pool = ResourcePool::new().with_kind("mult", 1);
+        let classes = HashMap::from([(m1, "mult".to_owned()), (m2, "mult".to_owned())]);
+        let binding = bind(&g, &classes, &pool).unwrap();
+        for strategy in [Strategy::Heuristic, Strategy::Exhaustive] {
+            let mut trial = g.clone();
+            let err = resolve_conflicts(&mut trial, &binding, strategy).unwrap_err();
+            assert!(
+                matches!(err, BindError::NoFeasibleSerialization { .. }),
+                "{strategy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_kind_and_empty_pool_rejected() {
+        let (g, m1, _) = two_muls();
+        let classes = HashMap::from([(m1, "fpu".to_owned())]);
+        assert!(matches!(
+            bind(&g, &classes, &ResourcePool::new()),
+            Err(BindError::UnknownKind { .. })
+        ));
+        let pool = ResourcePool::new().with_kind("fpu", 0);
+        assert!(matches!(
+            bind(&g, &classes, &pool),
+            Err(BindError::NoInstances { .. })
+        ));
+    }
+
+    #[test]
+    fn exhaustive_respects_existing_order() {
+        // m2 -> m1 already ordered: the only admissible serialization
+        // keeps it; no new edge may invert it.
+        let mut g = ConstraintGraph::new();
+        let m1 = g.add_operation("mul1", ExecDelay::Fixed(1));
+        let m2 = g.add_operation("mul2", ExecDelay::Fixed(1));
+        g.add_dependency(m2, m1).unwrap();
+        g.polarize().unwrap();
+        let pool = ResourcePool::new().with_kind("mult", 1);
+        let classes = HashMap::from([(m1, "mult".to_owned()), (m2, "mult".to_owned())]);
+        let binding = bind(&g, &classes, &pool).unwrap();
+        let report = resolve_conflicts(&mut g, &binding, Strategy::Exhaustive).unwrap();
+        assert!(report.added_edges.is_empty(), "already serialized");
+    }
+
+    #[test]
+    fn three_way_conflict_chains() {
+        let mut g = ConstraintGraph::new();
+        let ops: Vec<VertexId> = (0..3)
+            .map(|i| g.add_operation(format!("alu{i}"), ExecDelay::Fixed(1)))
+            .collect();
+        g.polarize().unwrap();
+        let pool = ResourcePool::new().with_kind("alu", 1);
+        let classes: HashMap<VertexId, String> =
+            ops.iter().map(|&v| (v, "alu".to_owned())).collect();
+        let binding = bind(&g, &classes, &pool).unwrap();
+        let report = resolve_conflicts(&mut g, &binding, Strategy::Exhaustive).unwrap();
+        assert_eq!(report.added_edges.len(), 2, "a chain of three");
+        let omega = schedule(&g).unwrap();
+        let mut offs: Vec<i64> = ops
+            .iter()
+            .map(|&v| omega.offset(v, g.source()).unwrap())
+            .collect();
+        offs.sort_unstable();
+        assert_eq!(offs, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,687 @@
+//! The `rsched` command-line driver.
+//!
+//! Operates on constraint graphs in the text format of
+//! [`rsched_graph::ConstraintGraph::from_text`] (`.rsg` files by
+//! convention) and on HardwareC sources (`.hc`):
+//!
+//! ```text
+//! rsched check     <graph.rsg>                 feasibility + well-posedness
+//! rsched schedule  <graph.rsg> [--ir] [--trace]  minimum relative schedule
+//! rsched slack     <graph.rsg>                 ASAP/ALAP offsets + mobility
+//! rsched explain   <graph.rsg>                 binding path behind every offset
+//! rsched control   <graph.rsg> [--style counter|shift] [--ir]
+//! rsched fsm       <graph.rsg>                 FSM/microcode controller (fixed-delay)
+//! rsched simulate  <graph.rsg> [--seed N] [--max-delay N] [--gate] [--vcd]
+//! rsched reduce    <graph.rsg>                 transitive-reduced graph text
+//! rsched verilog   <graph.rsg> [--style counter|shift] [--ir] [--name M]
+//! rsched dot       <graph.rsg>                 Graphviz output
+//! rsched compile   <design.hc> [--vcd --seed N]  HardwareC -> schedules
+//! ```
+//!
+//! The library surface ([`run`]) takes the argument vector and returns
+//! the rendered output, so every command is unit-testable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::fs;
+
+use rsched_core::{
+    check_well_posed, explain_offset, iteration_bound, make_well_posed, relative_slack, schedule,
+    schedule_traced, IrredundantAnchors, WellPosedness,
+};
+use rsched_ctrl::{generate, ControlStyle, Fsm};
+use rsched_graph::{ConstraintGraph, DotOptions};
+use rsched_sim::{DelaySource, Simulator, Waveform};
+
+/// A CLI failure: human-readable message plus a suggested exit code.
+#[derive(Debug)]
+pub struct CliError {
+    /// Message for stderr.
+    pub message: String,
+    /// Process exit code.
+    pub code: i32,
+}
+
+impl CliError {
+    fn usage(message: impl Into<String>) -> Self {
+        CliError {
+            message: format!("{}\n\n{USAGE}", message.into()),
+            code: 2,
+        }
+    }
+
+    fn failure(message: impl std::fmt::Display) -> Self {
+        CliError {
+            message: message.to_string(),
+            code: 1,
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  rsched check     <graph.rsg>
+  rsched schedule  <graph.rsg> [--ir] [--trace]
+  rsched slack     <graph.rsg>
+  rsched explain   <graph.rsg>
+  rsched control   <graph.rsg> [--style counter|shift] [--ir]
+  rsched fsm       <graph.rsg>
+  rsched simulate  <graph.rsg> [--seed N] [--max-delay N] [--gate] [--vcd]
+  rsched reduce    <graph.rsg>
+  rsched verilog   <graph.rsg> [--style counter|shift] [--ir] [--name M]
+  rsched dot       <graph.rsg>
+  rsched compile   <design.hc> [--vcd --seed N]";
+
+/// Executes a CLI invocation (`args` excludes the program name) and
+/// returns the stdout payload.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for usage errors (exit code 2) and analysis
+/// failures (exit code 1).
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let mut it = args.iter();
+    let command = it
+        .next()
+        .ok_or_else(|| CliError::usage("missing command"))?;
+    if !matches!(
+        command.as_str(),
+        "check"
+            | "schedule"
+            | "slack"
+            | "explain"
+            | "control"
+            | "fsm"
+            | "simulate"
+            | "reduce"
+            | "verilog"
+            | "dot"
+            | "compile"
+    ) {
+        return Err(CliError::usage(format!("unknown command '{command}'")));
+    }
+    let path = it
+        .next()
+        .ok_or_else(|| CliError::usage(format!("'{command}' needs an input file")))?;
+    let flags: Vec<&String> = it.collect();
+    let source = fs::read_to_string(path)
+        .map_err(|e| CliError::failure(format!("cannot read '{path}': {e}")))?;
+    match command.as_str() {
+        "check" => check_cmd(&source),
+        "schedule" => schedule_cmd(&source, &flags),
+        "slack" => slack_cmd(&source),
+        "explain" => explain_cmd(&source),
+        "control" => control_cmd(&source, &flags),
+        "fsm" => fsm_cmd(&source),
+        "simulate" => simulate_cmd(&source, &flags),
+        "reduce" => reduce_cmd(&source),
+        "verilog" => verilog_cmd(&source, &flags),
+        "dot" => dot_cmd(&source),
+        "compile" => compile_cmd(&source, &flags),
+        _ => unreachable!("validated above"),
+    }
+}
+
+fn load_graph(source: &str) -> Result<ConstraintGraph, CliError> {
+    ConstraintGraph::from_text(source).map_err(CliError::failure)
+}
+
+fn flag_value<'a>(flags: &'a [&String], name: &str) -> Option<&'a str> {
+    flags
+        .iter()
+        .position(|f| *f == name)
+        .and_then(|i| flags.get(i + 1))
+        .map(|s| s.as_str())
+}
+
+fn has_flag(flags: &[&String], name: &str) -> bool {
+    flags.iter().any(|f| *f == name)
+}
+
+fn check_cmd(source: &str) -> Result<String, CliError> {
+    let g = load_graph(source)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} vertices, {} edges ({} backward), {} anchors",
+        g.n_vertices(),
+        g.n_edges(),
+        g.n_backward_edges(),
+        g.n_anchors()
+    );
+    match check_well_posed(&g).map_err(CliError::failure)? {
+        WellPosedness::WellPosed => {
+            let bound = iteration_bound(&g).map_err(CliError::failure)?;
+            let _ = writeln!(
+                out,
+                "well-posed; scheduling converges within {} iteration(s) (L = {})",
+                bound.max_iterations(),
+                bound.l
+            );
+        }
+        WellPosedness::Unfeasible { witness } => {
+            let _ = writeln!(out, "UNFEASIBLE: positive cycle through {witness}");
+        }
+        WellPosedness::IllPosed { violations } => {
+            let _ = writeln!(out, "ILL-POSED ({} constraint(s)):", violations.len());
+            for v in violations {
+                let _ = writeln!(
+                    out,
+                    "  backward edge {} -> {}: anchors {:?} gate the tail but not the head",
+                    g.vertex(v.from).name(),
+                    g.vertex(v.to).name(),
+                    v.missing
+                        .iter()
+                        .map(|&a| g.vertex(a).name().to_owned())
+                        .collect::<Vec<_>>()
+                );
+            }
+            let mut repaired = g.clone();
+            match make_well_posed(&mut repaired) {
+                Ok(report) => {
+                    let _ = writeln!(out, "repairable by {} serialization edge(s):", report.len());
+                    for (a, v) in &report.added {
+                        let _ = writeln!(
+                            out,
+                            "  add dep {} -> {}",
+                            repaired.vertex(*a).name(),
+                            repaired.vertex(*v).name()
+                        );
+                    }
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "NOT repairable: {e}");
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn schedule_cmd(source: &str, flags: &[&String]) -> Result<String, CliError> {
+    let g = load_graph(source)?;
+    let mut out = String::new();
+    if has_flag(flags, "--trace") {
+        let trace = schedule_traced(&g).map_err(CliError::failure)?;
+        for (i, it) in trace.iterations.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "iteration {}: {} violated backward edge(s)",
+                i + 1,
+                it.violations.len()
+            );
+        }
+    }
+    let omega = schedule(&g).map_err(CliError::failure)?;
+    let omega = if has_flag(flags, "--ir") {
+        let analysis = IrredundantAnchors::analyze(&g).map_err(CliError::failure)?;
+        omega.restrict(analysis.irredundant.family())
+    } else {
+        omega
+    };
+    let _ = writeln!(
+        out,
+        "minimum relative schedule ({} iteration(s)):",
+        omega.iterations()
+    );
+    for v in g.vertex_ids() {
+        let offs: Vec<String> = omega
+            .offsets_of(v)
+            .map(|(a, o)| format!("σ_{}={o}", g.vertex(a).name()))
+            .collect();
+        let _ = writeln!(out, "  {:<16} [{}]", g.vertex(v).name(), offs.join(", "));
+    }
+    let _ = writeln!(
+        out,
+        "sum of max offsets: {} (control-cost proxy)",
+        omega.sum_of_max_offsets()
+    );
+    Ok(out)
+}
+
+fn slack_cmd(source: &str) -> Result<String, CliError> {
+    let g = load_graph(source)?;
+    let omega = schedule(&g).map_err(CliError::failure)?;
+    let slack = relative_slack(&g, &omega).map_err(CliError::failure)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "relative slack (σ_min / σ_alap / mobility per anchor):"
+    );
+    for v in g.vertex_ids() {
+        let cells: Vec<String> = slack
+            .anchors()
+            .iter()
+            .filter_map(|&a| {
+                let (asap, alap, sl) = (slack.asap(v, a)?, slack.alap(v, a)?, slack.slack(v, a)?);
+                Some(format!("{}:{}/{}/{}", g.vertex(a).name(), asap, alap, sl))
+            })
+            .collect();
+        if cells.is_empty() {
+            continue;
+        }
+        let marker = if slack.is_critical(v) {
+            " *critical*"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "  {:<16} {}{}",
+            g.vertex(v).name(),
+            cells.join("  "),
+            marker
+        );
+    }
+    Ok(out)
+}
+
+fn explain_cmd(source: &str) -> Result<String, CliError> {
+    let g = load_graph(source)?;
+    let omega = schedule(&g).map_err(CliError::failure)?;
+    let mut out = String::new();
+    for v in g.vertex_ids() {
+        for &a in omega.anchors() {
+            if let Some(ex) = explain_offset(&g, &omega, v, a).map_err(CliError::failure)? {
+                let _ = writeln!(out, "{}", ex.render(&g));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn fsm_cmd(source: &str) -> Result<String, CliError> {
+    let g = load_graph(source)?;
+    let omega = schedule(&g).map_err(CliError::failure)?;
+    let fsm = Fsm::from_schedule(&g, &omega).map_err(CliError::failure)?;
+    Ok(fsm.describe(&g))
+}
+
+fn control_cmd(source: &str, flags: &[&String]) -> Result<String, CliError> {
+    let g = load_graph(source)?;
+    let style = match flag_value(flags, "--style") {
+        None | Some("shift") => ControlStyle::ShiftRegister,
+        Some("counter") => ControlStyle::Counter,
+        Some(other) => {
+            return Err(CliError::usage(format!(
+                "unknown style '{other}' (expected counter|shift)"
+            )))
+        }
+    };
+    let omega = schedule(&g).map_err(CliError::failure)?;
+    let omega = if has_flag(flags, "--ir") {
+        let analysis = IrredundantAnchors::analyze(&g).map_err(CliError::failure)?;
+        omega.restrict(analysis.irredundant.family())
+    } else {
+        omega
+    };
+    let unit = generate(&g, &omega, style);
+    Ok(format!("{}cost: {}\n", unit.describe(), unit.cost()))
+}
+
+fn simulate_cmd(source: &str, flags: &[&String]) -> Result<String, CliError> {
+    let g = load_graph(source)?;
+    let seed: u64 = flag_value(flags, "--seed")
+        .map(|v| {
+            v.parse()
+                .map_err(|_| CliError::usage("--seed expects a number"))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    let max_delay: u64 = flag_value(flags, "--max-delay")
+        .map(|v| {
+            v.parse()
+                .map_err(|_| CliError::usage("--max-delay expects a number"))
+        })
+        .transpose()?
+        .unwrap_or(8);
+    let omega = schedule(&g).map_err(CliError::failure)?;
+    let unit = generate(&g, &omega, ControlStyle::ShiftRegister);
+    let sim = Simulator::new(&g, &unit);
+    let source_cfg = DelaySource::random(seed, max_delay);
+    let report = if has_flag(flags, "--gate") {
+        sim.run_gate_level(&source_cfg).map_err(CliError::failure)?
+    } else {
+        sim.run(&source_cfg).map_err(CliError::failure)?
+    };
+    if has_flag(flags, "--vcd") {
+        return Ok(rsched_sim::to_vcd(&g, &report));
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "simulated {} cycles; {} violation(s); analytic match: {}",
+        report.total_cycles,
+        report.violations.len(),
+        report.matches_analytic
+    );
+    let _ = write!(out, "{}", Waveform::from_report(&g, &report).render());
+    Ok(out)
+}
+
+fn reduce_cmd(source: &str) -> Result<String, CliError> {
+    let mut g = load_graph(source)?;
+    let report = g.reduce_sequencing_edges();
+    let mut out = format!(
+        "# removed {} of {} sequencing edges
+",
+        report.removed, report.examined
+    );
+    out.push_str(&g.to_text());
+    Ok(out)
+}
+
+fn verilog_cmd(source: &str, flags: &[&String]) -> Result<String, CliError> {
+    let g = load_graph(source)?;
+    let style = match flag_value(flags, "--style") {
+        None | Some("shift") => ControlStyle::ShiftRegister,
+        Some("counter") => ControlStyle::Counter,
+        Some(other) => {
+            return Err(CliError::usage(format!(
+                "unknown style '{other}' (expected counter|shift)"
+            )))
+        }
+    };
+    let omega = schedule(&g).map_err(CliError::failure)?;
+    let omega = if has_flag(flags, "--ir") {
+        let analysis = IrredundantAnchors::analyze(&g).map_err(CliError::failure)?;
+        omega.restrict(analysis.irredundant.family())
+    } else {
+        omega
+    };
+    let synth = rsched_ctrl::synthesize(&generate(&g, &omega, style));
+    let name = flag_value(flags, "--name").unwrap_or("control");
+    Ok(synth.to_verilog(name))
+}
+
+fn dot_cmd(source: &str) -> Result<String, CliError> {
+    let g = load_graph(source)?;
+    Ok(g.to_dot(&DotOptions::default()))
+}
+
+fn compile_cmd(source: &str, flags: &[&String]) -> Result<String, CliError> {
+    let compiled = rsched_hdl::compile(source).map_err(CliError::failure)?;
+    let scheduled = rsched_sgraph::schedule_design(&compiled.design).map_err(CliError::failure)?;
+    if has_flag(flags, "--vcd") {
+        let seed: u64 = flag_value(flags, "--seed")
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| CliError::usage("--seed expects a number"))
+            })
+            .transpose()?
+            .unwrap_or(0);
+        let act = rsched_sim::run_hierarchical(
+            &compiled.design,
+            &scheduled,
+            &rsched_sim::HierConfig {
+                seed,
+                ..Default::default()
+            },
+        )
+        .map_err(CliError::failure)?;
+        return Ok(rsched_sim::hier_to_vcd(&compiled.design, &scheduled, &act));
+    }
+    let mut out = String::new();
+    let stats = scheduled.anchor_stats();
+    let _ = writeln!(
+        out,
+        "{} sequencing graph(s); |A| = {}, |V| = {}; Σ|A(v)| = {} -> Σ|IR(v)| = {}",
+        stats.n_graphs,
+        stats.n_anchors,
+        stats.n_vertices,
+        stats.total_full,
+        stats.total_irredundant
+    );
+    let _ = writeln!(out, "\n{}", scheduled.report("design"));
+    for gs in scheduled.graph_schedules() {
+        let _ = writeln!(
+            out,
+            "\ngraph '{}' (latency {}):",
+            gs.name,
+            match gs.latency {
+                rsched_graph::ExecDelay::Fixed(l) => l.to_string(),
+                rsched_graph::ExecDelay::Unbounded => "unbounded".to_owned(),
+            }
+        );
+        for v in gs.lowered.graph.vertex_ids() {
+            let offs: Vec<String> = gs
+                .schedule_ir
+                .offsets_of(v)
+                .map(|(a, o)| format!("σ_{}={o}", gs.lowered.graph.vertex(a).name()))
+                .collect();
+            let _ = writeln!(
+                out,
+                "  {:<16} [{}]",
+                gs.lowered.graph.vertex(v).name(),
+                offs.join(", ")
+            );
+        }
+        if !gs.serialization.is_empty() {
+            let _ = writeln!(
+                out,
+                "  ({} serialization edge(s) added)",
+                gs.serialization.len()
+            );
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+
+    fn write_temp(name: &str, content: &str) -> std::path::PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("rsched_cli_test_{name}_{}", std::process::id()));
+        let mut f = std::fs::File::create(&path).unwrap();
+        f.write_all(content.as_bytes()).unwrap();
+        path
+    }
+
+    const GRAPH: &str = "
+op sync unbounded
+op alu 2
+op out 1
+dep sync alu
+dep alu out
+max alu out 4
+";
+
+    fn run_args(args: &[&str]) -> Result<String, CliError> {
+        run(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn check_reports_well_posed() {
+        let p = write_temp("check", GRAPH);
+        let out = run_args(&["check", p.to_str().unwrap()]).unwrap();
+        assert!(out.contains("well-posed"));
+        assert!(out.contains("anchors"));
+    }
+
+    #[test]
+    fn check_reports_repairable_ill_posedness() {
+        let ill = "
+op a1 unbounded
+op a2 unbounded
+op vi 1
+op vj 1
+dep a1 vi
+dep a2 vj
+max vi vj 4
+";
+        let p = write_temp("illposed", ill);
+        let out = run_args(&["check", p.to_str().unwrap()]).unwrap();
+        assert!(out.contains("ILL-POSED"));
+        assert!(out.contains("repairable by 1 serialization edge(s)"));
+        assert!(out.contains("add dep a2 -> vi"));
+    }
+
+    #[test]
+    fn schedule_prints_offsets_and_trace() {
+        let p = write_temp("sched", GRAPH);
+        let out = run_args(&["schedule", p.to_str().unwrap(), "--trace"]).unwrap();
+        assert!(out.contains("minimum relative schedule"));
+        assert!(out.contains("σ_sync=2")); // `out` starts 2 after sync
+        let ir = run_args(&["schedule", p.to_str().unwrap(), "--ir"]).unwrap();
+        assert!(ir.contains("σ_sync"));
+    }
+
+    #[test]
+    fn control_styles_render() {
+        let p = write_temp("ctrl", GRAPH);
+        let sr = run_args(&["control", p.to_str().unwrap()]).unwrap();
+        assert!(sr.contains("shift-register-based"));
+        let ctr = run_args(&["control", p.to_str().unwrap(), "--style", "counter"]).unwrap();
+        assert!(ctr.contains("counter-based"));
+        let err = run_args(&["control", p.to_str().unwrap(), "--style", "magic"]).unwrap_err();
+        assert_eq!(err.code, 2);
+    }
+
+    #[test]
+    fn simulate_renders_waveform() {
+        let p = write_temp("sim", GRAPH);
+        let out = run_args(&["simulate", p.to_str().unwrap(), "--seed", "3"]).unwrap();
+        assert!(out.contains("0 violation(s)"));
+        assert!(out.contains("analytic match: true"));
+        assert!(out.contains('#'));
+    }
+
+    #[test]
+    fn dot_renders() {
+        let p = write_temp("dot", GRAPH);
+        let out = run_args(&["dot", p.to_str().unwrap()]).unwrap();
+        assert!(out.starts_with("digraph"));
+    }
+
+    #[test]
+    fn compile_runs_hdl_pipeline() {
+        let hc = "
+process demo (req, ack)
+    in port req;
+    out port ack;
+    boolean t;
+{
+    t = read(req);
+    write ack = t;
+}
+";
+        let p = write_temp("hc", hc);
+        let out = run_args(&["compile", p.to_str().unwrap()]).unwrap();
+        assert!(out.contains("1 sequencing graph(s)"));
+        assert!(out.contains("demo"));
+    }
+
+    #[test]
+    fn slack_marks_critical_path() {
+        let p = write_temp("slack", GRAPH);
+        let out = run_args(&["slack", p.to_str().unwrap()]).unwrap();
+        assert!(out.contains("*critical*"));
+        assert!(out.contains("sync:"));
+    }
+
+    #[test]
+    fn fsm_requires_fixed_delay_design() {
+        let p = write_temp("fsm_bad", GRAPH);
+        let err = run_args(&["fsm", p.to_str().unwrap()]).unwrap_err();
+        assert!(err.message.contains("unbounded"));
+        let fixed = "op a 2\nop b 1\ndep a b\n";
+        let p = write_temp("fsm_ok", fixed);
+        let out = run_args(&["fsm", p.to_str().unwrap()]).unwrap();
+        assert!(out.contains("FSM controller"));
+        assert!(out.contains("state   0"));
+    }
+
+    #[test]
+    fn gate_level_simulation_flag() {
+        let p = write_temp("simgate", GRAPH);
+        let behavioural = run_args(&["simulate", p.to_str().unwrap(), "--seed", "5"]).unwrap();
+        let gate = run_args(&["simulate", p.to_str().unwrap(), "--seed", "5", "--gate"]).unwrap();
+        assert_eq!(behavioural, gate, "gate-level must match behavioural");
+    }
+
+    #[test]
+    fn explain_lists_binding_paths() {
+        let p = write_temp("explain", GRAPH);
+        let out = run_args(&["explain", p.to_str().unwrap()]).unwrap();
+        assert!(out.contains("σ_sync(out) = 2"));
+        assert!(out.contains("-("));
+    }
+
+    #[test]
+    fn verilog_emission() {
+        let p = write_temp("verilog", GRAPH);
+        let out = run_args(&["verilog", p.to_str().unwrap(), "--name", "demo_ctl"]).unwrap();
+        assert!(out.starts_with("module demo_ctl ("));
+        assert!(out.contains("endmodule"));
+        assert!(out.contains("done_"));
+    }
+
+    #[test]
+    fn reduce_drops_redundant_edges() {
+        let redundant = "
+op a 1
+op b 2
+op c 1
+dep a b
+dep b c
+dep a c
+";
+        let p = write_temp("reduce", redundant);
+        let out = run_args(&["reduce", p.to_str().unwrap()]).unwrap();
+        assert!(out.contains("# removed 1 of"));
+        // Re-parse the emitted text: still a valid graph.
+        let g = rsched_graph::ConstraintGraph::from_text(
+            out.lines().skip(1).collect::<Vec<_>>().join("\n").as_str(),
+        )
+        .unwrap();
+        assert!(g.is_polar());
+    }
+
+    #[test]
+    fn vcd_flag_emits_vcd() {
+        let p = write_temp("vcd", GRAPH);
+        let out = run_args(&["simulate", p.to_str().unwrap(), "--vcd"]).unwrap();
+        assert!(out.starts_with("$date"));
+        assert!(out.contains("$enddefinitions $end"));
+    }
+
+    #[test]
+    fn compile_vcd_emits_hierarchical_waveform() {
+        let hc = "
+process demo (req, ack)
+    in port req;
+    out port ack;
+    boolean t;
+{
+    while (req) ;
+    t = 1;
+    write ack = t;
+}
+";
+        let p = write_temp("hcvcd", hc);
+        let out = run_args(&["compile", p.to_str().unwrap(), "--vcd", "--seed", "2"]).unwrap();
+        assert!(out.contains("hierarchical"));
+        assert!(out.contains("run_demo."));
+        assert!(out.contains("$enddefinitions $end"));
+    }
+
+    #[test]
+    fn usage_errors() {
+        assert_eq!(run_args(&[]).unwrap_err().code, 2);
+        assert_eq!(run_args(&["frobnicate", "x"]).unwrap_err().code, 2);
+        assert_eq!(run_args(&["check"]).unwrap_err().code, 2);
+        let err = run_args(&["check", "/nonexistent/path.rsg"]).unwrap_err();
+        assert_eq!(err.code, 1);
+    }
+
+    #[test]
+    fn failures_bubble_with_messages() {
+        let p = write_temp("bad", "op a 1\nop b 1\ndep a b\nmin a b 9\nmax a b 2\n");
+        let err = run_args(&["schedule", p.to_str().unwrap()]).unwrap_err();
+        assert!(err.message.contains("unfeasible"));
+    }
+}

@@ -1,0 +1,12 @@
+//! `rsched` — command-line driver for the relative-scheduling toolchain.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match rsched_cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("rsched: {}", e.message);
+            std::process::exit(e.code);
+        }
+    }
+}

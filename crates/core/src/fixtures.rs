@@ -1,0 +1,61 @@
+//! Shared test fixtures: the paper's example constraint graphs.
+
+use rsched_graph::{ConstraintGraph, ExecDelay, VertexId};
+
+/// The constraint graph of the paper's Fig. 2: anchors `v0` and `a`, a
+/// maximum timing constraint from `v1` to `v2` and a minimum timing
+/// constraint from `v0` to `v3`. Its anchor sets and minimum offsets are
+/// Table II.
+pub(crate) fn fig2() -> (ConstraintGraph, VertexId, [VertexId; 4]) {
+    let mut g = ConstraintGraph::new();
+    let a = g.add_operation("a", ExecDelay::Unbounded);
+    let v1 = g.add_operation("v1", ExecDelay::Fixed(2));
+    let v2 = g.add_operation("v2", ExecDelay::Fixed(1));
+    let v3 = g.add_operation("v3", ExecDelay::Fixed(5));
+    let v4 = g.add_operation("v4", ExecDelay::Fixed(1));
+    let s = g.source();
+    g.add_dependency(s, a).unwrap();
+    g.add_dependency(s, v1).unwrap();
+    g.add_dependency(v1, v2).unwrap();
+    g.add_dependency(a, v3).unwrap();
+    g.add_dependency(v2, v4).unwrap();
+    g.add_dependency(v3, v4).unwrap();
+    g.add_min_constraint(s, v3, 3).unwrap();
+    g.add_max_constraint(v1, v2, 5).unwrap();
+    g.polarize().unwrap();
+    (g, a, [v1, v2, v3, v4])
+}
+
+/// The constraint graph of the paper's Fig. 10 (reconstructed from its
+/// offset-trace table; every cell matches — see the `fig10_trace` test).
+pub(crate) fn fig10() -> (ConstraintGraph, VertexId, [VertexId; 6]) {
+    let mut g = ConstraintGraph::new();
+    let a = g.add_operation("a", ExecDelay::Unbounded);
+    let v1 = g.add_operation("v1", ExecDelay::Fixed(1));
+    let v2 = g.add_operation("v2", ExecDelay::Fixed(3));
+    let v3 = g.add_operation("v3", ExecDelay::Fixed(1));
+    let v4 = g.add_operation("v4", ExecDelay::Fixed(1));
+    let v5 = g.add_operation("v5", ExecDelay::Fixed(1));
+    let v6 = g.add_operation("v6", ExecDelay::Fixed(4));
+    let s = g.source();
+    g.add_dependency(s, a).unwrap();
+    g.add_min_constraint(s, a, 1).unwrap();
+    g.add_dependency(a, v1).unwrap();
+    g.add_dependency(v1, v2).unwrap();
+    g.add_min_constraint(v1, v3, 4).unwrap();
+    g.add_min_constraint(v1, v4, 2).unwrap();
+    g.add_min_constraint(s, v4, 4).unwrap();
+    g.add_dependency(v4, v5).unwrap();
+    g.add_dependency(s, v6).unwrap();
+    g.add_min_constraint(s, v6, 8).unwrap();
+    let sink = g.sink();
+    g.add_dependency(v2, sink).unwrap();
+    g.add_dependency(v3, sink).unwrap();
+    g.add_dependency(v6, sink).unwrap();
+    // Maximum constraints (dashed backward arcs of the figure).
+    g.add_max_constraint(v2, v3, 1).unwrap(); // backward v3 -> v2, weight -1
+    g.add_max_constraint(a, v6, 6).unwrap(); // backward v6 -> a, weight -6
+    g.add_max_constraint(v5, v6, 2).unwrap(); // backward v6 -> v5, weight -2
+    g.polarize().unwrap();
+    (g, a, [v1, v2, v3, v4, v5, v6])
+}

@@ -1,0 +1,631 @@
+//! Iterative incremental scheduling (§IV-E) and relative schedules.
+//!
+//! A *relative schedule* `Ω = {σ_a(v) | a ∈ A(v), ∀v}` assigns every vertex
+//! one offset per anchor in its anchor set (Definition 5). The *minimum*
+//! relative schedule has every offset equal to the longest weighted path
+//! from the anchor (Theorem 3); the iterative incremental algorithm reaches
+//! it — or proves the constraints inconsistent — in at most `|E_b| + 1`
+//! iterations (Theorem 8, Corollary 2). Each iteration is one
+//! `IncrementalOffset` topological sweep of `G_f` followed by a
+//! `ReadjustOffsets` sweep over the backward edges.
+
+use std::fmt;
+
+use rsched_graph::{ConstraintGraph, EdgeId, VertexId};
+
+use crate::anchors::{AnchorSetFamily, AnchorSets};
+use crate::error::ScheduleError;
+use crate::wellposed::{check_well_posed_with, WellPosedness};
+
+/// A relative schedule: one offset `σ_a(v)` per `(vertex, anchor)` pair
+/// with `a` in the vertex's tracked anchor set.
+#[derive(Clone, PartialEq, Eq)]
+pub struct RelativeSchedule {
+    sets: AnchorSetFamily,
+    /// Dense `|V| × |A|` offset matrix; meaningful only where `sets` has
+    /// the corresponding bit.
+    offsets: Vec<i64>,
+    n_anchors: usize,
+    iterations: usize,
+}
+
+impl fmt::Debug for RelativeSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = f.debug_struct("RelativeSchedule");
+        s.field("iterations", &self.iterations);
+        let rows: Vec<String> = (0..self.offsets.len() / self.n_anchors.max(1))
+            .map(|vi| {
+                let v = VertexId::from_index(vi);
+                let offs: Vec<String> = self
+                    .offsets_of(v)
+                    .map(|(a, o)| format!("σ_{a}={o}"))
+                    .collect();
+                format!("{v}: [{}]", offs.join(", "))
+            })
+            .collect();
+        s.field("offsets", &rows);
+        s.finish()
+    }
+}
+
+impl RelativeSchedule {
+    fn new(sets: AnchorSetFamily, n_vertices: usize) -> Self {
+        let n_anchors = sets.n_anchors();
+        RelativeSchedule {
+            sets,
+            offsets: vec![0; n_vertices * n_anchors],
+            n_anchors,
+            iterations: 0,
+        }
+    }
+
+    /// Zero-initialized schedule for external fillers (baselines).
+    pub(crate) fn with_zero_offsets(sets: AnchorSetFamily, n_vertices: usize) -> Self {
+        Self::new(sets, n_vertices)
+    }
+
+    /// Raw offset write by anchor index (baselines only).
+    pub(crate) fn set_offset_raw(&mut self, v: VertexId, anchor_index: usize, value: i64) {
+        let i = self.idx(v, anchor_index);
+        self.offsets[i] = value;
+    }
+
+    fn idx(&self, v: VertexId, anchor_index: usize) -> usize {
+        v.index() * self.n_anchors + anchor_index
+    }
+
+    /// The offset `σ_a(v)`, or `None` when `a` is not a tracked anchor of
+    /// `v`. The offset of an anchor with respect to itself is 0 by
+    /// normalization and reported as `None` (it is not a member of `A(a)`).
+    pub fn offset(&self, v: VertexId, a: VertexId) -> Option<i64> {
+        let ai = self.sets.anchor_index(a)?;
+        if self.sets.contains(v, a) {
+            Some(self.offsets[self.idx(v, ai)])
+        } else {
+            None
+        }
+    }
+
+    /// All `(anchor, offset)` pairs of `v`, in anchor order.
+    pub fn offsets_of(&self, v: VertexId) -> impl Iterator<Item = (VertexId, i64)> + '_ {
+        let anchors: Vec<VertexId> = self.sets.set(v).collect();
+        anchors.into_iter().map(move |a| {
+            let ai = self.sets.anchor_index(a).expect("anchor in set");
+            (a, self.offsets[self.idx(v, ai)])
+        })
+    }
+
+    /// The anchor-set family the schedule tracks offsets for (full `A(v)`
+    /// when produced by [`schedule`], possibly restricted afterwards).
+    pub fn tracked_sets(&self) -> &AnchorSetFamily {
+        &self.sets
+    }
+
+    /// The anchors of the graph.
+    pub fn anchors(&self) -> &[VertexId] {
+        self.sets.anchors()
+    }
+
+    /// Number of scheduler iterations executed (1 iteration = one
+    /// `IncrementalOffset` + one violation check).
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// `σ_a^max`: the maximum offset any vertex holds with respect to
+    /// anchor `a` (0 if no vertex tracks `a`). Drives control cost (§VI).
+    pub fn max_offset(&self, a: VertexId) -> i64 {
+        let Some(ai) = self.sets.anchor_index(a) else {
+            return 0;
+        };
+        (0..self.offsets.len() / self.n_anchors)
+            .filter(|&vi| self.sets.contains(VertexId::from_index(vi), a))
+            .map(|vi| self.offsets[vi * self.n_anchors + ai])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// `Σ_a σ_a^max` over all anchors — the paper's Table IV metric, which
+    /// is directly related to control-implementation complexity.
+    pub fn sum_of_max_offsets(&self) -> i64 {
+        self.anchors().iter().map(|&a| self.max_offset(a)).sum()
+    }
+
+    /// Total number of tracked `(vertex, anchor)` offsets over the
+    /// operations of `graph` (source and sink excluded), as in Table III.
+    pub fn n_offsets(&self, graph: &ConstraintGraph) -> usize {
+        self.sets.total_cardinality(graph)
+    }
+
+    /// Checks every edge inequality of `graph` against these offsets:
+    /// for each edge `(u, v)` with (zeroed) weight `w` and each anchor
+    /// tracked at both endpoints, `σ_a(v) ≥ σ_a(u) + w` must hold, plus
+    /// the base case `σ_a(v) ≥ w` for unbounded edges out of an anchor
+    /// tracked at `v`. Returns the violated `(edge, anchor)` pairs (empty
+    /// for any valid relative schedule — Definition 3).
+    pub fn validate(&self, graph: &ConstraintGraph) -> Vec<(EdgeId, VertexId)> {
+        let mut violations = Vec::new();
+        for (id, e) in graph.edges() {
+            let w = e.weight().zeroed();
+            for &a in self.anchors() {
+                if let (Some(su), Some(sv)) = (self.offset(e.from(), a), self.offset(e.to(), a)) {
+                    if sv < su + w {
+                        violations.push((id, a));
+                    }
+                }
+            }
+            if let Some(a) = e.weight().unbounded_anchor() {
+                if let Some(sv) = self.offset(e.to(), a) {
+                    if sv < w {
+                        violations.push((id, a));
+                    }
+                }
+            }
+        }
+        violations
+    }
+
+    /// Restricts the schedule to a smaller anchor-set family (typically
+    /// `IR(v)`), dropping the offsets of anchors outside it.
+    ///
+    /// By Theorems 4 and 6, start times computed from the restricted
+    /// schedule equal those of the full schedule when the restriction is to
+    /// relevant or irredundant anchors and the offsets are minimum.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `smaller` is not a per-vertex subset of
+    /// the tracked sets.
+    pub fn restrict(&self, smaller: &AnchorSetFamily) -> RelativeSchedule {
+        debug_assert_eq!(smaller.n_anchors(), self.sets.n_anchors());
+        let n_vertices = self.offsets.len() / self.n_anchors.max(1);
+        if cfg!(debug_assertions) {
+            for vi in 0..n_vertices {
+                let v = VertexId::from_index(vi);
+                for a in smaller.set(v) {
+                    assert!(self.sets.contains(v, a), "restriction must shrink sets");
+                }
+            }
+        }
+        RelativeSchedule {
+            sets: smaller.clone(),
+            offsets: self.offsets.clone(),
+            n_anchors: self.n_anchors,
+            iterations: self.iterations,
+        }
+    }
+}
+
+/// One scheduler iteration snapshot for tracing (Fig. 10 of the paper).
+#[derive(Debug, Clone)]
+pub struct IterationTrace {
+    /// Offsets right after the `IncrementalOffset` sweep.
+    pub computed: RelativeSchedule,
+    /// Backward edges found violated afterwards (empty on the final
+    /// iteration).
+    pub violations: Vec<EdgeId>,
+    /// Offsets after `ReadjustOffsets` (equal to `computed` when no
+    /// violations occurred).
+    pub readjusted: RelativeSchedule,
+}
+
+/// A traced scheduling run: the final schedule plus per-iteration
+/// snapshots.
+#[derive(Debug, Clone)]
+pub struct ScheduleTrace {
+    /// The minimum relative schedule.
+    pub schedule: RelativeSchedule,
+    /// One entry per executed iteration.
+    pub iterations: Vec<IterationTrace>,
+}
+
+/// Computes the minimum relative schedule of a well-posed constraint graph
+/// (the paper's *iterative incremental scheduling*).
+///
+/// Checks feasibility and well-posedness first; use
+/// [`schedule_with_sets`] to skip the checks or to schedule over
+/// restricted anchor sets.
+///
+/// # Errors
+///
+/// * [`ScheduleError::Unfeasible`] — positive cycle (Theorem 1);
+/// * [`ScheduleError::IllPosed`] — some maximum constraint depends on an
+///   unshared unbounded delay (Theorem 2); run
+///   [`make_well_posed`](crate::make_well_posed) first;
+/// * [`ScheduleError::Inconsistent`] — cannot happen after the feasibility
+///   check, but reported if the iteration budget is somehow exhausted.
+///
+/// # Example
+///
+/// ```
+/// use rsched_graph::{ConstraintGraph, ExecDelay};
+/// use rsched_core::schedule;
+///
+/// # fn main() -> Result<(), rsched_core::ScheduleError> {
+/// let mut g = ConstraintGraph::new();
+/// let sync = g.add_operation("sync", ExecDelay::Unbounded);
+/// let op = g.add_operation("op", ExecDelay::Fixed(2));
+/// g.add_dependency(sync, op)?;
+/// g.polarize()?;
+/// let omega = schedule(&g)?;
+/// assert_eq!(omega.offset(op, sync), Some(0)); // op starts when sync completes
+/// # Ok(())
+/// # }
+/// ```
+pub fn schedule(graph: &ConstraintGraph) -> Result<RelativeSchedule, ScheduleError> {
+    let sets = AnchorSets::compute(graph)?;
+    match check_well_posed_with(graph, &sets) {
+        WellPosedness::WellPosed => {}
+        WellPosedness::Unfeasible { witness } => return Err(ScheduleError::Unfeasible { witness }),
+        WellPosedness::IllPosed { violations } => {
+            let v = &violations[0];
+            return Err(ScheduleError::IllPosed {
+                from: v.from,
+                to: v.to,
+                missing: v.missing.clone(),
+            });
+        }
+    }
+    run(graph, sets.family().clone(), None)
+}
+
+/// Iterative incremental scheduling over caller-provided anchor sets.
+///
+/// `sets` may be the full `A(v)` family, or the relevant/irredundant
+/// restriction (Theorems 4 and 6 make the results equivalent). No
+/// feasibility or well-posedness pre-checks are performed; inconsistent
+/// constraints surface as [`ScheduleError::Inconsistent`] after
+/// `|E_b| + 1` iterations (Corollary 2).
+///
+/// # Errors
+///
+/// Returns [`ScheduleError::Inconsistent`] for unsatisfiable constraints
+/// and graph errors for a cyclic `G_f`.
+pub fn schedule_with_sets(
+    graph: &ConstraintGraph,
+    sets: &AnchorSetFamily,
+) -> Result<RelativeSchedule, ScheduleError> {
+    run(graph, sets.clone(), None)
+}
+
+/// [`schedule`] with per-iteration snapshots (used to reproduce Fig. 10).
+///
+/// # Errors
+///
+/// Same conditions as [`schedule`].
+pub fn schedule_traced(graph: &ConstraintGraph) -> Result<ScheduleTrace, ScheduleError> {
+    let sets = AnchorSets::compute(graph)?;
+    if let WellPosedness::Unfeasible { witness } = check_well_posed_with(graph, &sets) {
+        return Err(ScheduleError::Unfeasible { witness });
+    }
+    let mut trace = Vec::new();
+    let schedule = run(graph, sets.family().clone(), Some(&mut trace))?;
+    Ok(ScheduleTrace {
+        schedule,
+        iterations: trace,
+    })
+}
+
+fn run(
+    graph: &ConstraintGraph,
+    sets: AnchorSetFamily,
+    mut trace: Option<&mut Vec<IterationTrace>>,
+) -> Result<RelativeSchedule, ScheduleError> {
+    let topo = graph.forward_topological_order()?;
+    let mut omega = RelativeSchedule::new(sets, graph.n_vertices());
+    let budget = graph.n_backward_edges() + 1;
+    for iter in 1..=budget {
+        incremental_offset(graph, &topo, &mut omega);
+        let violations = find_violations(graph, &omega);
+        let computed = trace.as_ref().map(|_| omega.clone());
+        if violations.is_empty() {
+            omega.iterations = iter;
+            if let Some(trace) = trace.as_mut() {
+                trace.push(IterationTrace {
+                    computed: computed.clone().expect("snapshot exists when tracing"),
+                    violations: Vec::new(),
+                    readjusted: computed.expect("snapshot exists when tracing"),
+                });
+            }
+            return Ok(omega);
+        }
+        readjust_offsets(graph, &mut omega, &violations);
+        if let Some(trace) = trace.as_mut() {
+            trace.push(IterationTrace {
+                computed: computed.expect("snapshot exists when tracing"),
+                violations: violations.clone(),
+                readjusted: omega.clone(),
+            });
+        }
+    }
+    Err(ScheduleError::Inconsistent { iterations: budget })
+}
+
+/// `IncrementalOffset`: one topological longest-path sweep over `G_f`.
+/// Offsets only ever increase (Lemma 8).
+fn incremental_offset(
+    graph: &ConstraintGraph,
+    topo: &rsched_graph::ForwardTopo,
+    omega: &mut RelativeSchedule,
+) {
+    let n_anchors = omega.n_anchors;
+    for &v in topo.order() {
+        for (_, e) in graph.in_edges(v) {
+            if !e.is_forward() {
+                continue;
+            }
+            let p = e.from();
+            let w = e.weight().zeroed();
+            // For every anchor tracked by both p and v: relax through p.
+            for ai in 0..n_anchors {
+                let a = omega.sets.anchors()[ai];
+                if !omega.sets.contains(p, a) || !omega.sets.contains(v, a) {
+                    continue;
+                }
+                let cand = omega.offsets[p.index() * n_anchors + ai] + w;
+                let slot = &mut omega.offsets[v.index() * n_anchors + ai];
+                if cand > *slot {
+                    *slot = cand;
+                }
+            }
+            // Base case σ_p(p) = 0 (Definition 3 normalization): when the
+            // tail is itself an anchor tracked at v, the edge contributes
+            // `0 + w`. This is what carries a minimum constraint sourced
+            // at an anchor (e.g. the source) into its successor's offset;
+            // for unbounded edges (w = 0) it is a no-op.
+            if let Some(ai) = omega.sets.anchor_index(p) {
+                if omega.sets.contains(v, p) {
+                    let slot = &mut omega.offsets[v.index() * n_anchors + ai];
+                    if w > *slot {
+                        *slot = w;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A violated backward edge with the anchors requiring readjustment.
+fn find_violations(graph: &ConstraintGraph, omega: &RelativeSchedule) -> Vec<EdgeId> {
+    let n_anchors = omega.n_anchors;
+    let mut out = Vec::new();
+    'edges: for (id, e) in graph.backward_edges() {
+        let (t, h) = (e.from(), e.to());
+        let w = e.weight().zeroed();
+        for ai in 0..n_anchors {
+            let a = omega.sets.anchors()[ai];
+            if !omega.sets.contains(t, a) || !omega.sets.contains(h, a) {
+                continue;
+            }
+            if omega.offsets[h.index() * n_anchors + ai]
+                < omega.offsets[t.index() * n_anchors + ai] + w
+            {
+                out.push(id);
+                continue 'edges;
+            }
+        }
+    }
+    out
+}
+
+/// `ReadjustOffsets`: raise each violated head offset to the minimum value
+/// satisfying its backward edge.
+fn readjust_offsets(graph: &ConstraintGraph, omega: &mut RelativeSchedule, violations: &[EdgeId]) {
+    let n_anchors = omega.n_anchors;
+    for &id in violations {
+        let e = graph.edge(id);
+        let (t, h) = (e.from(), e.to());
+        let w = e.weight().zeroed();
+        for ai in 0..n_anchors {
+            let a = omega.sets.anchors()[ai];
+            if !omega.sets.contains(t, a) || !omega.sets.contains(h, a) {
+                continue;
+            }
+            let required = omega.offsets[t.index() * n_anchors + ai] + w;
+            let slot = &mut omega.offsets[h.index() * n_anchors + ai];
+            if *slot < required {
+                *slot = required;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{fig10, fig2};
+    use rsched_graph::ExecDelay;
+
+    /// Table II of the paper: minimum offsets of the Fig. 2 graph.
+    #[test]
+    fn fig2_table2_offsets() {
+        let (g, a, [v1, v2, v3, v4]) = fig2();
+        let s = g.source();
+        let omega = schedule(&g).unwrap();
+        assert_eq!(omega.offset(a, s), Some(0));
+        assert_eq!(omega.offset(v1, s), Some(0));
+        assert_eq!(omega.offset(v2, s), Some(2));
+        assert_eq!(omega.offset(v3, s), Some(3));
+        assert_eq!(omega.offset(v3, a), Some(0));
+        assert_eq!(omega.offset(v4, s), Some(8));
+        assert_eq!(omega.offset(v4, a), Some(5));
+        // Anchors not in a vertex's set have no offset.
+        assert_eq!(omega.offset(v1, a), None);
+        assert_eq!(omega.offset(s, s), None);
+    }
+
+    /// Fig. 10: the trace of offsets through the scheduling iterations
+    /// matches the paper's table cell by cell.
+    #[test]
+    fn fig10_trace_matches_paper() {
+        let (g, a, [v1, v2, v3, v4, v5, v6]) = fig10();
+        let s = g.source();
+        let sink = g.sink();
+        let trace = schedule_traced(&g).unwrap();
+        assert_eq!(trace.iterations.len(), 3, "terminates in the 3rd iteration");
+
+        let it1 = &trace.iterations[0];
+        let c = &it1.computed;
+        assert_eq!(c.offset(a, s), Some(1));
+        assert_eq!((c.offset(v1, s), c.offset(v1, a)), (Some(1), Some(0)));
+        assert_eq!((c.offset(v2, s), c.offset(v2, a)), (Some(2), Some(1)));
+        assert_eq!((c.offset(v3, s), c.offset(v3, a)), (Some(5), Some(4)));
+        assert_eq!((c.offset(v4, s), c.offset(v4, a)), (Some(4), Some(2)));
+        assert_eq!((c.offset(v5, s), c.offset(v5, a)), (Some(5), Some(3)));
+        assert_eq!((c.offset(v6, s), c.offset(v6, a)), (Some(8), None));
+        assert_eq!((c.offset(sink, s), c.offset(sink, a)), (Some(12), Some(5)));
+        assert_eq!(it1.violations.len(), 3, "three backward edges violated");
+        let r = &it1.readjusted;
+        assert_eq!(r.offset(a, s), Some(2));
+        assert_eq!((r.offset(v2, s), r.offset(v2, a)), (Some(4), Some(3)));
+        assert_eq!((r.offset(v5, s), r.offset(v5, a)), (Some(6), Some(3)));
+
+        let it2 = &trace.iterations[1];
+        let c = &it2.computed;
+        assert_eq!(c.offset(a, s), Some(2));
+        assert_eq!((c.offset(v1, s), c.offset(v1, a)), (Some(2), Some(0)));
+        assert_eq!((c.offset(v2, s), c.offset(v2, a)), (Some(4), Some(3)));
+        assert_eq!((c.offset(v3, s), c.offset(v3, a)), (Some(6), Some(4)));
+        assert_eq!((c.offset(v4, s), c.offset(v4, a)), (Some(4), Some(2)));
+        assert_eq!((c.offset(v5, s), c.offset(v5, a)), (Some(6), Some(3)));
+        assert_eq!((c.offset(sink, s), c.offset(sink, a)), (Some(12), Some(6)));
+        assert_eq!(
+            it2.violations.len(),
+            1,
+            "one backward edge remains violated"
+        );
+        let r = &it2.readjusted;
+        assert_eq!((r.offset(v2, s), r.offset(v2, a)), (Some(5), Some(3)));
+
+        let it3 = &trace.iterations[2];
+        assert!(it3.violations.is_empty());
+        let f = &trace.schedule;
+        assert_eq!(f.offset(a, s), Some(2));
+        assert_eq!((f.offset(v1, s), f.offset(v1, a)), (Some(2), Some(0)));
+        assert_eq!((f.offset(v2, s), f.offset(v2, a)), (Some(5), Some(3)));
+        assert_eq!((f.offset(v3, s), f.offset(v3, a)), (Some(6), Some(4)));
+        assert_eq!((f.offset(v4, s), f.offset(v4, a)), (Some(4), Some(2)));
+        assert_eq!((f.offset(v5, s), f.offset(v5, a)), (Some(6), Some(3)));
+        assert_eq!((f.offset(v6, s), f.offset(v6, a)), (Some(8), None));
+        assert_eq!((f.offset(sink, s), f.offset(sink, a)), (Some(12), Some(6)));
+        assert_eq!(f.iterations(), 3);
+    }
+
+    /// Theorem 3: the minimum offsets equal the longest weighted paths from
+    /// each anchor in the full graph.
+    #[test]
+    fn offsets_equal_longest_paths() {
+        let (g, _, _) = fig10();
+        let omega = schedule(&g).unwrap();
+        for &a in omega.anchors() {
+            let lp = g.longest_paths_from(a).unwrap();
+            for v in g.vertex_ids() {
+                if let Some(off) = omega.offset(v, a) {
+                    assert_eq!(Some(off), lp.length_to(v), "σ_{a}({v})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inconsistent_constraints_detected_within_budget() {
+        let mut g = ConstraintGraph::new();
+        let a = g.add_operation("a", ExecDelay::Fixed(4));
+        let b = g.add_operation("b", ExecDelay::Fixed(1));
+        g.add_dependency(a, b).unwrap();
+        g.add_max_constraint(a, b, 2).unwrap(); // b must start within 2, but δ(a)=4
+        g.polarize().unwrap();
+        // schedule() front-door reports unfeasibility...
+        assert!(matches!(
+            schedule(&g),
+            Err(ScheduleError::Unfeasible { .. })
+        ));
+        // ...while the raw iteration (no pre-check) detects it via the
+        // iteration budget (Corollary 2).
+        let sets = AnchorSets::compute(&g).unwrap();
+        assert_eq!(
+            schedule_with_sets(&g, sets.family()),
+            Err(ScheduleError::Inconsistent { iterations: 2 })
+        );
+    }
+
+    #[test]
+    fn ill_posed_graph_rejected_by_schedule() {
+        let mut g = ConstraintGraph::new();
+        let a1 = g.add_operation("a1", ExecDelay::Unbounded);
+        let a2 = g.add_operation("a2", ExecDelay::Unbounded);
+        let vi = g.add_operation("vi", ExecDelay::Fixed(1));
+        let vj = g.add_operation("vj", ExecDelay::Fixed(1));
+        g.add_dependency(a1, vi).unwrap();
+        g.add_dependency(a2, vj).unwrap();
+        g.add_max_constraint(vi, vj, 4).unwrap();
+        g.polarize().unwrap();
+        assert!(matches!(schedule(&g), Err(ScheduleError::IllPosed { .. })));
+    }
+
+    #[test]
+    fn max_offset_and_sum_metrics() {
+        let (g, a, _) = fig10();
+        let omega = schedule(&g).unwrap();
+        assert_eq!(omega.max_offset(g.source()), 12);
+        assert_eq!(omega.max_offset(a), 6);
+        assert_eq!(omega.sum_of_max_offsets(), 18);
+    }
+
+    #[test]
+    fn restrict_drops_untracked_offsets() {
+        let (g, _, _) = fig10();
+        let analysis = crate::anchors::IrredundantAnchors::analyze(&g).unwrap();
+        let omega = schedule(&g).unwrap();
+        let restricted = omega.restrict(analysis.irredundant.family());
+        for v in g.vertex_ids() {
+            for &a in omega.anchors() {
+                if analysis.irredundant.contains(v, a) {
+                    assert_eq!(restricted.offset(v, a), omega.offset(v, a));
+                } else {
+                    assert_eq!(restricted.offset(v, a), None);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_delay_graph_reduces_to_traditional_asap() {
+        // No unbounded operations: the only anchor is the source and the
+        // offsets are the classical ASAP start times.
+        let mut g = ConstraintGraph::new();
+        let x = g.add_operation("x", ExecDelay::Fixed(2));
+        let y = g.add_operation("y", ExecDelay::Fixed(3));
+        let z = g.add_operation("z", ExecDelay::Fixed(1));
+        g.add_dependency(x, y).unwrap();
+        g.add_dependency(x, z).unwrap();
+        g.polarize().unwrap();
+        let omega = schedule(&g).unwrap();
+        assert_eq!(omega.anchors(), &[g.source()]);
+        assert_eq!(omega.offset(x, g.source()), Some(0));
+        assert_eq!(omega.offset(y, g.source()), Some(2));
+        assert_eq!(omega.offset(z, g.source()), Some(2));
+    }
+
+    #[test]
+    fn validate_accepts_minimum_and_rejects_perturbed() {
+        let (g, _, _) = fig10();
+        let omega = schedule(&g).unwrap();
+        assert!(omega.validate(&g).is_empty());
+        // Restricting to IR sets keeps validity (fewer tracked pairs).
+        let analysis = crate::anchors::IrredundantAnchors::analyze(&g).unwrap();
+        assert!(omega
+            .restrict(analysis.irredundant.family())
+            .validate(&g)
+            .is_empty());
+    }
+
+    #[test]
+    fn debug_output_is_nonempty() {
+        let (g, _, _) = fig2();
+        let omega = schedule(&g).unwrap();
+        let dbg = format!("{omega:?}");
+        assert!(dbg.contains("RelativeSchedule"));
+        assert!(dbg.contains("σ_"));
+    }
+}

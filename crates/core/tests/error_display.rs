@@ -1,0 +1,109 @@
+//! Every error variant renders a meaningful, lowercase, punctuation-free
+//! message (C-GOOD-ERR) and threads its source.
+
+use std::error::Error as _;
+
+use rsched_core::ScheduleError;
+use rsched_graph::{GraphError, VertexId};
+
+fn v(i: usize) -> VertexId {
+    VertexId::from_index(i)
+}
+
+#[test]
+fn graph_errors_render() {
+    let cases: Vec<(GraphError, &str)> = vec![
+        (GraphError::UnknownVertex(v(3)), "unknown vertex v3"),
+        (
+            GraphError::ForwardCycle {
+                from: v(1),
+                to: v(2),
+            },
+            "cycle in the forward constraint graph",
+        ),
+        (GraphError::SelfLoop(v(4)), "self-loop"),
+        (
+            GraphError::Polarity {
+                from: v(0),
+                to: v(1),
+            },
+            "violates polarity",
+        ),
+        (
+            GraphError::ContradictsDependencies {
+                from: v(1),
+                to: v(2),
+                min: 5,
+            },
+            "contradicts an existing dependency",
+        ),
+        (GraphError::NotADag { witness: v(6) }, "cyclic"),
+        (
+            GraphError::PositiveCycle { witness: v(7) },
+            "positive cycle",
+        ),
+    ];
+    for (err, needle) in cases {
+        let text = err.to_string();
+        assert!(text.contains(needle), "{err:?} -> {text}");
+        assert!(!text.ends_with('.'), "no trailing punctuation: {text}");
+    }
+}
+
+#[test]
+fn schedule_errors_render_and_chain_sources() {
+    let cases: Vec<(ScheduleError, &str)> = vec![
+        (
+            ScheduleError::Unfeasible { witness: v(2) },
+            "unfeasible timing constraints",
+        ),
+        (
+            ScheduleError::IllPosed {
+                from: v(1),
+                to: v(2),
+                missing: vec![v(3), v(4)],
+            },
+            "ill-posed maximum constraint",
+        ),
+        (
+            ScheduleError::CannotSerialize {
+                anchor: v(3),
+                vertex: v(4),
+            },
+            "cannot make constraints well-posed",
+        ),
+        (
+            ScheduleError::Inconsistent { iterations: 7 },
+            "inconsistent timing constraints",
+        ),
+        (
+            ScheduleError::UnboundedDelayUnsupported { vertex: v(5) },
+            "unbounded delay",
+        ),
+    ];
+    for (err, needle) in cases {
+        let text = err.to_string();
+        assert!(text.contains(needle), "{err:?} -> {text}");
+    }
+    // Graph-wrapping errors expose their source.
+    let wrapped = ScheduleError::Graph(GraphError::SelfLoop(v(1)));
+    assert!(wrapped.source().is_some());
+    assert!(ScheduleError::Inconsistent { iterations: 1 }
+        .source()
+        .is_none());
+    // From<GraphError> maps positive cycles onto Unfeasible.
+    let mapped: ScheduleError = GraphError::PositiveCycle { witness: v(9) }.into();
+    assert!(matches!(mapped, ScheduleError::Unfeasible { .. }));
+}
+
+#[test]
+fn ill_posed_message_lists_missing_anchors() {
+    let err = ScheduleError::IllPosed {
+        from: v(1),
+        to: v(2),
+        missing: vec![v(3), v(4)],
+    };
+    let text = err.to_string();
+    assert!(text.contains("v3"));
+    assert!(text.contains("v4"));
+}

@@ -1,0 +1,86 @@
+use std::fmt;
+
+/// Hardware cost of a control implementation.
+///
+/// The paper observes the counter/shift-register trade-off qualitatively
+/// (§VI: comparator logic vs. register count); this struct quantifies it
+/// with a simple technology-independent model:
+///
+/// * a register bit costs [`ControlCost::REGISTER_WEIGHT`] gate
+///   equivalents;
+/// * a comparator costs ~2 gate equivalents per compared bit;
+/// * an AND-tree costs one gate equivalent per input beyond the first.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ControlCost {
+    /// Total flip-flops (counter bits or shift-register stages).
+    pub register_bits: u64,
+    /// Number of magnitude comparators (counter style only).
+    pub comparators: u64,
+    /// Total compared bits across all comparators.
+    pub comparator_bits: u64,
+    /// Total AND-tree inputs across all multi-term enables.
+    pub and_inputs: u64,
+}
+
+impl ControlCost {
+    /// Gate equivalents per flip-flop.
+    pub const REGISTER_WEIGHT: u64 = 6;
+    /// Gate equivalents per comparator bit.
+    pub const COMPARATOR_WEIGHT: u64 = 2;
+
+    /// Combinational-logic gate-equivalent estimate (comparators + AND
+    /// trees).
+    pub fn logic_estimate(&self) -> u64 {
+        self.comparator_bits * Self::COMPARATOR_WEIGHT + self.and_inputs.saturating_sub(1)
+    }
+
+    /// Sequential gate-equivalent estimate (registers).
+    pub fn register_estimate(&self) -> u64 {
+        self.register_bits * Self::REGISTER_WEIGHT
+    }
+
+    /// Total gate-equivalent estimate.
+    pub fn total_estimate(&self) -> u64 {
+        self.logic_estimate() + self.register_estimate()
+    }
+}
+
+impl fmt::Display for ControlCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} FFs, {} comparators ({} bits), {} AND inputs (~{} gate eq.)",
+            self.register_bits,
+            self.comparators,
+            self.comparator_bits,
+            self.and_inputs,
+            self.total_estimate()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimates_compose() {
+        let cost = ControlCost {
+            register_bits: 4,
+            comparators: 2,
+            comparator_bits: 6,
+            and_inputs: 5,
+        };
+        assert_eq!(cost.register_estimate(), 24);
+        assert_eq!(cost.logic_estimate(), 16);
+        assert_eq!(cost.total_estimate(), 40);
+        let text = cost.to_string();
+        assert!(text.contains("4 FFs"));
+        assert!(text.contains("40 gate eq."));
+    }
+
+    #[test]
+    fn default_is_free() {
+        assert_eq!(ControlCost::default().total_estimate(), 0);
+    }
+}

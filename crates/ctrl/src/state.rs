@@ -1,0 +1,220 @@
+//! Cycle-accurate behavioural model of a generated control unit.
+//!
+//! Both control styles are modelled faithfully to their hardware: the
+//! counter style keeps one saturating counter per anchor, the
+//! shift-register style an actual bit pipeline — so a behavioural
+//! divergence between the two would show up in simulation, not be masked
+//! by a shared implementation.
+
+use rsched_graph::VertexId;
+
+use crate::unit::{ControlStyle, ControlUnit};
+
+#[derive(Debug, Clone)]
+enum AnchorState {
+    /// `None` until `done_a`; then cycles elapsed since completion,
+    /// saturating at `max_offset`.
+    Counter { value: Option<u64>, max: u64 },
+    /// `bits[i]` = at least `i` cycles elapsed since completion
+    /// (`bits[0]` is the sticky done).
+    ShiftRegister { bits: Vec<bool> },
+}
+
+/// The run-time state of a control unit: feed `done` events, advance
+/// cycles, and sample `enable` outputs.
+///
+/// Protocol per clock cycle:
+/// 1. assert the `done` events of anchors completing *this* cycle
+///    ([`ControlState::assert_done`]);
+/// 2. sample enables ([`ControlState::enable`]) — an operation whose
+///    enable is asserted starts this cycle;
+/// 3. advance the clock ([`ControlState::tick`]).
+#[derive(Debug, Clone)]
+pub struct ControlState<'u> {
+    unit: &'u ControlUnit,
+    anchors: Vec<AnchorState>,
+}
+
+impl<'u> ControlState<'u> {
+    pub(crate) fn new(unit: &'u ControlUnit) -> Self {
+        let anchors = unit
+            .anchors()
+            .iter()
+            .map(|ac| match unit.style() {
+                ControlStyle::Counter => AnchorState::Counter {
+                    value: None,
+                    max: ac.max_offset,
+                },
+                ControlStyle::ShiftRegister => AnchorState::ShiftRegister {
+                    bits: vec![false; ac.max_offset as usize + 1],
+                },
+            })
+            .collect();
+        ControlState { unit, anchors }
+    }
+
+    /// Registers the completion of `anchor` in the current cycle: its
+    /// counter starts at 0 / its sticky done is raised.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `anchor` is not an anchor of the control unit.
+    pub fn assert_done(&mut self, anchor: VertexId) {
+        let i = self
+            .unit
+            .anchor_position(anchor)
+            .unwrap_or_else(|| panic!("{anchor} is not an anchor of this control unit"));
+        match &mut self.anchors[i] {
+            AnchorState::Counter { value, .. } => {
+                if value.is_none() {
+                    *value = Some(0);
+                }
+            }
+            AnchorState::ShiftRegister { bits } => {
+                bits[0] = true;
+            }
+        }
+    }
+
+    /// Advances one clock cycle: counters increment (saturating), shift
+    /// registers shift.
+    pub fn tick(&mut self) {
+        for st in &mut self.anchors {
+            match st {
+                AnchorState::Counter { value, max } => {
+                    if let Some(v) = value {
+                        *v = (*v + 1).min(*max + 1);
+                    }
+                }
+                AnchorState::ShiftRegister { bits } => {
+                    for i in (1..bits.len()).rev() {
+                        bits[i] = bits[i - 1];
+                    }
+                    // bits[0] is sticky: once done, stays done.
+                }
+            }
+        }
+    }
+
+    /// Samples the enable signal of vertex `v` in the current cycle:
+    /// the conjunction of all its per-anchor terms.
+    ///
+    /// Vertices with no terms (the source) are enabled from cycle 0.
+    pub fn enable(&self, v: VertexId) -> bool {
+        self.unit.enable_terms(v).iter().all(|t| {
+            let i = self
+                .unit
+                .anchor_position(t.anchor)
+                .expect("term references a known anchor");
+            match &self.anchors[i] {
+                AnchorState::Counter { value, .. } => value.is_some_and(|c| c >= t.offset),
+                AnchorState::ShiftRegister { bits } => bits[t.offset as usize],
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::unit::{generate, ControlStyle};
+    use rsched_core::schedule;
+    use rsched_graph::{ConstraintGraph, ExecDelay};
+
+    /// Both styles must produce identical enable waveforms.
+    #[test]
+    fn styles_agree_cycle_by_cycle() {
+        let mut g = ConstraintGraph::new();
+        let a = g.add_operation("a", ExecDelay::Unbounded);
+        let v = g.add_operation("v", ExecDelay::Fixed(1));
+        let w = g.add_operation("w", ExecDelay::Fixed(2));
+        g.add_min_constraint(a, v, 2).unwrap();
+        g.add_dependency(v, w).unwrap();
+        g.polarize().unwrap();
+        let omega = schedule(&g).unwrap();
+        let counter_unit = generate(&g, &omega, ControlStyle::Counter);
+        let sr_unit = generate(&g, &omega, ControlStyle::ShiftRegister);
+        let mut cs = counter_unit.new_state();
+        let mut ss = sr_unit.new_state();
+
+        // Source completes at cycle 0; anchor a completes at cycle 5.
+        for cycle in 0..12u64 {
+            if cycle == 0 {
+                cs.assert_done(g.source());
+                ss.assert_done(g.source());
+            }
+            if cycle == 5 {
+                cs.assert_done(a);
+                ss.assert_done(a);
+            }
+            for vertex in g.vertex_ids() {
+                assert_eq!(
+                    cs.enable(vertex),
+                    ss.enable(vertex),
+                    "enable({vertex}) diverges at cycle {cycle}"
+                );
+            }
+            cs.tick();
+            ss.tick();
+        }
+    }
+
+    /// enable asserts exactly `offset` cycles after the anchor's done.
+    #[test]
+    fn enable_fires_at_the_offset() {
+        let mut g = ConstraintGraph::new();
+        let a = g.add_operation("a", ExecDelay::Unbounded);
+        let v = g.add_operation("v", ExecDelay::Fixed(1));
+        g.add_min_constraint(a, v, 3).unwrap();
+        g.polarize().unwrap();
+        let omega = schedule(&g).unwrap();
+        for style in [ControlStyle::Counter, ControlStyle::ShiftRegister] {
+            let unit = generate(&g, &omega, style);
+            let mut st = unit.new_state();
+            st.assert_done(g.source()); // activation
+            let mut fired_at = None;
+            for cycle in 0..10u64 {
+                if cycle == 2 {
+                    st.assert_done(a); // a completes at cycle 2
+                }
+                if fired_at.is_none() && st.enable(v) {
+                    fired_at = Some(cycle);
+                }
+                st.tick();
+            }
+            // a done at cycle 2 + offset 3 => enable at cycle 5.
+            assert_eq!(fired_at, Some(5), "style {style:?}");
+        }
+    }
+
+    /// Zero-offset dependents are enabled in the completion cycle itself.
+    #[test]
+    fn zero_offset_enables_same_cycle() {
+        let mut g = ConstraintGraph::new();
+        let a = g.add_operation("a", ExecDelay::Unbounded);
+        let v = g.add_operation("v", ExecDelay::Fixed(1));
+        g.add_dependency(a, v).unwrap();
+        g.polarize().unwrap();
+        let omega = schedule(&g).unwrap();
+        for style in [ControlStyle::Counter, ControlStyle::ShiftRegister] {
+            let unit = generate(&g, &omega, style);
+            let mut st = unit.new_state();
+            st.assert_done(g.source());
+            assert!(!st.enable(v), "not before a completes");
+            st.tick();
+            st.assert_done(a);
+            assert!(st.enable(v), "same cycle as done_a (offset 0)");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not an anchor")]
+    fn foreign_done_panics() {
+        let mut g = ConstraintGraph::new();
+        let v = g.add_operation("v", ExecDelay::Fixed(1));
+        g.polarize().unwrap();
+        let omega = schedule(&g).unwrap();
+        let unit = generate(&g, &omega, ControlStyle::Counter);
+        let mut st = unit.new_state();
+        st.assert_done(v);
+    }
+}

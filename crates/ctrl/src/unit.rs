@@ -1,0 +1,283 @@
+use std::fmt::Write as _;
+
+use rsched_core::RelativeSchedule;
+use rsched_graph::{ConstraintGraph, VertexId};
+
+use crate::cost::ControlCost;
+use crate::state::ControlState;
+
+/// The implementation style of the control unit (§VI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ControlStyle {
+    /// One counter per anchor plus magnitude comparators.
+    Counter,
+    /// One shift register per anchor plus direct tap AND-ing.
+    ShiftRegister,
+}
+
+/// Per-anchor synchronization hardware.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnchorControl {
+    /// The anchor whose `done` signal drives this block.
+    pub anchor: VertexId,
+    /// `σ_a^max`: the largest offset any enable references.
+    pub max_offset: u64,
+}
+
+/// One conjunction term of an operation's enable signal:
+/// `Counter_a ≥ offset` or `SR_a[offset]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnableTerm {
+    /// The anchor referenced.
+    pub anchor: VertexId,
+    /// The offset compared or tapped.
+    pub offset: u64,
+}
+
+/// A generated control unit: per-anchor timing hardware plus per-operation
+/// enable logic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ControlUnit {
+    style: ControlStyle,
+    anchors: Vec<AnchorControl>,
+    /// Enable conjunction per vertex, indexed by vertex index.
+    enables: Vec<Vec<EnableTerm>>,
+    names: Vec<String>,
+}
+
+/// Generates the control unit for `schedule` in the given style.
+///
+/// The enable of each operation conjoins one term per anchor *tracked by
+/// the schedule* — pass a schedule restricted to the irredundant anchors
+/// (`RelativeSchedule::restrict`) to obtain the reduced control the paper
+/// advocates in §VI.
+pub fn generate(
+    graph: &ConstraintGraph,
+    schedule: &RelativeSchedule,
+    style: ControlStyle,
+) -> ControlUnit {
+    let mut enables = vec![Vec::new(); graph.n_vertices()];
+    for v in graph.vertex_ids() {
+        for (anchor, offset) in schedule.offsets_of(v) {
+            enables[v.index()].push(EnableTerm {
+                anchor,
+                offset: offset.max(0) as u64,
+            });
+        }
+    }
+    let anchors = schedule
+        .anchors()
+        .iter()
+        .map(|&a| AnchorControl {
+            anchor: a,
+            max_offset: schedule.max_offset(a).max(0) as u64,
+        })
+        .collect();
+    let names = graph
+        .vertex_ids()
+        .map(|v| graph.vertex(v).name().to_owned())
+        .collect();
+    ControlUnit {
+        style,
+        anchors,
+        enables,
+        names,
+    }
+}
+
+impl ControlUnit {
+    /// The implementation style.
+    pub fn style(&self) -> ControlStyle {
+        self.style
+    }
+
+    /// The per-anchor hardware blocks.
+    pub fn anchors(&self) -> &[AnchorControl] {
+        &self.anchors
+    }
+
+    /// The enable conjunction of a vertex.
+    pub fn enable_terms(&self, v: VertexId) -> &[EnableTerm] {
+        &self.enables[v.index()]
+    }
+
+    /// Number of vertices covered.
+    pub fn n_vertices(&self) -> usize {
+        self.enables.len()
+    }
+
+    /// The hardware cost of this control implementation (§VI cost model).
+    pub fn cost(&self) -> ControlCost {
+        let mut cost = ControlCost::default();
+        for ac in &self.anchors {
+            match self.style {
+                ControlStyle::Counter => {
+                    // A counter must represent 0..=σ_max and one saturation
+                    // state: ceil(log2(σ_max + 2)) bits.
+                    let bits = (64 - (ac.max_offset + 1).leading_zeros()) as u64;
+                    cost.register_bits += bits.max(1);
+                }
+                ControlStyle::ShiftRegister => {
+                    // One flip-flop per stage 1..=σ_max; stage 0 is the
+                    // (sticky) done signal itself.
+                    cost.register_bits += ac.max_offset;
+                }
+            }
+        }
+        for terms in &self.enables {
+            for t in terms {
+                if self.style == ControlStyle::Counter {
+                    let bits = (64 - (t.offset + 1).leading_zeros()) as u64;
+                    cost.comparators += 1;
+                    cost.comparator_bits += bits.max(1);
+                }
+            }
+            if terms.len() > 1 {
+                cost.and_inputs += terms.len() as u64;
+            }
+        }
+        cost
+    }
+
+    /// A fresh behavioural state for cycle-accurate execution.
+    pub fn new_state(&self) -> ControlState<'_> {
+        ControlState::new(self)
+    }
+
+    /// A human-readable structural description (pseudo-netlist) of the
+    /// generated control.
+    pub fn describe(&self) -> String {
+        let mut out = String::new();
+        let style = match self.style {
+            ControlStyle::Counter => "counter-based",
+            ControlStyle::ShiftRegister => "shift-register-based",
+        };
+        let _ = writeln!(out, "control unit ({style})");
+        for ac in &self.anchors {
+            match self.style {
+                ControlStyle::Counter => {
+                    let _ = writeln!(
+                        out,
+                        "  counter C_{} : starts on done_{}, counts to {}",
+                        ac.anchor, ac.anchor, ac.max_offset
+                    );
+                }
+                ControlStyle::ShiftRegister => {
+                    let _ = writeln!(
+                        out,
+                        "  shiftreg SR_{} : length {}, input done_{}",
+                        ac.anchor, ac.max_offset, ac.anchor
+                    );
+                }
+            }
+        }
+        for (vi, terms) in self.enables.iter().enumerate() {
+            if terms.is_empty() {
+                continue;
+            }
+            let exprs: Vec<String> = terms
+                .iter()
+                .map(|t| match self.style {
+                    ControlStyle::Counter => format!("(C_{} >= {})", t.anchor, t.offset),
+                    ControlStyle::ShiftRegister => format!("SR_{}[{}]", t.anchor, t.offset),
+                })
+                .collect();
+            let _ = writeln!(
+                out,
+                "  enable_{} ({}) = {}",
+                VertexId::from_index(vi),
+                self.names[vi],
+                exprs.join(" & ")
+            );
+        }
+        out
+    }
+
+    pub(crate) fn anchor_position(&self, a: VertexId) -> Option<usize> {
+        self.anchors.iter().position(|ac| ac.anchor == a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsched_core::schedule;
+    use rsched_graph::ExecDelay;
+
+    /// Fig. 12's setting: an operation depending on two anchors with
+    /// offsets σ_a(v) = 2 and σ_b(v) = 3.
+    fn fig12() -> (ConstraintGraph, VertexId, VertexId, VertexId) {
+        let mut g = ConstraintGraph::new();
+        let a = g.add_operation("a", ExecDelay::Unbounded);
+        let b = g.add_operation("b", ExecDelay::Unbounded);
+        let v = g.add_operation("v", ExecDelay::Fixed(1));
+        g.add_min_constraint(a, v, 2).unwrap();
+        g.add_min_constraint(b, v, 3).unwrap();
+        g.polarize().unwrap();
+        (g, a, b, v)
+    }
+
+    #[test]
+    fn fig12_enable_conjoins_both_anchors() {
+        let (g, a, b, v) = fig12();
+        let omega = schedule(&g).unwrap();
+        let unit = generate(&g, &omega, ControlStyle::Counter);
+        let terms = unit.enable_terms(v);
+        assert_eq!(terms.len(), 3); // source, a, b
+        assert!(terms.contains(&EnableTerm {
+            anchor: a,
+            offset: 2
+        }));
+        assert!(terms.contains(&EnableTerm {
+            anchor: b,
+            offset: 3
+        }));
+    }
+
+    #[test]
+    fn counter_and_shift_register_costs_differ_as_in_fig12() {
+        let (g, _, _, _) = fig12();
+        let omega = schedule(&g).unwrap();
+        let counter = generate(&g, &omega, ControlStyle::Counter).cost();
+        let sr = generate(&g, &omega, ControlStyle::ShiftRegister).cost();
+        // Counters need comparators, shift registers none.
+        assert!(counter.comparators > 0);
+        assert_eq!(sr.comparators, 0);
+        // Shift registers trade registers for logic.
+        assert!(sr.register_bits >= counter.register_bits.min(sr.register_bits));
+        assert!(sr.logic_estimate() < counter.logic_estimate());
+    }
+
+    #[test]
+    fn irredundant_restriction_shrinks_control() {
+        // Cascaded anchors: a -> b -> v; with full sets v's enable has 3
+        // terms, with IR sets only 1 (b).
+        let mut g = ConstraintGraph::new();
+        let a = g.add_operation("a", ExecDelay::Unbounded);
+        let b = g.add_operation("b", ExecDelay::Unbounded);
+        let v = g.add_operation("v", ExecDelay::Fixed(1));
+        g.add_dependency(a, b).unwrap();
+        g.add_dependency(b, v).unwrap();
+        g.polarize().unwrap();
+        let omega = schedule(&g).unwrap();
+        let analysis = rsched_core::IrredundantAnchors::analyze(&g).unwrap();
+        let restricted = omega.restrict(analysis.irredundant.family());
+        let full = generate(&g, &omega, ControlStyle::ShiftRegister);
+        let min = generate(&g, &restricted, ControlStyle::ShiftRegister);
+        assert_eq!(full.enable_terms(v).len(), 3);
+        assert_eq!(min.enable_terms(v).len(), 1);
+        assert!(min.cost().total_estimate() <= full.cost().total_estimate());
+    }
+
+    #[test]
+    fn describe_mentions_every_block() {
+        let (g, _, _, v) = fig12();
+        let omega = schedule(&g).unwrap();
+        for style in [ControlStyle::Counter, ControlStyle::ShiftRegister] {
+            let unit = generate(&g, &omega, style);
+            let text = unit.describe();
+            assert!(text.contains(&format!("enable_{v}")));
+            assert!(!text.is_empty());
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Property test: the gate-level synthesis of a control unit is
+//! cycle-for-cycle equivalent to the behavioural model, for random
+//! schedules, both styles, and random done-event timings.
+
+use proptest::prelude::*;
+
+use rsched_core::schedule;
+use rsched_ctrl::{generate, synthesize, ControlStyle, LogicSim};
+use rsched_graph::{ConstraintGraph, ExecDelay, VertexId};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn gates_equal_behavioural_model(
+        delays in proptest::collection::vec(
+            prop_oneof![2 => (0u64..4).prop_map(Some), 1 => Just(None)], 2..8),
+        edges in proptest::collection::vec((0usize..8, 0usize..8), 1..10),
+        mins in proptest::collection::vec((0usize..8, 0usize..8, 0u64..5), 0..3),
+        done_offsets in proptest::collection::vec(0u64..8, 10),
+    ) {
+        let mut g = ConstraintGraph::new();
+        let vs: Vec<VertexId> = delays.iter().enumerate().map(|(i, d)| {
+            g.add_operation(format!("op{i}"), match d {
+                Some(d) => ExecDelay::Fixed(*d),
+                None => ExecDelay::Unbounded,
+            })
+        }).collect();
+        let n = vs.len();
+        for &(i, j) in &edges {
+            if i < j && j < n {
+                g.add_dependency(vs[i], vs[j]).unwrap();
+            }
+        }
+        for &(i, j, l) in &mins {
+            if i < j && j < n {
+                g.add_min_constraint(vs[i], vs[j], l).unwrap();
+            }
+        }
+        g.polarize().unwrap();
+        let Ok(omega) = schedule(&g) else { return Ok(()); };
+
+        for style in [ControlStyle::Counter, ControlStyle::ShiftRegister] {
+            let unit = generate(&g, &omega, style);
+            let synth = synthesize(&unit);
+            let mut logic = LogicSim::new(synth.netlist.clone());
+            let mut model = unit.new_state();
+            // Random single-cycle done pulses per anchor (source at 0).
+            let anchors = g.anchors();
+            let done_at: Vec<(VertexId, u64)> = anchors
+                .iter()
+                .enumerate()
+                .map(|(k, &a)| {
+                    (a, if a == g.source() { 0 } else { done_offsets[k % done_offsets.len()] })
+                })
+                .collect();
+            for cycle in 0..20u64 {
+                for &(a, at) in &done_at {
+                    let fire = at == cycle;
+                    if fire {
+                        model.assert_done(a);
+                    }
+                    logic.set(synth.done_net(a).expect("anchor input"), fire);
+                }
+                logic.settle();
+                for v in g.vertex_ids() {
+                    prop_assert_eq!(
+                        logic.get(synth.enable_net(v).expect("enable")),
+                        model.enable(v),
+                        "style {:?}, cycle {}, vertex {}", style, cycle, v
+                    );
+                }
+                logic.tick();
+                model.tick();
+            }
+        }
+    }
+}

@@ -1,0 +1,33 @@
+/* The greatest-common-divisor benchmark of Ku & De Micheli, Fig. 13.
+ * Timing constraints force x to be sampled exactly one clock cycle after
+ * the sampling of y. */
+process gcd (xin, yin, restart, result)
+    in port xin[8], yin[8], restart;
+    out port result[8];
+    boolean x[8], y[8];
+    tag a, b;
+
+    /* wait for restart to go low */
+    while (restart)
+        ;
+
+    /* sample inputs */
+    {
+        constraint mintime from a to b = 1 cycles;
+        constraint maxtime from a to b = 1 cycles;
+        a: y = read(yin);
+        b: x = read(xin);
+    }
+
+    /* Euclid's algorithm */
+    if ((x != 0) & (y != 0)) {
+        repeat {
+            while (x >= y)
+                x = x - y;
+            /* swap values */
+            < y = x; x = y; >
+        } until (y == 0);
+    }
+
+    /* write result to output */
+    write result = x;

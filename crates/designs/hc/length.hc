@@ -1,0 +1,23 @@
+/* A pulse-length detector in the style of the paper's `length`
+ * benchmark: wait for the pulse to rise, count clock ticks until it
+ * falls, and publish the count. */
+process length (pulse, tick, len)
+    in port pulse, tick;
+    out port len[8];
+    boolean count[8], done;
+
+    /* wait for the rising edge */
+    while (!pulse)
+        ;
+
+    count = 0;
+
+    /* one tick per loop iteration until the pulse falls */
+    repeat {
+        while (tick)
+            ;
+        count = count + 1;
+        done = !pulse;
+    } until (done == 1);
+
+    write len = count;

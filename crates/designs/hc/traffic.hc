@@ -1,0 +1,23 @@
+/* A traffic-light controller in the style of the paper's `traffic`
+ * benchmark: the main phase machine synchronizes on a timer expiry and a
+ * car sensor, with a bounded gap between the light updates. */
+process traffic (timer, sensor, lights, walk)
+    in port timer, sensor;
+    out port lights[2], walk;
+    boolean phase[2], req;
+    tag g, r;
+
+    /* wait for the green-phase timer to expire */
+    while (timer)
+        ;
+
+    /* sample the cross-street sensor and advance the phase */
+    req = read(sensor);
+    phase = phase + 1;
+
+    /* drive the lights: red must drop within 2 cycles of green rising */
+    {
+        constraint maxtime from g to r = 2 cycles;
+        g: write lights = phase;
+        r: write walk = req;
+    }

@@ -1,0 +1,88 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::graph::VertexId;
+
+/// Errors produced while building or analyzing a constraint graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A vertex id does not belong to this graph.
+    UnknownVertex(VertexId),
+    /// Adding the edge would create a cycle in the forward constraint
+    /// graph `G_f`, which the model requires to be acyclic (§III).
+    ForwardCycle {
+        /// Tail of the offending edge.
+        from: VertexId,
+        /// Head of the offending edge.
+        to: VertexId,
+    },
+    /// A self-loop was requested; the model has no use for them.
+    SelfLoop(VertexId),
+    /// An edge touching the source/sink violates polarity (e.g. an edge
+    /// *into* the source or *out of* the sink).
+    Polarity {
+        /// Tail of the offending edge.
+        from: VertexId,
+        /// Head of the offending edge.
+        to: VertexId,
+    },
+    /// A minimum timing constraint `l_ij > 0` was requested between two
+    /// vertices already ordered `v_j -> v_i` in `G_f`; the paper deems such
+    /// constraints invalid (they contradict the dependencies). An `l_ij = 0`
+    /// constraint in that situation should be expressed as the maximum
+    /// constraint `u_ji = 0` instead.
+    ContradictsDependencies {
+        /// Constraint source.
+        from: VertexId,
+        /// Constraint target.
+        to: VertexId,
+        /// Requested minimum separation.
+        min: u64,
+    },
+    /// The forward constraint graph contains a cycle, so no topological
+    /// order exists.
+    NotADag {
+        /// A vertex known to lie on a forward cycle.
+        witness: VertexId,
+    },
+    /// The graph contains a positive cycle (with unbounded delays set to 0),
+    /// so the timing constraints are unfeasible (Theorem 1) and longest
+    /// paths diverge.
+    PositiveCycle {
+        /// A vertex whose longest path kept growing, i.e. a vertex on or
+        /// reachable from a positive cycle.
+        witness: VertexId,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownVertex(v) => write!(f, "unknown vertex {v}"),
+            GraphError::ForwardCycle { from, to } => write!(
+                f,
+                "edge {from} -> {to} would create a cycle in the forward constraint graph"
+            ),
+            GraphError::SelfLoop(v) => write!(f, "self-loop on vertex {v} is not allowed"),
+            GraphError::Polarity { from, to } => write!(
+                f,
+                "edge {from} -> {to} violates polarity (source has no predecessors, sink no successors)"
+            ),
+            GraphError::ContradictsDependencies { from, to, min } => write!(
+                f,
+                "minimum constraint {from} -> {to} of {min} cycles contradicts an existing dependency path {to} -> {from}"
+            ),
+            GraphError::NotADag { witness } => write!(
+                f,
+                "forward constraint graph is cyclic (vertex {witness} lies on a cycle)"
+            ),
+            GraphError::PositiveCycle { witness } => write!(
+                f,
+                "constraint graph has a positive cycle (unfeasible constraints, witness {witness})"
+            ),
+        }
+    }
+}
+
+impl Error for GraphError {}

@@ -1,0 +1,874 @@
+use std::fmt;
+
+use crate::error::GraphError;
+
+/// Identifier of a vertex (operation) in a [`ConstraintGraph`].
+///
+/// Ids are dense indices assigned in insertion order; the source vertex is
+/// always id 0 and the sink id 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VertexId(pub(crate) u32);
+
+impl VertexId {
+    /// The dense index of this vertex.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `VertexId` from a dense index.
+    ///
+    /// Only meaningful for indices previously obtained from the same graph.
+    pub fn from_index(index: usize) -> Self {
+        VertexId(index as u32)
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Identifier of an edge in a [`ConstraintGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeId(pub(crate) u32);
+
+impl EdgeId {
+    /// The dense index of this edge.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Execution delay of an operation, in clock cycles.
+///
+/// Operations are synchronous: a fixed delay is an exact cycle count known
+/// at compile time. Synchronization with external events and data-dependent
+/// iteration have delays unknown at compile time — *unbounded* delays, which
+/// may assume any value in `0..∞` (§II of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecDelay {
+    /// Exact delay known at compile time.
+    Fixed(u64),
+    /// Delay unknown at compile time (external synchronization,
+    /// data-dependent loop, procedure of unknown latency).
+    Unbounded,
+}
+
+impl ExecDelay {
+    /// `true` for [`ExecDelay::Unbounded`].
+    pub fn is_unbounded(self) -> bool {
+        matches!(self, ExecDelay::Unbounded)
+    }
+
+    /// The delay value with unbounded delays collapsed to their minimum, 0.
+    ///
+    /// This is the paper's convention for every static computation
+    /// (feasibility, offsets, `length(u, v)`).
+    pub fn zeroed(self) -> u64 {
+        match self {
+            ExecDelay::Fixed(d) => d,
+            ExecDelay::Unbounded => 0,
+        }
+    }
+}
+
+impl fmt::Display for ExecDelay {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecDelay::Fixed(d) => write!(f, "{d}"),
+            ExecDelay::Unbounded => write!(f, "δ(?)"),
+        }
+    }
+}
+
+/// Weight of a constraint-graph edge.
+///
+/// Sequencing edges out of an anchor `a` carry the symbolic weight `δ(a)`;
+/// timing constraints *sourced at* an anchor carry `δ(a) + extra`
+/// (completion-relative, the semantics Table II and Fig. 10 of the paper
+/// exhibit for constraints out of the source); all other edges carry
+/// integer weights (non-negative for forward edges, non-positive for
+/// backward edges).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Weight {
+    /// A compile-time-known weight.
+    Fixed(i64),
+    /// The unbounded execution delay of an anchor, plus a fixed component:
+    /// `δ(anchor) + extra`. Pure sequencing edges have `extra = 0`.
+    Unbounded {
+        /// The anchor whose `δ` this weight depends on.
+        anchor: VertexId,
+        /// Fixed addend on top of `δ(anchor)` (a minimum timing constraint
+        /// sourced at the anchor).
+        extra: i64,
+    },
+}
+
+impl Weight {
+    /// The weight with unbounded delays set to 0 (the paper's convention
+    /// for all static path computations).
+    pub fn zeroed(self) -> i64 {
+        match self {
+            Weight::Fixed(w) => w,
+            Weight::Unbounded { extra, .. } => extra,
+        }
+    }
+
+    /// `true` if this weight depends on the symbolic delay of an anchor.
+    pub fn is_unbounded(self) -> bool {
+        matches!(self, Weight::Unbounded { .. })
+    }
+
+    /// The anchor whose `δ` this weight depends on, if unbounded.
+    pub fn unbounded_anchor(self) -> Option<VertexId> {
+        match self {
+            Weight::Fixed(_) => None,
+            Weight::Unbounded { anchor, .. } => Some(anchor),
+        }
+    }
+}
+
+impl fmt::Display for Weight {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Weight::Fixed(w) => write!(f, "{w}"),
+            Weight::Unbounded { anchor, extra: 0 } => write!(f, "δ({anchor})"),
+            Weight::Unbounded { anchor, extra } => write!(f, "δ({anchor})+{extra}"),
+        }
+    }
+}
+
+/// The role of an edge, per Table I of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// Operation dependency: forward edge `(vi, vj)` weighted `δ(vi)`.
+    Sequencing,
+    /// Minimum timing constraint `l_ij`: forward edge `(vi, vj)` weighted
+    /// `l_ij ≥ 0`.
+    MinConstraint,
+    /// Maximum timing constraint `u_ij`: backward edge `(vj, vi)` weighted
+    /// `-u_ij ≤ 0`.
+    MaxConstraint,
+}
+
+impl EdgeKind {
+    /// `true` for forward edges (members of `E_f`).
+    pub fn is_forward(self) -> bool {
+        !self.is_backward()
+    }
+
+    /// `true` for backward edges (members of `E_b`).
+    pub fn is_backward(self) -> bool {
+        matches!(self, EdgeKind::MaxConstraint)
+    }
+}
+
+/// An edge of the constraint graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    pub(crate) from: VertexId,
+    pub(crate) to: VertexId,
+    pub(crate) weight: Weight,
+    pub(crate) kind: EdgeKind,
+}
+
+impl Edge {
+    /// Tail vertex.
+    pub fn from(&self) -> VertexId {
+        self.from
+    }
+
+    /// Head vertex.
+    pub fn to(&self) -> VertexId {
+        self.to
+    }
+
+    /// Edge weight.
+    pub fn weight(&self) -> Weight {
+        self.weight
+    }
+
+    /// Edge role per Table I.
+    pub fn kind(&self) -> EdgeKind {
+        self.kind
+    }
+
+    /// `true` for forward edges (sequencing or minimum constraint).
+    pub fn is_forward(&self) -> bool {
+        self.kind.is_forward()
+    }
+
+    /// `true` for backward edges (maximum constraints).
+    pub fn is_backward(&self) -> bool {
+        self.kind.is_backward()
+    }
+}
+
+/// A vertex (operation) of the constraint graph.
+#[derive(Debug, Clone)]
+pub struct Vertex {
+    pub(crate) name: String,
+    pub(crate) delay: ExecDelay,
+    pub(crate) out_edges: Vec<EdgeId>,
+    pub(crate) in_edges: Vec<EdgeId>,
+}
+
+impl Vertex {
+    /// Human-readable operation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Execution delay of the operation.
+    pub fn delay(&self) -> ExecDelay {
+        self.delay
+    }
+}
+
+/// A polar weighted directed constraint graph `G(V, E)` (§III).
+///
+/// The graph always contains a *source* vertex (id 0) and a *sink* vertex
+/// (id 1). The source models the activation of the sequencing graph and is
+/// treated as an unbounded-delay anchor (Definition 2); the sink is a
+/// zero-delay no-op. The forward subgraph `G_f = (V, E_f)` is kept acyclic
+/// by construction: every mutation that would close a forward cycle is
+/// rejected.
+///
+/// See the [crate documentation](crate) for a usage example.
+#[derive(Debug, Clone)]
+pub struct ConstraintGraph {
+    vertices: Vec<Vertex>,
+    edges: Vec<Edge>,
+    source: VertexId,
+    sink: VertexId,
+}
+
+impl Default for ConstraintGraph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ConstraintGraph {
+    /// Creates an empty polar graph containing only the source and sink.
+    pub fn new() -> Self {
+        let mut g = ConstraintGraph {
+            vertices: Vec::new(),
+            edges: Vec::new(),
+            source: VertexId(0),
+            sink: VertexId(1),
+        };
+        g.vertices.push(Vertex {
+            name: "source".to_owned(),
+            delay: ExecDelay::Unbounded,
+            out_edges: Vec::new(),
+            in_edges: Vec::new(),
+        });
+        g.vertices.push(Vertex {
+            name: "sink".to_owned(),
+            delay: ExecDelay::Fixed(0),
+            out_edges: Vec::new(),
+            in_edges: Vec::new(),
+        });
+        g
+    }
+
+    /// The source vertex `v0`.
+    pub fn source(&self) -> VertexId {
+        self.source
+    }
+
+    /// The sink vertex `vn`.
+    pub fn sink(&self) -> VertexId {
+        self.sink
+    }
+
+    /// Number of vertices, including source and sink.
+    pub fn n_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of edges (forward and backward).
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of backward edges `|E_b|` (maximum timing constraints).
+    pub fn n_backward_edges(&self) -> usize {
+        self.edges.iter().filter(|e| e.is_backward()).count()
+    }
+
+    /// Adds an operation with the given name and execution delay.
+    pub fn add_operation(&mut self, name: impl Into<String>, delay: ExecDelay) -> VertexId {
+        let id = VertexId(self.vertices.len() as u32);
+        self.vertices.push(Vertex {
+            name: name.into(),
+            delay,
+            out_edges: Vec::new(),
+            in_edges: Vec::new(),
+        });
+        id
+    }
+
+    /// Looks up a vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not belong to this graph.
+    pub fn vertex(&self, v: VertexId) -> &Vertex {
+        &self.vertices[v.index()]
+    }
+
+    /// Looks up an edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` does not belong to this graph.
+    pub fn edge(&self, e: EdgeId) -> &Edge {
+        &self.edges[e.index()]
+    }
+
+    /// Iterates over all vertex ids (source and sink included).
+    pub fn vertex_ids(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.vertices.len() as u32).map(VertexId)
+    }
+
+    /// Iterates over all operation vertex ids (source and sink excluded).
+    pub fn operation_ids(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (2..self.vertices.len() as u32).map(VertexId)
+    }
+
+    /// Iterates over all edges.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, &Edge)> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (EdgeId(i as u32), e))
+    }
+
+    /// Iterates over the forward edges `E_f`.
+    pub fn forward_edges(&self) -> impl Iterator<Item = (EdgeId, &Edge)> + '_ {
+        self.edges().filter(|(_, e)| e.is_forward())
+    }
+
+    /// Iterates over the backward edges `E_b`.
+    pub fn backward_edges(&self) -> impl Iterator<Item = (EdgeId, &Edge)> + '_ {
+        self.edges().filter(|(_, e)| e.is_backward())
+    }
+
+    /// Outgoing edges of `v` (forward and backward).
+    pub fn out_edges(&self, v: VertexId) -> impl Iterator<Item = (EdgeId, &Edge)> + '_ {
+        self.vertices[v.index()]
+            .out_edges
+            .iter()
+            .map(move |&e| (e, &self.edges[e.index()]))
+    }
+
+    /// Incoming edges of `v` (forward and backward).
+    pub fn in_edges(&self, v: VertexId) -> impl Iterator<Item = (EdgeId, &Edge)> + '_ {
+        self.vertices[v.index()]
+            .in_edges
+            .iter()
+            .map(move |&e| (e, &self.edges[e.index()]))
+    }
+
+    /// Forward successors of `v` (heads of forward out-edges).
+    pub fn forward_succs(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_ {
+        self.out_edges(v)
+            .filter(|(_, e)| e.is_forward())
+            .map(|(_, e)| e.to)
+    }
+
+    /// Forward predecessors of `v` (tails of forward in-edges).
+    pub fn forward_preds(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_ {
+        self.in_edges(v)
+            .filter(|(_, e)| e.is_forward())
+            .map(|(_, e)| e.from)
+    }
+
+    /// `true` if `v` is an anchor: the source vertex, or any vertex with
+    /// unbounded execution delay (Definition 2).
+    pub fn is_anchor(&self, v: VertexId) -> bool {
+        v == self.source || self.vertices[v.index()].delay.is_unbounded()
+    }
+
+    /// All anchors of the graph, in id order. The source is always first.
+    pub fn anchors(&self) -> Vec<VertexId> {
+        self.vertex_ids().filter(|&v| self.is_anchor(v)).collect()
+    }
+
+    /// Number of anchors `|A|`.
+    pub fn n_anchors(&self) -> usize {
+        self.vertex_ids().filter(|&v| self.is_anchor(v)).count()
+    }
+
+    fn check_vertex(&self, v: VertexId) -> Result<(), GraphError> {
+        if v.index() < self.vertices.len() {
+            Ok(())
+        } else {
+            Err(GraphError::UnknownVertex(v))
+        }
+    }
+
+    /// `true` if a directed path of forward edges leads from `a` to `b`.
+    ///
+    /// This is the paper's predecessor relation: `a ∈ pred(b)` in `G_f`.
+    /// `a` is not considered its own predecessor.
+    pub fn has_forward_path(&self, a: VertexId, b: VertexId) -> bool {
+        if a == b {
+            return false;
+        }
+        let mut seen = vec![false; self.vertices.len()];
+        let mut stack = vec![a];
+        seen[a.index()] = true;
+        while let Some(u) = stack.pop() {
+            for s in self.forward_succs(u) {
+                if s == b {
+                    return true;
+                }
+                if !seen[s.index()] {
+                    seen[s.index()] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        false
+    }
+
+    /// Rebuilds the edge storage (and adjacency) from the given edges.
+    /// Used by the transitive-reduction pass; edge ids are reassigned.
+    pub(crate) fn replace_edges(&mut self, edges: Vec<Edge>) {
+        self.edges.clear();
+        for v in &mut self.vertices {
+            v.out_edges.clear();
+            v.in_edges.clear();
+        }
+        for e in edges {
+            self.push_edge(e);
+        }
+    }
+
+    fn push_edge(&mut self, edge: Edge) -> EdgeId {
+        let id = EdgeId(self.edges.len() as u32);
+        self.vertices[edge.from.index()].out_edges.push(id);
+        self.vertices[edge.to.index()].in_edges.push(id);
+        self.edges.push(edge);
+        id
+    }
+
+    /// Adds a sequencing dependency `(from, to)` with weight `δ(from)`
+    /// (Table I, row 1).
+    ///
+    /// The weight is `Fixed(d)` for a fixed-delay tail and the symbolic
+    /// `Unbounded(from)` for an anchor tail (including the source).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either endpoint is unknown, if `from == to`, if
+    /// the edge would point into the source or out of the sink, or if it
+    /// would close a cycle in `G_f`.
+    pub fn add_dependency(&mut self, from: VertexId, to: VertexId) -> Result<EdgeId, GraphError> {
+        self.check_vertex(from)?;
+        self.check_vertex(to)?;
+        if from == to {
+            return Err(GraphError::SelfLoop(from));
+        }
+        if to == self.source || from == self.sink {
+            return Err(GraphError::Polarity { from, to });
+        }
+        if self.has_forward_path(to, from) {
+            return Err(GraphError::ForwardCycle { from, to });
+        }
+        let weight = match self.vertices[from.index()].delay {
+            ExecDelay::Fixed(d) => Weight::Fixed(d as i64),
+            ExecDelay::Unbounded => Weight::Unbounded {
+                anchor: from,
+                extra: 0,
+            },
+        };
+        Ok(self.push_edge(Edge {
+            from,
+            to,
+            weight,
+            kind: EdgeKind::Sequencing,
+        }))
+    }
+
+    /// Adds a minimum timing constraint: `σ(to) ≥ σ(from) + min` — a
+    /// forward edge `(from, to)` with weight `min` (Table I, row 2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::ContradictsDependencies`] if a dependency path
+    /// already runs `to -> from` (the paper deems such constraints invalid;
+    /// an `l = 0` constraint in that situation should instead be expressed
+    /// as `add_max_constraint(to, from, 0)`), plus the same structural
+    /// errors as [`ConstraintGraph::add_dependency`].
+    pub fn add_min_constraint(
+        &mut self,
+        from: VertexId,
+        to: VertexId,
+        min: u64,
+    ) -> Result<EdgeId, GraphError> {
+        self.check_vertex(from)?;
+        self.check_vertex(to)?;
+        if from == to {
+            return Err(GraphError::SelfLoop(from));
+        }
+        if to == self.source || from == self.sink {
+            return Err(GraphError::Polarity { from, to });
+        }
+        if self.has_forward_path(to, from) {
+            return Err(GraphError::ContradictsDependencies { from, to, min });
+        }
+        // A minimum constraint sourced at an anchor is completion-relative:
+        // the edge carries `δ(from) + min` (the semantics Table II and
+        // Fig. 10 of the paper exhibit for constraints out of the source).
+        let weight = if self.is_anchor(from) {
+            Weight::Unbounded {
+                anchor: from,
+                extra: min as i64,
+            }
+        } else {
+            Weight::Fixed(min as i64)
+        };
+        Ok(self.push_edge(Edge {
+            from,
+            to,
+            weight,
+            kind: EdgeKind::MinConstraint,
+        }))
+    }
+
+    /// Adds a maximum timing constraint: `σ(to) ≤ σ(from) + max` — a
+    /// *backward* edge `(to, from)` with weight `-max` (Table I, row 3).
+    ///
+    /// Note the argument order matches the constraint (`u_{from,to}`), while
+    /// the stored edge runs from `to` back to `from`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either endpoint is unknown or `from == to`.
+    pub fn add_max_constraint(
+        &mut self,
+        from: VertexId,
+        to: VertexId,
+        max: u64,
+    ) -> Result<EdgeId, GraphError> {
+        self.check_vertex(from)?;
+        self.check_vertex(to)?;
+        if from == to {
+            return Err(GraphError::SelfLoop(from));
+        }
+        Ok(self.push_edge(Edge {
+            from: to,
+            to: from,
+            weight: Weight::Fixed(-(max as i64)),
+            kind: EdgeKind::MaxConstraint,
+        }))
+    }
+
+    /// Connects every operation without forward predecessors to the source
+    /// and every operation without forward successors to the sink, making
+    /// the forward subgraph polar. Adds a direct `source -> sink` edge when
+    /// the graph holds no operations.
+    ///
+    /// Idempotent: vertices already connected are left alone.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`ConstraintGraph::add_dependency`] (cannot
+    /// occur for graphs built exclusively through this API).
+    pub fn polarize(&mut self) -> Result<(), GraphError> {
+        let source = self.source;
+        let sink = self.sink;
+        let ops: Vec<VertexId> = self.operation_ids().collect();
+        for &v in &ops {
+            if self.forward_preds(v).next().is_none() {
+                self.add_dependency(source, v)?;
+            }
+        }
+        for &v in &ops {
+            if self.forward_succs(v).next().is_none() {
+                self.add_dependency(v, sink)?;
+            }
+        }
+        if self.forward_preds(sink).next().is_none() {
+            self.add_dependency(source, sink)?;
+        }
+        Ok(())
+    }
+
+    /// `true` when the forward subgraph is polar: every vertex is reachable
+    /// from the source and reaches the sink.
+    pub fn is_polar(&self) -> bool {
+        let n = self.vertices.len();
+        // Reachability from source.
+        let mut down = vec![false; n];
+        let mut stack = vec![self.source];
+        down[self.source.index()] = true;
+        while let Some(u) = stack.pop() {
+            for s in self.forward_succs(u) {
+                if !down[s.index()] {
+                    down[s.index()] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        // Co-reachability of sink.
+        let mut up = vec![false; n];
+        let mut stack = vec![self.sink];
+        up[self.sink.index()] = true;
+        while let Some(u) = stack.pop() {
+            for p in self.forward_preds(u) {
+                if !up[p.index()] {
+                    up[p.index()] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        down.iter().all(|&b| b) && up.iter().all(|&b| b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table I row 1: a sequencing edge carries the tail's execution delay.
+    #[test]
+    fn table1_sequencing_edge_weight_is_tail_delay() {
+        let mut g = ConstraintGraph::new();
+        let a = g.add_operation("a", ExecDelay::Fixed(3));
+        let b = g.add_operation("b", ExecDelay::Fixed(1));
+        let e = g.add_dependency(a, b).unwrap();
+        let edge = g.edge(e);
+        assert_eq!(edge.kind(), EdgeKind::Sequencing);
+        assert!(edge.is_forward());
+        assert_eq!(edge.weight(), Weight::Fixed(3));
+    }
+
+    /// Table I row 1, unbounded tail: weight is the symbolic `δ(a)`.
+    #[test]
+    fn table1_sequencing_edge_from_anchor_is_unbounded() {
+        let mut g = ConstraintGraph::new();
+        let a = g.add_operation("sync", ExecDelay::Unbounded);
+        let b = g.add_operation("b", ExecDelay::Fixed(1));
+        let e = g.add_dependency(a, b).unwrap();
+        assert_eq!(
+            g.edge(e).weight(),
+            Weight::Unbounded {
+                anchor: a,
+                extra: 0
+            }
+        );
+        assert_eq!(g.edge(e).weight().zeroed(), 0);
+        assert!(g.is_anchor(a));
+        assert!(!g.is_anchor(b));
+    }
+
+    /// Table I row 2: a minimum constraint is a forward edge of weight `l`.
+    #[test]
+    fn table1_min_constraint_forward_positive() {
+        let mut g = ConstraintGraph::new();
+        let a = g.add_operation("a", ExecDelay::Fixed(1));
+        let b = g.add_operation("b", ExecDelay::Fixed(1));
+        let e = g.add_min_constraint(a, b, 5).unwrap();
+        let edge = g.edge(e);
+        assert_eq!(edge.kind(), EdgeKind::MinConstraint);
+        assert_eq!((edge.from(), edge.to()), (a, b));
+        assert_eq!(edge.weight(), Weight::Fixed(5));
+    }
+
+    /// A minimum constraint sourced at an anchor carries `δ(a) + l`
+    /// (completion-relative semantics).
+    #[test]
+    fn table1_min_constraint_from_anchor_is_unbounded_plus_extra() {
+        let mut g = ConstraintGraph::new();
+        let a = g.add_operation("sync", ExecDelay::Unbounded);
+        let b = g.add_operation("b", ExecDelay::Fixed(1));
+        let e = g.add_min_constraint(a, b, 5).unwrap();
+        let edge = g.edge(e);
+        assert_eq!(edge.kind(), EdgeKind::MinConstraint);
+        assert_eq!(
+            edge.weight(),
+            Weight::Unbounded {
+                anchor: a,
+                extra: 5
+            }
+        );
+        assert_eq!(edge.weight().zeroed(), 5);
+        // Constraints from the source behave the same way.
+        let e = g.add_min_constraint(g.source(), b, 3).unwrap();
+        assert_eq!(
+            g.edge(e).weight(),
+            Weight::Unbounded {
+                anchor: g.source(),
+                extra: 3
+            }
+        );
+    }
+
+    /// Table I row 3: a maximum constraint `u_ij` is a *backward* edge
+    /// `(vj, vi)` of weight `-u`.
+    #[test]
+    fn table1_max_constraint_backward_negative() {
+        let mut g = ConstraintGraph::new();
+        let a = g.add_operation("a", ExecDelay::Fixed(1));
+        let b = g.add_operation("b", ExecDelay::Fixed(1));
+        let e = g.add_max_constraint(a, b, 4).unwrap();
+        let edge = g.edge(e);
+        assert_eq!(edge.kind(), EdgeKind::MaxConstraint);
+        assert!(edge.is_backward());
+        assert_eq!((edge.from(), edge.to()), (b, a));
+        assert_eq!(edge.weight(), Weight::Fixed(-4));
+    }
+
+    #[test]
+    fn source_is_unbounded_anchor_and_sink_is_not() {
+        let g = ConstraintGraph::new();
+        assert!(g.is_anchor(g.source()));
+        assert!(!g.is_anchor(g.sink()));
+        assert_eq!(g.vertex(g.source()).delay(), ExecDelay::Unbounded);
+        assert_eq!(g.vertex(g.sink()).delay(), ExecDelay::Fixed(0));
+    }
+
+    #[test]
+    fn forward_cycle_rejected() {
+        let mut g = ConstraintGraph::new();
+        let a = g.add_operation("a", ExecDelay::Fixed(1));
+        let b = g.add_operation("b", ExecDelay::Fixed(1));
+        g.add_dependency(a, b).unwrap();
+        assert_eq!(
+            g.add_dependency(b, a),
+            Err(GraphError::ForwardCycle { from: b, to: a })
+        );
+    }
+
+    #[test]
+    fn min_constraint_against_dependency_rejected() {
+        let mut g = ConstraintGraph::new();
+        let a = g.add_operation("a", ExecDelay::Fixed(1));
+        let b = g.add_operation("b", ExecDelay::Fixed(1));
+        g.add_dependency(a, b).unwrap();
+        assert_eq!(
+            g.add_min_constraint(b, a, 2),
+            Err(GraphError::ContradictsDependencies {
+                from: b,
+                to: a,
+                min: 2
+            })
+        );
+        // The equivalent max constraint is the accepted formulation.
+        assert!(g.add_max_constraint(b, a, 0).is_ok());
+    }
+
+    #[test]
+    fn self_loops_rejected() {
+        let mut g = ConstraintGraph::new();
+        let a = g.add_operation("a", ExecDelay::Fixed(1));
+        assert_eq!(g.add_dependency(a, a), Err(GraphError::SelfLoop(a)));
+        assert_eq!(g.add_min_constraint(a, a, 1), Err(GraphError::SelfLoop(a)));
+        assert_eq!(g.add_max_constraint(a, a, 1), Err(GraphError::SelfLoop(a)));
+    }
+
+    #[test]
+    fn polarity_enforced_on_forward_edges() {
+        let mut g = ConstraintGraph::new();
+        let a = g.add_operation("a", ExecDelay::Fixed(1));
+        let source = g.source();
+        let sink = g.sink();
+        assert!(matches!(
+            g.add_dependency(a, source),
+            Err(GraphError::Polarity { .. })
+        ));
+        assert!(matches!(
+            g.add_dependency(sink, a),
+            Err(GraphError::Polarity { .. })
+        ));
+    }
+
+    #[test]
+    fn polarize_connects_dangling_operations() {
+        let mut g = ConstraintGraph::new();
+        let a = g.add_operation("a", ExecDelay::Fixed(1));
+        let b = g.add_operation("b", ExecDelay::Fixed(2));
+        g.add_dependency(a, b).unwrap();
+        assert!(!g.is_polar());
+        g.polarize().unwrap();
+        assert!(g.is_polar());
+        assert!(g.has_forward_path(g.source(), a));
+        assert!(g.has_forward_path(b, g.sink()));
+    }
+
+    #[test]
+    fn polarize_empty_graph_links_source_to_sink() {
+        let mut g = ConstraintGraph::new();
+        g.polarize().unwrap();
+        assert!(g.is_polar());
+        assert_eq!(g.n_edges(), 1);
+    }
+
+    #[test]
+    fn polarize_is_idempotent() {
+        let mut g = ConstraintGraph::new();
+        let a = g.add_operation("a", ExecDelay::Fixed(1));
+        g.polarize().unwrap();
+        let edges = g.n_edges();
+        g.polarize().unwrap();
+        assert_eq!(g.n_edges(), edges);
+        assert!(g.has_forward_path(g.source(), a));
+    }
+
+    #[test]
+    fn anchors_are_source_plus_unbounded() {
+        let mut g = ConstraintGraph::new();
+        let a = g.add_operation("wait", ExecDelay::Unbounded);
+        let _b = g.add_operation("add", ExecDelay::Fixed(1));
+        let c = g.add_operation("loop", ExecDelay::Unbounded);
+        assert_eq!(g.anchors(), vec![g.source(), a, c]);
+        assert_eq!(g.n_anchors(), 3);
+    }
+
+    #[test]
+    fn unknown_vertex_rejected() {
+        let mut g = ConstraintGraph::new();
+        let a = g.add_operation("a", ExecDelay::Fixed(1));
+        let ghost = VertexId(99);
+        assert_eq!(
+            g.add_dependency(a, ghost),
+            Err(GraphError::UnknownVertex(ghost))
+        );
+    }
+
+    #[test]
+    fn display_impls_are_nonempty() {
+        let g = ConstraintGraph::new();
+        assert_eq!(g.source().to_string(), "v0");
+        assert_eq!(EdgeId(3).to_string(), "e3");
+        assert_eq!(ExecDelay::Fixed(7).to_string(), "7");
+        assert_eq!(
+            Weight::Unbounded {
+                anchor: VertexId(2),
+                extra: 0
+            }
+            .to_string(),
+            "δ(v2)"
+        );
+        assert_eq!(
+            Weight::Unbounded {
+                anchor: VertexId(2),
+                extra: 3
+            }
+            .to_string(),
+            "δ(v2)+3"
+        );
+    }
+}

@@ -1,0 +1,246 @@
+//! Transitive reduction of sequencing edges.
+//!
+//! Front ends (and `makeWellposed`) can leave sequencing edges that are
+//! implied by longer parallel paths; they change nothing about the
+//! schedule but inflate every `O(|E|)` pass and clutter DOT output. This
+//! pass removes a sequencing edge `(u, v)` when some other `u → v` path
+//! of equal or greater weight exists, which provably preserves all
+//! longest paths (and therefore offsets, anchor sets and start times —
+//! property-tested in `rsched-core`).
+//!
+//! Timing-constraint edges are never removed: they carry user intent.
+
+use crate::graph::{ConstraintGraph, EdgeKind, VertexId};
+
+/// Statistics of a [`ConstraintGraph::reduce_sequencing_edges`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReductionReport {
+    /// Sequencing edges removed.
+    pub removed: usize,
+    /// Edges examined.
+    pub examined: usize,
+}
+
+impl ConstraintGraph {
+    /// Removes redundant sequencing edges: an edge `(u, v)` with weight
+    /// `w` is dropped when the longest `u → v` path *not using that edge*
+    /// (through forward edges only, unbounded weights at 0) is at least
+    /// `w` — and, for unbounded edges, when that path also carries `u`'s
+    /// anchor tag (so anchor sets are unchanged).
+    ///
+    /// Rebuilds the graph without the redundant edges and returns how
+    /// many were removed. Timing-constraint edges are preserved.
+    pub fn reduce_sequencing_edges(&mut self) -> ReductionReport {
+        let mut report = ReductionReport::default();
+        let mut keep = vec![true; self.n_edges()];
+        for (id, e) in self.edges() {
+            if e.kind() != EdgeKind::Sequencing {
+                continue;
+            }
+            report.examined += 1;
+            if self.edge_is_implied(&keep, id.index(), e.from(), e.to(), e.weight().zeroed()) {
+                keep[id.index()] = false;
+                report.removed += 1;
+            }
+        }
+        if report.removed > 0 {
+            self.retain_edges(&keep);
+        }
+        report
+    }
+
+    /// Longest `u → v` forward path avoiding edge `skip` and every edge
+    /// already dropped (`!keep`); `None` if no such path. Additionally
+    /// requires, for unbounded edges (tail is an anchor), that the
+    /// surviving path starts with another unbounded edge of `u` —
+    /// otherwise removing the edge could shrink `A(v)`.
+    fn edge_is_implied(
+        &self,
+        keep: &[bool],
+        skip: usize,
+        u: VertexId,
+        v: VertexId,
+        w: i64,
+    ) -> bool {
+        let n = self.n_vertices();
+        // dist[x] = longest forward path u -> x avoiding `skip`, where the
+        // first edge out of `u` must be unbounded iff the skipped edge is
+        // (preserving anchor-set propagation).
+        let skip_unbounded = self
+            .edge(crate::graph::EdgeId(skip as u32))
+            .weight()
+            .is_unbounded();
+        let mut dist: Vec<Option<i64>> = vec![None; n];
+        // Seed with u's other out-edges.
+        let mut order: Vec<VertexId> = Vec::new();
+        // Work on a topological order of the forward graph for a single
+        // pass (G_f is acyclic).
+        if let Ok(topo) = self.forward_topological_order() {
+            order.extend_from_slice(topo.order());
+        } else {
+            return false;
+        }
+        for (id, e) in self.out_edges(u) {
+            if id.index() == skip || !keep[id.index()] || !e.is_forward() {
+                continue;
+            }
+            if skip_unbounded && !e.weight().is_unbounded() {
+                continue;
+            }
+            let cand = e.weight().zeroed();
+            let slot = &mut dist[e.to().index()];
+            if slot.is_none_or(|d| cand > d) {
+                *slot = Some(cand);
+            }
+        }
+        for &x in &order {
+            if x == u {
+                continue;
+            }
+            let Some(dx) = dist[x.index()] else { continue };
+            for (id, e) in self.out_edges(x) {
+                if id.index() == skip || !keep[id.index()] || !e.is_forward() {
+                    continue;
+                }
+                let cand = dx + e.weight().zeroed();
+                let slot = &mut dist[e.to().index()];
+                if slot.is_none_or(|d| cand > d) {
+                    *slot = Some(cand);
+                }
+            }
+        }
+        dist[v.index()].is_some_and(|d| d >= w)
+    }
+
+    /// Rebuilds edge storage keeping only the flagged edges.
+    fn retain_edges(&mut self, keep: &[bool]) {
+        let kept: Vec<crate::graph::Edge> = self
+            .edges()
+            .filter(|(id, _)| keep[id.index()])
+            .map(|(_, e)| *e)
+            .collect();
+        self.replace_edges(kept);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::ExecDelay;
+
+    #[test]
+    fn removes_edge_implied_by_longer_path() {
+        let mut g = ConstraintGraph::new();
+        let a = g.add_operation("a", ExecDelay::Fixed(1));
+        let b = g.add_operation("b", ExecDelay::Fixed(2));
+        let c = g.add_operation("c", ExecDelay::Fixed(1));
+        g.add_dependency(a, b).unwrap();
+        g.add_dependency(b, c).unwrap();
+        g.add_dependency(a, c).unwrap(); // implied by a -> b -> c (weight 3 >= 1)
+        g.polarize().unwrap();
+        let before = g.n_edges();
+        let report = g.reduce_sequencing_edges();
+        assert_eq!(report.removed, 1);
+        assert_eq!(g.n_edges(), before - 1);
+        assert!(g.has_forward_path(a, c));
+        // Longest paths unchanged.
+        let lp = g.longest_paths_from(a).unwrap();
+        assert_eq!(lp.length_to(c), Some(3));
+    }
+
+    #[test]
+    fn keeps_edge_longer_than_alternative() {
+        // a -> c weight 5 (via a's delay? no: sequencing weight = δ(a));
+        // build with δ(a)=5 so direct edge outweighs the 2-hop path.
+        let mut g = ConstraintGraph::new();
+        let a = g.add_operation("a", ExecDelay::Fixed(5));
+        let b = g.add_operation("b", ExecDelay::Fixed(1));
+        let c = g.add_operation("c", ExecDelay::Fixed(1));
+        g.add_dependency(a, b).unwrap(); // weight 5
+        g.add_dependency(b, c).unwrap(); // weight 1
+        g.add_dependency(a, c).unwrap(); // weight 5 > 5+1? no: 6 >= 5 -> implied!
+        g.polarize().unwrap();
+        // The path a->b->c weighs 6 >= 5: the direct edge IS implied.
+        assert_eq!(g.reduce_sequencing_edges().removed, 1);
+
+        // Now a case where it is not: make b cheap to reach but the
+        // direct edge heavier than the detour.
+        let mut g = ConstraintGraph::new();
+        let a = g.add_operation("a", ExecDelay::Fixed(5));
+        let b = g.add_operation("b", ExecDelay::Fixed(0));
+        let c = g.add_operation("c", ExecDelay::Fixed(1));
+        // Detour via min-constraints of small weight.
+        g.add_min_constraint(a, b, 1).unwrap();
+        g.add_min_constraint(b, c, 1).unwrap();
+        g.add_dependency(a, c).unwrap(); // weight 5 > 2
+        g.polarize().unwrap();
+        assert_eq!(g.reduce_sequencing_edges().removed, 0);
+    }
+
+    #[test]
+    fn unbounded_edges_need_unbounded_witness() {
+        // anchor -> c directly (unbounded) and anchor -> b -> c where the
+        // b path begins with the same unbounded edge: removable.
+        let mut g = ConstraintGraph::new();
+        let a = g.add_operation("a", ExecDelay::Unbounded);
+        let b = g.add_operation("b", ExecDelay::Fixed(1));
+        let c = g.add_operation("c", ExecDelay::Fixed(1));
+        g.add_dependency(a, b).unwrap(); // δ(a)
+        g.add_dependency(b, c).unwrap();
+        g.add_dependency(a, c).unwrap(); // δ(a), implied via b
+        g.polarize().unwrap();
+        assert_eq!(g.reduce_sequencing_edges().removed, 1);
+        assert!(g.has_forward_path(a, c));
+
+        // But a bounded detour must NOT justify removing an unbounded
+        // edge (A(c) would lose the anchor).
+        let mut g = ConstraintGraph::new();
+        let a = g.add_operation("a", ExecDelay::Unbounded);
+        let c = g.add_operation("c", ExecDelay::Fixed(1));
+        g.add_dependency(a, c).unwrap(); // δ(a)
+        g.add_min_constraint(a, c, 3).unwrap(); // bounded... carries δ(a)+3 actually
+        g.polarize().unwrap();
+        // The min edge is itself unbounded (anchor-sourced), so the
+        // sequencing edge IS implied here.
+        assert_eq!(g.reduce_sequencing_edges().removed, 1);
+    }
+
+    #[test]
+    fn constraint_edges_never_removed() {
+        let mut g = ConstraintGraph::new();
+        let a = g.add_operation("a", ExecDelay::Fixed(3));
+        let b = g.add_operation("b", ExecDelay::Fixed(1));
+        g.add_dependency(a, b).unwrap();
+        g.add_min_constraint(a, b, 1).unwrap(); // weaker than the dep, but kept
+        g.add_max_constraint(a, b, 9).unwrap();
+        g.polarize().unwrap();
+        let constraints_before = g
+            .edges()
+            .filter(|(_, e)| e.kind() != EdgeKind::Sequencing)
+            .count();
+        g.reduce_sequencing_edges();
+        let constraints_after = g
+            .edges()
+            .filter(|(_, e)| e.kind() != EdgeKind::Sequencing)
+            .count();
+        assert_eq!(constraints_before, constraints_after);
+    }
+
+    #[test]
+    fn idempotent() {
+        let mut g = ConstraintGraph::new();
+        let vs: Vec<_> = (0..6)
+            .map(|i| g.add_operation(format!("v{i}"), ExecDelay::Fixed(i)))
+            .collect();
+        for i in 0..vs.len() {
+            for j in (i + 1)..vs.len() {
+                g.add_dependency(vs[i], vs[j]).unwrap();
+            }
+        }
+        g.polarize().unwrap();
+        let first = g.reduce_sequencing_edges();
+        assert!(first.removed > 0);
+        let second = g.reduce_sequencing_edges();
+        assert_eq!(second.removed, 0, "reduction is a fixpoint");
+    }
+}

@@ -1,0 +1,332 @@
+//! A plain-text interchange format for constraint graphs.
+//!
+//! One directive per line; `#` starts a comment. Operations must be
+//! declared before use; `source` and `sink` are predeclared names.
+//!
+//! ```text
+//! # gcd-ish fragment
+//! op   sync   unbounded
+//! op   alu    2
+//! dep  sync   alu
+//! min  source alu 1
+//! max  sync   alu 4        # ill-posed, but parses
+//! ```
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::error::GraphError;
+use crate::graph::{ConstraintGraph, ExecDelay, VertexId};
+
+/// Errors produced while parsing the text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TextFormatError {
+    /// A line could not be parsed.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// Description.
+        message: String,
+    },
+    /// A structural error while applying a directive.
+    Graph {
+        /// 1-based line number.
+        line: usize,
+        /// Underlying graph error.
+        source: GraphError,
+    },
+}
+
+impl fmt::Display for TextFormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TextFormatError::Syntax { line, message } => {
+                write!(f, "line {line}: {message}")
+            }
+            TextFormatError::Graph { line, source } => write!(f, "line {line}: {source}"),
+        }
+    }
+}
+
+impl Error for TextFormatError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TextFormatError::Graph { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl ConstraintGraph {
+    /// Parses a constraint graph from the text format. The graph is
+    /// polarized after parsing (dangling operations are wired to the
+    /// source/sink).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TextFormatError`] with the offending line number for
+    /// unknown directives, undeclared or duplicate names, malformed
+    /// numbers, and structural violations (forward cycles etc.).
+    pub fn from_text(text: &str) -> Result<Self, TextFormatError> {
+        let mut g = ConstraintGraph::new();
+        let mut names: HashMap<String, VertexId> = HashMap::new();
+        names.insert("source".to_owned(), g.source());
+        names.insert("sink".to_owned(), g.sink());
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx + 1;
+            let syntax = |message: String| TextFormatError::Syntax { line, message };
+            let content = raw.split('#').next().unwrap_or("").trim();
+            if content.is_empty() {
+                continue;
+            }
+            let mut parts = content.split_whitespace();
+            let directive = parts.next().expect("non-empty line");
+            let mut arg = |what: &str| {
+                parts
+                    .next()
+                    .map(str::to_owned)
+                    .ok_or_else(|| syntax(format!("missing {what}")))
+            };
+            match directive {
+                "op" => {
+                    let name = arg("operation name")?;
+                    let delay = arg("delay")?;
+                    let delay = if delay == "unbounded" {
+                        ExecDelay::Unbounded
+                    } else {
+                        ExecDelay::Fixed(
+                            delay
+                                .parse()
+                                .map_err(|_| syntax(format!("invalid delay '{delay}'")))?,
+                        )
+                    };
+                    if names.contains_key(&name) {
+                        return Err(syntax(format!("duplicate operation '{name}'")));
+                    }
+                    let id = g.add_operation(name.clone(), delay);
+                    names.insert(name, id);
+                }
+                "dep" | "min" | "max" => {
+                    let from_name = arg("tail name")?;
+                    let to_name = arg("head name")?;
+                    let lookup = |n: &str| {
+                        names
+                            .get(n)
+                            .copied()
+                            .ok_or_else(|| syntax(format!("undeclared operation '{n}'")))
+                    };
+                    let from = lookup(&from_name)?;
+                    let to = lookup(&to_name)?;
+                    let result = match directive {
+                        "dep" => g.add_dependency(from, to).map(|_| ()),
+                        "min" | "max" => {
+                            let cycles: u64 = arg("cycle count")?
+                                .parse()
+                                .map_err(|_| syntax("invalid cycle count".to_owned()))?;
+                            if directive == "min" {
+                                g.add_min_constraint(from, to, cycles).map(|_| ())
+                            } else {
+                                g.add_max_constraint(from, to, cycles).map(|_| ())
+                            }
+                        }
+                        _ => unreachable!(),
+                    };
+                    result.map_err(|source| TextFormatError::Graph { line, source })?;
+                }
+                other => {
+                    return Err(syntax(format!(
+                        "unknown directive '{other}' (expected op/dep/min/max)"
+                    )))
+                }
+            }
+        }
+        g.polarize()
+            .map_err(|source| TextFormatError::Graph { line: 0, source })?;
+        Ok(g)
+    }
+
+    /// Renders the graph in the text format. Vertex names are
+    /// disambiguated with `@<id>` suffixes when duplicated; edges added by
+    /// polarization are included (re-parsing is idempotent).
+    pub fn to_text(&self) -> String {
+        let mut seen: HashMap<&str, usize> = HashMap::new();
+        for v in self.vertex_ids() {
+            *seen.entry(self.vertex(v).name()).or_default() += 1;
+        }
+        let name_of = |v: VertexId| -> String {
+            if v == self.source() {
+                return "source".to_owned();
+            }
+            if v == self.sink() {
+                return "sink".to_owned();
+            }
+            let name = self.vertex(v).name();
+            if seen[name] > 1 || name == "source" || name == "sink" {
+                format!("{name}@{}", v.index())
+            } else {
+                name.to_owned()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# constraint graph: {} vertices, {} edges",
+            self.n_vertices(),
+            self.n_edges()
+        );
+        for v in self.operation_ids() {
+            let delay = match self.vertex(v).delay() {
+                ExecDelay::Fixed(d) => d.to_string(),
+                ExecDelay::Unbounded => "unbounded".to_owned(),
+            };
+            let _ = writeln!(out, "op {} {}", name_of(v), delay);
+        }
+        for (_, e) in self.edges() {
+            match e.kind() {
+                crate::graph::EdgeKind::Sequencing => {
+                    let _ = writeln!(out, "dep {} {}", name_of(e.from()), name_of(e.to()));
+                }
+                crate::graph::EdgeKind::MinConstraint => {
+                    let _ = writeln!(
+                        out,
+                        "min {} {} {}",
+                        name_of(e.from()),
+                        name_of(e.to()),
+                        e.weight().zeroed()
+                    );
+                }
+                crate::graph::EdgeKind::MaxConstraint => {
+                    // Stored backward: reconstruct the user-facing
+                    // direction (from = head, to = tail, weight -u).
+                    let _ = writeln!(
+                        out,
+                        "max {} {} {}",
+                        name_of(e.to()),
+                        name_of(e.from()),
+                        -e.weight().zeroed()
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Weight;
+
+    const SAMPLE: &str = "
+# a small interface
+op sync unbounded
+op alu 2
+op out 1
+dep sync alu
+dep alu out
+min source alu 1
+max alu out 4
+";
+
+    #[test]
+    fn parses_sample() {
+        let g = ConstraintGraph::from_text(SAMPLE).unwrap();
+        assert_eq!(g.n_vertices(), 5);
+        assert_eq!(g.n_backward_edges(), 1);
+        assert!(g.is_polar());
+        let sync = g
+            .vertex_ids()
+            .find(|&v| g.vertex(v).name() == "sync")
+            .unwrap();
+        assert!(g.is_anchor(sync));
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let g = ConstraintGraph::from_text(SAMPLE).unwrap();
+        let text = g.to_text();
+        let g2 = ConstraintGraph::from_text(&text).unwrap();
+        assert_eq!(g.n_vertices(), g2.n_vertices());
+        assert_eq!(g.n_edges(), g2.n_edges());
+        assert_eq!(g.n_backward_edges(), g2.n_backward_edges());
+        // Edge multiset matches by (names, kind, zeroed weight).
+        let key = |g: &ConstraintGraph| {
+            let mut edges: Vec<(String, String, bool, i64)> = g
+                .edges()
+                .map(|(_, e)| {
+                    (
+                        g.vertex(e.from()).name().to_owned(),
+                        g.vertex(e.to()).name().to_owned(),
+                        e.is_backward(),
+                        e.weight().zeroed(),
+                    )
+                })
+                .collect();
+            edges.sort();
+            edges
+        };
+        assert_eq!(key(&g), key(&g2));
+    }
+
+    #[test]
+    fn anchor_sourced_min_constraint_roundtrips() {
+        let text = "op a unbounded\nop b 1\nmin a b 5\n";
+        let g = ConstraintGraph::from_text(text).unwrap();
+        let a = g.vertex_ids().find(|&v| g.vertex(v).name() == "a").unwrap();
+        let (_, e) = g
+            .edges()
+            .find(|(_, e)| e.kind() == crate::graph::EdgeKind::MinConstraint)
+            .unwrap();
+        assert_eq!(
+            e.weight(),
+            Weight::Unbounded {
+                anchor: a,
+                extra: 5
+            }
+        );
+        let g2 = ConstraintGraph::from_text(&g.to_text()).unwrap();
+        assert_eq!(g2.n_edges(), g.n_edges());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = ConstraintGraph::from_text("op a 1\nzap a b\n").unwrap_err();
+        assert_eq!(
+            err,
+            TextFormatError::Syntax {
+                line: 2,
+                message: "unknown directive 'zap' (expected op/dep/min/max)".into()
+            }
+        );
+        let err = ConstraintGraph::from_text("dep a b\n").unwrap_err();
+        assert!(err.to_string().contains("undeclared operation 'a'"));
+        let err = ConstraintGraph::from_text("op a 1\nop a 2\n").unwrap_err();
+        assert!(err.to_string().contains("duplicate"));
+        let err = ConstraintGraph::from_text("op a one\n").unwrap_err();
+        assert!(err.to_string().contains("invalid delay"));
+        let err = ConstraintGraph::from_text("op a 1\nop b 1\ndep a b\ndep b a\n").unwrap_err();
+        assert!(matches!(err, TextFormatError::Graph { line: 4, .. }));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let g = ConstraintGraph::from_text("# nothing\n\n   # indent\n").unwrap();
+        assert_eq!(g.n_vertices(), 2);
+    }
+
+    #[test]
+    fn duplicate_display_names_disambiguated() {
+        let mut g = ConstraintGraph::new();
+        g.add_operation("x", ExecDelay::Fixed(1));
+        g.add_operation("x", ExecDelay::Fixed(2));
+        g.polarize().unwrap();
+        let text = g.to_text();
+        assert!(text.contains("x@2"));
+        assert!(text.contains("x@3"));
+        let g2 = ConstraintGraph::from_text(&text).unwrap();
+        assert_eq!(g2.n_vertices(), 4);
+    }
+}

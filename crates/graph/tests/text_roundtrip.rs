@@ -1,0 +1,68 @@
+//! Property test: the text format roundtrips arbitrary graphs built
+//! through the mutation API.
+
+use proptest::prelude::*;
+use rsched_graph::{ConstraintGraph, ExecDelay, VertexId};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn text_format_roundtrips(
+        delays in proptest::collection::vec(
+            prop_oneof![3 => (0u64..9).prop_map(Some), 1 => Just(None)], 1..14),
+        deps in proptest::collection::vec((0usize..14, 0usize..14), 0..20),
+        mins in proptest::collection::vec((0usize..14, 0usize..14, 0u64..9), 0..5),
+        maxs in proptest::collection::vec((0usize..14, 0usize..14, 0u64..9), 0..5),
+    ) {
+        let mut g = ConstraintGraph::new();
+        let vs: Vec<VertexId> = delays.iter().enumerate().map(|(i, d)| {
+            g.add_operation(format!("op{i}"), match d {
+                Some(d) => ExecDelay::Fixed(*d),
+                None => ExecDelay::Unbounded,
+            })
+        }).collect();
+        let n = vs.len();
+        for &(i, j) in &deps {
+            if i < j && j < n {
+                let _ = g.add_dependency(vs[i], vs[j]);
+            }
+        }
+        for &(i, j, l) in &mins {
+            if i < j && j < n {
+                let _ = g.add_min_constraint(vs[i], vs[j], l);
+            }
+        }
+        for &(i, j, u) in &maxs {
+            if i != j && i < n && j < n {
+                let _ = g.add_max_constraint(vs[i], vs[j], u);
+            }
+        }
+        g.polarize().unwrap();
+
+        let text = g.to_text();
+        let g2 = ConstraintGraph::from_text(&text)
+            .unwrap_or_else(|e| panic!("emitted text must parse: {e}\n{text}"));
+        prop_assert_eq!(g.n_vertices(), g2.n_vertices());
+        prop_assert_eq!(g.n_edges(), g2.n_edges());
+        prop_assert_eq!(g.n_backward_edges(), g2.n_backward_edges());
+        prop_assert_eq!(g.anchors().len(), g2.anchors().len());
+        // Edge multiset by (names, kind-ness, zeroed weight).
+        let key = |g: &ConstraintGraph| {
+            let mut edges: Vec<(String, String, bool, i64)> = g
+                .edges()
+                .map(|(_, e)| {
+                    (
+                        g.vertex(e.from()).name().to_owned(),
+                        g.vertex(e.to()).name().to_owned(),
+                        e.is_backward(),
+                        e.weight().zeroed(),
+                    )
+                })
+                .collect();
+            edges.sort();
+            edges
+        };
+        prop_assert_eq!(key(&g), key(&g2));
+    }
+}

@@ -1,0 +1,281 @@
+//! Abstract syntax of the HardwareC subset.
+
+use crate::lexer::Span;
+
+/// A compilation unit: one or more processes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// The processes, in source order; the first is the design root.
+    pub processes: Vec<Process>,
+}
+
+/// Direction of a port declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortDir {
+    /// `in port`
+    In,
+    /// `out port`
+    Out,
+    /// `inout port`
+    InOut,
+}
+
+/// A declaration inside a process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decl {
+    /// `in|out|inout port name[width], …;`
+    Port {
+        /// Direction.
+        dir: PortDir,
+        /// `(name, width)` pairs; width defaults to 1.
+        ports: Vec<(String, u64)>,
+    },
+    /// `boolean name[width], …;`
+    Var {
+        /// `(name, width)` pairs; width defaults to 1.
+        vars: Vec<(String, u64)>,
+    },
+    /// `tag a, b, …;`
+    Tag {
+        /// Tag names.
+        tags: Vec<String>,
+    },
+}
+
+/// Kind of a timing-constraint declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintKind {
+    /// `constraint mintime from a to b = N cycles;`
+    MinTime,
+    /// `constraint maxtime from a to b = N cycles;`
+    MaxTime,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Number(u64),
+    /// Variable or port reference.
+    Ident(String),
+    /// `read(port)` — only valid as the right-hand side of an assignment.
+    Read {
+        /// The port read.
+        port: String,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Collects the identifiers this expression reads (ports from `read`
+    /// excluded — those are usage sites handled by elaboration).
+    pub fn idents(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Number(_) => {}
+            Expr::Ident(name) => out.push(name.clone()),
+            Expr::Read { .. } => {}
+            Expr::Unary { expr, .. } => expr.idents(out),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.idents(out);
+                rhs.idents(out);
+            }
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// Logical not `!`.
+    Not,
+    /// Bitwise complement `~`.
+    Complement,
+    /// Arithmetic negation `-`.
+    Negate,
+}
+
+/// Binary operators, lowest to highest precedence group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// `||`
+    LogicOr,
+    /// `&&`
+    LogicAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `&`
+    BitAnd,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `var = expr;` (including `var = read(port);`).
+    Assign {
+        /// Assigned variable.
+        target: String,
+        /// Right-hand side.
+        value: Expr,
+        /// Optional tag label.
+        tag: Option<String>,
+        /// Source position.
+        span: Span,
+    },
+    /// `write port = expr;`
+    Write {
+        /// Driven port.
+        port: String,
+        /// Value expression.
+        value: Expr,
+        /// Optional tag label.
+        tag: Option<String>,
+        /// Source position.
+        span: Span,
+    },
+    /// A process call `name(arg, …);`
+    Call {
+        /// Callee process name.
+        callee: String,
+        /// Argument identifiers.
+        args: Vec<String>,
+        /// Optional tag label.
+        tag: Option<String>,
+        /// Source position.
+        span: Span,
+    },
+    /// `while (cond) stmt`
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body (empty for `while (c) ;` busy-waits).
+        body: Box<Stmt>,
+        /// Source position.
+        span: Span,
+    },
+    /// `repeat { … } until (cond);`
+    Repeat {
+        /// Loop body.
+        body: Box<Stmt>,
+        /// Exit condition.
+        until: Expr,
+        /// Source position.
+        span: Span,
+    },
+    /// `if (cond) stmt [else stmt]`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_branch: Box<Stmt>,
+        /// Optional else branch.
+        else_branch: Option<Box<Stmt>>,
+        /// Source position.
+        span: Span,
+    },
+    /// `{ stmt* }` — sequential composition with def-use parallelism.
+    Seq {
+        /// Member statements.
+        body: Vec<Stmt>,
+        /// Source position.
+        span: Span,
+    },
+    /// `< stmt* >` — fully parallel composition (no intra-block
+    /// dependencies).
+    Par {
+        /// Member statements.
+        body: Vec<Stmt>,
+        /// Source position.
+        span: Span,
+    },
+    /// `constraint mintime|maxtime from a to b = N cycles;`
+    Constraint {
+        /// Min or max.
+        kind: ConstraintKind,
+        /// Source tag.
+        from: String,
+        /// Target tag.
+        to: String,
+        /// Bound in cycles.
+        cycles: u64,
+        /// Source position.
+        span: Span,
+    },
+    /// An empty statement `;`.
+    Empty {
+        /// Source position.
+        span: Span,
+    },
+}
+
+impl Stmt {
+    /// The source position of the statement.
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Assign { span, .. }
+            | Stmt::Write { span, .. }
+            | Stmt::Call { span, .. }
+            | Stmt::While { span, .. }
+            | Stmt::Repeat { span, .. }
+            | Stmt::If { span, .. }
+            | Stmt::Seq { span, .. }
+            | Stmt::Par { span, .. }
+            | Stmt::Constraint { span, .. }
+            | Stmt::Empty { span } => *span,
+        }
+    }
+}
+
+/// A process declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Process {
+    /// Process name.
+    pub name: String,
+    /// Parameter names (must match the port declarations).
+    pub params: Vec<String>,
+    /// Port, variable and tag declarations.
+    pub decls: Vec<Decl>,
+    /// The body statements (a process body is an implicit sequential
+    /// block).
+    pub body: Vec<Stmt>,
+    /// Source position of the `process` keyword.
+    pub span: Span,
+}

@@ -1,0 +1,756 @@
+//! Elaboration: AST → hierarchical sequencing graphs.
+//!
+//! Mirrors what Hercules does to HardwareC (§VII): each process becomes a
+//! sequencing graph; loop bodies and conditional branches become
+//! lower-hierarchy graphs referenced by unbounded `Loop` / `Cond`
+//! operations; within a sequential block, dependencies are derived from
+//! def-use analysis (read-after-write, write-after-read, write-after-write
+//! on variables, plus program-order access on each port), producing the
+//! *maximally parallel* graph; `<…>` blocks suppress intra-block
+//! dependencies entirely.
+
+use std::collections::{HashMap, HashSet};
+
+use rsched_sgraph::{Design, OpId, OpKind, SeqGraph, SeqGraphId};
+
+use crate::ast::*;
+use crate::error::HdlError;
+
+/// Where a tag ended up after elaboration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TagLocation {
+    /// The tag name.
+    pub name: String,
+    /// The graph holding the tagged operation.
+    pub graph: SeqGraphId,
+    /// The tagged operation.
+    pub op: OpId,
+}
+
+/// The result of compiling a program: the hierarchical design plus
+/// bookkeeping to map back to the source.
+#[derive(Debug, Clone)]
+pub struct CompiledDesign {
+    /// The hierarchical design; its root is the first process.
+    pub design: Design,
+    /// Root graph of each process, by name.
+    pub process_roots: HashMap<String, SeqGraphId>,
+    /// Tag locations of every process.
+    pub tags: Vec<TagLocation>,
+}
+
+impl CompiledDesign {
+    /// Looks up a tag's location by name.
+    pub fn tag(&self, name: &str) -> Option<&TagLocation> {
+        self.tags.iter().find(|t| t.name == name)
+    }
+}
+
+/// Elaborates a (semantically checked) program.
+///
+/// # Errors
+///
+/// Returns [`HdlError::Elaborate`] for indirect process recursion and for
+/// timing constraints whose tags live in different graphs (the model only
+/// supports constraints within one sequencing graph).
+pub fn elaborate(program: &Program) -> Result<CompiledDesign, HdlError> {
+    // Order processes callee-first.
+    let order = process_order(program)?;
+    let mut design = Design::new();
+    let mut process_roots = HashMap::new();
+    let mut tags = Vec::new();
+    for idx in order {
+        let process = &program.processes[idx];
+        let root =
+            ProcessElaborator::new(process, &process_roots, &mut design, &mut tags).elaborate()?;
+        process_roots.insert(process.name.clone(), root);
+    }
+    let root = process_roots[&program.processes[0].name];
+    design.set_root(root);
+    Ok(CompiledDesign {
+        design,
+        process_roots,
+        tags,
+    })
+}
+
+/// Topological order of processes by call references (callees first).
+fn process_order(program: &Program) -> Result<Vec<usize>, HdlError> {
+    let index: HashMap<&str, usize> = program
+        .processes
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.name.as_str(), i))
+        .collect();
+    let n = program.processes.len();
+    let mut callees: Vec<HashSet<usize>> = vec![HashSet::new(); n];
+    for (i, p) in program.processes.iter().enumerate() {
+        let mut stack: Vec<&Stmt> = p.body.iter().collect();
+        while let Some(s) = stack.pop() {
+            match s {
+                Stmt::Call { callee, .. } => {
+                    callees[i].insert(index[callee.as_str()]);
+                }
+                Stmt::While { body, .. } => stack.push(body),
+                Stmt::Repeat { body, .. } => stack.push(body),
+                Stmt::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
+                    stack.push(then_branch);
+                    if let Some(e) = else_branch {
+                        stack.push(e);
+                    }
+                }
+                Stmt::Seq { body, .. } | Stmt::Par { body, .. } => stack.extend(body.iter()),
+                _ => {}
+            }
+        }
+    }
+    let mut pending: Vec<usize> = callees.iter().map(|c| c.len()).collect();
+    let mut parents: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, cs) in callees.iter().enumerate() {
+        for &c in cs {
+            parents[c].push(i);
+        }
+    }
+    for ps in &mut parents {
+        ps.sort_unstable();
+    }
+    let mut queue: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = (0..n)
+        .filter(|&i| pending[i] == 0)
+        .map(std::cmp::Reverse)
+        .collect();
+    let mut order = Vec::new();
+    while let Some(std::cmp::Reverse(i)) = queue.pop() {
+        order.push(i);
+        for &p in &parents[i] {
+            pending[p] -= 1;
+            if pending[p] == 0 {
+                queue.push(std::cmp::Reverse(p));
+            }
+        }
+    }
+    if order.len() != n {
+        return Err(HdlError::Elaborate {
+            message: "recursive process call chain".to_owned(),
+        });
+    }
+    Ok(order)
+}
+
+/// A pending timing constraint collected during elaboration.
+struct PendingConstraint {
+    kind: ConstraintKind,
+    from: String,
+    to: String,
+    cycles: u64,
+}
+
+struct ProcessElaborator<'a> {
+    process: &'a Process,
+    process_roots: &'a HashMap<String, SeqGraphId>,
+    design: &'a mut Design,
+    tags: &'a mut Vec<TagLocation>,
+    vars: HashSet<String>,
+    ports: HashSet<String>,
+    constraints: Vec<PendingConstraint>,
+    n_subgraphs: usize,
+}
+
+/// The dependency interface of an elaborated statement within its graph.
+#[derive(Debug, Clone, Default)]
+struct Unit {
+    entries: Vec<OpId>,
+    exits: Vec<OpId>,
+    /// Variables read from outside the unit.
+    reads: HashSet<String>,
+    /// Variables written by the unit.
+    writes: HashSet<String>,
+    /// Ports accessed (for program-order serialization per port).
+    ports: HashSet<String>,
+    /// Loops and calls are control barriers: they serialize against every
+    /// other unit of their block (data-dependent iteration and procedure
+    /// activation are synchronization points in HardwareC).
+    is_barrier: bool,
+}
+
+impl Unit {
+    fn is_empty(&self) -> bool {
+        self.entries.is_empty() && self.exits.is_empty()
+    }
+}
+
+/// Reads/writes extracted from an expression.
+#[derive(Debug, Default)]
+struct ExprUse {
+    var_reads: HashSet<String>,
+    port_reads: HashSet<String>,
+    has_read_call: bool,
+}
+
+impl<'a> ProcessElaborator<'a> {
+    fn new(
+        process: &'a Process,
+        process_roots: &'a HashMap<String, SeqGraphId>,
+        design: &'a mut Design,
+        tags: &'a mut Vec<TagLocation>,
+    ) -> Self {
+        let mut vars = HashSet::new();
+        let mut ports = HashSet::new();
+        for decl in &process.decls {
+            match decl {
+                Decl::Var { vars: vs } => vars.extend(vs.iter().map(|(n, _)| n.clone())),
+                Decl::Port { ports: ps, .. } => ports.extend(ps.iter().map(|(n, _)| n.clone())),
+                Decl::Tag { .. } => {}
+            }
+        }
+        ProcessElaborator {
+            process,
+            process_roots,
+            design,
+            tags,
+            vars,
+            ports,
+            constraints: Vec::new(),
+            n_subgraphs: 0,
+        }
+    }
+
+    fn elaborate(mut self) -> Result<SeqGraphId, HdlError> {
+        let root = self.build_graph(self.process.name.clone(), &self.process.body_refs())?;
+        // Resolve the collected timing constraints against tag locations.
+        for c in std::mem::take(&mut self.constraints) {
+            let from = self.lookup_tag(&c.from)?;
+            let to = self.lookup_tag(&c.to)?;
+            if from.graph != to.graph {
+                return Err(HdlError::Elaborate {
+                    message: format!(
+                        "constraint from '{}' to '{}' crosses sequencing graphs \
+                         (the tags label operations at different hierarchy levels)",
+                        c.from, c.to
+                    ),
+                });
+            }
+            let graph = self.design.graph_mut(from.graph).expect("graph exists");
+            let result = match c.kind {
+                ConstraintKind::MinTime => graph.add_min_constraint(from.op, to.op, c.cycles),
+                ConstraintKind::MaxTime => graph.add_max_constraint(from.op, to.op, c.cycles),
+            };
+            result.map_err(|e| HdlError::Elaborate {
+                message: format!("attaching constraint: {e}"),
+            })?;
+        }
+        Ok(root)
+    }
+
+    fn lookup_tag(&self, name: &str) -> Result<TagLocation, HdlError> {
+        self.tags
+            .iter()
+            .find(|t| t.name == name)
+            .cloned()
+            .ok_or_else(|| HdlError::Elaborate {
+                message: format!("constraint references unlabeled tag '{name}'"),
+            })
+    }
+
+    fn subgraph_name(&mut self, kind: &str) -> String {
+        self.n_subgraphs += 1;
+        format!("{}::{}{}", self.process.name, kind, self.n_subgraphs)
+    }
+
+    /// Builds a new sequencing graph from a sequential statement list and
+    /// registers it with the design.
+    fn build_graph(&mut self, name: String, stmts: &[&Stmt]) -> Result<SeqGraphId, HdlError> {
+        let mut graph = SeqGraph::new(name);
+        let mut pending_tags: Vec<(String, OpId)> = Vec::new();
+        self.seq_unit(&mut graph, &mut pending_tags, stmts)?;
+        let id = self.design.add_graph(graph);
+        for (tag, op) in pending_tags {
+            self.tags.push(TagLocation {
+                name: tag,
+                graph: id,
+                op,
+            });
+        }
+        Ok(id)
+    }
+
+    /// Elaborates statements as a sequential block inside `graph`,
+    /// inserting def-use dependency edges (RAW, WAR, WAW, per-port
+    /// ordering) plus barrier edges around loops and calls.
+    fn seq_unit(
+        &mut self,
+        graph: &mut SeqGraph,
+        pending_tags: &mut Vec<(String, OpId)>,
+        stmts: &[&Stmt],
+    ) -> Result<Unit, HdlError> {
+        let mut units: Vec<Unit> = Vec::new();
+        let mut unit_deps: Vec<HashSet<usize>> = Vec::new();
+        let mut last_writer: HashMap<String, usize> = HashMap::new();
+        let mut readers: HashMap<String, Vec<usize>> = HashMap::new();
+        let mut last_port: HashMap<String, usize> = HashMap::new();
+        let mut last_barrier: Option<usize> = None;
+        let mut since_barrier: Vec<usize> = Vec::new();
+        let mut block = Unit::default();
+        let mut written_so_far: HashSet<String> = HashSet::new();
+
+        for stmt in stmts {
+            let Some(unit) = self.stmt_unit(graph, pending_tags, stmt)? else {
+                continue;
+            };
+            if unit.is_empty() {
+                continue;
+            }
+            let idx = units.len();
+            let mut deps: HashSet<usize> = HashSet::new();
+            for r in &unit.reads {
+                if let Some(&w) = last_writer.get(r) {
+                    deps.insert(w);
+                }
+            }
+            for w in &unit.writes {
+                if let Some(rs) = readers.get(w) {
+                    deps.extend(rs.iter().copied());
+                }
+                if let Some(&lw) = last_writer.get(w) {
+                    deps.insert(lw);
+                }
+            }
+            for p in &unit.ports {
+                if let Some(&lp) = last_port.get(p) {
+                    deps.insert(lp);
+                }
+            }
+            if unit.is_barrier {
+                deps.extend(since_barrier.iter().copied());
+                deps.extend(last_barrier);
+            } else {
+                deps.extend(last_barrier);
+            }
+            deps.remove(&idx);
+            // Deterministic edge emission (HashSet order is random).
+            let mut deps_sorted: Vec<usize> = deps.iter().copied().collect();
+            deps_sorted.sort_unstable();
+            for &d in &deps_sorted {
+                for &x in &units[d].exits {
+                    for &e in &unit.entries {
+                        if !graph.dependencies().iter().any(|&(a, b)| a == x && b == e) {
+                            graph
+                                .add_dependency(x, e)
+                                .map_err(|err| HdlError::Elaborate {
+                                    message: format!("dependency insertion: {err}"),
+                                })?;
+                        }
+                    }
+                }
+            }
+            if unit.is_barrier {
+                last_barrier = Some(idx);
+                since_barrier.clear();
+            } else {
+                since_barrier.push(idx);
+            }
+            for w in &unit.writes {
+                last_writer.insert(w.clone(), idx);
+                readers.remove(w);
+            }
+            for r in &unit.reads {
+                readers.entry(r.clone()).or_default().push(idx);
+            }
+            for p in &unit.ports {
+                last_port.insert(p.clone(), idx);
+            }
+            block
+                .reads
+                .extend(unit.reads.difference(&written_so_far).cloned());
+            written_so_far.extend(unit.writes.iter().cloned());
+            block.writes.extend(unit.writes.iter().cloned());
+            block.ports.extend(unit.ports.iter().cloned());
+            block.is_barrier |= unit.is_barrier;
+            units.push(unit);
+            unit_deps.push(deps);
+        }
+
+        // Block interface: entries of dependency-free units; exits of
+        // units no other unit depends on.
+        let mut is_exit = vec![true; units.len()];
+        for deps in &unit_deps {
+            for &d in deps {
+                is_exit[d] = false;
+            }
+        }
+        for (idx, unit) in units.iter().enumerate() {
+            if unit_deps[idx].is_empty() {
+                block.entries.extend(unit.entries.iter().copied());
+            }
+            if is_exit[idx] {
+                block.exits.extend(unit.exits.iter().copied());
+            }
+        }
+        Ok(block)
+    }
+
+    /// Elaborates statements as a parallel block: members share the graph
+    /// but receive no intra-block dependencies.
+    fn par_unit(
+        &mut self,
+        graph: &mut SeqGraph,
+        pending_tags: &mut Vec<(String, OpId)>,
+        stmts: &[&Stmt],
+    ) -> Result<Unit, HdlError> {
+        let mut block = Unit::default();
+        for stmt in stmts {
+            let Some(unit) = self.stmt_unit(graph, pending_tags, stmt)? else {
+                continue;
+            };
+            block.entries.extend(unit.entries);
+            block.exits.extend(unit.exits);
+            block.reads.extend(unit.reads);
+            block.writes.extend(unit.writes);
+            block.ports.extend(unit.ports);
+            block.is_barrier |= unit.is_barrier;
+        }
+        Ok(block)
+    }
+
+    /// Elaborates one statement; `None` for constraints and empties.
+    fn stmt_unit(
+        &mut self,
+        graph: &mut SeqGraph,
+        pending_tags: &mut Vec<(String, OpId)>,
+        stmt: &Stmt,
+    ) -> Result<Option<Unit>, HdlError> {
+        Ok(match stmt {
+            Stmt::Empty { .. } => None,
+            Stmt::Constraint {
+                kind,
+                from,
+                to,
+                cycles,
+                ..
+            } => {
+                self.constraints.push(PendingConstraint {
+                    kind: *kind,
+                    from: from.clone(),
+                    to: to.clone(),
+                    cycles: *cycles,
+                });
+                None
+            }
+            Stmt::Assign {
+                target, value, tag, ..
+            } => {
+                let uses = self.expr_use(value);
+                let kind = if uses.has_read_call {
+                    // A read expression: sampling operation.
+                    let port = first_read_port(value).expect("read call present");
+                    OpKind::Read { port }
+                } else {
+                    OpKind::fixed(1)
+                };
+                let op = graph.add_op(format!("{target}="), kind);
+                if let Some(tag) = tag {
+                    pending_tags.push((tag.clone(), op));
+                }
+                let mut unit = Unit {
+                    entries: vec![op],
+                    exits: vec![op],
+                    reads: uses.var_reads,
+                    writes: HashSet::from([target.clone()]),
+                    ports: uses.port_reads,
+                    is_barrier: false,
+                };
+                if let Some(p) = first_read_port(value) {
+                    unit.ports.insert(p);
+                }
+                Some(unit)
+            }
+            Stmt::Write {
+                port, value, tag, ..
+            } => {
+                let uses = self.expr_use(value);
+                let op = graph.add_op(
+                    format!("write_{port}"),
+                    OpKind::Write { port: port.clone() },
+                );
+                if let Some(tag) = tag {
+                    pending_tags.push((tag.clone(), op));
+                }
+                let mut ports = uses.port_reads;
+                ports.insert(port.clone());
+                Some(Unit {
+                    entries: vec![op],
+                    exits: vec![op],
+                    reads: uses.var_reads,
+                    writes: HashSet::new(),
+                    ports,
+                    is_barrier: false,
+                })
+            }
+            Stmt::Call {
+                callee, args, tag, ..
+            } => {
+                let callee_id = self.process_roots[callee.as_str()];
+                let op = graph.add_op(format!("call_{callee}"), OpKind::Call { callee: callee_id });
+                if let Some(tag) = tag {
+                    pending_tags.push((tag.clone(), op));
+                }
+                let mut unit = Unit {
+                    entries: vec![op],
+                    exits: vec![op],
+                    is_barrier: true,
+                    ..Unit::default()
+                };
+                // Argument directions are unknown at the call site:
+                // conservatively treat variable arguments as read+written
+                // and port arguments as accessed.
+                for arg in args {
+                    if self.vars.contains(arg) {
+                        unit.reads.insert(arg.clone());
+                        unit.writes.insert(arg.clone());
+                    } else if self.ports.contains(arg) {
+                        unit.ports.insert(arg.clone());
+                    }
+                }
+                Some(unit)
+            }
+            Stmt::While { cond, body, .. } => {
+                Some(self.loop_unit(graph, pending_tags, cond, body, true)?)
+            }
+            Stmt::Repeat { body, until, .. } => {
+                Some(self.loop_unit(graph, pending_tags, until, body, false)?)
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                let then_name = self.subgraph_name("then");
+                let then_id = self.build_graph(then_name, &stmt_refs(then_branch))?;
+                let else_id = match else_branch {
+                    Some(e) => {
+                        let name = self.subgraph_name("else");
+                        self.build_graph(name, &stmt_refs(e))?
+                    }
+                    None => {
+                        let name = self.subgraph_name("else");
+                        self.build_graph(name, &[])?
+                    }
+                };
+                let cond_uses = self.expr_use(cond);
+                let op = graph.add_op(
+                    "if",
+                    OpKind::Cond {
+                        branches: vec![then_id, else_id],
+                    },
+                );
+                let (reads, writes, ports) = self.summarize_children(&[
+                    then_branch,
+                    else_branch
+                        .as_deref()
+                        .unwrap_or(&Stmt::Empty { span: stmt.span() }),
+                ]);
+                let mut unit = Unit {
+                    entries: vec![op],
+                    exits: vec![op],
+                    reads,
+                    writes,
+                    ports,
+                    is_barrier: false,
+                };
+                unit.reads.extend(cond_uses.var_reads);
+                unit.ports.extend(cond_uses.port_reads);
+                Some(unit)
+            }
+            Stmt::Seq { body, .. } => {
+                let refs: Vec<&Stmt> = body.iter().collect();
+                Some(self.seq_unit(graph, pending_tags, &refs)?)
+            }
+            Stmt::Par { body, .. } => {
+                let refs: Vec<&Stmt> = body.iter().collect();
+                Some(self.par_unit(graph, pending_tags, &refs)?)
+            }
+        })
+    }
+
+    /// Elaborates `while`/`repeat` into a loop operation with a
+    /// lower-hierarchy body graph containing the condition evaluation.
+    fn loop_unit(
+        &mut self,
+        graph: &mut SeqGraph,
+        _pending_tags: &mut Vec<(String, OpId)>,
+        cond: &Expr,
+        body: &Stmt,
+        cond_first: bool,
+    ) -> Result<Unit, HdlError> {
+        let name = self.subgraph_name("loop");
+        let cond_uses = self.expr_use(cond);
+        // Build the body graph: condition evaluation plus body statements,
+        // sequenced according to the loop flavour.
+        let mut body_graph = SeqGraph::new(name);
+        let mut body_tags = Vec::new();
+        let cond_op = body_graph.add_op("cond", OpKind::fixed(1));
+        let body_unit = self.seq_unit(&mut body_graph, &mut body_tags, &stmt_refs(body))?;
+        if cond_first {
+            for &e in &body_unit.entries {
+                body_graph
+                    .add_dependency(cond_op, e)
+                    .map_err(|err| HdlError::Elaborate {
+                        message: format!("loop body sequencing: {err}"),
+                    })?;
+            }
+        } else {
+            for &x in &body_unit.exits {
+                body_graph
+                    .add_dependency(x, cond_op)
+                    .map_err(|err| HdlError::Elaborate {
+                        message: format!("loop body sequencing: {err}"),
+                    })?;
+            }
+        }
+        let body_id = self.design.add_graph(body_graph);
+        for (tag, op) in body_tags {
+            self.tags.push(TagLocation {
+                name: tag,
+                graph: body_id,
+                op,
+            });
+        }
+        let op = graph.add_op("loop", OpKind::Loop { body: body_id });
+        let mut unit = Unit {
+            entries: vec![op],
+            exits: vec![op],
+            reads: body_unit.reads,
+            writes: body_unit.writes,
+            ports: body_unit.ports,
+            is_barrier: true,
+        };
+        unit.reads.extend(cond_uses.var_reads);
+        unit.ports.extend(cond_uses.port_reads);
+        Ok(unit)
+    }
+
+    /// Summarizes reads/writes/ports of child statements without emitting
+    /// any operation (used for conditional branches, which live in their
+    /// own graphs but whose effects gate the parent `Cond` op).
+    fn summarize_children(
+        &self,
+        stmts: &[&Stmt],
+    ) -> (HashSet<String>, HashSet<String>, HashSet<String>) {
+        let mut reads = HashSet::new();
+        let mut writes = HashSet::new();
+        let mut ports = HashSet::new();
+        let mut stack: Vec<&Stmt> = stmts.to_vec();
+        while let Some(s) = stack.pop() {
+            match s {
+                Stmt::Assign { target, value, .. } => {
+                    let u = self.expr_use(value);
+                    reads.extend(u.var_reads);
+                    ports.extend(u.port_reads);
+                    if let Some(p) = first_read_port(value) {
+                        ports.insert(p);
+                    }
+                    writes.insert(target.clone());
+                }
+                Stmt::Write { port, value, .. } => {
+                    let u = self.expr_use(value);
+                    reads.extend(u.var_reads);
+                    ports.extend(u.port_reads);
+                    ports.insert(port.clone());
+                }
+                Stmt::Call { args, .. } => {
+                    for arg in args {
+                        if self.vars.contains(arg) {
+                            reads.insert(arg.clone());
+                            writes.insert(arg.clone());
+                        } else if self.ports.contains(arg) {
+                            ports.insert(arg.clone());
+                        }
+                    }
+                }
+                Stmt::While { cond, body, .. }
+                | Stmt::Repeat {
+                    until: cond, body, ..
+                } => {
+                    let u = self.expr_use(cond);
+                    reads.extend(u.var_reads);
+                    ports.extend(u.port_reads);
+                    stack.push(body);
+                }
+                Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
+                    let u = self.expr_use(cond);
+                    reads.extend(u.var_reads);
+                    ports.extend(u.port_reads);
+                    stack.push(then_branch);
+                    if let Some(e) = else_branch {
+                        stack.push(e);
+                    }
+                }
+                Stmt::Seq { body, .. } | Stmt::Par { body, .. } => stack.extend(body.iter()),
+                Stmt::Constraint { .. } | Stmt::Empty { .. } => {}
+            }
+        }
+        // Reads satisfied by internal writes are still counted: the
+        // summary is conservative (branches may or may not execute).
+        (reads, writes, ports)
+    }
+
+    fn expr_use(&self, e: &Expr) -> ExprUse {
+        let mut uses = ExprUse::default();
+        self.collect_expr_use(e, &mut uses);
+        uses
+    }
+
+    fn collect_expr_use(&self, e: &Expr, uses: &mut ExprUse) {
+        match e {
+            Expr::Number(_) => {}
+            Expr::Ident(name) => {
+                if self.vars.contains(name) {
+                    uses.var_reads.insert(name.clone());
+                } else if self.ports.contains(name) {
+                    uses.port_reads.insert(name.clone());
+                }
+            }
+            Expr::Read { port } => {
+                uses.has_read_call = true;
+                uses.port_reads.insert(port.clone());
+            }
+            Expr::Unary { expr, .. } => self.collect_expr_use(expr, uses),
+            Expr::Binary { lhs, rhs, .. } => {
+                self.collect_expr_use(lhs, uses);
+                self.collect_expr_use(rhs, uses);
+            }
+        }
+    }
+}
+
+impl Process {
+    fn body_refs(&self) -> Vec<&Stmt> {
+        self.body.iter().collect()
+    }
+}
+
+fn stmt_refs(stmt: &Stmt) -> Vec<&Stmt> {
+    match stmt {
+        Stmt::Seq { body, .. } => body.iter().collect(),
+        Stmt::Empty { .. } => Vec::new(),
+        other => vec![other],
+    }
+}
+
+fn first_read_port(e: &Expr) -> Option<String> {
+    match e {
+        Expr::Read { port } => Some(port.clone()),
+        Expr::Unary { expr, .. } => first_read_port(expr),
+        Expr::Binary { lhs, rhs, .. } => first_read_port(lhs).or_else(|| first_read_port(rhs)),
+        _ => None,
+    }
+}

@@ -1,0 +1,56 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::lexer::Span;
+
+/// Errors produced by the HardwareC front end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HdlError {
+    /// Lexical error.
+    Lex {
+        /// Location.
+        span: Span,
+        /// Description.
+        message: String,
+    },
+    /// Syntax error.
+    Parse {
+        /// Location.
+        span: Span,
+        /// Description.
+        message: String,
+    },
+    /// Semantic error (undeclared identifiers, misused tags, …).
+    Semantic {
+        /// Location (when attributable).
+        span: Option<Span>,
+        /// Description.
+        message: String,
+    },
+    /// Elaboration error (recursion, invalid structure).
+    Elaborate {
+        /// Description.
+        message: String,
+    },
+}
+
+impl fmt::Display for HdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HdlError::Lex { span, message } => write!(f, "lex error at {span}: {message}"),
+            HdlError::Parse { span, message } => write!(f, "parse error at {span}: {message}"),
+            HdlError::Semantic {
+                span: Some(span),
+                message,
+            } => write!(f, "semantic error at {span}: {message}"),
+            HdlError::Semantic {
+                span: None,
+                message,
+            } => write!(f, "semantic error: {message}"),
+            HdlError::Elaborate { message } => write!(f, "elaboration error: {message}"),
+        }
+    }
+}
+
+impl Error for HdlError {}

@@ -1,0 +1,526 @@
+//! A functional interpreter for HardwareC descriptions.
+//!
+//! The timing toolchain answers *when* operations run; this interpreter
+//! answers *what they compute* — the value-level half of the paper's
+//! Fig. 14 simulation (where the gcd of the sampled inputs appears on the
+//! result port). It executes a process with sequential semantics, except
+//! for `<…>` blocks, whose assignments evaluate their right-hand sides
+//! first and commit simultaneously (the concurrent swap
+//! `< y = x; x = y; >` of the gcd relies on this).
+//!
+//! Port reads consume successive samples from per-port stimulus streams;
+//! a port mentioned directly in an expression (e.g. the busy-wait
+//! `while (restart)`) samples its stream on every evaluation, so
+//! handshake sequences can be scripted. All values are masked to their
+//! declared bit widths.
+
+use std::collections::HashMap;
+
+use crate::ast::*;
+use crate::error::HdlError;
+
+/// A scripted input for one port.
+#[derive(Debug, Clone)]
+pub enum PortStimulus {
+    /// The port always reads this value.
+    Constant(u64),
+    /// Successive samples; the last value repeats once exhausted (an
+    /// empty sequence reads 0).
+    Sequence(Vec<u64>),
+}
+
+/// Resource limits for an interpretation run.
+#[derive(Debug, Clone, Copy)]
+pub struct InterpLimits {
+    /// Maximum executed statements before aborting (loop runaway guard).
+    pub max_steps: u64,
+}
+
+impl Default for InterpLimits {
+    fn default() -> Self {
+        InterpLimits { max_steps: 100_000 }
+    }
+}
+
+/// The observable outcome of a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InterpResult {
+    /// `write port = value` events, in execution order.
+    pub writes: Vec<(String, u64)>,
+    /// Final values of the process variables.
+    pub vars: HashMap<String, u64>,
+    /// Executed statement count.
+    pub steps: u64,
+}
+
+/// Interprets `process_name` of `program` under the given port stimuli.
+///
+/// # Errors
+///
+/// Returns [`HdlError::Elaborate`]-style errors for unknown processes,
+/// non-terminating loops (step limit), division by zero, and calls with
+/// variable arguments (only port arguments are supported).
+pub fn interpret(
+    program: &Program,
+    process_name: &str,
+    stimuli: &HashMap<String, PortStimulus>,
+    limits: InterpLimits,
+) -> Result<InterpResult, HdlError> {
+    let process = program
+        .processes
+        .iter()
+        .find(|p| p.name == process_name)
+        .ok_or_else(|| HdlError::Elaborate {
+            message: format!("unknown process '{process_name}'"),
+        })?;
+    let mut machine = Machine {
+        program,
+        stimuli,
+        cursors: HashMap::new(),
+        writes: Vec::new(),
+        steps: 0,
+        max_steps: limits.max_steps,
+    };
+    let mut frame = Frame::new(process);
+    for stmt in &process.body {
+        machine.stmt(&mut frame, stmt)?;
+    }
+    Ok(InterpResult {
+        writes: machine.writes,
+        vars: frame.vars,
+        steps: machine.steps,
+    })
+}
+
+struct Machine<'p> {
+    program: &'p Program,
+    stimuli: &'p HashMap<String, PortStimulus>,
+    /// Next sample index per port.
+    cursors: HashMap<String, usize>,
+    writes: Vec<(String, u64)>,
+    steps: u64,
+    max_steps: u64,
+}
+
+struct Frame {
+    vars: HashMap<String, u64>,
+    widths: HashMap<String, u64>,
+}
+
+impl Frame {
+    fn new(process: &Process) -> Self {
+        let mut vars = HashMap::new();
+        let mut widths = HashMap::new();
+        for decl in &process.decls {
+            match decl {
+                Decl::Var { vars: vs } => {
+                    for (name, width) in vs {
+                        vars.insert(name.clone(), 0);
+                        widths.insert(name.clone(), *width);
+                    }
+                }
+                Decl::Port { ports, .. } => {
+                    for (name, width) in ports {
+                        widths.insert(name.clone(), *width);
+                    }
+                }
+                Decl::Tag { .. } => {}
+            }
+        }
+        Frame { vars, widths }
+    }
+
+    fn mask(&self, name: &str, value: u64) -> u64 {
+        let width = self.widths.get(name).copied().unwrap_or(64).min(64);
+        if width >= 64 {
+            value
+        } else {
+            value & ((1u64 << width) - 1)
+        }
+    }
+}
+
+impl<'p> Machine<'p> {
+    fn tick(&mut self) -> Result<(), HdlError> {
+        self.steps += 1;
+        if self.steps > self.max_steps {
+            return Err(HdlError::Elaborate {
+                message: format!(
+                    "interpretation exceeded {} steps (non-terminating loop?)",
+                    self.max_steps
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    fn sample(&mut self, port: &str) -> u64 {
+        let cursor = self.cursors.entry(port.to_owned()).or_insert(0);
+        let value = match self.stimuli.get(port) {
+            Some(PortStimulus::Constant(v)) => *v,
+            Some(PortStimulus::Sequence(seq)) => {
+                let v = seq
+                    .get(*cursor)
+                    .or_else(|| seq.last())
+                    .copied()
+                    .unwrap_or(0);
+                *cursor += 1;
+                v
+            }
+            None => 0,
+        };
+        value
+    }
+
+    fn expr(&mut self, frame: &Frame, e: &Expr) -> Result<u64, HdlError> {
+        Ok(match e {
+            Expr::Number(n) => *n,
+            Expr::Ident(name) => {
+                if let Some(v) = frame.vars.get(name) {
+                    *v
+                } else {
+                    // A port mentioned directly: sample its stream.
+                    let raw = self.sample(name);
+                    frame.mask(name, raw)
+                }
+            }
+            Expr::Read { port } => {
+                let raw = self.sample(port);
+                frame.mask(port, raw)
+            }
+            Expr::Unary { op, expr } => {
+                let v = self.expr(frame, expr)?;
+                match op {
+                    UnaryOp::Not => u64::from(v == 0),
+                    UnaryOp::Complement => !v,
+                    UnaryOp::Negate => v.wrapping_neg(),
+                }
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let a = self.expr(frame, lhs)?;
+                let b = self.expr(frame, rhs)?;
+                match op {
+                    BinaryOp::LogicOr => u64::from(a != 0 || b != 0),
+                    BinaryOp::LogicAnd => u64::from(a != 0 && b != 0),
+                    BinaryOp::BitOr => a | b,
+                    BinaryOp::BitXor => a ^ b,
+                    BinaryOp::BitAnd => a & b,
+                    BinaryOp::Eq => u64::from(a == b),
+                    BinaryOp::Ne => u64::from(a != b),
+                    BinaryOp::Lt => u64::from(a < b),
+                    BinaryOp::Le => u64::from(a <= b),
+                    BinaryOp::Gt => u64::from(a > b),
+                    BinaryOp::Ge => u64::from(a >= b),
+                    BinaryOp::Add => a.wrapping_add(b),
+                    BinaryOp::Sub => a.wrapping_sub(b),
+                    BinaryOp::Mul => a.wrapping_mul(b),
+                    BinaryOp::Div => {
+                        if b == 0 {
+                            return Err(HdlError::Elaborate {
+                                message: "division by zero".to_owned(),
+                            });
+                        }
+                        a / b
+                    }
+                    BinaryOp::Rem => {
+                        if b == 0 {
+                            return Err(HdlError::Elaborate {
+                                message: "remainder by zero".to_owned(),
+                            });
+                        }
+                        a % b
+                    }
+                }
+            }
+        })
+    }
+
+    fn stmt(&mut self, frame: &mut Frame, s: &Stmt) -> Result<(), HdlError> {
+        self.tick()?;
+        match s {
+            Stmt::Assign { target, value, .. } => {
+                let v = self.expr(frame, value)?;
+                let masked = frame.mask(target, v);
+                frame.vars.insert(target.clone(), masked);
+            }
+            Stmt::Write { port, value, .. } => {
+                let v = self.expr(frame, value)?;
+                let masked = frame.mask(port, v);
+                self.writes.push((port.clone(), masked));
+            }
+            Stmt::Call {
+                callee, args, span, ..
+            } => {
+                // Only port arguments are supported: the callee reads and
+                // writes the shared streams.
+                let callee_proc = self
+                    .program
+                    .processes
+                    .iter()
+                    .find(|p| &p.name == callee)
+                    .ok_or_else(|| HdlError::Elaborate {
+                        message: format!("unknown callee '{callee}'"),
+                    })?;
+                for arg in args {
+                    if frame.vars.contains_key(arg) {
+                        return Err(HdlError::Semantic {
+                            span: Some(*span),
+                            message: format!(
+                                "interpreter supports only port arguments; '{arg}' is a variable"
+                            ),
+                        });
+                    }
+                }
+                let mut callee_frame = Frame::new(callee_proc);
+                for stmt in &callee_proc.body {
+                    self.stmt(&mut callee_frame, stmt)?;
+                }
+            }
+            Stmt::While { cond, body, .. } => loop {
+                self.tick()?;
+                if self.expr(frame, cond)? == 0 {
+                    break;
+                }
+                self.stmt(frame, body)?;
+            },
+            Stmt::Repeat { body, until, .. } => loop {
+                self.stmt(frame, body)?;
+                self.tick()?;
+                if self.expr(frame, until)? != 0 {
+                    break;
+                }
+            },
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                if self.expr(frame, cond)? != 0 {
+                    self.stmt(frame, then_branch)?;
+                } else if let Some(e) = else_branch {
+                    self.stmt(frame, e)?;
+                }
+            }
+            Stmt::Seq { body, .. } => {
+                for s in body {
+                    self.stmt(frame, s)?;
+                }
+            }
+            Stmt::Par { body, .. } => {
+                // Evaluate all right-hand sides against the pre-block
+                // state, then commit simultaneously. Non-assignment
+                // members execute in order afterwards.
+                let mut pending: Vec<(String, u64)> = Vec::new();
+                let mut rest: Vec<&Stmt> = Vec::new();
+                for s in body {
+                    match s {
+                        Stmt::Assign { target, value, .. } => {
+                            let v = self.expr(frame, value)?;
+                            pending.push((target.clone(), frame.mask(target, v)));
+                        }
+                        other => rest.push(other),
+                    }
+                }
+                for (target, v) in pending {
+                    frame.vars.insert(target, v);
+                }
+                for s in rest {
+                    self.stmt(frame, s)?;
+                }
+            }
+            Stmt::Constraint { .. } | Stmt::Empty { .. } => {}
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn run(
+        src: &str,
+        process: &str,
+        stimuli: &[(&str, PortStimulus)],
+    ) -> Result<InterpResult, HdlError> {
+        let program = parse(src).unwrap();
+        crate::sema::check(&program).unwrap();
+        let map: HashMap<String, PortStimulus> = stimuli
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect();
+        interpret(&program, process, &map, InterpLimits::default())
+    }
+
+    /// The paper's Fig. 13 gcd computes greatest common divisors.
+    #[test]
+    fn gcd_computes_gcd() {
+        for (x, y, expected) in [(36u64, 24u64, 12u64), (7, 13, 1), (25, 100, 25), (8, 8, 8)] {
+            let result = run(
+                crate::parser::tests::GCD,
+                "gcd",
+                &[
+                    ("restart", PortStimulus::Sequence(vec![1, 1, 0])),
+                    ("xin", PortStimulus::Constant(x)),
+                    ("yin", PortStimulus::Constant(y)),
+                ],
+            )
+            .unwrap();
+            assert_eq!(
+                result.writes,
+                vec![("result".to_string(), expected)],
+                "gcd({x}, {y})"
+            );
+        }
+    }
+
+    /// gcd(x, 0) skips Euclid entirely (the guard) and outputs x.
+    #[test]
+    fn gcd_zero_guard() {
+        let result = run(
+            crate::parser::tests::GCD,
+            "gcd",
+            &[
+                ("restart", PortStimulus::Constant(0)),
+                ("xin", PortStimulus::Constant(42)),
+                ("yin", PortStimulus::Constant(0)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(result.writes, vec![("result".to_string(), 42)]);
+    }
+
+    /// The parallel swap commits simultaneously.
+    #[test]
+    fn parallel_swap_is_simultaneous() {
+        let src = "
+process p (o)
+    out port o[8];
+    boolean x[8], y[8];
+{
+    x = 3;
+    y = 9;
+    < x = y; y = x; >
+    write o = x * 10 + y;
+}";
+        let result = run(src, "p", &[]).unwrap();
+        assert_eq!(
+            result.writes,
+            vec![("o".to_string(), 93)],
+            "x=9, y=3 after swap"
+        );
+    }
+
+    /// Sequential composition, by contrast, loses the old value.
+    #[test]
+    fn sequential_assignment_overwrites() {
+        let src = "
+process p (o)
+    out port o[8];
+    boolean x[8], y[8];
+{
+    x = 3;
+    y = 9;
+    { x = y; y = x; }
+    write o = x * 10 + y;
+}";
+        let result = run(src, "p", &[]).unwrap();
+        assert_eq!(result.writes, vec![("o".to_string(), 99)]);
+    }
+
+    #[test]
+    fn busy_wait_consumes_port_samples() {
+        let src = "
+process p (go, o)
+    in port go;
+    out port o[8];
+    boolean n[8];
+{
+    while (go) n = n + 1;
+    write o = n;
+}";
+        let result = run(
+            src,
+            "p",
+            &[("go", PortStimulus::Sequence(vec![1, 1, 1, 0]))],
+        )
+        .unwrap();
+        assert_eq!(result.writes, vec![("o".to_string(), 3)]);
+    }
+
+    #[test]
+    fn width_masking_applies() {
+        let src = "
+process p (o)
+    out port o[4];
+    boolean x[4];
+{
+    x = 200;
+    write o = x;
+}";
+        let result = run(src, "p", &[]).unwrap();
+        assert_eq!(result.writes, vec![("o".to_string(), 200 & 0xF)]);
+    }
+
+    #[test]
+    fn runaway_loop_hits_step_limit() {
+        let src = "
+process p (o)
+    out port o;
+    boolean x;
+{
+    while (1) x = 1;
+    write o = x;
+}";
+        let err = run(src, "p", &[]).unwrap_err();
+        assert!(err.to_string().contains("exceeded"));
+    }
+
+    #[test]
+    fn division_by_zero_reported() {
+        let src = "
+process p (o)
+    out port o[8];
+    boolean x[8];
+{
+    x = 4 / 0;
+    write o = x;
+}";
+        let err = run(src, "p", &[]).unwrap_err();
+        assert!(err.to_string().contains("division by zero"));
+    }
+
+    #[test]
+    fn calls_run_callees_on_shared_ports() {
+        let src = "
+process top (i, o)
+    in port i[8];
+    out port o[8];
+{
+    stage(i, o);
+    stage(i, o);
+}
+process stage (i, o)
+    in port i[8];
+    out port o[8];
+    boolean t[8];
+{
+    t = read(i);
+    write o = t + 1;
+}";
+        let result = run(src, "top", &[("i", PortStimulus::Sequence(vec![10, 20]))]).unwrap();
+        assert_eq!(
+            result.writes,
+            vec![("o".to_string(), 11), ("o".to_string(), 21)],
+            "each call consumes the next sample"
+        );
+    }
+
+    #[test]
+    fn unknown_process_rejected() {
+        let err = run("process p (o) out port o; { write o = 1; }", "ghost", &[]).unwrap_err();
+        assert!(err.to_string().contains("unknown process"));
+    }
+}

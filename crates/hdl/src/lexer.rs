@@ -1,0 +1,457 @@
+//! Tokenizer for the HardwareC subset.
+
+use std::fmt;
+
+use crate::error::HdlError;
+
+/// A half-open byte range into the source, with 1-based line/column of its
+/// start for diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub column: u32,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// The kind of a lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords are recognized by the parser).
+    Ident(String),
+    /// Decimal integer literal.
+    Number(u64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semicolon,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `=`
+    Assign,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&`
+    Amp,
+    /// `&&`
+    AmpAmp,
+    /// `|`
+    Pipe,
+    /// `||`
+    PipePipe,
+    /// `^`
+    Caret,
+    /// `!`
+    Bang,
+    /// `~`
+    Tilde,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier '{s}'"),
+            TokenKind::Number(n) => write!(f, "number {n}"),
+            TokenKind::LParen => write!(f, "'('"),
+            TokenKind::RParen => write!(f, "')'"),
+            TokenKind::LBrace => write!(f, "'{{'"),
+            TokenKind::RBrace => write!(f, "'}}'"),
+            TokenKind::LBracket => write!(f, "'['"),
+            TokenKind::RBracket => write!(f, "']'"),
+            TokenKind::Semicolon => write!(f, "';'"),
+            TokenKind::Comma => write!(f, "','"),
+            TokenKind::Colon => write!(f, "':'"),
+            TokenKind::Assign => write!(f, "'='"),
+            TokenKind::Eq => write!(f, "'=='"),
+            TokenKind::Ne => write!(f, "'!='"),
+            TokenKind::Lt => write!(f, "'<'"),
+            TokenKind::Le => write!(f, "'<='"),
+            TokenKind::Gt => write!(f, "'>'"),
+            TokenKind::Ge => write!(f, "'>='"),
+            TokenKind::Plus => write!(f, "'+'"),
+            TokenKind::Minus => write!(f, "'-'"),
+            TokenKind::Star => write!(f, "'*'"),
+            TokenKind::Slash => write!(f, "'/'"),
+            TokenKind::Percent => write!(f, "'%'"),
+            TokenKind::Amp => write!(f, "'&'"),
+            TokenKind::AmpAmp => write!(f, "'&&'"),
+            TokenKind::Pipe => write!(f, "'|'"),
+            TokenKind::PipePipe => write!(f, "'||'"),
+            TokenKind::Caret => write!(f, "'^'"),
+            TokenKind::Bang => write!(f, "'!'"),
+            TokenKind::Tilde => write!(f, "'~'"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind (and payload).
+    pub kind: TokenKind,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A streaming tokenizer over HardwareC source.
+///
+/// Supports `/* … */` and `//`-to-end-of-line comments.
+#[derive(Debug)]
+pub struct Lexer<'s> {
+    src: &'s [u8],
+    pos: usize,
+    line: u32,
+    column: u32,
+}
+
+impl<'s> Lexer<'s> {
+    /// Creates a lexer over `source`.
+    pub fn new(source: &'s str) -> Self {
+        Lexer {
+            src: source.as_bytes(),
+            pos: 0,
+            line: 1,
+            column: 1,
+        }
+    }
+
+    /// Tokenizes the whole input (the trailing [`TokenKind::Eof`] token is
+    /// included).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdlError::Lex`] on unexpected characters or unterminated
+    /// comments.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, HdlError> {
+        let mut out = Vec::new();
+        loop {
+            let token = self.next_token()?;
+            let eof = token.kind == TokenKind::Eof;
+            out.push(token);
+            if eof {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn span_here(&self) -> Span {
+        Span {
+            start: self.pos,
+            end: self.pos,
+            line: self.line,
+            column: self.column,
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), HdlError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let open = self.span_here();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => {
+                                return Err(HdlError::Lex {
+                                    span: open,
+                                    message: "unterminated block comment".to_owned(),
+                                });
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token, HdlError> {
+        self.skip_trivia()?;
+        let mut span = self.span_here();
+        let Some(c) = self.peek() else {
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                span,
+            });
+        };
+        let kind = match c {
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = self.pos;
+                while matches!(
+                    self.peek(),
+                    Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')
+                ) {
+                    self.bump();
+                }
+                TokenKind::Ident(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+            }
+            b'0'..=b'9' => {
+                let start = self.pos;
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.bump();
+                }
+                let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii digits");
+                TokenKind::Number(text.parse().map_err(|_| HdlError::Lex {
+                    span,
+                    message: format!("integer literal '{text}' out of range"),
+                })?)
+            }
+            _ => {
+                self.bump();
+                match c {
+                    b'(' => TokenKind::LParen,
+                    b')' => TokenKind::RParen,
+                    b'{' => TokenKind::LBrace,
+                    b'}' => TokenKind::RBrace,
+                    b'[' => TokenKind::LBracket,
+                    b']' => TokenKind::RBracket,
+                    b';' => TokenKind::Semicolon,
+                    b',' => TokenKind::Comma,
+                    b':' => TokenKind::Colon,
+                    b'+' => TokenKind::Plus,
+                    b'-' => TokenKind::Minus,
+                    b'*' => TokenKind::Star,
+                    b'/' => TokenKind::Slash,
+                    b'%' => TokenKind::Percent,
+                    b'^' => TokenKind::Caret,
+                    b'~' => TokenKind::Tilde,
+                    b'=' => {
+                        if self.peek() == Some(b'=') {
+                            self.bump();
+                            TokenKind::Eq
+                        } else {
+                            TokenKind::Assign
+                        }
+                    }
+                    b'!' => {
+                        if self.peek() == Some(b'=') {
+                            self.bump();
+                            TokenKind::Ne
+                        } else {
+                            TokenKind::Bang
+                        }
+                    }
+                    b'<' => {
+                        if self.peek() == Some(b'=') {
+                            self.bump();
+                            TokenKind::Le
+                        } else {
+                            TokenKind::Lt
+                        }
+                    }
+                    b'>' => {
+                        if self.peek() == Some(b'=') {
+                            self.bump();
+                            TokenKind::Ge
+                        } else {
+                            TokenKind::Gt
+                        }
+                    }
+                    b'&' => {
+                        if self.peek() == Some(b'&') {
+                            self.bump();
+                            TokenKind::AmpAmp
+                        } else {
+                            TokenKind::Amp
+                        }
+                    }
+                    b'|' => {
+                        if self.peek() == Some(b'|') {
+                            self.bump();
+                            TokenKind::PipePipe
+                        } else {
+                            TokenKind::Pipe
+                        }
+                    }
+                    other => {
+                        return Err(HdlError::Lex {
+                            span,
+                            message: format!("unexpected character '{}'", other as char),
+                        })
+                    }
+                }
+            }
+        };
+        span.end = self.pos;
+        Ok(Token { kind, span })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn tokenizes_declaration() {
+        let k = kinds("in port xin[8], restart;");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("in".into()),
+                TokenKind::Ident("port".into()),
+                TokenKind::Ident("xin".into()),
+                TokenKind::LBracket,
+                TokenKind::Number(8),
+                TokenKind::RBracket,
+                TokenKind::Comma,
+                TokenKind::Ident("restart".into()),
+                TokenKind::Semicolon,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn multi_char_operators() {
+        let k = kinds("== != <= >= && || < > = ! & |");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Eq,
+                TokenKind::Ne,
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::AmpAmp,
+                TokenKind::PipePipe,
+                TokenKind::Lt,
+                TokenKind::Gt,
+                TokenKind::Assign,
+                TokenKind::Bang,
+                TokenKind::Amp,
+                TokenKind::Pipe,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let k = kinds("a /* wait for restart\n to go low */ b // trailing\nc");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Ident("c".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_track_lines_and_columns() {
+        let tokens = Lexer::new("ab\n  cd").tokenize().unwrap();
+        assert_eq!((tokens[0].span.line, tokens[0].span.column), (1, 1));
+        assert_eq!((tokens[1].span.line, tokens[1].span.column), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_comment_is_an_error() {
+        assert!(matches!(
+            Lexer::new("/* nope").tokenize(),
+            Err(HdlError::Lex { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_character_is_an_error() {
+        assert!(matches!(
+            Lexer::new("a @ b").tokenize(),
+            Err(HdlError::Lex { .. })
+        ));
+    }
+}

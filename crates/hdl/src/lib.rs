@@ -1,0 +1,75 @@
+//! A HardwareC-subset front end for relative scheduling.
+//!
+//! The paper's results (§VII) are produced from HardwareC descriptions
+//! compiled by *Hercules* into sequencing graphs. This crate implements
+//! the subset of HardwareC exercised by the paper — processes, ports,
+//! boolean variables, tags, `constraint mintime/maxtime` declarations,
+//! assignments, `read`/`write`, `while`, `repeat … until`, `if/else`,
+//! sequential `{…}` and data-parallel `<…>` blocks, and process calls —
+//! and elaborates it into a hierarchical
+//! [`Design`](rsched_sgraph::Design):
+//!
+//! * loop constructs become unbounded-delay `Loop` operations whose bodies
+//!   are lower-hierarchy graphs;
+//! * conditionals become `Cond` operations with one graph per branch;
+//! * dependencies are extracted from def-use analysis (read-after-write,
+//!   write-after-read, write-after-write, same-port ordering), yielding
+//!   the *maximally parallel* graph Hercules builds;
+//! * `<…>` blocks suppress intra-block dependencies (the concurrent swap
+//!   `< y = x; x = y; >` of the paper's gcd);
+//! * tags attach to atomic operations and timing constraints become
+//!   min/max constraints of the enclosing graph.
+//!
+//! # Example
+//!
+//! ```
+//! let source = r#"
+//!     process demo (req, ack)
+//!         in port req;
+//!         out port ack;
+//!         boolean t;
+//!         tag a, b;
+//!     {
+//!         constraint maxtime from a to b = 2 cycles;
+//!         a: t = read(req);
+//!         b: write ack = t;
+//!     }
+//! "#;
+//! let design = rsched_hdl::compile(source)?;
+//! let scheduled = rsched_sgraph::schedule_design(&design.design)?;
+//! assert_eq!(scheduled.graph_schedules().len(), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ast;
+mod elaborate;
+mod error;
+mod interp;
+mod lexer;
+mod parser;
+mod printer;
+mod sema;
+
+pub use ast::{BinaryOp, ConstraintKind, Decl, Expr, PortDir, Process, Program, Stmt, UnaryOp};
+pub use elaborate::{elaborate, CompiledDesign, TagLocation};
+pub use error::HdlError;
+pub use interp::{interpret, InterpLimits, InterpResult, PortStimulus};
+pub use lexer::{Lexer, Span, Token, TokenKind};
+pub use parser::parse;
+pub use printer::{ast_eq, print_expr, print_program};
+
+/// Compiles HardwareC source into a hierarchical sequencing-graph design:
+/// lex → parse → semantic checks → elaboration.
+///
+/// # Errors
+///
+/// Returns [`HdlError`] with source positions for lexical, syntactic and
+/// semantic problems.
+pub fn compile(source: &str) -> Result<CompiledDesign, HdlError> {
+    let program = parse(source)?;
+    sema::check(&program)?;
+    elaborate(&program)
+}

@@ -1,0 +1,689 @@
+//! Recursive-descent parser for the HardwareC subset.
+
+use crate::ast::*;
+use crate::error::HdlError;
+use crate::lexer::{Lexer, Span, Token, TokenKind};
+
+/// Parses a HardwareC program.
+///
+/// # Errors
+///
+/// Returns [`HdlError::Lex`] or [`HdlError::Parse`] with source positions.
+pub fn parse(source: &str) -> Result<Program, HdlError> {
+    let tokens = Lexer::new(source).tokenize()?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let mut processes = Vec::new();
+    while !parser.at_eof() {
+        processes.push(parser.process()?);
+    }
+    if processes.is_empty() {
+        return Err(HdlError::Parse {
+            span: parser.span(),
+            message: "expected at least one process".to_owned(),
+        });
+    }
+    Ok(Program { processes })
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), TokenKind::Eof)
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let kind = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        kind
+    }
+
+    fn error<T>(&self, message: impl Into<String>) -> Result<T, HdlError> {
+        Err(HdlError::Parse {
+            span: self.span(),
+            message: message.into(),
+        })
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), HdlError> {
+        if self.peek() == kind {
+            self.bump();
+            Ok(())
+        } else {
+            self.error(format!("expected {kind}, found {}", self.peek()))
+        }
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, HdlError> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(name)
+            }
+            other => self.error(format!("expected identifier, found {other}")),
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, HdlError> {
+        match *self.peek() {
+            TokenKind::Number(n) => {
+                self.bump();
+                Ok(n)
+            }
+            ref other => self.error(format!("expected number, found {other}")),
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), HdlError> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) if name == kw => {
+                self.bump();
+                Ok(())
+            }
+            other => self.error(format!("expected keyword '{kw}', found {other}")),
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), TokenKind::Ident(name) if name == kw)
+    }
+
+    fn process(&mut self) -> Result<Process, HdlError> {
+        let span = self.span();
+        self.keyword("process")?;
+        let name = self.ident()?;
+        self.expect(&TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if !matches!(self.peek(), TokenKind::RParen) {
+            loop {
+                params.push(self.ident()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        let mut decls = Vec::new();
+        while self.at_keyword("in")
+            || self.at_keyword("out")
+            || self.at_keyword("inout")
+            || self.at_keyword("boolean")
+            || self.at_keyword("tag")
+        {
+            decls.push(self.decl()?);
+        }
+        // The process body: one or more statements up to the next
+        // `process` or end of input (Fig. 13 writes several top-level
+        // statements without an enclosing brace pair).
+        let body_span = self.span();
+        let mut body = Vec::new();
+        while !self.at_eof() && !self.at_keyword("process") {
+            body.push(self.stmt()?);
+        }
+        let _ = body_span;
+        Ok(Process {
+            name,
+            params,
+            decls,
+            body,
+            span,
+        })
+    }
+
+    fn decl(&mut self) -> Result<Decl, HdlError> {
+        if self.at_keyword("boolean") {
+            self.bump();
+            let mut vars = Vec::new();
+            loop {
+                vars.push(self.sized_name()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::Semicolon)?;
+            return Ok(Decl::Var { vars });
+        }
+        if self.at_keyword("tag") {
+            self.bump();
+            let mut tags = Vec::new();
+            loop {
+                tags.push(self.ident()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::Semicolon)?;
+            return Ok(Decl::Tag { tags });
+        }
+        let dir = if self.at_keyword("in") {
+            self.bump();
+            PortDir::In
+        } else if self.at_keyword("out") {
+            self.bump();
+            PortDir::Out
+        } else {
+            self.keyword("inout")?;
+            PortDir::InOut
+        };
+        self.keyword("port")?;
+        let mut ports = Vec::new();
+        loop {
+            ports.push(self.sized_name()?);
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::Semicolon)?;
+        Ok(Decl::Port { dir, ports })
+    }
+
+    fn sized_name(&mut self) -> Result<(String, u64), HdlError> {
+        let name = self.ident()?;
+        let width = if self.eat(&TokenKind::LBracket) {
+            let w = self.number()?;
+            self.expect(&TokenKind::RBracket)?;
+            w
+        } else {
+            1
+        };
+        Ok((name, width))
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, HdlError> {
+        let span = self.span();
+        match self.peek().clone() {
+            TokenKind::Semicolon => {
+                self.bump();
+                Ok(Stmt::Empty { span })
+            }
+            TokenKind::LBrace => {
+                self.bump();
+                let mut body = Vec::new();
+                while !self.eat(&TokenKind::RBrace) {
+                    if self.at_eof() {
+                        return self.error("unterminated '{' block");
+                    }
+                    body.push(self.stmt()?);
+                }
+                Ok(Stmt::Seq { body, span })
+            }
+            TokenKind::Lt => {
+                self.bump();
+                let mut body = Vec::new();
+                while !self.eat(&TokenKind::Gt) {
+                    if self.at_eof() {
+                        return self.error("unterminated '<' block");
+                    }
+                    body.push(self.stmt()?);
+                }
+                Ok(Stmt::Par { body, span })
+            }
+            TokenKind::Ident(name) => match name.as_str() {
+                "constraint" => self.constraint_stmt(span),
+                "while" => {
+                    self.bump();
+                    self.expect(&TokenKind::LParen)?;
+                    let cond = self.expr()?;
+                    self.expect(&TokenKind::RParen)?;
+                    let body = Box::new(self.stmt()?);
+                    Ok(Stmt::While { cond, body, span })
+                }
+                "repeat" => {
+                    self.bump();
+                    let body = Box::new(self.stmt()?);
+                    self.keyword("until")?;
+                    self.expect(&TokenKind::LParen)?;
+                    let until = self.expr()?;
+                    self.expect(&TokenKind::RParen)?;
+                    self.expect(&TokenKind::Semicolon)?;
+                    Ok(Stmt::Repeat { body, until, span })
+                }
+                "if" => {
+                    self.bump();
+                    self.expect(&TokenKind::LParen)?;
+                    let cond = self.expr()?;
+                    self.expect(&TokenKind::RParen)?;
+                    let then_branch = Box::new(self.stmt()?);
+                    let else_branch = if self.at_keyword("else") {
+                        self.bump();
+                        Some(Box::new(self.stmt()?))
+                    } else {
+                        None
+                    };
+                    Ok(Stmt::If {
+                        cond,
+                        then_branch,
+                        else_branch,
+                        span,
+                    })
+                }
+                "write" => {
+                    self.bump();
+                    let port = self.ident()?;
+                    self.expect(&TokenKind::Assign)?;
+                    let value = self.expr()?;
+                    self.expect(&TokenKind::Semicolon)?;
+                    Ok(Stmt::Write {
+                        port,
+                        value,
+                        tag: None,
+                        span,
+                    })
+                }
+                _ => self.ident_stmt(span),
+            },
+            other => self.error(format!("expected statement, found {other}")),
+        }
+    }
+
+    /// Statements beginning with a plain identifier: `tag: stmt`,
+    /// `var = expr;`, or `callee(args);`.
+    fn ident_stmt(&mut self, span: Span) -> Result<Stmt, HdlError> {
+        let name = self.ident()?;
+        match self.peek().clone() {
+            TokenKind::Colon => {
+                self.bump();
+                let inner = self.stmt()?;
+                match inner {
+                    Stmt::Assign {
+                        target,
+                        value,
+                        tag: None,
+                        ..
+                    } => Ok(Stmt::Assign {
+                        target,
+                        value,
+                        tag: Some(name),
+                        span,
+                    }),
+                    Stmt::Write {
+                        port,
+                        value,
+                        tag: None,
+                        ..
+                    } => Ok(Stmt::Write {
+                        port,
+                        value,
+                        tag: Some(name),
+                        span,
+                    }),
+                    Stmt::Call {
+                        callee,
+                        args,
+                        tag: None,
+                        ..
+                    } => Ok(Stmt::Call {
+                        callee,
+                        args,
+                        tag: Some(name),
+                        span,
+                    }),
+                    _ => Err(HdlError::Parse {
+                        span,
+                        message: format!(
+                            "tag '{name}' may only label assignments, writes or calls"
+                        ),
+                    }),
+                }
+            }
+            TokenKind::Assign => {
+                self.bump();
+                let value = if self.at_keyword("read") {
+                    self.bump();
+                    self.expect(&TokenKind::LParen)?;
+                    let port = self.ident()?;
+                    self.expect(&TokenKind::RParen)?;
+                    Expr::Read { port }
+                } else {
+                    self.expr()?
+                };
+                self.expect(&TokenKind::Semicolon)?;
+                Ok(Stmt::Assign {
+                    target: name,
+                    value,
+                    tag: None,
+                    span,
+                })
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let mut args = Vec::new();
+                if !matches!(self.peek(), TokenKind::RParen) {
+                    loop {
+                        args.push(self.ident()?);
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&TokenKind::RParen)?;
+                self.expect(&TokenKind::Semicolon)?;
+                Ok(Stmt::Call {
+                    callee: name,
+                    args,
+                    tag: None,
+                    span,
+                })
+            }
+            other => self.error(format!(
+                "expected ':', '=' or '(' after identifier '{name}', found {other}"
+            )),
+        }
+    }
+
+    fn constraint_stmt(&mut self, span: Span) -> Result<Stmt, HdlError> {
+        self.keyword("constraint")?;
+        let kind = if self.at_keyword("mintime") {
+            self.bump();
+            ConstraintKind::MinTime
+        } else if self.at_keyword("maxtime") {
+            self.bump();
+            ConstraintKind::MaxTime
+        } else {
+            return self.error("expected 'mintime' or 'maxtime'");
+        };
+        self.keyword("from")?;
+        let from = self.ident()?;
+        self.keyword("to")?;
+        let to = self.ident()?;
+        self.expect(&TokenKind::Assign)?;
+        let cycles = self.number()?;
+        // Optional 'cycles' unit keyword.
+        if self.at_keyword("cycles") || self.at_keyword("cycle") {
+            self.bump();
+        }
+        self.expect(&TokenKind::Semicolon)?;
+        Ok(Stmt::Constraint {
+            kind,
+            from,
+            to,
+            cycles,
+            span,
+        })
+    }
+
+    // ---- expressions (precedence climbing) ----
+
+    fn expr(&mut self) -> Result<Expr, HdlError> {
+        self.binary(0)
+    }
+
+    fn binary(&mut self, min_level: u8) -> Result<Expr, HdlError> {
+        let mut lhs = self.unary()?;
+        while let Some((op, level)) = self.peek_binary_op() {
+            if level < min_level {
+                break;
+            }
+            self.bump();
+            let rhs = self.binary(level + 1)?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn peek_binary_op(&self) -> Option<(BinaryOp, u8)> {
+        Some(match self.peek() {
+            TokenKind::PipePipe => (BinaryOp::LogicOr, 0),
+            TokenKind::AmpAmp => (BinaryOp::LogicAnd, 1),
+            TokenKind::Pipe => (BinaryOp::BitOr, 2),
+            TokenKind::Caret => (BinaryOp::BitXor, 3),
+            TokenKind::Amp => (BinaryOp::BitAnd, 4),
+            TokenKind::Eq => (BinaryOp::Eq, 5),
+            TokenKind::Ne => (BinaryOp::Ne, 5),
+            TokenKind::Lt => (BinaryOp::Lt, 6),
+            TokenKind::Le => (BinaryOp::Le, 6),
+            TokenKind::Gt => (BinaryOp::Gt, 6),
+            TokenKind::Ge => (BinaryOp::Ge, 6),
+            TokenKind::Plus => (BinaryOp::Add, 7),
+            TokenKind::Minus => (BinaryOp::Sub, 7),
+            TokenKind::Star => (BinaryOp::Mul, 8),
+            TokenKind::Slash => (BinaryOp::Div, 8),
+            TokenKind::Percent => (BinaryOp::Rem, 8),
+            _ => return None,
+        })
+    }
+
+    fn unary(&mut self) -> Result<Expr, HdlError> {
+        let op = match self.peek() {
+            TokenKind::Bang => Some(UnaryOp::Not),
+            TokenKind::Tilde => Some(UnaryOp::Complement),
+            TokenKind::Minus => Some(UnaryOp::Negate),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            return Ok(Expr::Unary {
+                op,
+                expr: Box::new(self.unary()?),
+            });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, HdlError> {
+        match self.peek().clone() {
+            TokenKind::Number(n) => {
+                self.bump();
+                Ok(Expr::Number(n))
+            }
+            TokenKind::Ident(name) if name == "read" => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let port = self.ident()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(Expr::Read { port })
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(Expr::Ident(name))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let inner = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(inner)
+            }
+            other => self.error(format!("expected expression, found {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    /// The paper's Fig. 13 gcd description (verbatim modulo OCR artifacts).
+    pub(crate) const GCD: &str = r#"
+process gcd (xin, yin, restart, result)
+    in port xin[8], yin[8], restart;
+    out port result[8];
+    boolean x[8], y[8];
+    tag a, b;
+
+    /* wait for restart to go low */
+    while (restart)
+        ;
+
+    /* sample inputs */
+    {
+        constraint mintime from a to b = 1 cycles;
+        constraint maxtime from a to b = 1 cycles;
+        a: y = read(yin);
+        b: x = read(xin);
+    }
+
+    /* Euclid's algorithm */
+    if ((x != 0) & (y != 0)) {
+        repeat {
+            while (x >= y)
+                x = x - y;
+            /* swap values */
+            < y = x; x = y; >
+        } until (y == 0);
+    }
+
+    /* write result to output */
+    write result = x;
+"#;
+
+    #[test]
+    fn parses_fig13_gcd() {
+        let program = parse(GCD).unwrap();
+        assert_eq!(program.processes.len(), 1);
+        let p = &program.processes[0];
+        assert_eq!(p.name, "gcd");
+        assert_eq!(p.params, vec!["xin", "yin", "restart", "result"]);
+        assert_eq!(p.decls.len(), 4);
+        // body: while, seq-block, if, write.
+        assert_eq!(p.body.len(), 4);
+        assert!(matches!(p.body[0], Stmt::While { .. }));
+        assert!(matches!(p.body[1], Stmt::Seq { .. }));
+        assert!(matches!(p.body[2], Stmt::If { .. }));
+        assert!(matches!(p.body[3], Stmt::Write { .. }));
+        // The sampling block: 2 constraints + 2 tagged reads.
+        let Stmt::Seq { body, .. } = &p.body[1] else {
+            panic!()
+        };
+        assert_eq!(body.len(), 4);
+        assert!(matches!(
+            &body[0],
+            Stmt::Constraint {
+                kind: ConstraintKind::MinTime,
+                cycles: 1,
+                ..
+            }
+        ));
+        assert!(
+            matches!(&body[2], Stmt::Assign { tag: Some(t), value: Expr::Read { port }, .. }
+                if t == "a" && port == "yin")
+        );
+    }
+
+    #[test]
+    fn parallel_block_parses() {
+        let program = parse("process p (x) in port x; { < a = 1; b = 2; > }").unwrap();
+        let Stmt::Seq { body, .. } = &program.processes[0].body[0] else {
+            panic!()
+        };
+        let Stmt::Par { body, .. } = &body[0] else {
+            panic!("expected parallel block, got {body:?}")
+        };
+        assert_eq!(body.len(), 2);
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let program = parse("process p (x) in port x; { a = 1 + 2 * 3; }").unwrap();
+        let Stmt::Seq { body, .. } = &program.processes[0].body[0] else {
+            panic!()
+        };
+        let Stmt::Assign { value, .. } = &body[0] else {
+            panic!()
+        };
+        // 1 + (2 * 3)
+        let Expr::Binary {
+            op: BinaryOp::Add,
+            rhs,
+            ..
+        } = value
+        else {
+            panic!("expected top-level add, got {value:?}")
+        };
+        assert!(matches!(
+            **rhs,
+            Expr::Binary {
+                op: BinaryOp::Mul,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn nested_if_else_binds_to_nearest() {
+        let src = "process p (x) in port x; { if (a) if (b) c = 1; else c = 2; }";
+        let program = parse(src).unwrap();
+        let Stmt::Seq { body, .. } = &program.processes[0].body[0] else {
+            panic!()
+        };
+        let Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } = &body[0]
+        else {
+            panic!()
+        };
+        assert!(else_branch.is_none(), "else belongs to the inner if");
+        assert!(matches!(
+            **then_branch,
+            Stmt::If {
+                else_branch: Some(_),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn process_calls_parse() {
+        let program = parse(
+            "process sub (x) in port x; { t = 1; } \
+             process top (x) in port x; { sub(x); c: sub(x); }",
+        )
+        .unwrap();
+        assert_eq!(program.processes.len(), 2);
+        let Stmt::Seq { body, .. } = &program.processes[1].body[0] else {
+            panic!()
+        };
+        assert!(matches!(&body[0], Stmt::Call { callee, tag: None, .. } if callee == "sub"));
+        assert!(matches!(&body[1], Stmt::Call { tag: Some(t), .. } if t == "c"));
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = parse("process p (x) in port x; { a = ; }").unwrap_err();
+        match err {
+            HdlError::Parse { span, message } => {
+                assert_eq!(span.line, 1);
+                assert!(message.contains("expected expression"));
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn tag_on_compound_statement_rejected() {
+        let err = parse("process p (x) in port x; { t: { a = 1; } }").unwrap_err();
+        assert!(matches!(err, HdlError::Parse { .. }));
+    }
+
+    #[test]
+    fn unterminated_block_rejected() {
+        assert!(parse("process p (x) in port x; { a = 1;").is_err());
+    }
+}

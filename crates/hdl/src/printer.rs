@@ -1,0 +1,386 @@
+//! Pretty-printer for HardwareC ASTs.
+//!
+//! Renders a parsed [`Program`] back to concrete syntax such that
+//! re-parsing yields the identical AST (modulo source spans) — the
+//! roundtrip is property-tested. Useful for normalizing descriptions,
+//! emitting generated designs, and debugging the front end.
+
+use std::fmt::Write as _;
+
+use crate::ast::*;
+
+/// Pretty-prints a whole program.
+pub fn print_program(program: &Program) -> String {
+    let mut out = String::new();
+    for (i, p) in program.processes.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        print_process(p, &mut out);
+    }
+    out
+}
+
+fn print_process(p: &Process, out: &mut String) {
+    let _ = writeln!(out, "process {} ({})", p.name, p.params.join(", "));
+    for d in &p.decls {
+        match d {
+            Decl::Port { dir, ports } => {
+                let dir = match dir {
+                    PortDir::In => "in",
+                    PortDir::Out => "out",
+                    PortDir::InOut => "inout",
+                };
+                let items: Vec<String> = ports.iter().map(|(n, w)| sized(n, *w)).collect();
+                let _ = writeln!(out, "    {dir} port {};", items.join(", "));
+            }
+            Decl::Var { vars } => {
+                let items: Vec<String> = vars.iter().map(|(n, w)| sized(n, *w)).collect();
+                let _ = writeln!(out, "    boolean {};", items.join(", "));
+            }
+            Decl::Tag { tags } => {
+                let _ = writeln!(out, "    tag {};", tags.join(", "));
+            }
+        }
+    }
+    for s in &p.body {
+        print_stmt(s, 1, out);
+    }
+}
+
+fn sized(name: &str, width: u64) -> String {
+    if width == 1 {
+        name.to_owned()
+    } else {
+        format!("{name}[{width}]")
+    }
+}
+
+fn indent(level: usize, out: &mut String) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn print_stmt(s: &Stmt, level: usize, out: &mut String) {
+    match s {
+        Stmt::Assign {
+            target, value, tag, ..
+        } => {
+            indent(level, out);
+            if let Some(tag) = tag {
+                let _ = write!(out, "{tag}: ");
+            }
+            let _ = writeln!(out, "{target} = {};", print_expr(value));
+        }
+        Stmt::Write {
+            port, value, tag, ..
+        } => {
+            indent(level, out);
+            if let Some(tag) = tag {
+                let _ = write!(out, "{tag}: ");
+            }
+            let _ = writeln!(out, "write {port} = {};", print_expr(value));
+        }
+        Stmt::Call {
+            callee, args, tag, ..
+        } => {
+            indent(level, out);
+            if let Some(tag) = tag {
+                let _ = write!(out, "{tag}: ");
+            }
+            let _ = writeln!(out, "{callee}({});", args.join(", "));
+        }
+        Stmt::While { cond, body, .. } => {
+            indent(level, out);
+            let _ = writeln!(out, "while ({})", print_expr(cond));
+            print_stmt(body, level + 1, out);
+        }
+        Stmt::Repeat { body, until, .. } => {
+            indent(level, out);
+            let _ = writeln!(out, "repeat");
+            print_stmt(body, level + 1, out);
+            indent(level, out);
+            let _ = writeln!(out, "until ({});", print_expr(until));
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            indent(level, out);
+            let _ = writeln!(out, "if ({})", print_expr(cond));
+            print_stmt(then_branch, level + 1, out);
+            if let Some(e) = else_branch {
+                indent(level, out);
+                let _ = writeln!(out, "else");
+                print_stmt(e, level + 1, out);
+            }
+        }
+        Stmt::Seq { body, .. } => {
+            indent(level, out);
+            out.push_str("{\n");
+            for s in body {
+                print_stmt(s, level + 1, out);
+            }
+            indent(level, out);
+            out.push_str("}\n");
+        }
+        Stmt::Par { body, .. } => {
+            indent(level, out);
+            out.push_str("<\n");
+            for s in body {
+                print_stmt(s, level + 1, out);
+            }
+            indent(level, out);
+            out.push_str(">\n");
+        }
+        Stmt::Constraint {
+            kind,
+            from,
+            to,
+            cycles,
+            ..
+        } => {
+            indent(level, out);
+            let kind = match kind {
+                ConstraintKind::MinTime => "mintime",
+                ConstraintKind::MaxTime => "maxtime",
+            };
+            let _ = writeln!(
+                out,
+                "constraint {kind} from {from} to {to} = {cycles} cycles;"
+            );
+        }
+        Stmt::Empty { .. } => {
+            indent(level, out);
+            out.push_str(";\n");
+        }
+    }
+}
+
+/// Pretty-prints an expression with minimal parenthesization (every
+/// binary node is parenthesized, which is unambiguous and re-parses to
+/// the same tree).
+pub fn print_expr(e: &Expr) -> String {
+    match e {
+        Expr::Number(n) => n.to_string(),
+        Expr::Ident(name) => name.clone(),
+        Expr::Read { port } => format!("read({port})"),
+        Expr::Unary { op, expr } => {
+            let op = match op {
+                UnaryOp::Not => "!",
+                UnaryOp::Complement => "~",
+                UnaryOp::Negate => "-",
+            };
+            format!("{op}{}", paren(expr))
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let op = match op {
+                BinaryOp::LogicOr => "||",
+                BinaryOp::LogicAnd => "&&",
+                BinaryOp::BitOr => "|",
+                BinaryOp::BitXor => "^",
+                BinaryOp::BitAnd => "&",
+                BinaryOp::Eq => "==",
+                BinaryOp::Ne => "!=",
+                BinaryOp::Lt => "<",
+                BinaryOp::Le => "<=",
+                BinaryOp::Gt => ">",
+                BinaryOp::Ge => ">=",
+                BinaryOp::Add => "+",
+                BinaryOp::Sub => "-",
+                BinaryOp::Mul => "*",
+                BinaryOp::Div => "/",
+                BinaryOp::Rem => "%",
+            };
+            format!("{} {op} {}", paren(lhs), paren(rhs))
+        }
+    }
+}
+
+fn paren(e: &Expr) -> String {
+    match e {
+        Expr::Binary { .. } => format!("({})", print_expr(e)),
+        _ => print_expr(e),
+    }
+}
+
+/// Structural AST equality ignoring spans.
+pub fn ast_eq(a: &Program, b: &Program) -> bool {
+    if a.processes.len() != b.processes.len() {
+        return false;
+    }
+    a.processes.iter().zip(&b.processes).all(|(x, y)| {
+        x.name == y.name
+            && x.params == y.params
+            && x.decls == y.decls
+            && x.body.len() == y.body.len()
+            && x.body.iter().zip(&y.body).all(|(s, t)| stmt_eq(s, t))
+    })
+}
+
+fn stmt_eq(a: &Stmt, b: &Stmt) -> bool {
+    match (a, b) {
+        (
+            Stmt::Assign {
+                target: t1,
+                value: v1,
+                tag: g1,
+                ..
+            },
+            Stmt::Assign {
+                target: t2,
+                value: v2,
+                tag: g2,
+                ..
+            },
+        ) => t1 == t2 && v1 == v2 && g1 == g2,
+        (
+            Stmt::Write {
+                port: p1,
+                value: v1,
+                tag: g1,
+                ..
+            },
+            Stmt::Write {
+                port: p2,
+                value: v2,
+                tag: g2,
+                ..
+            },
+        ) => p1 == p2 && v1 == v2 && g1 == g2,
+        (
+            Stmt::Call {
+                callee: c1,
+                args: a1,
+                tag: g1,
+                ..
+            },
+            Stmt::Call {
+                callee: c2,
+                args: a2,
+                tag: g2,
+                ..
+            },
+        ) => c1 == c2 && a1 == a2 && g1 == g2,
+        (
+            Stmt::While {
+                cond: c1, body: b1, ..
+            },
+            Stmt::While {
+                cond: c2, body: b2, ..
+            },
+        ) => c1 == c2 && stmt_eq(b1, b2),
+        (
+            Stmt::Repeat {
+                body: b1,
+                until: u1,
+                ..
+            },
+            Stmt::Repeat {
+                body: b2,
+                until: u2,
+                ..
+            },
+        ) => u1 == u2 && stmt_eq(b1, b2),
+        (
+            Stmt::If {
+                cond: c1,
+                then_branch: t1,
+                else_branch: e1,
+                ..
+            },
+            Stmt::If {
+                cond: c2,
+                then_branch: t2,
+                else_branch: e2,
+                ..
+            },
+        ) => {
+            c1 == c2
+                && stmt_eq(t1, t2)
+                && match (e1, e2) {
+                    (None, None) => true,
+                    (Some(x), Some(y)) => stmt_eq(x, y),
+                    _ => false,
+                }
+        }
+        (Stmt::Seq { body: b1, .. }, Stmt::Seq { body: b2, .. })
+        | (Stmt::Par { body: b1, .. }, Stmt::Par { body: b2, .. }) => {
+            b1.len() == b2.len() && b1.iter().zip(b2).all(|(x, y)| stmt_eq(x, y))
+        }
+        (
+            Stmt::Constraint {
+                kind: k1,
+                from: f1,
+                to: t1,
+                cycles: c1,
+                ..
+            },
+            Stmt::Constraint {
+                kind: k2,
+                from: f2,
+                to: t2,
+                cycles: c2,
+                ..
+            },
+        ) => k1 == k2 && f1 == f2 && t1 == t2 && c1 == c2,
+        (Stmt::Empty { .. }, Stmt::Empty { .. }) => true,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn gcd_roundtrips() {
+        let original = parse(crate::parser::tests::GCD).unwrap();
+        let printed = print_program(&original);
+        let reparsed = parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        assert!(
+            ast_eq(&original, &reparsed),
+            "roundtrip changed the AST:\n{printed}"
+        );
+    }
+
+    #[test]
+    fn printed_gcd_compiles_identically() {
+        let original = crate::compile(crate::parser::tests::GCD).unwrap();
+        let printed = print_program(&parse(crate::parser::tests::GCD).unwrap());
+        let recompiled = crate::compile(&printed).unwrap();
+        assert_eq!(original.design.n_graphs(), recompiled.design.n_graphs());
+        for (a, b) in original
+            .design
+            .graphs()
+            .iter()
+            .zip(recompiled.design.graphs())
+        {
+            assert_eq!(a.n_ops(), b.n_ops());
+            assert_eq!(a.dependencies(), b.dependencies());
+            assert_eq!(a.min_constraints(), b.min_constraints());
+            assert_eq!(a.max_constraints(), b.max_constraints());
+        }
+    }
+
+    #[test]
+    fn expressions_keep_structure() {
+        let src =
+            "process p (x) in port x; boolean a, b, c; { a = (b + 1) * (c - 2); b = !a && c; }";
+        let original = parse(src).unwrap();
+        let reparsed = parse(&print_program(&original)).unwrap();
+        assert!(ast_eq(&original, &reparsed));
+    }
+
+    #[test]
+    fn width_annotations_survive() {
+        let src = "process p (x) in port x[8]; boolean v[16]; { v = x; }";
+        let printed = print_program(&parse(src).unwrap());
+        assert!(printed.contains("x[8]"));
+        assert!(printed.contains("v[16]"));
+    }
+}

@@ -1,0 +1,369 @@
+//! Semantic checks over the parsed program.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::ast::*;
+use crate::error::HdlError;
+use crate::lexer::Span;
+
+/// Validates declarations and uses:
+///
+/// * every parameter has a port declaration and vice versa;
+/// * names (ports, variables, tags) are unique within a process;
+/// * expression identifiers, `read`/`write` targets and assignment targets
+///   are declared with compatible directions;
+/// * each tag labels exactly one statement and every constraint references
+///   labeled tags;
+/// * calls reference existing processes.
+///
+/// # Errors
+///
+/// Returns [`HdlError::Semantic`] describing the first violation.
+pub fn check(program: &Program) -> Result<(), HdlError> {
+    let process_names: HashSet<&str> = program.processes.iter().map(|p| p.name.as_str()).collect();
+    if process_names.len() != program.processes.len() {
+        return Err(HdlError::Semantic {
+            span: None,
+            message: "duplicate process names".to_owned(),
+        });
+    }
+    for process in &program.processes {
+        ProcessChecker::new(process, &process_names)?.run()?;
+    }
+    Ok(())
+}
+
+struct ProcessChecker<'a> {
+    process: &'a Process,
+    processes: &'a HashSet<&'a str>,
+    ports: HashMap<String, PortDir>,
+    vars: HashSet<String>,
+    tags: HashSet<String>,
+    labeled: HashMap<String, Span>,
+    constraints: Vec<(String, String, Span)>,
+}
+
+impl<'a> ProcessChecker<'a> {
+    fn new(process: &'a Process, processes: &'a HashSet<&str>) -> Result<Self, HdlError> {
+        let mut ports = HashMap::new();
+        let mut vars = HashSet::new();
+        let mut tags = HashSet::new();
+        let err = |message: String| HdlError::Semantic {
+            span: Some(process.span),
+            message,
+        };
+        for decl in &process.decls {
+            match decl {
+                Decl::Port { dir, ports: ps } => {
+                    for (name, _) in ps {
+                        if ports.insert(name.clone(), *dir).is_some() {
+                            return Err(err(format!(
+                                "duplicate port '{name}' in process '{}'",
+                                process.name
+                            )));
+                        }
+                    }
+                }
+                Decl::Var { vars: vs } => {
+                    for (name, _) in vs {
+                        if !vars.insert(name.clone()) {
+                            return Err(err(format!(
+                                "duplicate variable '{name}' in process '{}'",
+                                process.name
+                            )));
+                        }
+                    }
+                }
+                Decl::Tag { tags: ts } => {
+                    for name in ts {
+                        if !tags.insert(name.clone()) {
+                            return Err(err(format!(
+                                "duplicate tag '{name}' in process '{}'",
+                                process.name
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+        for param in &process.params {
+            if !ports.contains_key(param) {
+                return Err(err(format!(
+                    "parameter '{param}' of process '{}' has no port declaration",
+                    process.name
+                )));
+            }
+        }
+        for name in ports.keys() {
+            if vars.contains(name) {
+                return Err(err(format!(
+                    "name '{name}' declared both as port and variable in process '{}'",
+                    process.name
+                )));
+            }
+        }
+        Ok(ProcessChecker {
+            process,
+            processes,
+            ports,
+            vars,
+            tags,
+            labeled: HashMap::new(),
+            constraints: Vec::new(),
+        })
+    }
+
+    fn run(mut self) -> Result<(), HdlError> {
+        for stmt in &self.process.body {
+            self.stmt(stmt)?;
+        }
+        for (from, to, span) in &self.constraints {
+            for tag in [from, to] {
+                if !self.labeled.contains_key(tag) {
+                    return Err(HdlError::Semantic {
+                        span: Some(*span),
+                        message: format!(
+                            "constraint references tag '{tag}', which labels no statement"
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn err(&self, span: Span, message: String) -> HdlError {
+        HdlError::Semantic {
+            span: Some(span),
+            message,
+        }
+    }
+
+    fn check_value_ident(&self, name: &str, span: Span) -> Result<(), HdlError> {
+        if self.vars.contains(name) {
+            return Ok(());
+        }
+        match self.ports.get(name) {
+            Some(PortDir::In | PortDir::InOut) => Ok(()),
+            Some(PortDir::Out) => Err(self.err(
+                span,
+                format!("output port '{name}' cannot be read in an expression"),
+            )),
+            None => Err(self.err(span, format!("undeclared identifier '{name}'"))),
+        }
+    }
+
+    fn expr(&self, e: &Expr, span: Span) -> Result<(), HdlError> {
+        match e {
+            Expr::Number(_) => Ok(()),
+            Expr::Ident(name) => self.check_value_ident(name, span),
+            Expr::Read { port } => match self.ports.get(port) {
+                Some(PortDir::In | PortDir::InOut) => Ok(()),
+                Some(PortDir::Out) => {
+                    Err(self.err(span, format!("cannot read output port '{port}'")))
+                }
+                None => Err(self.err(span, format!("read of undeclared port '{port}'"))),
+            },
+            Expr::Unary { expr, .. } => self.expr(expr, span),
+            Expr::Binary { lhs, rhs, .. } => {
+                self.expr(lhs, span)?;
+                self.expr(rhs, span)
+            }
+        }
+    }
+
+    fn tag(&mut self, tag: &Option<String>, span: Span) -> Result<(), HdlError> {
+        if let Some(tag) = tag {
+            if !self.tags.contains(tag) {
+                return Err(self.err(span, format!("undeclared tag '{tag}'")));
+            }
+            if let Some(prev) = self.labeled.insert(tag.clone(), span) {
+                return Err(self.err(
+                    span,
+                    format!("tag '{tag}' already labels the statement at {prev}"),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), HdlError> {
+        match s {
+            Stmt::Assign {
+                target,
+                value,
+                tag,
+                span,
+            } => {
+                if !self.vars.contains(target) {
+                    return Err(self.err(
+                        *span,
+                        format!("assignment to undeclared variable '{target}'"),
+                    ));
+                }
+                self.expr(value, *span)?;
+                self.tag(tag, *span)
+            }
+            Stmt::Write {
+                port,
+                value,
+                tag,
+                span,
+            } => {
+                match self.ports.get(port) {
+                    Some(PortDir::Out | PortDir::InOut) => {}
+                    Some(PortDir::In) => {
+                        return Err(self.err(*span, format!("cannot write input port '{port}'")))
+                    }
+                    None => {
+                        return Err(self.err(*span, format!("write to undeclared port '{port}'")))
+                    }
+                }
+                self.expr(value, *span)?;
+                self.tag(tag, *span)
+            }
+            Stmt::Call {
+                callee,
+                args,
+                tag,
+                span,
+            } => {
+                if !self.processes.contains(callee.as_str()) {
+                    return Err(self.err(*span, format!("call to undeclared process '{callee}'")));
+                }
+                if callee == &self.process.name {
+                    return Err(self.err(
+                        *span,
+                        format!("recursive call of process '{callee}' is not supported"),
+                    ));
+                }
+                for arg in args {
+                    if !self.vars.contains(arg) && !self.ports.contains_key(arg) {
+                        return Err(self.err(*span, format!("undeclared call argument '{arg}'")));
+                    }
+                }
+                self.tag(tag, *span)
+            }
+            Stmt::While { cond, body, span } => {
+                self.expr(cond, *span)?;
+                self.stmt(body)
+            }
+            Stmt::Repeat { body, until, span } => {
+                self.stmt(body)?;
+                self.expr(until, *span)
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                span,
+            } => {
+                self.expr(cond, *span)?;
+                self.stmt(then_branch)?;
+                if let Some(e) = else_branch {
+                    self.stmt(e)?;
+                }
+                Ok(())
+            }
+            Stmt::Seq { body, .. } | Stmt::Par { body, .. } => {
+                for s in body {
+                    self.stmt(s)?;
+                }
+                Ok(())
+            }
+            Stmt::Constraint { from, to, span, .. } => {
+                for tag in [from, to] {
+                    if !self.tags.contains(tag) {
+                        return Err(self.err(*span, format!("undeclared tag '{tag}'")));
+                    }
+                }
+                self.constraints.push((from.clone(), to.clone(), *span));
+                Ok(())
+            }
+            Stmt::Empty { .. } => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check_src(src: &str) -> Result<(), HdlError> {
+        check(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn valid_program_passes() {
+        check_src(
+            "process p (x, y) in port x; out port y; boolean t; tag a; \
+             { a: t = read(x); write y = t; }",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn undeclared_variable_rejected() {
+        let err = check_src("process p (x) in port x; { t = 1; }").unwrap_err();
+        assert!(err.to_string().contains("undeclared variable 't'"));
+    }
+
+    #[test]
+    fn write_to_input_port_rejected() {
+        let err = check_src("process p (x) in port x; boolean t; { write x = t; }").unwrap_err();
+        assert!(err.to_string().contains("cannot write input port"));
+    }
+
+    #[test]
+    fn read_of_output_port_rejected() {
+        let err = check_src("process p (x) out port x; boolean t; { t = read(x); }").unwrap_err();
+        assert!(err.to_string().contains("cannot read output port"));
+    }
+
+    #[test]
+    fn output_port_in_expression_rejected() {
+        let err = check_src("process p (x) out port x; boolean t; { t = x + 1; }").unwrap_err();
+        assert!(err.to_string().contains("cannot be read"));
+    }
+
+    #[test]
+    fn duplicate_tag_label_rejected() {
+        let err = check_src("process p (x) in port x; boolean t; tag a; { a: t = 1; a: t = 2; }")
+            .unwrap_err();
+        assert!(err.to_string().contains("already labels"));
+    }
+
+    #[test]
+    fn constraint_on_unlabeled_tag_rejected() {
+        let err = check_src(
+            "process p (x) in port x; boolean t; tag a, b; \
+             { constraint mintime from a to b = 1; a: t = 1; }",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("labels no statement"));
+    }
+
+    #[test]
+    fn undeclared_parameter_rejected() {
+        let err = check_src("process p (ghost) in port x; { }").unwrap_err();
+        assert!(err.to_string().contains("no port declaration"));
+    }
+
+    #[test]
+    fn recursive_call_rejected() {
+        let err = check_src("process p (x) in port x; { p(x); }").unwrap_err();
+        assert!(err.to_string().contains("recursive"));
+    }
+
+    #[test]
+    fn unknown_callee_rejected() {
+        let err = check_src("process p (x) in port x; { q(x); }").unwrap_err();
+        assert!(err.to_string().contains("undeclared process 'q'"));
+    }
+
+    #[test]
+    fn gcd_passes_sema() {
+        check(&parse(crate::parser::tests::GCD).unwrap()).unwrap();
+    }
+}

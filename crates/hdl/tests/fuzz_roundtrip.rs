@@ -1,0 +1,276 @@
+//! Property tests over randomly generated HardwareC programs: the
+//! pretty-printer roundtrips, and every stage of the pipeline either
+//! succeeds or fails with a typed error — never panics.
+
+use proptest::prelude::*;
+
+use rsched_hdl::{ast_eq, compile, parse, print_program};
+
+/// A compact generator of valid HardwareC programs.
+///
+/// Identifiers come from fixed pools (`v0..v5` variables, `p0..p2` in
+/// ports, `q0..q1` out ports, `t0..t3` tags); statement depth is bounded.
+#[derive(Debug, Clone)]
+enum GenStmt {
+    Assign {
+        var: usize,
+        expr: GenExpr,
+        tag: Option<usize>,
+    },
+    Read {
+        var: usize,
+        port: usize,
+        tag: Option<usize>,
+    },
+    Write {
+        port: usize,
+        expr: GenExpr,
+    },
+    While {
+        cond: GenExpr,
+        body: Box<GenStmt>,
+    },
+    Repeat {
+        body: Box<GenStmt>,
+        until: GenExpr,
+    },
+    If {
+        cond: GenExpr,
+        then_b: Box<GenStmt>,
+        else_b: Option<Box<GenStmt>>,
+    },
+    Seq(Vec<GenStmt>),
+    Par(Vec<GenStmt>),
+    Constraint {
+        min: bool,
+        from: usize,
+        to: usize,
+        cycles: u64,
+    },
+    Empty,
+}
+
+#[derive(Debug, Clone)]
+enum GenExpr {
+    Num(u64),
+    Var(usize),
+    InPort(usize),
+    Bin(u8, Box<GenExpr>, Box<GenExpr>),
+    Un(u8, Box<GenExpr>),
+}
+
+fn gen_expr() -> impl Strategy<Value = GenExpr> {
+    let leaf = prop_oneof![
+        (0u64..64).prop_map(GenExpr::Num),
+        (0usize..6).prop_map(GenExpr::Var),
+        (0usize..3).prop_map(GenExpr::InPort),
+    ];
+    leaf.prop_recursive(3, 12, 3, |inner| {
+        prop_oneof![
+            ((0u8..16), inner.clone(), inner.clone()).prop_map(|(op, a, b)| GenExpr::Bin(
+                op,
+                Box::new(a),
+                Box::new(b)
+            )),
+            ((0u8..3), inner).prop_map(|(op, a)| GenExpr::Un(op, Box::new(a))),
+        ]
+    })
+}
+
+fn gen_stmt() -> impl Strategy<Value = GenStmt> {
+    let atomic = prop_oneof![
+        ((0usize..6), gen_expr(), proptest::option::of(0usize..4))
+            .prop_map(|(var, expr, tag)| GenStmt::Assign { var, expr, tag }),
+        ((0usize..6), (0usize..3), proptest::option::of(0usize..4))
+            .prop_map(|(var, port, tag)| GenStmt::Read { var, port, tag }),
+        ((0usize..2), gen_expr()).prop_map(|(port, expr)| GenStmt::Write { port, expr }),
+        (any::<bool>(), (0usize..4), (0usize..4), 0u64..8).prop_map(|(min, from, to, cycles)| {
+            GenStmt::Constraint {
+                min,
+                from,
+                to,
+                cycles,
+            }
+        }),
+        Just(GenStmt::Empty),
+    ];
+    atomic.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (gen_expr(), inner.clone()).prop_map(|(cond, body)| GenStmt::While {
+                cond,
+                body: Box::new(body)
+            }),
+            (inner.clone(), gen_expr()).prop_map(|(body, until)| GenStmt::Repeat {
+                body: Box::new(body),
+                until
+            }),
+            (
+                gen_expr(),
+                inner.clone(),
+                proptest::option::of(inner.clone())
+            )
+                .prop_map(|(cond, t, e)| GenStmt::If {
+                    cond,
+                    then_b: Box::new(t),
+                    else_b: e.map(Box::new)
+                }),
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(GenStmt::Seq),
+            proptest::collection::vec(inner, 0..3).prop_map(GenStmt::Par),
+        ]
+    })
+}
+
+fn render_expr(e: &GenExpr) -> String {
+    match e {
+        GenExpr::Num(n) => n.to_string(),
+        GenExpr::Var(i) => format!("v{i}"),
+        GenExpr::InPort(i) => format!("p{i}"),
+        GenExpr::Bin(op, a, b) => {
+            let ops = [
+                "||", "&&", "|", "^", "&", "==", "!=", "<", "<=", ">", ">=", "+", "-", "*", "/",
+                "%",
+            ];
+            format!(
+                "({} {} {})",
+                render_expr(a),
+                ops[*op as usize % ops.len()],
+                render_expr(b)
+            )
+        }
+        GenExpr::Un(op, a) => {
+            let ops = ["!", "~", "-"];
+            format!("{}{}", ops[*op as usize % ops.len()], render_expr(a))
+        }
+    }
+}
+
+/// Renders statements, tracking tag usage so each tag labels at most one
+/// statement (a sema requirement).
+fn render_stmt(s: &GenStmt, used_tags: &mut [bool], out: &mut String, depth: usize) {
+    let pad = "    ".repeat(depth);
+    match s {
+        GenStmt::Assign { var, expr, tag } => {
+            let label = tag_label(*tag, used_tags);
+            out.push_str(&format!("{pad}{label}v{var} = {};\n", render_expr(expr)));
+        }
+        GenStmt::Read { var, port, tag } => {
+            let label = tag_label(*tag, used_tags);
+            out.push_str(&format!("{pad}{label}v{var} = read(p{port});\n"));
+        }
+        GenStmt::Write { port, expr } => {
+            out.push_str(&format!("{pad}write q{port} = {};\n", render_expr(expr)));
+        }
+        GenStmt::While { cond, body } => {
+            out.push_str(&format!("{pad}while ({})\n", render_expr(cond)));
+            render_stmt(body, used_tags, out, depth + 1);
+        }
+        GenStmt::Repeat { body, until } => {
+            out.push_str(&format!("{pad}repeat\n"));
+            render_stmt(body, used_tags, out, depth + 1);
+            out.push_str(&format!("{pad}until ({});\n", render_expr(until)));
+        }
+        GenStmt::If {
+            cond,
+            then_b,
+            else_b,
+        } => {
+            out.push_str(&format!("{pad}if ({})\n", render_expr(cond)));
+            render_stmt(then_b, used_tags, out, depth + 1);
+            if let Some(e) = else_b {
+                out.push_str(&format!("{pad}else\n"));
+                render_stmt(e, used_tags, out, depth + 1);
+            }
+        }
+        GenStmt::Seq(body) => {
+            out.push_str(&format!("{pad}{{\n"));
+            for s in body {
+                render_stmt(s, used_tags, out, depth + 1);
+            }
+            out.push_str(&format!("{pad}}}\n"));
+        }
+        GenStmt::Par(body) => {
+            out.push_str(&format!("{pad}<\n"));
+            for s in body {
+                render_stmt(s, used_tags, out, depth + 1);
+            }
+            out.push_str(&format!("{pad}>\n"));
+        }
+        GenStmt::Constraint {
+            min,
+            from,
+            to,
+            cycles,
+        } => {
+            // Constraints may only reference tags that label a statement;
+            // rendering them here would require global knowledge, so emit
+            // an empty statement instead (dedicated tests cover
+            // constraints). An empty line would break loop/if bodies.
+            let _ = (min, from, to, cycles);
+            out.push_str(&format!(
+                "{pad};
+"
+            ));
+        }
+        GenStmt::Empty => out.push_str(&format!("{pad};\n")),
+    }
+}
+
+fn tag_label(tag: Option<usize>, used: &mut [bool]) -> String {
+    match tag {
+        Some(t) if !used[t] => {
+            used[t] = true;
+            format!("t{t}: ")
+        }
+        _ => String::new(),
+    }
+}
+
+fn render_program(stmts: &[GenStmt]) -> String {
+    let mut body = String::new();
+    let mut used_tags = [false; 4];
+    for s in stmts {
+        render_stmt(s, &mut used_tags, &mut body, 1);
+    }
+    format!(
+        "process fuzz (p0, p1, p2, q0, q1)\n    \
+         in port p0[8], p1[8], p2[8];\n    \
+         out port q0[8], q1[8];\n    \
+         boolean v0[8], v1[8], v2[8], v3[8], v4[8], v5[8];\n    \
+         tag t0, t1, t2, t3;\n{{\n{body}}}\n"
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Every generated program parses, and printing + reparsing preserves
+    /// the AST exactly.
+    #[test]
+    fn printer_roundtrips_random_programs(
+        stmts in proptest::collection::vec(gen_stmt(), 1..6)
+    ) {
+        let source = render_program(&stmts);
+        let ast = parse(&source)
+            .unwrap_or_else(|e| panic!("generated source must parse: {e}\n{source}"));
+        let printed = print_program(&ast);
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("printed source must parse: {e}\n{printed}"));
+        prop_assert!(ast_eq(&ast, &reparsed), "roundtrip diverged:\n{}", printed);
+    }
+
+    /// The full compile (sema + elaboration) never panics on generated
+    /// programs, and when it succeeds the design schedules or fails with
+    /// a typed scheduling error.
+    #[test]
+    fn compile_and_schedule_never_panic(
+        stmts in proptest::collection::vec(gen_stmt(), 1..6)
+    ) {
+        let source = render_program(&stmts);
+        match compile(&source) {
+            Ok(compiled) => {
+                let _ = rsched_sgraph::schedule_design(&compiled.design);
+            }
+            Err(_typed) => {}
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Compiling the paper's Fig. 13 gcd description end to end.
+
+use rsched_hdl::compile;
+use rsched_sgraph::{schedule_design, OpKind};
+
+const GCD: &str = r#"
+process gcd (xin, yin, restart, result)
+    in port xin[8], yin[8], restart;
+    out port result[8];
+    boolean x[8], y[8];
+    tag a, b;
+
+    /* wait for restart to go low */
+    while (restart)
+        ;
+
+    /* sample inputs */
+    {
+        constraint mintime from a to b = 1 cycles;
+        constraint maxtime from a to b = 1 cycles;
+        a: y = read(yin);
+        b: x = read(xin);
+    }
+
+    /* Euclid's algorithm */
+    if ((x != 0) & (y != 0)) {
+        repeat {
+            while (x >= y)
+                x = x - y;
+            /* swap values */
+            < y = x; x = y; >
+        } until (y == 0);
+    }
+
+    /* write result to output */
+    write result = x;
+"#;
+
+#[test]
+fn gcd_compiles_to_expected_hierarchy() {
+    let compiled = compile(GCD).unwrap();
+    let design = &compiled.design;
+    // root + busy-wait body + then + else + repeat body + inner while body.
+    assert_eq!(design.n_graphs(), 6);
+    let root = design.root().unwrap();
+    let root_graph = design.graph(root).unwrap();
+    assert_eq!(root_graph.name(), "gcd");
+    // Root: busy-wait loop, two reads, the conditional, the write.
+    assert_eq!(root_graph.n_ops(), 5);
+    let kinds: Vec<_> = root_graph.ops().iter().map(|o| o.kind().clone()).collect();
+    assert_eq!(
+        kinds
+            .iter()
+            .filter(|k| matches!(k, OpKind::Loop { .. }))
+            .count(),
+        1
+    );
+    assert_eq!(
+        kinds
+            .iter()
+            .filter(|k| matches!(k, OpKind::Read { .. }))
+            .count(),
+        2
+    );
+    assert_eq!(
+        kinds
+            .iter()
+            .filter(|k| matches!(k, OpKind::Cond { .. }))
+            .count(),
+        1
+    );
+    assert_eq!(
+        kinds
+            .iter()
+            .filter(|k| matches!(k, OpKind::Write { .. }))
+            .count(),
+        1
+    );
+    // The two timing constraints landed on the root graph, between the
+    // tagged reads.
+    assert_eq!(root_graph.min_constraints().len(), 1);
+    assert_eq!(root_graph.max_constraints().len(), 1);
+    let a = compiled.tag("a").unwrap();
+    let b = compiled.tag("b").unwrap();
+    assert_eq!(a.graph, root);
+    assert_eq!(b.graph, root);
+    assert_eq!(root_graph.min_constraints()[0].from, a.op);
+    assert_eq!(root_graph.min_constraints()[0].to, b.op);
+}
+
+#[test]
+fn gcd_dependencies_respect_control_and_data_flow() {
+    let compiled = compile(GCD).unwrap();
+    let design = &compiled.design;
+    let root = design.root().unwrap();
+    let g = design.graph(root).unwrap();
+    let find = |name: &str| {
+        g.op_ids()
+            .find(|&id| g.op(id).name() == name)
+            .unwrap_or_else(|| panic!("op '{name}' not found"))
+    };
+    let busy_wait = find("loop");
+    let read_y = find("y=");
+    let read_x = find("x=");
+    let cond = find("if");
+    let write = find("write_result");
+    let deps = g.dependencies();
+    // Sampling waits for the restart loop (synchronization barrier).
+    assert!(deps.contains(&(busy_wait, read_y)));
+    assert!(deps.contains(&(busy_wait, read_x)));
+    // The reads are mutually unordered (parallel, only constrained).
+    assert!(!deps.contains(&(read_y, read_x)));
+    assert!(!deps.contains(&(read_x, read_y)));
+    // Euclid's loop waits for both samples (reads x and y).
+    assert!(deps.contains(&(read_y, cond)));
+    assert!(deps.contains(&(read_x, cond)));
+    // The write waits for the conditional (which writes x).
+    assert!(deps.contains(&(cond, write)));
+}
+
+#[test]
+fn gcd_schedules_with_relative_scheduling() {
+    let compiled = compile(GCD).unwrap();
+    let scheduled = schedule_design(&compiled.design).unwrap();
+    let root = compiled.design.root().unwrap();
+    let rs = scheduled.graph_schedule(root);
+    // Root anchors: its source, the busy-wait loop, and the conditional
+    // (whose then-branch holds a data-dependent loop, making its latency
+    // unbounded).
+    assert_eq!(rs.lowered.graph.n_anchors(), 3);
+    // The sampling constraint holds in the schedule: x is read exactly one
+    // cycle after y, relative to every shared anchor.
+    let a = compiled.tag("a").unwrap();
+    let b = compiled.tag("b").unwrap();
+    let va = rs.lowered.op_vertices[a.op.index()];
+    let vb = rs.lowered.op_vertices[b.op.index()];
+    for anchor in rs.lowered.graph.anchors() {
+        if let (Some(oa), Some(ob)) = (
+            rs.schedule.offset(va, anchor),
+            rs.schedule.offset(vb, anchor),
+        ) {
+            assert_eq!(ob - oa, 1, "sampling gap w.r.t. {anchor}");
+        }
+    }
+    // No graph needed serialization; the whole design is well-posed.
+    for gs in scheduled.graph_schedules() {
+        assert!(gs.serialization.is_empty(), "graph {}", gs.name);
+    }
+}
+
+#[test]
+fn gcd_anchor_statistics_shape() {
+    let compiled = compile(GCD).unwrap();
+    let scheduled = schedule_design(&compiled.design).unwrap();
+    let stats = scheduled.anchor_stats();
+    assert_eq!(stats.n_graphs, 6);
+    // Anchors: 6 sources + busy-wait loop + repeat loop + inner while
+    // loop + the unbounded conditional.
+    assert_eq!(stats.n_anchors, 10);
+    // Redundancy removal must not grow the sets (Theorem 5/6).
+    assert!(stats.total_irredundant <= stats.total_full);
+    assert!(stats.sum_max_offsets_min <= stats.sum_max_offsets_full);
+}
+
+#[test]
+fn multi_process_designs_link_calls() {
+    let src = r#"
+process top (din, dout)
+    in port din;
+    out port dout;
+    boolean v;
+{
+    filter(din, dout);
+    v = 1;
+    filter(din, dout);
+}
+process filter (din, dout)
+    in port din;
+    out port dout;
+    boolean t;
+{
+    t = read(din);
+    t = t + 1;
+    write dout = t;
+}
+"#;
+    let compiled = compile(src).unwrap();
+    assert_eq!(compiled.design.n_graphs(), 2);
+    let scheduled = schedule_design(&compiled.design).unwrap();
+    let top = compiled.process_roots["top"];
+    let filter = compiled.process_roots["filter"];
+    assert_eq!(compiled.design.root().unwrap(), top);
+    // filter is fixed-latency: read(1) -> add(1) -> write(1) => 3 cycles.
+    assert_eq!(
+        scheduled.graph_schedule(filter).latency,
+        rsched_graph::ExecDelay::Fixed(3)
+    );
+    // The two calls are barriers: the first starts at 0, and the second
+    // waits for everything before it — the first call (3 cycles) and the
+    // intervening assignment (1 cycle) => offset 4.
+    let ts = scheduled.graph_schedule(top);
+    let g = &ts.lowered.graph;
+    let calls: Vec<_> = ts
+        .lowered
+        .op_vertices
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| {
+            matches!(
+                compiled.design.graph(top).unwrap().ops()[*i].kind(),
+                rsched_sgraph::OpKind::Call { .. }
+            )
+        })
+        .map(|(_, &v)| v)
+        .collect();
+    assert_eq!(calls.len(), 2);
+    let offsets: Vec<i64> = calls
+        .iter()
+        .map(|&v| ts.schedule.offset(v, g.source()).unwrap())
+        .collect();
+    assert_eq!(offsets, vec![0, 4]);
+}

@@ -1,0 +1,357 @@
+use std::fmt;
+
+use crate::error::SgraphError;
+use crate::model::SeqGraph;
+
+/// Identifier of a sequencing graph within a [`Design`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SeqGraphId(pub(crate) u32);
+
+impl SeqGraphId {
+    /// Dense index of the graph within its design.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an id from a dense index (meaningful only for indices
+    /// obtained from the same design).
+    pub fn from_index(index: usize) -> Self {
+        SeqGraphId(index as u32)
+    }
+}
+
+impl fmt::Display for SeqGraphId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// A complete hierarchical design: a set of sequencing graphs plus a root.
+///
+/// Loops, calls and conditional branches reference lower-hierarchy graphs
+/// by [`SeqGraphId`]; the reference structure must be acyclic (no
+/// recursion), which [`Design::hierarchy_order`] validates.
+#[derive(Debug, Clone, Default)]
+pub struct Design {
+    graphs: Vec<SeqGraph>,
+    root: Option<SeqGraphId>,
+}
+
+impl Design {
+    /// Creates an empty design.
+    pub fn new() -> Self {
+        Design::default()
+    }
+
+    /// Adds a sequencing graph, returning its id. Children must be added
+    /// before the operations that reference them (ids are needed to build
+    /// `Loop`/`Call`/`Cond` operations).
+    pub fn add_graph(&mut self, graph: SeqGraph) -> SeqGraphId {
+        let id = SeqGraphId(self.graphs.len() as u32);
+        self.graphs.push(graph);
+        id
+    }
+
+    /// Declares the root (top-level) graph.
+    pub fn set_root(&mut self, root: SeqGraphId) {
+        self.root = Some(root);
+    }
+
+    /// The root graph id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SgraphError::NoRoot`] when never set.
+    pub fn root(&self) -> Result<SeqGraphId, SgraphError> {
+        self.root.ok_or(SgraphError::NoRoot)
+    }
+
+    /// A graph by id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SgraphError::UnknownGraph`] for foreign ids.
+    pub fn graph(&self, id: SeqGraphId) -> Result<&SeqGraph, SgraphError> {
+        self.graphs
+            .get(id.index())
+            .ok_or(SgraphError::UnknownGraph(id))
+    }
+
+    /// Mutable access to a graph (used by front ends to attach timing
+    /// constraints once tag references are resolved).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SgraphError::UnknownGraph`] for foreign ids.
+    pub fn graph_mut(&mut self, id: SeqGraphId) -> Result<&mut SeqGraph, SgraphError> {
+        self.graphs
+            .get_mut(id.index())
+            .ok_or(SgraphError::UnknownGraph(id))
+    }
+
+    /// All graphs, indexable by [`SeqGraphId::index`].
+    pub fn graphs(&self) -> &[SeqGraph] {
+        &self.graphs
+    }
+
+    /// All graph ids.
+    pub fn graph_ids(&self) -> impl Iterator<Item = SeqGraphId> + '_ {
+        (0..self.graphs.len() as u32).map(SeqGraphId)
+    }
+
+    /// Number of graphs in the hierarchy.
+    pub fn n_graphs(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// Returns the graphs in bottom-up order (children before parents):
+    /// the order hierarchical scheduling processes them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SgraphError::RecursiveHierarchy`] if the reference
+    /// structure is cyclic and [`SgraphError::UnknownGraph`] for dangling
+    /// child references.
+    pub fn hierarchy_order(&self) -> Result<Vec<SeqGraphId>, SgraphError> {
+        let n = self.graphs.len();
+        // children[g] -> graphs referenced by g's operations.
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (gi, g) in self.graphs.iter().enumerate() {
+            for op in g.ops() {
+                for child in op.kind().children() {
+                    if child.index() >= n {
+                        return Err(SgraphError::UnknownGraph(child));
+                    }
+                    children[gi].push(child.index());
+                }
+            }
+        }
+        // Kahn over the reverse (parents wait for children):
+        // pending[g] = number of unprocessed children of g.
+        let mut pending = vec![0usize; n];
+        for (gi, refs) in children.iter().enumerate() {
+            pending[gi] = refs.len();
+        }
+        let mut parents_of: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (gi, refs) in children.iter().enumerate() {
+            for &c in refs {
+                parents_of[c].push(gi);
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&g| pending[g] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(g) = queue.pop() {
+            order.push(SeqGraphId(g as u32));
+            for &p in &parents_of[g] {
+                pending[p] -= 1;
+                if pending[p] == 0 {
+                    queue.push(p);
+                }
+            }
+        }
+        if order.len() != n {
+            let witness = (0..n)
+                .find(|&g| pending[g] > 0)
+                .expect("cycle implies residual pending count");
+            return Err(SgraphError::RecursiveHierarchy {
+                graph: SeqGraphId(witness as u32),
+            });
+        }
+        Ok(order)
+    }
+}
+
+impl Design {
+    /// Structural validation of the whole design: a root is set, every
+    /// child reference resolves, the hierarchy is acyclic, every graph is
+    /// reachable from the root, and per-graph constraints reference
+    /// existing operations (guaranteed by construction, re-checked for
+    /// designs assembled by external tools).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate(&self) -> Result<(), SgraphError> {
+        let root = self.root()?;
+        let order = self.hierarchy_order()?;
+        debug_assert_eq!(order.len(), self.n_graphs());
+        // Reachability from the root.
+        let mut reachable = vec![false; self.n_graphs()];
+        let mut stack = vec![root.index()];
+        reachable[root.index()] = true;
+        while let Some(g) = stack.pop() {
+            for op in self.graphs[g].ops() {
+                for child in op.kind().children() {
+                    if !reachable[child.index()] {
+                        reachable[child.index()] = true;
+                        stack.push(child.index());
+                    }
+                }
+            }
+        }
+        if let Some(orphan) = reachable.iter().position(|&r| !r) {
+            return Err(SgraphError::UnreachableGraph {
+                graph: SeqGraphId(orphan as u32),
+            });
+        }
+        for g in &self.graphs {
+            for c in g.min_constraints().iter().chain(g.max_constraints()) {
+                for op in [c.from, c.to] {
+                    if op.index() >= g.n_ops() {
+                        return Err(SgraphError::UnknownOp {
+                            graph: g.name().to_owned(),
+                            op,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the hierarchy as a Graphviz digraph: one node per
+    /// sequencing graph, one edge per loop/call/conditional reference.
+    pub fn hierarchy_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph hierarchy {{");
+        let _ = writeln!(out, "  rankdir=TB;");
+        for (i, g) in self.graphs.iter().enumerate() {
+            let shape = if Some(SeqGraphId(i as u32)) == self.root {
+                "doubleoctagon"
+            } else {
+                "box"
+            };
+            let _ = writeln!(
+                out,
+                "  g{i} [shape={shape}, label=\"{}\\n{} ops\"];",
+                g.name(),
+                g.n_ops()
+            );
+        }
+        for (i, g) in self.graphs.iter().enumerate() {
+            for op in g.ops() {
+                let label = match op.kind() {
+                    crate::model::OpKind::Loop { .. } => "loop",
+                    crate::model::OpKind::Call { .. } => "call",
+                    crate::model::OpKind::Cond { .. } => "cond",
+                    _ => continue,
+                };
+                for child in op.kind().children() {
+                    let _ = writeln!(
+                        out,
+                        "  g{i} -> g{} [label=\"{label}: {}\"];",
+                        child.index(),
+                        op.name()
+                    );
+                }
+            }
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::OpKind;
+
+    #[test]
+    fn hierarchy_order_is_bottom_up() {
+        let mut design = Design::new();
+        let leaf = design.add_graph(SeqGraph::new("leaf"));
+        let mut mid = SeqGraph::new("mid");
+        mid.add_op("call_leaf", OpKind::Call { callee: leaf });
+        let mid = design.add_graph(mid);
+        let mut top = SeqGraph::new("top");
+        top.add_op("loop_mid", OpKind::Loop { body: mid });
+        let top = design.add_graph(top);
+        design.set_root(top);
+
+        let order = design.hierarchy_order().unwrap();
+        let pos = |id: SeqGraphId| order.iter().position(|&x| x == id).unwrap();
+        assert!(pos(leaf) < pos(mid));
+        assert!(pos(mid) < pos(top));
+    }
+
+    #[test]
+    fn recursion_detected() {
+        let mut design = Design::new();
+        // Graph 0 calls graph 1, graph 1 calls graph 0 (ids known up front).
+        let g0_id = SeqGraphId::from_index(0);
+        let g1_id = SeqGraphId::from_index(1);
+        let mut g0 = SeqGraph::new("g0");
+        g0.add_op("call1", OpKind::Call { callee: g1_id });
+        let mut g1 = SeqGraph::new("g1");
+        g1.add_op("call0", OpKind::Call { callee: g0_id });
+        design.add_graph(g0);
+        design.add_graph(g1);
+        assert!(matches!(
+            design.hierarchy_order(),
+            Err(SgraphError::RecursiveHierarchy { .. })
+        ));
+    }
+
+    #[test]
+    fn dangling_child_detected() {
+        let mut design = Design::new();
+        let mut g = SeqGraph::new("g");
+        g.add_op(
+            "call",
+            OpKind::Call {
+                callee: SeqGraphId::from_index(9),
+            },
+        );
+        design.add_graph(g);
+        assert!(matches!(
+            design.hierarchy_order(),
+            Err(SgraphError::UnknownGraph(_))
+        ));
+    }
+
+    #[test]
+    fn validate_accepts_good_and_rejects_orphans() {
+        let mut design = Design::new();
+        let leaf = design.add_graph(SeqGraph::new("leaf"));
+        let mut top = SeqGraph::new("top");
+        top.add_op("iterate", OpKind::Loop { body: leaf });
+        let top = design.add_graph(top);
+        design.set_root(top);
+        design.validate().unwrap();
+
+        // An orphan graph (never referenced, not the root) is flagged.
+        let orphan = design.add_graph(SeqGraph::new("orphan"));
+        assert!(matches!(
+            design.validate(),
+            Err(SgraphError::UnreachableGraph { graph }) if graph == orphan
+        ));
+    }
+
+    #[test]
+    fn validate_requires_root() {
+        let design = Design::new();
+        assert!(matches!(design.validate(), Err(SgraphError::NoRoot)));
+    }
+
+    #[test]
+    fn hierarchy_dot_renders_graphs_and_references() {
+        let mut design = Design::new();
+        let leaf = design.add_graph(SeqGraph::new("leaf"));
+        let mut top = SeqGraph::new("top");
+        top.add_op("iterate", OpKind::Loop { body: leaf });
+        let top = design.add_graph(top);
+        design.set_root(top);
+        let dot = design.hierarchy_dot();
+        assert!(dot.starts_with("digraph hierarchy {"));
+        assert!(dot.contains("leaf"));
+        assert!(dot.contains("doubleoctagon"), "root highlighted");
+        assert!(dot.contains("loop: iterate"));
+    }
+
+    #[test]
+    fn root_required() {
+        let design = Design::new();
+        assert!(matches!(design.root(), Err(SgraphError::NoRoot)));
+    }
+}

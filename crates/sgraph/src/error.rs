@@ -1,0 +1,95 @@
+use std::error::Error;
+use std::fmt;
+
+use rsched_core::ScheduleError;
+use rsched_graph::GraphError;
+
+use crate::design::SeqGraphId;
+use crate::model::OpId;
+
+/// Errors produced by the sequencing-graph model and its scheduler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SgraphError {
+    /// An operation id does not belong to the graph it was used with.
+    UnknownOp {
+        /// Graph name.
+        graph: String,
+        /// The foreign id.
+        op: OpId,
+    },
+    /// A sequencing dependency from an operation to itself.
+    SelfDependency {
+        /// Graph name.
+        graph: String,
+        /// The operation.
+        op: OpId,
+    },
+    /// A graph id does not belong to the design.
+    UnknownGraph(SeqGraphId),
+    /// The design has no root graph set.
+    NoRoot,
+    /// The call/loop/conditional hierarchy is cyclic (recursion), which the
+    /// model does not support.
+    RecursiveHierarchy {
+        /// A graph on the cycle.
+        graph: SeqGraphId,
+    },
+    /// A graph is not reachable from the root (dead hierarchy member).
+    UnreachableGraph {
+        /// The orphaned graph.
+        graph: SeqGraphId,
+    },
+    /// Lowering produced an invalid constraint graph (e.g. a dependency
+    /// cycle within one sequencing graph).
+    Lowering {
+        /// Graph name.
+        graph: String,
+        /// Underlying error.
+        source: GraphError,
+    },
+    /// Relative scheduling of one of the graphs failed.
+    Scheduling {
+        /// Graph name.
+        graph: String,
+        /// Underlying error.
+        source: ScheduleError,
+    },
+}
+
+impl fmt::Display for SgraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SgraphError::UnknownOp { graph, op } => {
+                write!(f, "operation {op} does not belong to graph '{graph}'")
+            }
+            SgraphError::SelfDependency { graph, op } => {
+                write!(f, "self-dependency on {op} in graph '{graph}'")
+            }
+            SgraphError::UnknownGraph(id) => write!(f, "unknown sequencing graph {id}"),
+            SgraphError::NoRoot => write!(f, "design has no root graph"),
+            SgraphError::RecursiveHierarchy { graph } => {
+                write!(f, "recursive hierarchy through graph {graph}")
+            }
+            SgraphError::UnreachableGraph { graph } => {
+                write!(f, "graph {graph} is unreachable from the design root")
+            }
+            SgraphError::Lowering { graph, source } => {
+                write!(f, "lowering graph '{graph}': {source}")
+            }
+            SgraphError::Scheduling { graph, source } => {
+                write!(f, "scheduling graph '{graph}': {source}")
+            }
+        }
+    }
+}
+
+impl Error for SgraphError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SgraphError::Lowering { source, .. } => Some(source),
+            SgraphError::Scheduling { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}

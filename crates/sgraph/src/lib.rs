@@ -1,0 +1,61 @@
+//! Hierarchical sequencing graphs — the Hercules/Hebe hardware model.
+//!
+//! The paper's hardware model (§II) is a *polar hierarchical acyclic graph*:
+//! vertices are operations, edges are sequencing dependencies, and the
+//! hierarchy carries procedure calls, conditionals and loops — the body of
+//! a loop is another sequencing graph of lower hierarchy, and each branch
+//! of a conditional is a sequencing graph. Data-dependent loops and
+//! external synchronization have *unbounded* execution delay.
+//!
+//! This crate provides:
+//!
+//! * the model itself ([`SeqGraph`], [`Design`], [`OpKind`]);
+//! * lowering of each sequencing graph to a flat constraint graph
+//!   ([`lower_graph`]);
+//! * bottom-up hierarchical relative scheduling ([`schedule_design`]),
+//!   exactly the order Hercules/Hebe applies (§II: "scheduling is applied
+//!   hierarchically in a bottom-up fashion");
+//! * the anchor-set statistics of the paper's Tables III and IV
+//!   ([`DesignSchedule::anchor_stats`]).
+//!
+//! # Example
+//!
+//! ```
+//! use rsched_sgraph::{Design, OpKind, SeqGraph};
+//!
+//! # fn main() -> Result<(), rsched_sgraph::SgraphError> {
+//! // A loop body: one ALU op.
+//! let mut body = SeqGraph::new("body");
+//! body.add_op("sub", OpKind::fixed(1));
+//!
+//! let mut design = Design::new();
+//! let body_id = design.add_graph(body);
+//! let mut main = SeqGraph::new("main");
+//! let wait = main.add_op("wait", OpKind::Wait { signal: "start".into() });
+//! let lp = main.add_op("loop", OpKind::Loop { body: body_id });
+//! let out = main.add_op("write", OpKind::Write { port: "res".into() });
+//! main.add_dependency(wait, lp)?;
+//! main.add_dependency(lp, out)?;
+//! let root = design.add_graph(main);
+//! design.set_root(root);
+//!
+//! let scheduled = rsched_sgraph::schedule_design(&design)?;
+//! assert_eq!(scheduled.graph_schedules().len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod design;
+mod error;
+mod lower;
+mod model;
+mod stats;
+
+pub use design::{Design, SeqGraphId};
+pub use error::SgraphError;
+pub use lower::{lower_graph, LoweredGraph};
+pub use model::{OpId, OpKind, Operation, SeqGraph};
+pub use stats::{schedule_design, AnchorStats, DesignSchedule, GraphSchedule};

@@ -1,0 +1,324 @@
+use std::fmt;
+
+use crate::design::SeqGraphId;
+use crate::error::SgraphError;
+
+/// Identifier of an operation within a [`SeqGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpId(pub(crate) u32);
+
+impl OpId {
+    /// Dense index of the operation within its graph.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+/// The kind of a sequencing-graph operation, determining its execution
+/// delay and its hierarchy links.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpKind {
+    /// A generic computational operation of fixed delay (ALU op, register
+    /// transfer, comparison, …).
+    Fixed {
+        /// Execution delay in cycles.
+        delay: u64,
+    },
+    /// Sampling of an input port; fixed single-cycle delay.
+    Read {
+        /// Port name.
+        port: String,
+    },
+    /// Driving of an output port; fixed single-cycle delay.
+    Write {
+        /// Port name.
+        port: String,
+    },
+    /// Synchronization with an external signal or event: unbounded delay.
+    Wait {
+        /// Signal or condition description.
+        signal: String,
+    },
+    /// A data-dependent loop whose body is a lower-hierarchy sequencing
+    /// graph: unbounded delay.
+    Loop {
+        /// The loop body.
+        body: SeqGraphId,
+    },
+    /// A call to another sequencing graph. Its delay is the callee's
+    /// latency: fixed when the callee is free of unbounded operations,
+    /// unbounded otherwise.
+    Call {
+        /// The callee.
+        callee: SeqGraphId,
+    },
+    /// A conditional whose branches are lower-hierarchy sequencing graphs.
+    /// Fixed delay (the maximum branch latency — shorter branches are
+    /// padded, as in Hercules) when every branch has fixed latency,
+    /// unbounded otherwise.
+    Cond {
+        /// One sequencing graph per branch.
+        branches: Vec<SeqGraphId>,
+    },
+    /// A no-operation placeholder (joins, merge points): zero delay.
+    NoOp,
+}
+
+impl OpKind {
+    /// Shorthand for a fixed-delay computational operation.
+    pub fn fixed(delay: u64) -> Self {
+        OpKind::Fixed { delay }
+    }
+
+    /// Child graphs referenced by this operation, if any.
+    pub fn children(&self) -> Vec<SeqGraphId> {
+        match self {
+            OpKind::Loop { body } => vec![*body],
+            OpKind::Call { callee } => vec![*callee],
+            OpKind::Cond { branches } => branches.clone(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// An operation of a sequencing graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Operation {
+    pub(crate) name: String,
+    pub(crate) kind: OpKind,
+}
+
+impl Operation {
+    /// Operation name (unique names are recommended but not required).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Operation kind.
+    pub fn kind(&self) -> &OpKind {
+        &self.kind
+    }
+}
+
+/// A timing constraint between two operations of the same graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimingConstraint {
+    /// Constraint source.
+    pub from: OpId,
+    /// Constraint target.
+    pub to: OpId,
+    /// Bound in cycles.
+    pub cycles: u64,
+}
+
+/// One sequencing graph of the hierarchy: operations, dependencies, and
+/// min/max timing constraints between its operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeqGraph {
+    pub(crate) name: String,
+    pub(crate) ops: Vec<Operation>,
+    pub(crate) deps: Vec<(OpId, OpId)>,
+    pub(crate) min_constraints: Vec<TimingConstraint>,
+    pub(crate) max_constraints: Vec<TimingConstraint>,
+}
+
+impl SeqGraph {
+    /// Creates an empty sequencing graph.
+    pub fn new(name: impl Into<String>) -> Self {
+        SeqGraph {
+            name: name.into(),
+            ops: Vec::new(),
+            deps: Vec::new(),
+            min_constraints: Vec::new(),
+            max_constraints: Vec::new(),
+        }
+    }
+
+    /// Graph name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds an operation.
+    pub fn add_op(&mut self, name: impl Into<String>, kind: OpKind) -> OpId {
+        let id = OpId(self.ops.len() as u32);
+        self.ops.push(Operation {
+            name: name.into(),
+            kind,
+        });
+        id
+    }
+
+    /// Adds a sequencing dependency `from -> to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SgraphError::UnknownOp`] for foreign ids and
+    /// [`SgraphError::SelfDependency`] when `from == to`.
+    pub fn add_dependency(&mut self, from: OpId, to: OpId) -> Result<(), SgraphError> {
+        self.check(from)?;
+        self.check(to)?;
+        if from == to {
+            return Err(SgraphError::SelfDependency {
+                graph: self.name.clone(),
+                op: from,
+            });
+        }
+        self.deps.push((from, to));
+        Ok(())
+    }
+
+    /// Adds a minimum timing constraint: `to` starts at least `cycles`
+    /// after `from`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SgraphError::UnknownOp`] for foreign ids.
+    pub fn add_min_constraint(
+        &mut self,
+        from: OpId,
+        to: OpId,
+        cycles: u64,
+    ) -> Result<(), SgraphError> {
+        self.check(from)?;
+        self.check(to)?;
+        self.min_constraints
+            .push(TimingConstraint { from, to, cycles });
+        Ok(())
+    }
+
+    /// Adds a maximum timing constraint: `to` starts at most `cycles`
+    /// after `from`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SgraphError::UnknownOp`] for foreign ids.
+    pub fn add_max_constraint(
+        &mut self,
+        from: OpId,
+        to: OpId,
+        cycles: u64,
+    ) -> Result<(), SgraphError> {
+        self.check(from)?;
+        self.check(to)?;
+        self.max_constraints
+            .push(TimingConstraint { from, to, cycles });
+        Ok(())
+    }
+
+    /// The operations, indexable by [`OpId::index`].
+    pub fn ops(&self) -> &[Operation] {
+        &self.ops
+    }
+
+    /// An operation by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this graph.
+    pub fn op(&self, id: OpId) -> &Operation {
+        &self.ops[id.index()]
+    }
+
+    /// All operation ids.
+    pub fn op_ids(&self) -> impl Iterator<Item = OpId> + '_ {
+        (0..self.ops.len() as u32).map(OpId)
+    }
+
+    /// Number of operations.
+    pub fn n_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// The sequencing dependencies.
+    pub fn dependencies(&self) -> &[(OpId, OpId)] {
+        &self.deps
+    }
+
+    /// The minimum timing constraints.
+    pub fn min_constraints(&self) -> &[TimingConstraint] {
+        &self.min_constraints
+    }
+
+    /// The maximum timing constraints.
+    pub fn max_constraints(&self) -> &[TimingConstraint] {
+        &self.max_constraints
+    }
+
+    fn check(&self, id: OpId) -> Result<(), SgraphError> {
+        if id.index() < self.ops.len() {
+            Ok(())
+        } else {
+            Err(SgraphError::UnknownOp {
+                graph: self.name.clone(),
+                op: id,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_simple_graph() {
+        let mut g = SeqGraph::new("main");
+        let a = g.add_op("a", OpKind::fixed(2));
+        let b = g.add_op("b", OpKind::Read { port: "x".into() });
+        g.add_dependency(a, b).unwrap();
+        g.add_min_constraint(a, b, 3).unwrap();
+        g.add_max_constraint(a, b, 5).unwrap();
+        assert_eq!(g.n_ops(), 2);
+        assert_eq!(g.dependencies(), &[(a, b)]);
+        assert_eq!(g.op(a).name(), "a");
+        assert_eq!(g.min_constraints()[0].cycles, 3);
+        assert_eq!(g.max_constraints()[0].cycles, 5);
+    }
+
+    #[test]
+    fn self_dependency_rejected() {
+        let mut g = SeqGraph::new("main");
+        let a = g.add_op("a", OpKind::fixed(1));
+        assert!(matches!(
+            g.add_dependency(a, a),
+            Err(SgraphError::SelfDependency { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_op_rejected() {
+        let mut g = SeqGraph::new("main");
+        let a = g.add_op("a", OpKind::fixed(1));
+        let ghost = OpId(7);
+        assert!(matches!(
+            g.add_dependency(a, ghost),
+            Err(SgraphError::UnknownOp { .. })
+        ));
+        assert!(matches!(
+            g.add_min_constraint(ghost, a, 1),
+            Err(SgraphError::UnknownOp { .. })
+        ));
+    }
+
+    #[test]
+    fn op_kind_children() {
+        let body = SeqGraphId::from_index(3);
+        assert_eq!(OpKind::Loop { body }.children(), vec![body]);
+        assert_eq!(OpKind::fixed(1).children(), vec![]);
+        assert_eq!(
+            OpKind::Cond {
+                branches: vec![body, SeqGraphId::from_index(4)]
+            }
+            .children()
+            .len(),
+            2
+        );
+    }
+}

@@ -1,0 +1,358 @@
+//! Hierarchical simulation of scheduled designs.
+//!
+//! The paper's hardware model is hierarchical: a loop vertex's unbounded
+//! delay *is* the repeated execution of its body graph, a call's delay is
+//! its callee's latency, a conditional's is its selected branch (padded
+//! to the longest fixed branch, as Hercules does). This module executes a
+//! whole [`DesignSchedule`] accordingly: each graph activation runs the
+//! flat cycle simulator under a delay profile whose unbounded entries are
+//! *resolved recursively* — loops by actually activating the body a
+//! random number of times, calls by activating the callee, waits by a
+//! seeded random delay — the adaptive-control execution model of §VI.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use rsched_core::{profile_for, DelayProfile};
+use rsched_ctrl::{generate, ControlStyle, ControlUnit};
+use rsched_graph::{ExecDelay, VertexId};
+use rsched_sgraph::{Design, DesignSchedule, OpKind, SeqGraphId};
+
+use crate::simulator::{DelaySource, SimError, SimReport, Simulator};
+
+/// Configuration of a hierarchical run.
+#[derive(Debug, Clone)]
+pub struct HierConfig {
+    /// RNG seed (reproducible runs).
+    pub seed: u64,
+    /// Maximum iterations per data-dependent loop activation.
+    pub max_loop_iterations: u64,
+    /// Inclusive upper bound for external-wait delays.
+    pub max_wait_delay: u64,
+    /// Control style used for every graph.
+    pub style: ControlStyle,
+    /// Use the irredundant-anchor schedules (`true`, the §VI
+    /// recommendation) or the full ones.
+    pub irredundant: bool,
+}
+
+impl Default for HierConfig {
+    fn default() -> Self {
+        HierConfig {
+            seed: 0,
+            max_loop_iterations: 3,
+            max_wait_delay: 6,
+            style: ControlStyle::ShiftRegister,
+            irredundant: true,
+        }
+    }
+}
+
+/// One activation of one sequencing graph.
+#[derive(Debug, Clone)]
+pub struct GraphActivation {
+    /// The activated graph.
+    pub graph: SeqGraphId,
+    /// The flat simulation of this activation.
+    pub report: SimReport,
+    /// Child activations: `(vertex in this graph, activations)` — one
+    /// entry per loop iteration, exactly one for calls and conditionals.
+    pub children: Vec<(VertexId, Vec<GraphActivation>)>,
+}
+
+impl GraphActivation {
+    /// Total activations in this subtree (including this one).
+    pub fn total_activations(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .flat_map(|(_, acts)| acts)
+            .map(GraphActivation::total_activations)
+            .sum::<usize>()
+    }
+
+    /// `true` when this activation and every descendant ran without
+    /// timing violations and matched the analytic start times.
+    pub fn all_clean(&self) -> bool {
+        self.report.violations.is_empty()
+            && self.report.matches_analytic
+            && self
+                .children
+                .iter()
+                .flat_map(|(_, acts)| acts)
+                .all(GraphActivation::all_clean)
+    }
+
+    /// The makespan of this activation in cycles.
+    pub fn makespan(&self) -> u64 {
+        self.report.total_cycles
+    }
+}
+
+/// Executes one activation of the design's root graph, recursively
+/// resolving every unbounded delay by running the hierarchy below it.
+///
+/// # Errors
+///
+/// Propagates flat-simulation failures ([`SimError`]).
+pub fn run_hierarchical(
+    design: &Design,
+    schedule: &DesignSchedule,
+    config: &HierConfig,
+) -> Result<GraphActivation, SimError> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    // Pre-generate one control unit per graph.
+    let units: Vec<ControlUnit> = schedule
+        .graph_schedules()
+        .iter()
+        .map(|gs| {
+            let omega = if config.irredundant {
+                &gs.schedule_ir
+            } else {
+                &gs.schedule
+            };
+            generate(&gs.lowered.graph, omega, config.style)
+        })
+        .collect();
+    let root = design
+        .root()
+        .map_err(|e| SimError::Analysis(e.to_string()))?;
+    activate(design, schedule, &units, config, root, &mut rng)
+}
+
+fn activate(
+    design: &Design,
+    schedule: &DesignSchedule,
+    units: &[ControlUnit],
+    config: &HierConfig,
+    graph_id: SeqGraphId,
+    rng: &mut StdRng,
+) -> Result<GraphActivation, SimError> {
+    let gs = schedule.graph_schedule(graph_id);
+    let seq = design
+        .graph(graph_id)
+        .map_err(|e| SimError::Analysis(e.to_string()))?;
+    let flat = &gs.lowered.graph;
+
+    // Resolve hierarchy delays bottom-up, recording child activations.
+    // Loops and waits are always unbounded; calls and conditionals may be
+    // fixed-latency, in which case the recursion only validates that the
+    // realized makespan equals the scheduled latency.
+    let mut builder = profile_for(flat);
+    let mut children: Vec<(VertexId, Vec<GraphActivation>)> = Vec::new();
+    for (op_idx, op) in seq.ops().iter().enumerate() {
+        let v = gs.lowered.op_vertices[op_idx];
+        let unbounded = matches!(flat.vertex(v).delay(), ExecDelay::Unbounded);
+        match op.kind() {
+            OpKind::Wait { .. } => {
+                builder = builder.with_delay(v, rng.gen_range(0..=config.max_wait_delay));
+            }
+            OpKind::Loop { body } => {
+                let iterations = rng.gen_range(0..=config.max_loop_iterations);
+                let mut acts = Vec::new();
+                let mut total = 0u64;
+                for _ in 0..iterations {
+                    let act = activate(design, schedule, units, config, *body, rng)?;
+                    total += act.makespan();
+                    acts.push(act);
+                }
+                children.push((v, acts));
+                builder = builder.with_delay(v, total);
+            }
+            OpKind::Call { callee } => {
+                let act = activate(design, schedule, units, config, *callee, rng)?;
+                let total = act.makespan();
+                if unbounded {
+                    builder = builder.with_delay(v, total);
+                } else if let ExecDelay::Fixed(latency) = schedule.graph_schedule(*callee).latency {
+                    debug_assert_eq!(
+                        total, latency,
+                        "fixed-latency callee deviated from its schedule"
+                    );
+                }
+                children.push((v, vec![act]));
+            }
+            OpKind::Cond { branches } => {
+                // Choose a branch; unbounded conditionals realize the
+                // branch makespan, fixed ones are padded to the longest
+                // branch latency (Hercules-style) and need no override.
+                let pick = branches[rng.gen_range(0..branches.len())];
+                let act = activate(design, schedule, units, config, pick, rng)?;
+                if unbounded {
+                    builder = builder.with_delay(v, act.makespan());
+                }
+                children.push((v, vec![act]));
+            }
+            _ => {}
+        }
+    }
+
+    let unit = &units[graph_id.index()];
+    let report = Simulator::new(flat, unit).run(&DelaySource::Profile(builder.build()))?;
+    Ok(GraphActivation {
+        graph: graph_id,
+        report,
+        children,
+    })
+}
+
+/// Convenience: the resolved delay profile of an activation (useful for
+/// re-checking with [`rsched_core::verify_start_times`]).
+pub fn activation_profile(activation: &GraphActivation) -> &DelayProfile {
+    &activation.report.profile
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsched_sgraph::{schedule_design, SeqGraph};
+
+    fn looped_design() -> Design {
+        let mut design = Design::new();
+        let mut body = SeqGraph::new("body");
+        let s1 = body.add_op("s1", OpKind::fixed(1));
+        let s2 = body.add_op("s2", OpKind::fixed(2));
+        body.add_dependency(s1, s2).unwrap();
+        let body_id = design.add_graph(body);
+        let mut main = SeqGraph::new("main");
+        let w = main.add_op(
+            "wait",
+            OpKind::Wait {
+                signal: "go".into(),
+            },
+        );
+        let l = main.add_op("loop", OpKind::Loop { body: body_id });
+        let o = main.add_op("out", OpKind::Write { port: "res".into() });
+        main.add_dependency(w, l).unwrap();
+        main.add_dependency(l, o).unwrap();
+        let main_id = design.add_graph(main);
+        design.set_root(main_id);
+        design
+    }
+
+    #[test]
+    fn loop_delay_equals_sum_of_body_makespans() {
+        let design = looped_design();
+        let scheduled = schedule_design(&design).unwrap();
+        for seed in 0..10u64 {
+            let act = run_hierarchical(
+                &design,
+                &scheduled,
+                &HierConfig {
+                    seed,
+                    ..HierConfig::default()
+                },
+            )
+            .unwrap();
+            assert!(act.all_clean(), "seed {seed}");
+            // The body graph is a fixed 3-cycle chain: every body
+            // activation takes exactly 3 cycles.
+            let (loop_v, body_acts) = &act.children[0];
+            for b in body_acts {
+                assert_eq!(b.makespan(), 3, "seed {seed}");
+            }
+            // The loop vertex's realized delay is the iteration total.
+            assert_eq!(
+                act.report.profile.delay(*loop_v),
+                3 * body_acts.len() as u64,
+                "seed {seed}"
+            );
+            assert_eq!(act.total_activations(), 1 + body_acts.len());
+        }
+    }
+
+    #[test]
+    fn gcd_benchmark_runs_hierarchically_clean() {
+        let design = rsched_designs_gcd();
+        let scheduled = schedule_design(&design).unwrap();
+        let mut total = 0;
+        for seed in 0..8u64 {
+            let act = run_hierarchical(
+                &design,
+                &scheduled,
+                &HierConfig {
+                    seed,
+                    ..HierConfig::default()
+                },
+            )
+            .unwrap();
+            assert!(act.all_clean(), "seed {seed}");
+            total += act.total_activations();
+        }
+        assert!(total > 8, "loops/branches must actually activate children");
+    }
+
+    /// A fixed-latency callee's simulated makespan always equals its
+    /// static latency.
+    #[test]
+    fn fixed_call_makespans_match_static_latency() {
+        let mut design = Design::new();
+        let mut callee = SeqGraph::new("callee");
+        let a = callee.add_op("a", OpKind::fixed(2));
+        let b = callee.add_op("b", OpKind::fixed(1));
+        callee.add_dependency(a, b).unwrap();
+        let callee_id = design.add_graph(callee);
+        let mut main = SeqGraph::new("main");
+        main.add_op("call", OpKind::Call { callee: callee_id });
+        let main_id = design.add_graph(main);
+        design.set_root(main_id);
+        let scheduled = schedule_design(&design).unwrap();
+        let ExecDelay::Fixed(latency) = scheduled.graph_schedule(callee_id).latency else {
+            panic!("callee is fixed-latency")
+        };
+        let act = run_hierarchical(&design, &scheduled, &HierConfig::default()).unwrap();
+        let (_, callee_acts) = &act.children[0];
+        assert_eq!(callee_acts[0].makespan(), latency);
+    }
+
+    // A local copy of the gcd benchmark topology (rsched-designs depends
+    // on nothing here; avoid a dev-dependency cycle by rebuilding it).
+    fn rsched_designs_gcd() -> Design {
+        let mut design = Design::new();
+        let mut cmp_body = SeqGraph::new("cmp");
+        let x = cmp_body.add_op("bitcmp", OpKind::fixed(1));
+        let y = cmp_body.add_op("flag", OpKind::fixed(1));
+        cmp_body.add_dependency(x, y).unwrap();
+        let cmp_id = design.add_graph(cmp_body);
+        let mut while_body = SeqGraph::new("while");
+        let c = while_body.add_op("cmpser", OpKind::Loop { body: cmp_id });
+        let s = while_body.add_op("store", OpKind::fixed(1));
+        while_body.add_dependency(c, s).unwrap();
+        let while_id = design.add_graph(while_body);
+        let mut then_branch = SeqGraph::new("then");
+        then_branch.add_op("repeat", OpKind::Loop { body: while_id });
+        let then_id = design.add_graph(then_branch);
+        let else_id = design.add_graph(SeqGraph::new("else"));
+        let mut root = SeqGraph::new("root");
+        let w = root.add_op(
+            "busywait",
+            OpKind::Wait {
+                signal: "restart".into(),
+            },
+        );
+        let ry = root.add_op("read_y", OpKind::Read { port: "yin".into() });
+        let rx = root.add_op("read_x", OpKind::Read { port: "xin".into() });
+        let e = root.add_op(
+            "euclid",
+            OpKind::Cond {
+                branches: vec![then_id, else_id],
+            },
+        );
+        let out = root.add_op(
+            "write",
+            OpKind::Write {
+                port: "result".into(),
+            },
+        );
+        root.add_dependency(w, ry).unwrap();
+        root.add_dependency(w, rx).unwrap();
+        root.add_dependency(ry, e).unwrap();
+        root.add_dependency(rx, e).unwrap();
+        root.add_dependency(e, out).unwrap();
+        root.add_min_constraint(ry, rx, 1).unwrap();
+        root.add_max_constraint(ry, rx, 1).unwrap();
+        let root_id = design.add_graph(root);
+        design.set_root(root_id);
+        design
+    }
+}

@@ -1,0 +1,110 @@
+//! Simulation event logs and textual waveforms (Fig. 14-style output).
+
+use std::fmt::Write as _;
+
+use rsched_graph::{ConstraintGraph, VertexId};
+
+use crate::simulator::SimReport;
+
+/// What happened to an operation at a given cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// The operation's enable fired and it began execution.
+    Start(VertexId),
+    /// The operation completed (its `done` asserted).
+    Done(VertexId),
+}
+
+/// One entry of the chronological event log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Clock cycle of the event.
+    pub cycle: u64,
+    /// The event.
+    pub kind: EventKind,
+}
+
+/// A textual waveform: one row per operation, one column per cycle, with
+/// `.` idle, `R` running and `#` the completion cycle — the same
+/// information Fig. 14 of the paper presents as analogue traces.
+#[derive(Debug, Clone)]
+pub struct Waveform {
+    rows: Vec<(String, String)>,
+    n_cycles: u64,
+}
+
+impl Waveform {
+    /// Builds a waveform from a simulation report.
+    pub fn from_report(graph: &ConstraintGraph, report: &SimReport) -> Self {
+        let n_cycles = report.total_cycles + 1;
+        let mut rows = Vec::new();
+        for v in graph.vertex_ids() {
+            let start = report.start[v.index()];
+            let done = report.done[v.index()];
+            let mut cells = String::with_capacity(n_cycles as usize);
+            for c in 0..n_cycles {
+                let ch = if c == done {
+                    '#'
+                } else if c >= start && c < done {
+                    'R'
+                } else {
+                    '.'
+                };
+                cells.push(ch);
+            }
+            rows.push((graph.vertex(v).name().to_owned(), cells));
+        }
+        Waveform { rows, n_cycles }
+    }
+
+    /// Renders the waveform as aligned text.
+    pub fn render(&self) -> String {
+        let width = self
+            .rows
+            .iter()
+            .map(|(name, _)| name.len())
+            .max()
+            .unwrap_or(0);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:>width$} | cycles 0..{}",
+            "signal",
+            self.n_cycles.saturating_sub(1),
+        );
+        for (name, cells) in &self.rows {
+            let _ = writeln!(out, "{name:>width$} | {cells}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulator::{DelaySource, Simulator};
+    use rsched_core::schedule;
+    use rsched_ctrl::{generate, ControlStyle};
+    use rsched_graph::{ConstraintGraph, ExecDelay};
+
+    #[test]
+    fn waveform_marks_run_and_done() {
+        let mut g = ConstraintGraph::new();
+        let a = g.add_operation("alu", ExecDelay::Fixed(3));
+        let b = g.add_operation("out", ExecDelay::Fixed(1));
+        g.add_dependency(a, b).unwrap();
+        g.polarize().unwrap();
+        let omega = schedule(&g).unwrap();
+        let unit = generate(&g, &omega, ControlStyle::Counter);
+        let report = Simulator::new(&g, &unit)
+            .run(&DelaySource::Profile(rsched_core::DelayProfile::zeros(&g)))
+            .unwrap();
+        let wave = Waveform::from_report(&g, &report).render();
+        assert!(wave.contains("alu"));
+        assert!(wave.contains('#'));
+        assert!(wave.contains('R'));
+        // alu runs cycles 0..3, done at 3.
+        let alu_row = wave.lines().find(|l| l.contains("alu")).unwrap();
+        assert!(alu_row.contains("RRR#"));
+    }
+}

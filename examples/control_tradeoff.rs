@@ -1,0 +1,74 @@
+//! §VI / Fig. 12: the counter vs shift-register control trade-off, and
+//! the savings from irredundant anchor sets, on the Fig. 12 example and
+//! on every benchmark design.
+//!
+//! Run with `cargo run --example control_tradeoff`.
+
+use relative_scheduling::core::{schedule, IrredundantAnchors};
+use relative_scheduling::ctrl::{generate, ControlStyle};
+use relative_scheduling::designs::benchmarks::all_benchmarks;
+use relative_scheduling::designs::paper::fig12;
+use relative_scheduling::sgraph::schedule_design;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Fig. 12: one operation gated by two anchors (offsets 2 and 3).
+    let (g, _, _) = fig12();
+    let omega = schedule(&g)?;
+    println!("Fig. 12 example:");
+    for style in [ControlStyle::Counter, ControlStyle::ShiftRegister] {
+        let unit = generate(&g, &omega, style);
+        println!("\n{}cost: {}", unit.describe(), unit.cost());
+    }
+
+    // The same trade-off across the benchmark hierarchy, with and without
+    // redundancy removal.
+    println!("\nper-benchmark totals (gate equivalents):");
+    println!(
+        "{:<22} {:>10} {:>10} {:>10} {:>10}",
+        "design", "ctr/full", "ctr/min", "sr/full", "sr/min"
+    );
+    for bench in all_benchmarks() {
+        let scheduled = schedule_design(&bench.design)?;
+        let mut totals = [0u64; 4];
+        for gs in scheduled.graph_schedules() {
+            totals[0] += generate(&gs.lowered.graph, &gs.schedule, ControlStyle::Counter)
+                .cost()
+                .total_estimate();
+            totals[1] += generate(&gs.lowered.graph, &gs.schedule_ir, ControlStyle::Counter)
+                .cost()
+                .total_estimate();
+            totals[2] += generate(&gs.lowered.graph, &gs.schedule, ControlStyle::ShiftRegister)
+                .cost()
+                .total_estimate();
+            totals[3] += generate(
+                &gs.lowered.graph,
+                &gs.schedule_ir,
+                ControlStyle::ShiftRegister,
+            )
+            .cost()
+            .total_estimate();
+        }
+        println!(
+            "{:<22} {:>10} {:>10} {:>10} {:>10}",
+            bench.name, totals[0], totals[1], totals[2], totals[3]
+        );
+        assert!(totals[1] <= totals[0], "IR must not cost more (counter)");
+        assert!(totals[3] <= totals[2], "IR must not cost more (shift reg)");
+    }
+
+    // Sanity: on a single graph, verify the Theorem 4/6 claim that the
+    // reduced control produces identical behaviour is covered by the
+    // simulator test-suite; here we only compare costs.
+    let (g, _, v) = fig12();
+    let omega = schedule(&g)?;
+    let analysis = IrredundantAnchors::analyze(&g)?;
+    let restricted = omega.restrict(analysis.irredundant.family());
+    let full_terms = generate(&g, &omega, ControlStyle::Counter)
+        .enable_terms(v)
+        .len();
+    let min_terms = generate(&g, &restricted, ControlStyle::Counter)
+        .enable_terms(v)
+        .len();
+    println!("\nFig. 12 enable terms: {full_terms} with A(v), {min_terms} with IR(v)");
+    Ok(())
+}

@@ -1,0 +1,131 @@
+//! Negative testing: the checkers must actually catch corrupted
+//! schedules and control — silence from a validator proves nothing
+//! unless broken inputs make it speak.
+
+use relative_scheduling::core::{schedule, verify_start_times, DelayProfile, StartTimes};
+use relative_scheduling::ctrl::{generate, ControlStyle, ControlUnit, EnableTerm};
+use relative_scheduling::designs::paper::{fig10, fig2};
+use relative_scheduling::graph::VertexId;
+use relative_scheduling::sim::{DelaySource, Simulator};
+
+/// Hand-corrupted start times must be flagged by the constraint checker.
+#[test]
+fn verify_start_times_catches_early_starts() {
+    let (g, _, [_, _, v3, _]) = fig2();
+    let omega = schedule(&g).unwrap();
+    let profile = DelayProfile::zeros(&g);
+    let good = relative_scheduling::core::start_times(&g, &omega, &profile).unwrap();
+    assert!(verify_start_times(&g, &good, &profile).is_empty());
+
+    // Pull v3 one cycle early: its min constraint (source -> v3 >= 3)
+    // breaks.
+    let mut times: Vec<u64> = g.vertex_ids().map(|v| good.time(v)).collect();
+    times[v3.index()] = times[v3.index()] - 1;
+    let bad = StartTimes::from_raw(times);
+    let violations = verify_start_times(&g, &bad, &profile);
+    assert!(!violations.is_empty(), "early start must be caught");
+}
+
+/// A schedule with one offset lowered below minimum fails validation.
+#[test]
+fn validate_catches_lowered_offsets() {
+    let (g, _, _) = fig10();
+    let omega = schedule(&g).unwrap();
+    assert!(omega.validate(&g).is_empty());
+    // There is no public mutator (by design); corrupt through the
+    // restriction path instead: build a control unit whose term offsets
+    // are tampered and watch the simulator object.
+    let unit = generate(&g, &omega, ControlStyle::ShiftRegister);
+    let tampered = tamper_first_nonzero_term(&g, &unit);
+    let report = Simulator::new(&g, &tampered)
+        .run(&DelaySource::random(1, 5))
+        .unwrap();
+    assert!(
+        !report.violations.is_empty() || !report.matches_analytic,
+        "tampered control must be detected by simulation checks"
+    );
+}
+
+/// Rebuilds a control unit with one enable offset reduced by one — the
+/// kind of off-by-one a buggy control generator would produce.
+fn tamper_first_nonzero_term(
+    g: &relative_scheduling::graph::ConstraintGraph,
+    unit: &ControlUnit,
+) -> ControlUnit {
+    // Reconstruct via a tampered schedule: lower one offset through the
+    // public generate() path by building a fresh schedule on a modified
+    // graph is intrusive; instead synthesize a unit from a *different*
+    // (wrong) schedule: schedule the graph without its min constraints.
+    let mut stripped = relative_scheduling::graph::ConstraintGraph::new();
+    let mut map: Vec<VertexId> = Vec::new();
+    for v in g.vertex_ids() {
+        if v == stripped.source() || v == stripped.sink() {
+            map.push(v);
+            continue;
+        }
+        map.push(stripped.add_operation(g.vertex(v).name().to_owned(), g.vertex(v).delay()));
+    }
+    for (_, e) in g.edges() {
+        match e.kind() {
+            relative_scheduling::graph::EdgeKind::Sequencing => {
+                let _ = stripped.add_dependency(map[e.from().index()], map[e.to().index()]);
+            }
+            // Drop min constraints (the "bug"), keep max constraints.
+            relative_scheduling::graph::EdgeKind::MinConstraint => {}
+            relative_scheduling::graph::EdgeKind::MaxConstraint => {
+                let _ = stripped.add_max_constraint(
+                    map[e.to().index()],
+                    map[e.from().index()],
+                    (-e.weight().zeroed()) as u64,
+                );
+            }
+        }
+    }
+    stripped.polarize().unwrap();
+    let wrong = schedule(&stripped).expect("stripped graph schedules");
+    let unit2 = generate(&stripped, &wrong, unit.style());
+    // Sanity: the tampering actually changed something.
+    let changed = g.vertex_ids().any(|v| {
+        let a: Vec<EnableTerm> = unit.enable_terms(v).to_vec();
+        let b: Vec<EnableTerm> = unit2.enable_terms(v).to_vec();
+        a != b
+    });
+    assert!(changed, "tampering produced an identical unit");
+    unit2
+}
+
+/// The gate-level equivalence harness catches a wrong netlist: feed the
+/// logic simulator a unit synthesized from the wrong schedule and compare
+/// against the behavioural model of the right one.
+#[test]
+fn gate_vs_behavioural_divergence_is_visible() {
+    let (g, anchor, _) = fig2();
+    let omega = schedule(&g).unwrap();
+    let right = generate(&g, &omega, ControlStyle::Counter);
+    let wrong = tamper_first_nonzero_term(&g, &right);
+    let synth = relative_scheduling::ctrl::synthesize(&wrong);
+    let mut logic = relative_scheduling::ctrl::LogicSim::new(synth.netlist.clone());
+    let mut model = right.new_state();
+    let mut diverged = false;
+    for cycle in 0..20u64 {
+        for &(a, at) in &[(g.source(), 0u64), (anchor, 2u64)] {
+            let fire = at == cycle;
+            if fire {
+                model.assert_done(a);
+            }
+            if let Some(net) = synth.done_net(a) {
+                logic.set(net, fire);
+            }
+        }
+        logic.settle();
+        for v in g.vertex_ids() {
+            let gate = synth.enable_net(v).map(|n| logic.get(n)).unwrap_or(false);
+            if gate != model.enable(v) {
+                diverged = true;
+            }
+        }
+        logic.tick();
+        model.tick();
+    }
+    assert!(diverged, "mismatched schedules must diverge observably");
+}

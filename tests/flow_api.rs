@@ -1,0 +1,86 @@
+//! The one-call synthesis flow.
+
+use relative_scheduling::ctrl::ControlStyle;
+use relative_scheduling::{synthesize, FlowError, FlowOptions};
+
+#[test]
+fn gcd_synthesizes_and_validates_in_one_call() {
+    let synth = synthesize(
+        relative_scheduling::designs::GCD_HARDWAREC,
+        &FlowOptions::default(),
+    )
+    .unwrap();
+    assert!(synth.validated());
+    assert_eq!(synth.root_latency(), None, "gcd is data-dependent");
+    assert_eq!(synth.control.len(), synth.compiled.design.n_graphs());
+    let root = synth.compiled.design.root().unwrap();
+    assert!(!synth
+        .control_of(root)
+        .enable_terms(synth.schedule.graph_schedule(root).lowered.graph.sink())
+        .is_empty());
+}
+
+#[test]
+fn fixed_latency_designs_report_root_latency() {
+    let src = "
+process fir (din, dout)
+    in port din[8];
+    out port dout[8];
+    boolean a[8], b[8];
+{
+    a = read(din);
+    b = a * 3;
+    write dout = b;
+}
+";
+    for style in [ControlStyle::Counter, ControlStyle::ShiftRegister] {
+        let synth = synthesize(
+            src,
+            &FlowOptions {
+                style,
+                ..FlowOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(synth.validated(), "{style:?}");
+        assert_eq!(synth.root_latency(), Some(3), "{style:?}: read+mul+write");
+    }
+}
+
+#[test]
+fn flow_errors_are_staged() {
+    // HDL stage.
+    let err = synthesize("process p (x) { y = 1; }", &FlowOptions::default()).unwrap_err();
+    assert!(matches!(err, FlowError::Hdl(_)), "{err}");
+    // Scheduling stage.
+    let bad = "
+process p (i, o)
+    in port i;
+    out port o;
+    boolean a, b;
+    tag t1, t2;
+{
+    constraint mintime from t1 to t2 = 9 cycles;
+    constraint maxtime from t1 to t2 = 2 cycles;
+    t1: a = read(i);
+    t2: b = read(i);
+    write o = b;
+}
+";
+    let err = synthesize(bad, &FlowOptions::default()).unwrap_err();
+    assert!(matches!(err, FlowError::Schedule(_)), "{err}");
+}
+
+#[test]
+fn validation_can_be_skipped() {
+    let synth = synthesize(
+        relative_scheduling::designs::TRAFFIC_HARDWAREC,
+        &FlowOptions {
+            validation_runs: 0,
+            ..FlowOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(synth.validations.is_empty());
+    assert!(!synth.validated(), "no runs means not validated");
+}

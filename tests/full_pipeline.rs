@@ -1,0 +1,214 @@
+//! Cross-crate integration: HardwareC → binding → scheduling → control →
+//! simulation, plus failure injection at every stage.
+
+use std::collections::HashMap;
+
+use relative_scheduling::binding::{bind, resolve_conflicts, ResourcePool, Strategy};
+use relative_scheduling::core::{schedule, ScheduleError};
+use relative_scheduling::ctrl::{generate, ControlStyle};
+use relative_scheduling::graph::{ConstraintGraph, ExecDelay};
+use relative_scheduling::hdl;
+use relative_scheduling::sgraph::{schedule_design, OpKind};
+use relative_scheduling::sim::{DelaySource, Simulator};
+
+/// A DSP-ish process sharing one multiplier: compile, bind, resolve
+/// conflicts, schedule, generate control, and simulate.
+#[test]
+fn hdl_to_simulation_with_resource_sharing() {
+    let src = r#"
+process mac (din, dout, start)
+    in port din, start;
+    out port dout;
+    boolean a, b, p1, p2, acc;
+{
+    while (start) ;
+    a = read(din);
+    b = read(din);
+    < p1 = a * a; p2 = b * b; >
+    acc = p1 + p2;
+    write dout = acc;
+}
+"#;
+    let compiled = hdl::compile(src).expect("compiles");
+    let scheduled = schedule_design(&compiled.design).expect("schedules");
+    let root = compiled.design.root().expect("root");
+    let gs = scheduled.graph_schedule(root);
+
+    // Bind the two multiplications to a single multiplier and re-resolve.
+    let mut graph = gs.lowered.graph.clone();
+    let seq = compiled.design.graph(root).expect("root graph");
+    let muls: Vec<_> = seq
+        .op_ids()
+        .filter(|&id| seq.op(id).name().starts_with('p'))
+        .map(|id| gs.lowered.op_vertices[id.index()])
+        .collect();
+    assert_eq!(muls.len(), 2);
+    let classes: HashMap<_, _> = muls.iter().map(|&v| (v, "mult".to_owned())).collect();
+    let pool = ResourcePool::new().with_kind("mult", 1);
+    let binding = bind(&graph, &classes, &pool).expect("binds");
+    let report = resolve_conflicts(&mut graph, &binding, Strategy::Exhaustive).expect("resolves");
+    assert_eq!(report.added_edges.len(), 1, "the two multiplies serialize");
+
+    // The serialized graph still schedules and simulates cleanly.
+    let omega = schedule(&graph).expect("schedules after serialization");
+    for style in [ControlStyle::Counter, ControlStyle::ShiftRegister] {
+        let unit = generate(&graph, &omega, style);
+        for seed in 0..10 {
+            let run = Simulator::new(&graph, &unit)
+                .run(&DelaySource::random(seed, 7))
+                .expect("simulates");
+            assert!(run.violations.is_empty(), "{style:?} seed {seed}");
+            assert!(run.matches_analytic, "{style:?} seed {seed}");
+            // The multiplies never overlap on the shared unit.
+            let (m1, m2) = (muls[0], muls[1]);
+            let no_overlap = run.done[m1.index()] <= run.start[m2.index()]
+                || run.done[m2.index()] <= run.start[m1.index()];
+            assert!(
+                no_overlap,
+                "{style:?} seed {seed}: multiplier double-booked"
+            );
+        }
+    }
+}
+
+/// Failure injection: inconsistent constraints surface as typed errors at
+/// the right stage.
+#[test]
+fn inconsistent_constraints_fail_loud() {
+    let src = r#"
+process bad (din, dout)
+    in port din;
+    out port dout;
+    boolean a, b;
+    tag t1, t2;
+{
+    constraint mintime from t1 to t2 = 9 cycles;
+    constraint maxtime from t1 to t2 = 2 cycles;
+    t1: a = read(din);
+    t2: b = read(din);
+    write dout = b;
+}
+"#;
+    let compiled = hdl::compile(src).expect("compiles (errors surface at scheduling)");
+    let err = schedule_design(&compiled.design).unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("unfeasible") || msg.contains("positive cycle"),
+        "{msg}"
+    );
+}
+
+/// Failure injection: an unrepairable ill-posed constraint (anchor between
+/// the constrained pair) is rejected with `CannotSerialize`.
+#[test]
+fn unrepairable_ill_posedness_fails_loud() {
+    let mut design = relative_scheduling::sgraph::Design::new();
+    let mut g = relative_scheduling::sgraph::SeqGraph::new("bad");
+    let before = g.add_op("before", OpKind::fixed(1));
+    let wait = g.add_op(
+        "wait",
+        OpKind::Wait {
+            signal: "ev".into(),
+        },
+    );
+    let after = g.add_op("after", OpKind::fixed(1));
+    g.add_dependency(before, wait).unwrap();
+    g.add_dependency(wait, after).unwrap();
+    g.add_max_constraint(before, after, 5).unwrap();
+    let id = design.add_graph(g);
+    design.set_root(id);
+    let err = schedule_design(&design).unwrap_err();
+    assert!(
+        err.to_string().contains("cannot be made well-posed")
+            || err.to_string().contains("unbounded-length cycle"),
+        "{err}"
+    );
+}
+
+/// Malformed HDL is rejected with positioned diagnostics.
+#[test]
+fn malformed_hdl_reports_positions() {
+    let cases = [
+        ("process p (x) in port x; { y = 1; }", "undeclared"),
+        ("process p (x) in port x; { a = ; }", "expected expression"),
+        ("process p (x) { }", "no port declaration"),
+    ];
+    for (src, needle) in cases {
+        let err = hdl::compile(src).unwrap_err();
+        assert!(
+            err.to_string().contains(needle),
+            "source {src:?}: expected {needle:?} in {err}"
+        );
+    }
+}
+
+/// The classical fixed-delay special case: no unbounded operations means
+/// one anchor (the source) and traditional ASAP behaviour end to end.
+#[test]
+fn fixed_delay_designs_reduce_to_traditional_scheduling() {
+    let mut g = ConstraintGraph::new();
+    let ops: Vec<_> = (0..6)
+        .map(|i| g.add_operation(format!("op{i}"), ExecDelay::Fixed(i % 3 + 1)))
+        .collect();
+    for w in ops.windows(2) {
+        g.add_dependency(w[0], w[1]).unwrap();
+    }
+    g.polarize().unwrap();
+    let omega = schedule(&g).unwrap();
+    assert_eq!(omega.anchors().len(), 1);
+    let asap = relative_scheduling::core::baseline::asap(&g).unwrap();
+    for v in g.vertex_ids() {
+        if let Some(off) = omega.offset(v, g.source()) {
+            assert_eq!(off, asap[v.index()], "relative == ASAP for {v}");
+        }
+    }
+    // And the control degenerates to a single counter.
+    let unit = generate(&g, &omega, ControlStyle::Counter);
+    assert_eq!(unit.anchors().len(), 1);
+    let run = Simulator::new(&g, &unit)
+        .run(&DelaySource::Profile(
+            relative_scheduling::core::DelayProfile::zeros(&g),
+        ))
+        .unwrap();
+    assert!(run.violations.is_empty());
+}
+
+/// Scheduling must be deterministic: identical inputs give identical
+/// schedules across repeated runs.
+#[test]
+fn scheduling_is_deterministic() {
+    let design = relative_scheduling::designs::benchmarks::gcd();
+    let a = schedule_design(&design).unwrap();
+    let b = schedule_design(&design).unwrap();
+    for (x, y) in a.graph_schedules().iter().zip(b.graph_schedules()) {
+        assert_eq!(x.schedule, y.schedule);
+        assert_eq!(x.schedule_ir, y.schedule_ir);
+    }
+}
+
+#[test]
+fn schedule_error_types_are_stable() {
+    // Unfeasible.
+    let mut g = ConstraintGraph::new();
+    let x = g.add_operation("x", ExecDelay::Fixed(5));
+    let y = g.add_operation("y", ExecDelay::Fixed(1));
+    g.add_dependency(x, y).unwrap();
+    g.add_max_constraint(x, y, 2).unwrap();
+    g.polarize().unwrap();
+    assert!(matches!(
+        schedule(&g),
+        Err(ScheduleError::Unfeasible { .. })
+    ));
+
+    // Ill-posed.
+    let mut g = ConstraintGraph::new();
+    let a1 = g.add_operation("a1", ExecDelay::Unbounded);
+    let a2 = g.add_operation("a2", ExecDelay::Unbounded);
+    let u = g.add_operation("u", ExecDelay::Fixed(1));
+    let w = g.add_operation("w", ExecDelay::Fixed(1));
+    g.add_dependency(a1, u).unwrap();
+    g.add_dependency(a2, w).unwrap();
+    g.add_max_constraint(u, w, 3).unwrap();
+    g.polarize().unwrap();
+    assert!(matches!(schedule(&g), Err(ScheduleError::IllPosed { .. })));
+}

@@ -1,0 +1,90 @@
+//! Hierarchical simulation of the full benchmark suite: every sequencing
+//! graph of every design executes its loops/calls/branches recursively,
+//! without timing violations, under multiple random delay profiles.
+
+use relative_scheduling::ctrl::ControlStyle;
+use relative_scheduling::designs::benchmarks::all_benchmarks;
+use relative_scheduling::sgraph::schedule_design;
+use relative_scheduling::sim::{run_hierarchical, HierConfig};
+
+#[test]
+fn all_benchmarks_execute_hierarchically_clean() {
+    for bench in all_benchmarks() {
+        let scheduled = schedule_design(&bench.design).unwrap();
+        for seed in 0..3u64 {
+            let act = run_hierarchical(
+                &bench.design,
+                &scheduled,
+                &HierConfig {
+                    seed,
+                    max_loop_iterations: 2,
+                    ..HierConfig::default()
+                },
+            )
+            .unwrap_or_else(|e| panic!("{} seed {seed}: {e}", bench.name));
+            assert!(act.all_clean(), "{} seed {seed}", bench.name);
+        }
+    }
+}
+
+#[test]
+fn irredundant_and_full_control_agree_hierarchically() {
+    let bench = all_benchmarks().remove(2); // gcd
+    let scheduled = schedule_design(&bench.design).unwrap();
+    for seed in 0..5u64 {
+        let mk = |irredundant: bool| {
+            run_hierarchical(
+                &bench.design,
+                &scheduled,
+                &HierConfig {
+                    seed,
+                    irredundant,
+                    ..HierConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        let full = mk(false);
+        let min = mk(true);
+        // Theorems 4/6 at system scale: identical start times everywhere.
+        fn starts(a: &relative_scheduling::sim::GraphActivation, out: &mut Vec<Vec<u64>>) {
+            out.push(a.report.start.clone());
+            for (_, acts) in &a.children {
+                for c in acts {
+                    starts(c, out);
+                }
+            }
+        }
+        let (mut sf, mut sm) = (Vec::new(), Vec::new());
+        starts(&full, &mut sf);
+        starts(&min, &mut sm);
+        assert_eq!(sf, sm, "seed {seed}");
+    }
+}
+
+#[test]
+fn both_control_styles_agree_hierarchically() {
+    let bench = all_benchmarks().remove(1); // length
+    let scheduled = schedule_design(&bench.design).unwrap();
+    for seed in 0..5u64 {
+        let mk = |style| {
+            run_hierarchical(
+                &bench.design,
+                &scheduled,
+                &HierConfig {
+                    seed,
+                    style,
+                    ..HierConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        let counter = mk(ControlStyle::Counter);
+        let shift = mk(ControlStyle::ShiftRegister);
+        assert_eq!(
+            counter.report.start, shift.report.start,
+            "seed {seed}: styles must time identically"
+        );
+        assert_eq!(counter.makespan(), shift.makespan());
+    }
+}
