@@ -1,0 +1,206 @@
+//! Incremental engine vs cold re-analysis across edit-sequence lengths.
+//!
+//! For each design and edit-sequence length L ∈ {1, 8, 64}, measures:
+//!
+//! - `incremental/…` — an [`rsched_engine::Session`] applying L additive
+//!   min-constraint edits, each warm-starting the fixpoint iteration from
+//!   the previous offsets;
+//! - `cold/…` — the same L edits applied to a plain graph with a full
+//!   [`rsched_core::schedule`] re-run after every edit (the pre-engine
+//!   workflow).
+//!
+//! Designs are the largest paper figure (fig. 10) plus paper-style random
+//! graphs at 200 and 800 operations. A custom `main` exports the samples
+//! and the single-edit speedup on the largest design to
+//! `BENCH_engine.json` at the repository root, so the perf trajectory is
+//! tracked across revisions.
+
+use criterion::{BenchmarkId, Criterion};
+
+use rsched_core::schedule;
+use rsched_designs::paper::fig10;
+use rsched_designs::random::{random_constraint_graph, RandomGraphConfig};
+use rsched_engine::json::{object, Json};
+use rsched_engine::Session;
+use rsched_graph::{ConstraintGraph, VertexId};
+
+const EDIT_LENGTHS: [usize; 3] = [1, 8, 64];
+const LARGEST: &str = "rand_800";
+
+/// A benchmark design plus a pre-validated edit sequence: forward min
+/// constraints that provably keep the graph feasible and well-posed, so
+/// warm and cold runs schedule after every single edit.
+struct Scenario {
+    name: &'static str,
+    graph: ConstraintGraph,
+    edits: Vec<(VertexId, VertexId, u64)>,
+}
+
+fn scenarios() -> Vec<Scenario> {
+    let (fig10_graph, ..) = fig10();
+    let mut out = Vec::new();
+    for (name, graph) in [
+        ("fig10", fig10_graph),
+        (
+            "rand_200",
+            random_constraint_graph(
+                7,
+                &RandomGraphConfig {
+                    n_ops: 200,
+                    ..Default::default()
+                },
+            ),
+        ),
+        (
+            LARGEST,
+            random_constraint_graph(
+                11,
+                &RandomGraphConfig {
+                    n_ops: 800,
+                    ..Default::default()
+                },
+            ),
+        ),
+    ] {
+        let edits = safe_edits(&graph, *EDIT_LENGTHS.iter().max().unwrap());
+        out.push(Scenario { name, graph, edits });
+    }
+    out
+}
+
+/// Selects `n` min-constraint edits that keep the design schedulable, by
+/// trial-applying candidates against a scratch copy. Deterministic: the
+/// candidate stream is a fixed linear scan over operation pairs.
+fn safe_edits(graph: &ConstraintGraph, n: usize) -> Vec<(VertexId, VertexId, u64)> {
+    let ops: Vec<VertexId> = graph.operation_ids().collect();
+    let mut scratch = graph.clone();
+    let mut edits = Vec::with_capacity(n);
+    let mut pass = 0usize;
+    'outer: while edits.len() < n {
+        // Strides wrap around, so small designs repeat pairs (parallel
+        // constraint edges are legal and still exercise a real edit).
+        let stride = 1 + pass % ops.len().saturating_sub(1).max(1);
+        let before = edits.len();
+        for i in 0..ops.len().saturating_sub(stride) {
+            let (from, to) = (ops[i], ops[i + stride]);
+            let value = (i % 3) as u64;
+            let Ok(edge) = scratch.add_min_constraint(from, to, value) else {
+                continue;
+            };
+            if schedule(&scratch).is_ok() {
+                edits.push((from, to, value));
+                if edits.len() == n {
+                    break 'outer;
+                }
+            } else {
+                scratch.remove_edge(edge).expect("just added");
+            }
+        }
+        pass += 1;
+        assert!(
+            edits.len() > before || !pass.is_multiple_of(ops.len().max(2)),
+            "could not find {n} feasibility-preserving edits"
+        );
+    }
+    edits
+}
+
+fn engine_edits(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_edits");
+    for scenario in scenarios() {
+        let session = Session::open(scenario.graph.clone()).expect("designs open");
+        assert!(session.posedness().is_well_posed(), "{}", scenario.name);
+        for len in EDIT_LENGTHS {
+            let edits = &scenario.edits[..len];
+            group.bench_with_input(
+                BenchmarkId::new("incremental", format!("{}/{len}", scenario.name)),
+                edits,
+                |b, edits| {
+                    b.iter_batched(
+                        || session.clone(),
+                        |mut s| {
+                            for &(from, to, value) in edits {
+                                let outcome = s.add_min_constraint(from, to, value);
+                                assert!(outcome.is_scheduled(), "{outcome:?}");
+                            }
+                            s
+                        },
+                        criterion::BatchSize::SmallInput,
+                    )
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new("cold", format!("{}/{len}", scenario.name)),
+                edits,
+                |b, edits| {
+                    b.iter_batched(
+                        || scenario.graph.clone(),
+                        |mut g| {
+                            for &(from, to, value) in edits {
+                                g.add_min_constraint(from, to, value).expect("safe edit");
+                                schedule(&g).expect("stays feasible");
+                            }
+                            g
+                        },
+                        criterion::BatchSize::SmallInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut criterion = Criterion::default()
+        .sample_size(12)
+        .warm_up_time(std::time::Duration::from_millis(150))
+        .measurement_time(std::time::Duration::from_millis(500));
+    engine_edits(&mut criterion);
+    let results = criterion.take_results();
+
+    let mean_of = |kind: &str, case: &str| -> Option<f64> {
+        results
+            .iter()
+            .find(|r| r.id == format!("{kind}/{case}"))
+            .map(|r| r.mean_ns)
+    };
+    let speedup = match (
+        mean_of("cold", &format!("{LARGEST}/1")),
+        mean_of("incremental", &format!("{LARGEST}/1")),
+    ) {
+        (Some(cold), Some(warm)) if warm > 0.0 => cold / warm,
+        _ => 0.0,
+    };
+
+    let json = object([
+        ("bench", Json::from("engine_edits")),
+        ("largest_design", Json::from(LARGEST)),
+        ("single_edit_speedup_largest", Json::Float(speedup)),
+        (
+            "results",
+            Json::Array(
+                results
+                    .iter()
+                    .map(|r| {
+                        object([
+                            ("group", Json::from(r.group.as_str())),
+                            ("id", Json::from(r.id.as_str())),
+                            ("mean_ns", Json::Float(r.mean_ns)),
+                            ("min_ns", Json::Float(r.min_ns)),
+                            ("max_ns", Json::Float(r.max_ns)),
+                            ("iterations", Json::from(r.iterations as i64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    std::fs::write(path, json.render() + "\n").expect("write BENCH_engine.json");
+    println!("single-edit speedup on {LARGEST}: {speedup:.1}x (summary: BENCH_engine.json)");
+    assert!(
+        speedup >= 5.0,
+        "incremental single edit must be >= 5x faster than cold on {LARGEST}"
+    );
+}

@@ -16,6 +16,8 @@
 //! rsched verilog   <graph.rsg> [--style counter|shift] [--ir] [--name M]
 //! rsched dot       <graph.rsg>                 Graphviz output
 //! rsched compile   <design.hc> [--vcd --seed N]  HardwareC -> schedules
+//! rsched serve     [--workers N] [--deadline-ms N]  JSON-lines service on stdio
+//! rsched help                                  print usage
 //! ```
 //!
 //! The library surface ([`run`]) takes the argument vector and returns
@@ -71,7 +73,9 @@ const USAGE: &str = "usage:
   rsched reduce    <graph.rsg>
   rsched verilog   <graph.rsg> [--style counter|shift] [--ir] [--name M]
   rsched dot       <graph.rsg>
-  rsched compile   <design.hc> [--vcd --seed N]";
+  rsched compile   <design.hc> [--vcd --seed N]
+  rsched serve     [--workers N] [--deadline-ms N]
+  rsched help";
 
 /// Executes a CLI invocation (`args` excludes the program name) and
 /// returns the stdout payload.
@@ -85,6 +89,18 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     let command = it
         .next()
         .ok_or_else(|| CliError::usage("missing command"))?;
+    match command.as_str() {
+        "help" | "--help" | "-h" => return Ok(format!("{USAGE}\n")),
+        "serve" => {
+            let flags: Vec<&String> = it.collect();
+            let config = parse_serve_config(&flags)?;
+            let stdin = std::io::stdin();
+            rsched_engine::serve(stdin.lock(), std::io::stdout(), &config)
+                .map_err(CliError::failure)?;
+            return Ok(String::new());
+        }
+        _ => {}
+    }
     if !matches!(
         command.as_str(),
         "check"
@@ -121,6 +137,28 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "compile" => compile_cmd(&source, &flags),
         _ => unreachable!("validated above"),
     }
+}
+
+fn parse_serve_config(flags: &[&String]) -> Result<rsched_engine::ServeConfig, CliError> {
+    let mut config = rsched_engine::ServeConfig::default();
+    if let Some(v) = flag_value(flags, "--workers") {
+        config.workers = v
+            .parse()
+            .map_err(|_| CliError::usage("--workers expects a number"))?;
+    }
+    if let Some(v) = flag_value(flags, "--deadline-ms") {
+        let ms: u64 = v
+            .parse()
+            .map_err(|_| CliError::usage("--deadline-ms expects a number"))?;
+        config.deadline = Some(std::time::Duration::from_millis(ms));
+    }
+    if let Some(stray) = flags
+        .iter()
+        .find(|f| !matches!(f.as_str(), "--workers" | "--deadline-ms") && f.parse::<u64>().is_err())
+    {
+        return Err(CliError::usage(format!("unknown serve flag '{stray}'")));
+    }
+    Ok(config)
 }
 
 fn load_graph(source: &str) -> Result<ConstraintGraph, CliError> {
@@ -676,6 +714,56 @@ process demo (req, ack)
         assert_eq!(run_args(&["check"]).unwrap_err().code, 2);
         let err = run_args(&["check", "/nonexistent/path.rsg"]).unwrap_err();
         assert_eq!(err.code, 1);
+    }
+
+    #[test]
+    fn help_lists_every_subcommand() {
+        for invocation in ["help", "--help", "-h"] {
+            let out = run_args(&[invocation]).unwrap();
+            for cmd in [
+                "check", "schedule", "slack", "explain", "control", "fsm", "simulate", "reduce",
+                "verilog", "dot", "compile", "serve", "help",
+            ] {
+                assert!(out.contains(cmd), "'{invocation}' output misses '{cmd}'");
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_command_error_includes_usage() {
+        let err = run_args(&["frobnicate", "x"]).unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("unknown command 'frobnicate'"));
+        assert!(
+            err.message.contains("rsched serve"),
+            "usage must list serve"
+        );
+    }
+
+    #[test]
+    fn serve_flag_parsing() {
+        let empty: Vec<&String> = Vec::new();
+        assert_eq!(parse_serve_config(&empty).unwrap().workers, 4);
+        let args = ["--workers".to_string(), "2".to_string()];
+        let flags: Vec<&String> = args.iter().collect();
+        let cfg = parse_serve_config(&flags).unwrap();
+        assert_eq!(cfg.workers, 2);
+        assert_eq!(cfg.deadline, None);
+        let args = ["--deadline-ms".to_string(), "250".to_string()];
+        let flags: Vec<&String> = args.iter().collect();
+        let cfg = parse_serve_config(&flags).unwrap();
+        assert_eq!(cfg.deadline, Some(std::time::Duration::from_millis(250)));
+        // Bad values and stray flags are usage errors (exit code 2),
+        // reported before any stdin read.
+        assert_eq!(
+            run_args(&["serve", "--workers", "nope"]).unwrap_err().code,
+            2
+        );
+        assert_eq!(
+            run_args(&["serve", "--deadline-ms", "x"]).unwrap_err().code,
+            2
+        );
+        assert_eq!(run_args(&["serve", "--frob"]).unwrap_err().code, 2);
     }
 
     #[test]

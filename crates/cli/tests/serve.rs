@@ -1,0 +1,142 @@
+//! End-to-end tests of the `rsched` binary: the `serve` JSON-lines
+//! service over real pipes, plus `help` / usage exit behavior.
+
+use std::io::Write as _;
+use std::process::{Command, Output, Stdio};
+
+const BIN: &str = env!("CARGO_BIN_EXE_rsched");
+
+const DESIGN: &str =
+    "op sync unbounded\\nop alu 2\\nop out 1\\ndep sync alu\\ndep alu out\\nmax alu out 4\\n";
+
+fn run_serve(stdin_payload: &str, extra_args: &[&str]) -> Output {
+    let mut child = Command::new(BIN)
+        .arg("serve")
+        .args(extra_args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn rsched serve");
+    child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(stdin_payload.as_bytes())
+        .expect("write requests");
+    // Dropping stdin closes the pipe: EOF must shut the service down.
+    child.wait_with_output().expect("collect output")
+}
+
+fn stdout_lines(output: &Output) -> Vec<String> {
+    String::from_utf8(output.stdout.clone())
+        .expect("utf-8 responses")
+        .lines()
+        .map(str::to_owned)
+        .collect()
+}
+
+#[test]
+fn serve_round_trip_over_stdio() {
+    let requests = format!(
+        concat!(
+            r#"{{"id":1,"session":"s","op":"open","design":"{design}"}}"#,
+            "\n",
+            r#"{{"id":2,"session":"s","op":"edit","kind":"add_min","from":"alu","to":"out","value":3}}"#,
+            "\n",
+            r#"{{"id":3,"session":"s","op":"schedule"}}"#,
+            "\n",
+            r#"{{"id":4,"session":"s","op":"close"}}"#,
+            "\n"
+        ),
+        design = DESIGN
+    );
+    let output = run_serve(&requests, &[]);
+    assert!(output.status.success(), "clean EOF shutdown exits 0");
+    let lines = stdout_lines(&output);
+    assert_eq!(lines.len(), 4, "one response per request: {lines:?}");
+    assert!(lines[0].contains(r#""id":1"#) && lines[0].contains(r#""ok":true"#));
+    assert!(lines[0].contains(r#""verdict":"well-posed""#));
+    assert!(lines[1].contains(r#""outcome":"rescheduled""#));
+    // The min constraint pushes `out` to 3 cycles after `sync`.
+    assert!(
+        lines[2].contains(r#""out":{"source":3,"sync":3}"#),
+        "schedule response carries offsets: {}",
+        lines[2]
+    );
+    assert!(lines[3].contains(r#""closed":true"#));
+}
+
+#[test]
+fn serve_honors_request_deadlines() {
+    let requests = format!(
+        concat!(
+            r#"{{"id":1,"session":"s","op":"open","design":"{design}"}}"#,
+            "\n",
+            r#"{{"id":2,"session":"s","op":"schedule","deadline_ms":0}}"#,
+            "\n",
+            r#"{{"id":3,"session":"s","op":"schedule"}}"#,
+            "\n"
+        ),
+        design = DESIGN
+    );
+    let output = run_serve(&requests, &["--workers", "1"]);
+    assert!(output.status.success());
+    let lines = stdout_lines(&output);
+    let expired = lines
+        .iter()
+        .find(|l| l.contains(r#""id":2"#))
+        .expect("response for the expired request");
+    assert!(expired.contains(r#""ok":false"#) && expired.contains("deadline"));
+    let after = lines
+        .iter()
+        .find(|l| l.contains(r#""id":3"#))
+        .expect("response after the expired request");
+    assert!(after.contains(r#""ok":true"#), "later requests still run");
+}
+
+#[test]
+fn serve_answers_malformed_lines_in_band() {
+    let output = run_serve("{definitely not json\n", &[]);
+    assert!(output.status.success(), "bad requests are not fatal");
+    let lines = stdout_lines(&output);
+    assert_eq!(lines.len(), 1);
+    assert!(lines[0].contains(r#""ok":false"#) && lines[0].contains("malformed"));
+}
+
+#[test]
+fn help_exits_zero_and_lists_serve() {
+    for arg in ["help", "--help", "-h"] {
+        let output = Command::new(BIN)
+            .arg(arg)
+            .output()
+            .expect("run rsched help");
+        assert!(output.status.success(), "'{arg}' must exit 0");
+        let text = String::from_utf8(output.stdout).unwrap();
+        assert!(text.contains("rsched serve"), "'{arg}' output lists serve");
+        assert!(text.contains("rsched schedule"));
+    }
+}
+
+#[test]
+fn unknown_subcommand_exits_2_with_usage() {
+    let output = Command::new(BIN)
+        .arg("frobnicate")
+        .output()
+        .expect("run rsched frobnicate");
+    assert_eq!(output.status.code(), Some(2));
+    let err = String::from_utf8(output.stderr).unwrap();
+    assert!(err.contains("unknown command 'frobnicate'"));
+    assert!(err.contains("rsched serve"), "usage on stderr lists serve");
+}
+
+#[test]
+fn serve_rejects_bad_flags_before_reading_stdin() {
+    let output = Command::new(BIN)
+        .args(["serve", "--workers", "many"])
+        .output()
+        .expect("run rsched serve with a bad flag");
+    assert_eq!(output.status.code(), Some(2));
+    let err = String::from_utf8(output.stderr).unwrap();
+    assert!(err.contains("--workers expects a number"));
+}

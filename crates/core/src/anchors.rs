@@ -13,9 +13,10 @@
 //!   anchors needed to compute the start time `T(v)` (Definition 11,
 //!   Theorem 6).
 
+use std::collections::VecDeque;
 use std::fmt;
 
-use rsched_graph::{ConstraintGraph, VertexId};
+use rsched_graph::{ConstraintGraph, EdgeId, VertexId};
 
 use crate::error::ScheduleError;
 
@@ -204,6 +205,66 @@ impl AnchorSets {
             }
         }
         Ok(AnchorSets { family })
+    }
+
+    /// Incrementally folds one newly added edge into the family,
+    /// returning the vertices whose anchor sets grew (in discovery
+    /// order; empty for backward edges and no-op additions).
+    ///
+    /// Anchor sets propagate over forward edges only, and adding an edge
+    /// never changes the anchor roster (anchors are the source plus the
+    /// unbounded-delay operations), so the update is a monotone forward
+    /// BFS from the edge head: `A(head) ∪= A(tail)` (plus the tail itself
+    /// when the edge weight is unbounded), repeated along forward
+    /// out-edges while sets keep growing. Each vertex re-enters the queue
+    /// only when its row gained bits, so the sweep terminates and lands on
+    /// the same least fixpoint [`AnchorSets::compute`] would.
+    ///
+    /// `graph` must already contain the edge and `self` must hold the
+    /// exact sets of the graph without it.
+    pub fn notify_add_edge(&mut self, graph: &ConstraintGraph, edge: EdgeId) -> Vec<VertexId> {
+        let e = graph.edge(edge);
+        if !e.is_forward() {
+            return Vec::new();
+        }
+        let (tail, head) = (e.from(), e.to());
+        let mut grew = self.family.union_into(head, tail);
+        if e.weight().is_unbounded() {
+            grew |= self.family.insert(head, tail);
+        }
+        if !grew {
+            return Vec::new();
+        }
+        let mut changed = vec![head];
+        let mut is_changed = vec![false; graph.n_vertices()];
+        is_changed[head.index()] = true;
+        let mut in_queue = vec![false; graph.n_vertices()];
+        in_queue[head.index()] = true;
+        let mut queue = VecDeque::from([head]);
+        while let Some(v) = queue.pop_front() {
+            in_queue[v.index()] = false;
+            for (_, oe) in graph.out_edges(v) {
+                if !oe.is_forward() {
+                    continue;
+                }
+                let u = oe.to();
+                let mut g = self.family.union_into(u, v);
+                if oe.weight().is_unbounded() {
+                    g |= self.family.insert(u, v);
+                }
+                if g {
+                    if !is_changed[u.index()] {
+                        is_changed[u.index()] = true;
+                        changed.push(u);
+                    }
+                    if !in_queue[u.index()] {
+                        in_queue[u.index()] = true;
+                        queue.push_back(u);
+                    }
+                }
+            }
+        }
+        changed
     }
 
     /// Access to the underlying family (`anchors()`, `contains`, `set`, …).

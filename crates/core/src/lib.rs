@@ -75,12 +75,13 @@ pub use anchors::{
 pub use error::ScheduleError;
 pub use explain::{explain_offset, OffsetExplanation};
 pub use schedule::{
-    schedule, schedule_traced, schedule_with_sets, IterationTrace, RelativeSchedule, ScheduleTrace,
+    relax_additive, reschedule, schedule, schedule_traced, schedule_with_sets, IterationTrace,
+    RelativeSchedule, ScheduleTrace,
 };
 pub use slack::{relative_slack, SlackAnalysis};
 pub use start_time::{
-    profile_for, start_times, verify_start_times, DelayProfile, ProfileBuilder, StartTimes,
-    TimingViolation,
+    profile_for, start_times, update_start_times, verify_start_times, DelayProfile, ProfileBuilder,
+    StartTimes, TimingViolation,
 };
 pub use wellposed::{
     check_well_posed, check_well_posed_with, make_well_posed, IllPosedEdge, SerializationReport,

@@ -306,13 +306,233 @@ pub fn schedule_traced(graph: &ConstraintGraph) -> Result<ScheduleTrace, Schedul
     })
 }
 
+/// Warm-started iterative scheduling — the incremental engine's entry
+/// point.
+///
+/// `sets` must be the up-to-date anchor-set family of `graph`; `prev` is a
+/// previously computed fixpoint of a *related* graph. The offset column of
+/// every anchor in `warm_anchors` is seeded from `prev` (where both
+/// families track the `(vertex, anchor)` pair); all other columns start
+/// from zero, and the usual `IncrementalOffset` / `ReadjustOffsets`
+/// iteration runs to the fixpoint.
+///
+/// Seeding is sound whenever the seed is a pointwise *lower bound* on the
+/// new minimum offsets: both sweeps are monotone and only ever raise
+/// offsets, so iterates stay sandwiched between the seed and the minimum
+/// schedule and converge to the same fixpoint as a cold run, within the
+/// same `|E_b| + 1` budget (Theorem 8 / Corollary 2). Callers therefore
+/// pass as `warm_anchors`:
+///
+/// - anchors untouched by an edit (their columns are already exact), and
+/// - after a purely *additive* edit (new edge/constraint), every anchor —
+///   added constraints can only raise minimum offsets;
+///
+/// and must *exclude* anchors whose paths lost an edge or weight
+/// (removals, delay reductions), whose old offsets may overshoot.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError::Inconsistent`] when the budget is exhausted —
+/// for a graph that passed the anchor-containment check this implies a
+/// positive cycle (unfeasible constraints), which callers classify via
+/// [`check_well_posed_with`].
+pub fn reschedule(
+    graph: &ConstraintGraph,
+    sets: &AnchorSetFamily,
+    prev: &RelativeSchedule,
+    warm_anchors: &[VertexId],
+) -> Result<RelativeSchedule, ScheduleError> {
+    let mut omega = RelativeSchedule::new(sets.clone(), graph.n_vertices());
+    for &a in warm_anchors {
+        let (Some(ai_new), Some(ai_old)) = (sets.anchor_index(a), prev.sets.anchor_index(a)) else {
+            continue;
+        };
+        for vi in 0..graph.n_vertices() {
+            let v = VertexId::from_index(vi);
+            if sets.contains(v, a) && prev.sets.contains(v, a) {
+                omega.offsets[vi * omega.n_anchors + ai_new] =
+                    prev.offsets[vi * prev.n_anchors + ai_old];
+            }
+        }
+    }
+    run_from(graph, omega, None)
+}
+
+/// Local re-relaxation after one *additive* edit — the incremental
+/// engine's fast path.
+///
+/// Preconditions: `prev` is the minimum relative schedule of `graph`
+/// *without* the edge `new_edge`; `sets` is the exact anchor-set family
+/// of `graph` *with* it; and `changed_sets` lists exactly the vertices
+/// whose anchor sets grew under the edit (as returned by
+/// [`AnchorSets::notify_add_edge`](crate::AnchorSets::notify_add_edge)).
+/// Additive edits never change the anchor roster, so `sets` and
+/// `prev.tracked_sets()` share anchors and the dense offset layout.
+///
+/// Under those preconditions `prev`'s offsets, reinterpreted over `sets`,
+/// are a pointwise lower bound on the new minimum: surviving `(vertex,
+/// anchor)` pairs keep offsets that constraints can only push up, and
+/// newly tracked pairs start from zero (untracked slots are zero in every
+/// schedule the iteration produces). The seed also satisfies every
+/// constraint except those headed at a `changed_sets` vertex or at the
+/// new edge's head — so relaxing exactly those and worklist-propagating
+/// the raises along out-edges converges to the minimum schedule of
+/// `graph`, touching only the cone of vertices whose offsets actually
+/// move instead of sweeping all `O((|V| + |E|) · |A|)` pairs per
+/// iteration. The schedule is updated **in place** (no `|V| × |A|` matrix
+/// copy — on large designs the copy alone would rival the relaxation).
+///
+/// Returns the vertices whose offsets rose (empty when the new constraint
+/// was already satisfied).
+///
+/// # Errors
+///
+/// Returns [`ScheduleError::Inconsistent`] when relaxation fails to
+/// settle within a Bellman–Ford-style per-vertex pop budget. On a graph
+/// whose backward edges pass the Theorem 2 containment check this
+/// indicates a positive cycle; callers classify authoritatively via
+/// [`check_well_posed_with`], exactly as for a [`reschedule`] budget
+/// exhaustion. **On error `prev` is damaged** — offsets have been raised
+/// along the divergent cycle past any meaningful minimum — and must not
+/// be reused as a warm-start seed.
+pub fn relax_additive(
+    graph: &ConstraintGraph,
+    sets: &AnchorSetFamily,
+    prev: &mut RelativeSchedule,
+    new_edge: EdgeId,
+    changed_sets: &[VertexId],
+) -> Result<Vec<VertexId>, ScheduleError> {
+    // One relaxation of `e`: all anchor columns tracked at both endpoints,
+    // plus (for forward edges) the σ_tail(tail) = 0 base case — the exact
+    // per-edge rules of `incremental_offset` / `readjust_offsets`.
+    fn relax_edge(
+        omega: &mut RelativeSchedule,
+        anchors: &[VertexId],
+        e: &rsched_graph::Edge,
+    ) -> bool {
+        let n = omega.n_anchors;
+        let (t, h) = (e.from(), e.to());
+        let w = e.weight().zeroed();
+        let mut raised = false;
+        for (ai, &a) in anchors.iter().enumerate() {
+            if !omega.sets.contains(t, a) || !omega.sets.contains(h, a) {
+                continue;
+            }
+            let cand = omega.offsets[t.index() * n + ai] + w;
+            let slot = &mut omega.offsets[h.index() * n + ai];
+            if cand > *slot {
+                *slot = cand;
+                raised = true;
+            }
+        }
+        if e.is_forward() {
+            if let Some(ai) = omega.sets.anchor_index(t) {
+                if omega.sets.contains(h, t) {
+                    let slot = &mut omega.offsets[h.index() * n + ai];
+                    if w > *slot {
+                        *slot = w;
+                        raised = true;
+                    }
+                }
+            }
+        }
+        raised
+    }
+
+    debug_assert_eq!(
+        sets.anchors(),
+        prev.sets.anchors(),
+        "additive edits keep the anchor roster"
+    );
+    let anchors = sets.anchors().to_vec();
+    if !changed_sets.is_empty() {
+        prev.sets = sets.clone();
+    } else {
+        debug_assert!(prev.sets == *sets, "no set change means identical families");
+    }
+    prev.iterations = 1;
+    let omega = prev;
+    let mut raised_list = Vec::new();
+    let mut is_raised = vec![false; graph.n_vertices()];
+    let mut in_queue = vec![false; graph.n_vertices()];
+    let mut pops = vec![0u32; graph.n_vertices()];
+    // Without positive cycles each vertex settles within |V| pops per
+    // anchor column (the longest-path argument behind Bellman–Ford); a
+    // vertex exceeding the budget proves divergence. The bound is per
+    // column because FIFO order can interleave raises of different
+    // columns.
+    let cap = (graph.n_vertices().max(2) as u32).saturating_mul(anchors.len().max(1) as u32);
+    let mut queue = std::collections::VecDeque::new();
+    // Seed: vertices with grown sets have fresh zero columns — their
+    // in-constraints need one relaxation now, and their out-constraints
+    // (violated even without a raise, e.g. a zero column feeding a
+    // positive-weight edge into an anchor-sharing head) are covered by
+    // queueing them unconditionally.
+    for &v in changed_sets {
+        if !in_queue[v.index()] {
+            in_queue[v.index()] = true;
+            queue.push_back(v);
+        }
+        let mut grew = false;
+        for (_, e) in graph.in_edges(v) {
+            grew |= relax_edge(omega, &anchors, e);
+        }
+        if grew && !is_raised[v.index()] {
+            is_raised[v.index()] = true;
+            raised_list.push(v);
+        }
+    }
+    if relax_edge(omega, &anchors, graph.edge(new_edge)) {
+        let h = graph.edge(new_edge).to();
+        if !is_raised[h.index()] {
+            raised_list.push(h);
+            is_raised[h.index()] = true;
+        }
+        if !in_queue[h.index()] {
+            in_queue[h.index()] = true;
+            queue.push_back(h);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        in_queue[v.index()] = false;
+        pops[v.index()] += 1;
+        if pops[v.index()] > cap {
+            return Err(ScheduleError::Inconsistent {
+                iterations: graph.n_backward_edges() + 1,
+            });
+        }
+        for (_, e) in graph.out_edges(v) {
+            if relax_edge(omega, &anchors, e) {
+                let u = e.to();
+                if !is_raised[u.index()] {
+                    is_raised[u.index()] = true;
+                    raised_list.push(u);
+                }
+                if !in_queue[u.index()] {
+                    in_queue[u.index()] = true;
+                    queue.push_back(u);
+                }
+            }
+        }
+    }
+    Ok(raised_list)
+}
+
 fn run(
     graph: &ConstraintGraph,
     sets: AnchorSetFamily,
+    trace: Option<&mut Vec<IterationTrace>>,
+) -> Result<RelativeSchedule, ScheduleError> {
+    let omega = RelativeSchedule::new(sets, graph.n_vertices());
+    run_from(graph, omega, trace)
+}
+
+fn run_from(
+    graph: &ConstraintGraph,
+    mut omega: RelativeSchedule,
     mut trace: Option<&mut Vec<IterationTrace>>,
 ) -> Result<RelativeSchedule, ScheduleError> {
     let topo = graph.forward_topological_order()?;
-    let mut omega = RelativeSchedule::new(sets, graph.n_vertices());
     let budget = graph.n_backward_edges() + 1;
     for iter in 1..=budget {
         incremental_offset(graph, &topo, &mut omega);
@@ -618,6 +838,83 @@ mod tests {
             .restrict(analysis.irredundant.family())
             .validate(&g)
             .is_empty());
+    }
+
+    /// Warm-started rescheduling converges to the same fixpoint as a cold
+    /// run — for additive edits seeding every anchor, for subtractive edits
+    /// seeding only the untouched ones.
+    #[test]
+    fn reschedule_matches_cold_run() {
+        let (mut g, a, [_, _, _, _, _, _]) = fig10();
+        let before = schedule(&g).unwrap();
+
+        // Additive edit: a new max constraint. All anchors may warm-start.
+        let v2 = g
+            .vertex_ids()
+            .find(|&v| g.vertex(v).name() == "v2")
+            .unwrap();
+        let e = g.add_max_constraint(v2, g.sink(), 11).unwrap();
+        let sets = AnchorSets::compute(&g).unwrap();
+        let warm: Vec<VertexId> = sets.family().anchors().to_vec();
+        let fast = reschedule(&g, sets.family(), &before, &warm).unwrap();
+        let cold = schedule(&g).unwrap();
+        for v in g.vertex_ids() {
+            for &anchor in cold.anchors() {
+                assert_eq!(
+                    fast.offset(v, anchor),
+                    cold.offset(v, anchor),
+                    "σ_{anchor}({v})"
+                );
+            }
+        }
+
+        // Subtractive edit: remove it again. The dirtied anchors (those
+        // reaching the edge tail — here all of them) must start cold; an
+        // empty warm set is always sound.
+        g.remove_edge(e).unwrap();
+        let sets = AnchorSets::compute(&g).unwrap();
+        let fast = reschedule(&g, sets.family(), &fast, &[]).unwrap();
+        let cold = schedule(&g).unwrap();
+        for v in g.vertex_ids() {
+            for &anchor in cold.anchors() {
+                assert_eq!(
+                    fast.offset(v, anchor),
+                    cold.offset(v, anchor),
+                    "σ_{anchor}({v})"
+                );
+            }
+        }
+        // Seeding from the exact previous fixpoint (no-op edit) also lands
+        // on the same schedule, in one iteration.
+        let warm: Vec<VertexId> = sets.family().anchors().to_vec();
+        let noop = reschedule(&g, sets.family(), &fast, &warm).unwrap();
+        assert_eq!(noop.iterations(), 1);
+        for v in g.vertex_ids() {
+            for &anchor in cold.anchors() {
+                assert_eq!(noop.offset(v, anchor), cold.offset(v, anchor));
+            }
+        }
+        let _ = a;
+    }
+
+    /// An unfeasible graph exhausts the warm budget too (the engine's
+    /// fallback trigger for re-classification).
+    #[test]
+    fn reschedule_reports_inconsistent_on_positive_cycle() {
+        let mut g = ConstraintGraph::new();
+        let x = g.add_operation("x", ExecDelay::Fixed(1));
+        let y = g.add_operation("y", ExecDelay::Fixed(1));
+        g.add_dependency(x, y).unwrap();
+        g.polarize().unwrap();
+        let before = schedule(&g).unwrap();
+        g.add_min_constraint(x, y, 9).unwrap();
+        g.add_max_constraint(x, y, 2).unwrap();
+        let sets = AnchorSets::compute(&g).unwrap();
+        let warm: Vec<VertexId> = sets.family().anchors().to_vec();
+        assert!(matches!(
+            reschedule(&g, sets.family(), &before, &warm),
+            Err(ScheduleError::Inconsistent { .. })
+        ));
     }
 
     #[test]

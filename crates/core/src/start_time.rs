@@ -102,6 +102,73 @@ pub fn start_times(
     Ok(StartTimes { times })
 }
 
+/// Incrementally re-evaluates start times after a schedule's offsets
+/// rose at the vertices in `cone`.
+///
+/// Preconditions: `prev` holds the exact start times (under `profile`) of
+/// an earlier schedule whose tracked sets and offsets differ from
+/// `schedule` only at `cone` vertices, and only by *growth* — offsets
+/// rose or `(vertex, anchor)` pairs were added, never removed. This is
+/// precisely the state after [`relax_additive`](crate::relax_additive).
+///
+/// The recursion `T(v) = max_a {T(a) + δ(a) + σ_a(v)}` only consumes the
+/// times of *anchors*, so a vertex's time moves only when its own row
+/// changed (a `cone` member) or when an anchor it tracks moved — which
+/// the worklist follows transitively. Times are monotone under growth, so
+/// re-evaluating from `prev` converges to exactly the times a fresh
+/// [`start_times`] sweep would produce, in time proportional to the
+/// perturbed region instead of `O(|V| · |A|)`.
+///
+/// Returns the updated times plus the vertices whose time rose.
+pub fn update_start_times(
+    graph: &ConstraintGraph,
+    schedule: &RelativeSchedule,
+    profile: &DelayProfile,
+    prev: &StartTimes,
+    cone: &[VertexId],
+) -> (StartTimes, Vec<VertexId>) {
+    let mut times = prev.as_slice().to_vec();
+    let sets = schedule.tracked_sets();
+    let mut rose = Vec::new();
+    let mut is_risen = vec![false; graph.n_vertices()];
+    let mut in_queue = vec![false; graph.n_vertices()];
+    let mut queue = std::collections::VecDeque::new();
+    for &v in cone {
+        if !in_queue[v.index()] {
+            in_queue[v.index()] = true;
+            queue.push_back(v);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        in_queue[v.index()] = false;
+        let mut t = 0u64;
+        for &a in sets.anchors() {
+            if let Some(off) = schedule.offset(v, a) {
+                debug_assert!(off >= 0, "minimum offsets are non-negative");
+                t = t.max(times[a.index()] + profile.delay(a) + off.max(0) as u64);
+            }
+        }
+        if t <= times[v.index()] {
+            continue;
+        }
+        times[v.index()] = t;
+        if !is_risen[v.index()] {
+            is_risen[v.index()] = true;
+            rose.push(v);
+        }
+        // A risen anchor feeds the recursion of every vertex tracking it.
+        if sets.anchor_index(v).is_some() {
+            for w in graph.vertex_ids() {
+                if sets.contains(w, v) && !in_queue[w.index()] {
+                    in_queue[w.index()] = true;
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    (StartTimes { times }, rose)
+}
+
 /// A timing-constraint violation observed on concrete start times.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TimingViolation {

@@ -1,0 +1,30 @@
+//! `rsched-engine` — incremental re-scheduling on top of `rsched-core`,
+//! plus the JSON-lines scheduling service behind `rsched serve`.
+//!
+//! The paper's iterative incremental scheduler recomputes a minimum
+//! relative schedule from scratch on every invocation. Interactive
+//! synthesis (constraint tweaking, what-if latency exploration, editor
+//! integrations) instead makes long chains of *small* edits, each of
+//! which perturbs only part of the analysis. This crate adds:
+//!
+//! - [`Session`] — owns a constraint graph plus cached analyses and
+//!   applies edits (`add_dependency`, `add_min_constraint`,
+//!   `add_max_constraint`, `remove_edge`, `set_delay`) by warm-starting
+//!   the fixpoint iteration from the previous offsets, restarting only
+//!   the anchor columns an edit can actually change. Every edit returns a
+//!   structured [`EditOutcome`] whose verdicts (including ill-posedness
+//!   witnesses) are bit-identical to a cold [`rsched_core::schedule`].
+//! - [`serve`] — a batched JSON-lines service over any `BufRead`/`Write`
+//!   pair (stdin/stdout in the CLI): `open`/`edit`/`schedule`/`stats`/
+//!   `close` requests with id correlation, a bounded worker pool with
+//!   per-session ordering, per-request deadlines, and clean EOF shutdown.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod service;
+pub mod session;
+
+pub use service::{serve, ServeConfig, ServeSummary};
+pub use session::{EditOutcome, Session, SessionStats};

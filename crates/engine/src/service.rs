@@ -1,0 +1,647 @@
+//! The JSON-lines scheduling service behind `rsched serve`.
+//!
+//! One request per line on the input, one response per line on the
+//! output. Every request carries a client-chosen `"id"` that is echoed in
+//! the response, so clients may pipeline requests and correlate answers —
+//! responses for *different* sessions can arrive out of order. Requests
+//! for the *same* session are executed in arrival order: sessions are
+//! pinned to one worker of a bounded [`std::thread`] pool by a hash of
+//! the session name, which keeps edit semantics sequential without a
+//! global lock.
+//!
+//! ## Protocol
+//!
+//! ```text
+//! {"id":1,"op":"open","session":"s","design":"op a 1\nop b 2\ndep a b\n"}
+//! {"id":2,"op":"edit","session":"s","kind":"add_max","from":"a","to":"b","value":4}
+//! {"id":3,"op":"schedule","session":"s"}
+//! {"id":4,"op":"stats","session":"s"}
+//! {"id":5,"op":"close","session":"s"}
+//! ```
+//!
+//! `"kind"` is one of `add_dep`, `add_min`, `add_max` (with `"value"`),
+//! `remove_edge` (endpoints by name), or `set_delay` (with `"vertex"` and
+//! `"delay"`: a cycle count or `"unbounded"`). Responses are
+//! `{"id":…,"ok":true,…}` or `{"id":…,"ok":false,"error":"…"}`.
+//!
+//! Each request honors a deadline (the `ServeConfig` default, overridable
+//! per request via `"deadline_ms"`), measured from the moment the line is
+//! read; a request still queued when its deadline passes is answered with
+//! an error instead of being executed. On end of input the service stops
+//! accepting work, drains every queue, joins the workers, and returns a
+//! summary — a clean EOF shutdown needs no special request.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, Write};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::Mutex;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use rsched_core::WellPosedness;
+use rsched_graph::{ConstraintGraph, ExecDelay};
+
+use crate::json::{object, Json};
+use crate::session::{EditOutcome, Session};
+
+/// Tuning knobs for [`serve`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads (sessions are pinned to workers); clamped to ≥ 1.
+    pub workers: usize,
+    /// Default per-request deadline; `None` means no deadline unless the
+    /// request carries `"deadline_ms"`.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            deadline: None,
+        }
+    }
+}
+
+/// What a [`serve`] run processed, returned after EOF shutdown.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Requests answered (including errors).
+    pub requests: usize,
+    /// Requests answered with `"ok":false`.
+    pub errors: usize,
+    /// `open` requests that created a session.
+    pub sessions_opened: usize,
+}
+
+struct Job {
+    id: Json,
+    request: Json,
+    accepted: Instant,
+    deadline: Option<Duration>,
+}
+
+/// Runs the service until `input` reaches EOF, writing responses to
+/// `output`.
+///
+/// # Errors
+///
+/// Only I/O errors on the transport are fatal; malformed requests are
+/// answered in-band with `"ok":false`.
+pub fn serve<R, W>(input: R, output: W, config: &ServeConfig) -> io::Result<ServeSummary>
+where
+    R: BufRead,
+    W: Write + Send,
+{
+    let n_workers = config.workers.max(1);
+    let out = Mutex::new(CountingWriter {
+        inner: output,
+        responses: 0,
+        errors: 0,
+    });
+    let opened = Mutex::new(0usize);
+
+    thread::scope(|scope| -> io::Result<()> {
+        let mut queues: Vec<Sender<Job>> = Vec::with_capacity(n_workers);
+        for _ in 0..n_workers {
+            let (tx, rx): (Sender<Job>, Receiver<Job>) = mpsc::channel();
+            queues.push(tx);
+            let out = &out;
+            let opened = &opened;
+            scope.spawn(move || worker(rx, out, opened));
+        }
+
+        for line in input.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let request = match Json::parse(&line) {
+                Ok(v) => v,
+                Err(e) => {
+                    respond(&out, fail(Json::Null, format!("malformed request: {e}")))?;
+                    continue;
+                }
+            };
+            let id = request.get("id").cloned().unwrap_or(Json::Null);
+            let Some(session) = request.get("session").and_then(Json::as_str) else {
+                respond(&out, fail(id, "missing \"session\""))?;
+                continue;
+            };
+            let deadline = request
+                .get("deadline_ms")
+                .and_then(Json::as_i64)
+                .map(|ms| Duration::from_millis(ms.max(0) as u64))
+                .or(config.deadline);
+            let slot = pin(session, n_workers);
+            let job = Job {
+                id,
+                request,
+                accepted: Instant::now(),
+                deadline,
+            };
+            if queues[slot].send(job).is_err() {
+                // A worker can only disappear by panicking; surface it.
+                return Err(io::Error::other("service worker died"));
+            }
+        }
+        drop(queues); // EOF: close every queue so workers drain and exit.
+        Ok(())
+    })?;
+
+    let writer = out.into_inner().expect("no worker holds the lock anymore");
+    Ok(ServeSummary {
+        requests: writer.responses,
+        errors: writer.errors,
+        sessions_opened: opened.into_inner().expect("workers joined"),
+    })
+}
+
+/// FNV-1a pin of a session name to a worker slot.
+fn pin(session: &str, n_workers: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in session.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % n_workers as u64) as usize
+}
+
+struct CountingWriter<W: Write> {
+    inner: W,
+    responses: usize,
+    errors: usize,
+}
+
+fn respond<W: Write>(out: &Mutex<CountingWriter<W>>, response: Json) -> io::Result<()> {
+    let mut guard = out.lock().expect("response writer poisoned");
+    guard.responses += 1;
+    if response.get("ok").and_then(Json::as_bool) == Some(false) {
+        guard.errors += 1;
+    }
+    let line = response.render();
+    guard.inner.write_all(line.as_bytes())?;
+    guard.inner.write_all(b"\n")?;
+    guard.inner.flush()
+}
+
+fn fail(id: Json, message: impl Into<String>) -> Json {
+    object([
+        ("id", id),
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str(message.into())),
+    ])
+}
+
+fn worker<W: Write>(rx: Receiver<Job>, out: &Mutex<CountingWriter<W>>, opened: &Mutex<usize>) {
+    let mut sessions: HashMap<String, Session> = HashMap::new();
+    while let Ok(job) = rx.recv() {
+        let expired = job.deadline.is_some_and(|d| job.accepted.elapsed() > d);
+        let response = if expired {
+            fail(job.id, "deadline exceeded before execution")
+        } else {
+            handle(&mut sessions, job.id, &job.request, opened)
+        };
+        if respond(out, response).is_err() {
+            return; // Output gone; nothing sensible left to do.
+        }
+    }
+}
+
+fn handle(
+    sessions: &mut HashMap<String, Session>,
+    id: Json,
+    request: &Json,
+    opened: &Mutex<usize>,
+) -> Json {
+    let name = request
+        .get("session")
+        .and_then(Json::as_str)
+        .expect("dispatcher verified")
+        .to_owned();
+    let op = match request.get("op").and_then(Json::as_str) {
+        Some(op) => op,
+        None => return fail(id, "missing \"op\""),
+    };
+    match op {
+        "open" => {
+            let Some(design) = request.get("design").and_then(Json::as_str) else {
+                return fail(id, "open needs a \"design\" (graph text format)");
+            };
+            let graph = match ConstraintGraph::from_text(design) {
+                Ok(g) => g,
+                Err(e) => return fail(id, format!("bad design: {e}")),
+            };
+            let session = match Session::open(graph) {
+                Ok(s) => s,
+                Err(e) => return fail(id, format!("cannot open session: {e}")),
+            };
+            *opened.lock().expect("open counter poisoned") += 1;
+            let body = [
+                ("vertices", Json::from(session.graph().n_vertices())),
+                ("edges", Json::from(session.graph().n_edges())),
+                ("anchors", Json::from(session.graph().n_anchors())),
+                ("verdict", verdict_json(&session)),
+            ];
+            let replaced = sessions.insert(name, session).is_some();
+            let mut pairs = vec![("id", id), ("ok", Json::Bool(true))];
+            pairs.extend(body);
+            pairs.push(("replaced", Json::Bool(replaced)));
+            object(pairs)
+        }
+        "edit" => with_session(sessions, &name, id, |id, s| edit(s, id, request)),
+        "schedule" => with_session(sessions, &name, id, |id, s| {
+            let mut pairs = vec![
+                ("id", id),
+                ("ok", Json::Bool(true)),
+                ("verdict", verdict_json(s)),
+            ];
+            if let Some(omega) = s.schedule() {
+                let anchors = Json::Array(
+                    omega
+                        .anchors()
+                        .iter()
+                        .map(|&a| Json::from(s.graph().vertex(a).name()))
+                        .collect(),
+                );
+                let offsets = Json::Object(
+                    s.graph()
+                        .vertex_ids()
+                        .map(|v| {
+                            let row = Json::Object(
+                                omega
+                                    .offsets_of(v)
+                                    .map(|(a, o)| {
+                                        (s.graph().vertex(a).name().to_owned(), Json::Int(o))
+                                    })
+                                    .collect(),
+                            );
+                            (s.graph().vertex(v).name().to_owned(), row)
+                        })
+                        .collect(),
+                );
+                pairs.push(("anchors", anchors));
+                pairs.push(("offsets", offsets));
+                pairs.push(("stale", Json::Bool(!s.posedness().is_well_posed())));
+            }
+            object(pairs)
+        }),
+        "stats" => with_session(sessions, &name, id, |id, s| {
+            let st = s.stats();
+            object([
+                ("id", id),
+                ("ok", Json::Bool(true)),
+                ("edits", Json::from(st.edits)),
+                ("rejected", Json::from(st.rejected)),
+                ("noops", Json::from(st.noops)),
+                ("reschedules", Json::from(st.reschedules)),
+                ("warm_anchor_columns", Json::from(st.warm_anchor_columns)),
+                ("cold_anchor_columns", Json::from(st.cold_anchor_columns)),
+                ("iterations", Json::from(st.iterations)),
+                ("ill_posed", Json::from(st.ill_posed)),
+                ("unfeasible", Json::from(st.unfeasible)),
+                ("containment_checks", Json::from(st.containment_checks)),
+                ("vertices", Json::from(s.graph().n_vertices())),
+                ("edges", Json::from(s.graph().n_edges())),
+            ])
+        }),
+        "close" => {
+            if sessions.remove(&name).is_some() {
+                object([
+                    ("id", id),
+                    ("ok", Json::Bool(true)),
+                    ("closed", Json::from(true)),
+                ])
+            } else {
+                fail(id, format!("unknown session '{name}'"))
+            }
+        }
+        other => fail(id, format!("unknown op '{other}'")),
+    }
+}
+
+fn with_session(
+    sessions: &mut HashMap<String, Session>,
+    name: &str,
+    id: Json,
+    f: impl FnOnce(Json, &mut Session) -> Json,
+) -> Json {
+    match sessions.get_mut(name) {
+        Some(s) => f(id, s),
+        None => fail(id, format!("unknown session '{name}'")),
+    }
+}
+
+fn edit(session: &mut Session, id: Json, request: &Json) -> Json {
+    let Some(kind) = request.get("kind").and_then(Json::as_str) else {
+        return fail(id, "edit needs a \"kind\"");
+    };
+    let vertex = |key: &str| -> Result<rsched_graph::VertexId, String> {
+        let name = request
+            .get(key)
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("edit kind '{kind}' needs \"{key}\""))?;
+        session
+            .vertex_named(name)
+            .ok_or_else(|| format!("no operation named '{name}'"))
+    };
+    let value = || -> Result<u64, String> {
+        request
+            .get("value")
+            .and_then(Json::as_i64)
+            .and_then(|v| u64::try_from(v).ok())
+            .ok_or_else(|| format!("edit kind '{kind}' needs a non-negative \"value\""))
+    };
+    let outcome = match kind {
+        "add_dep" => match (vertex("from"), vertex("to")) {
+            (Ok(f), Ok(t)) => session.add_dependency(f, t),
+            (Err(e), _) | (_, Err(e)) => return fail(id, e),
+        },
+        "add_min" => match (vertex("from"), vertex("to"), value()) {
+            (Ok(f), Ok(t), Ok(v)) => session.add_min_constraint(f, t, v),
+            (Err(e), ..) | (_, Err(e), _) | (.., Err(e)) => return fail(id, e),
+        },
+        "add_max" => match (vertex("from"), vertex("to"), value()) {
+            (Ok(f), Ok(t), Ok(v)) => session.add_max_constraint(f, t, v),
+            (Err(e), ..) | (_, Err(e), _) | (.., Err(e)) => return fail(id, e),
+        },
+        "remove_edge" => match (vertex("from"), vertex("to")) {
+            (Ok(f), Ok(t)) => match session.edge_between(f, t) {
+                Some(e) => session.remove_edge(e),
+                None => return fail(id, "no live edge between those operations"),
+            },
+            (Err(e), _) | (_, Err(e)) => return fail(id, e),
+        },
+        "set_delay" => {
+            let v = match vertex("vertex") {
+                Ok(v) => v,
+                Err(e) => return fail(id, e),
+            };
+            let delay = match request.get("delay") {
+                Some(Json::Str(s)) if s == "unbounded" => ExecDelay::Unbounded,
+                Some(d) => match d.as_i64().and_then(|v| u64::try_from(v).ok()) {
+                    Some(cycles) => ExecDelay::Fixed(cycles),
+                    None => return fail(id, "\"delay\" must be a cycle count or \"unbounded\""),
+                },
+                None => return fail(id, "edit kind 'set_delay' needs \"delay\""),
+            };
+            session.set_delay(v, delay)
+        }
+        other => return fail(id, format!("unknown edit kind '{other}'")),
+    };
+    outcome_json(session, id, &outcome)
+}
+
+fn outcome_json(session: &Session, id: Json, outcome: &EditOutcome) -> Json {
+    match outcome {
+        EditOutcome::Unchanged => object([
+            ("id", id),
+            ("ok", Json::Bool(true)),
+            ("outcome", Json::from("unchanged")),
+        ]),
+        EditOutcome::Rescheduled {
+            iterations,
+            warm_anchors,
+            total_anchors,
+        } => object([
+            ("id", id),
+            ("ok", Json::Bool(true)),
+            ("outcome", Json::from("rescheduled")),
+            ("iterations", Json::from(*iterations)),
+            ("warm_anchors", Json::from(*warm_anchors)),
+            ("total_anchors", Json::from(*total_anchors)),
+        ]),
+        EditOutcome::IllPosed { violations } => object([
+            ("id", id),
+            ("ok", Json::Bool(true)),
+            ("outcome", Json::from("ill-posed")),
+            (
+                "violations",
+                Json::Array(
+                    violations
+                        .iter()
+                        .map(|v| {
+                            object([
+                                ("from", Json::from(session.graph().vertex(v.from).name())),
+                                ("to", Json::from(session.graph().vertex(v.to).name())),
+                                (
+                                    "missing",
+                                    Json::Array(
+                                        v.missing
+                                            .iter()
+                                            .map(|&a| Json::from(session.graph().vertex(a).name()))
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+        EditOutcome::Unfeasible { witness } => object([
+            ("id", id),
+            ("ok", Json::Bool(true)),
+            ("outcome", Json::from("unfeasible")),
+            (
+                "witness",
+                Json::from(session.graph().vertex(*witness).name()),
+            ),
+        ]),
+        EditOutcome::Rejected { error } => fail(id, format!("edit rejected: {error}")),
+    }
+}
+
+fn verdict_json(session: &Session) -> Json {
+    match session.posedness() {
+        WellPosedness::WellPosed => Json::from("well-posed"),
+        WellPosedness::IllPosed { violations } => object([
+            ("kind", Json::from("ill-posed")),
+            ("violations", Json::from(violations.len())),
+        ]),
+        WellPosedness::Unfeasible { witness } => object([
+            ("kind", Json::from("unfeasible")),
+            (
+                "witness",
+                Json::from(session.graph().vertex(*witness).name()),
+            ),
+        ]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DESIGN: &str =
+        "op sync unbounded\nop alu 2\nop out 1\ndep sync alu\ndep alu out\nmax alu out 4\n";
+
+    fn run_lines(lines: &[String], config: &ServeConfig) -> (Vec<Json>, ServeSummary) {
+        let input = lines.join("\n");
+        let mut output = Vec::new();
+        let summary = serve(input.as_bytes(), &mut output, config).unwrap();
+        let responses = String::from_utf8(output)
+            .unwrap()
+            .lines()
+            .map(|l| Json::parse(l).unwrap())
+            .collect();
+        (responses, summary)
+    }
+
+    fn req(id: i64, session: &str, rest: &str) -> String {
+        format!(r#"{{"id":{id},"session":"{session}",{rest}}}"#)
+    }
+
+    fn by_id(responses: &[Json], id: i64) -> &Json {
+        responses
+            .iter()
+            .find(|r| r.get("id").and_then(Json::as_i64) == Some(id))
+            .unwrap_or_else(|| panic!("no response with id {id}"))
+    }
+
+    #[test]
+    fn open_edit_schedule_stats_close_round_trip() {
+        let design = DESIGN.replace('\n', "\\n");
+        let lines = vec![
+            req(1, "s", &format!(r#""op":"open","design":"{design}""#)),
+            req(
+                2,
+                "s",
+                r#""op":"edit","kind":"add_min","from":"alu","to":"out","value":3"#,
+            ),
+            req(3, "s", r#""op":"schedule""#),
+            req(4, "s", r#""op":"stats""#),
+            req(5, "s", r#""op":"close""#),
+            req(6, "s", r#""op":"schedule""#),
+        ];
+        let (responses, summary) = run_lines(&lines, &ServeConfig::default());
+        assert_eq!(summary.requests, 6);
+        assert_eq!(summary.sessions_opened, 1);
+        assert_eq!(
+            by_id(&responses, 1).get("verdict").unwrap(),
+            &Json::from("well-posed")
+        );
+        let edit = by_id(&responses, 2);
+        assert_eq!(edit.get("outcome").unwrap(), &Json::from("rescheduled"));
+        assert_eq!(
+            edit.get("warm_anchors").unwrap(),
+            edit.get("total_anchors").unwrap(),
+            "additive edits warm-start every anchor"
+        );
+        let sched = by_id(&responses, 3);
+        let sigma = sched
+            .get("offsets")
+            .and_then(|o| o.get("out"))
+            .and_then(|r| r.get("sync"))
+            .and_then(Json::as_i64);
+        assert_eq!(sigma, Some(3), "min constraint pushed out to 3 after sync");
+        assert!(
+            by_id(&responses, 4)
+                .get("reschedules")
+                .and_then(Json::as_i64)
+                >= Some(2)
+        );
+        assert_eq!(by_id(&responses, 5).get("ok"), Some(&Json::Bool(true)));
+        // After close, the session is gone.
+        assert_eq!(by_id(&responses, 6).get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(summary.errors, 1);
+    }
+
+    #[test]
+    fn malformed_and_unknown_requests_answer_in_band() {
+        let lines = vec![
+            "{not json".to_owned(),
+            req(1, "nope", r#""op":"schedule""#),
+            req(2, "s", r#""op":"frobnicate""#),
+            r#"{"id":3,"op":"schedule"}"#.to_owned(),
+        ];
+        let (responses, summary) = run_lines(&lines, &ServeConfig::default());
+        assert_eq!(summary.requests, 4);
+        assert_eq!(summary.errors, 4);
+        assert!(responses.iter().any(|r| r.get("id") == Some(&Json::Null)
+            && r.get("error")
+                .and_then(Json::as_str)
+                .unwrap()
+                .contains("malformed")));
+        assert!(by_id(&responses, 3)
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("session"));
+    }
+
+    #[test]
+    fn zero_deadline_expires_before_execution() {
+        let design = DESIGN.replace('\n', "\\n");
+        let lines = vec![
+            req(1, "s", &format!(r#""op":"open","design":"{design}""#)),
+            req(2, "s", r#""op":"schedule","deadline_ms":0"#),
+            req(3, "s", r#""op":"schedule""#),
+        ];
+        let (responses, _) = run_lines(&lines, &ServeConfig::default());
+        let expired = by_id(&responses, 2);
+        assert_eq!(expired.get("ok"), Some(&Json::Bool(false)));
+        assert!(expired
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("deadline"));
+        // Later requests on the same session still execute.
+        assert_eq!(by_id(&responses, 3).get("ok"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn sessions_are_independent_across_workers() {
+        let design = DESIGN.replace('\n', "\\n");
+        let mut lines = Vec::new();
+        for (i, name) in ["a", "b", "c", "d"].iter().enumerate() {
+            let base = (i as i64) * 10;
+            lines.push(req(
+                base + 1,
+                name,
+                &format!(r#""op":"open","design":"{design}""#),
+            ));
+            lines.push(req(
+                base + 2,
+                name,
+                r#""op":"edit","kind":"set_delay","vertex":"alu","delay":"unbounded""#,
+            ));
+            lines.push(req(
+                base + 3,
+                name,
+                r#""op":"edit","kind":"set_delay","vertex":"alu","delay":2"#,
+            ));
+            lines.push(req(base + 4, name, r#""op":"schedule""#));
+        }
+        let (responses, summary) = run_lines(
+            &lines,
+            &ServeConfig {
+                workers: 3,
+                deadline: None,
+            },
+        );
+        assert_eq!(summary.sessions_opened, 4);
+        assert_eq!(summary.errors, 0);
+        for i in 0..4 {
+            let base = (i as i64) * 10;
+            // Unbounded alu makes the max constraint ill-posed…
+            assert_eq!(
+                by_id(&responses, base + 2)
+                    .get("outcome")
+                    .and_then(Json::as_str),
+                Some("ill-posed")
+            );
+            // …and restoring the fixed delay heals it, in order, per session.
+            assert_eq!(
+                by_id(&responses, base + 3)
+                    .get("outcome")
+                    .and_then(Json::as_str),
+                Some("rescheduled")
+            );
+            assert_eq!(
+                by_id(&responses, base + 4).get("verdict").unwrap(),
+                &Json::from("well-posed")
+            );
+        }
+    }
+}

@@ -1,7 +1,7 @@
 use std::error::Error;
 use std::fmt;
 
-use crate::graph::VertexId;
+use crate::graph::{EdgeId, VertexId};
 
 /// Errors produced while building or analyzing a constraint graph.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,6 +54,11 @@ pub enum GraphError {
         /// reachable from a positive cycle.
         witness: VertexId,
     },
+    /// An edge id does not belong to this graph, or was already removed.
+    UnknownEdge(EdgeId),
+    /// The source and sink vertices cannot be mutated: the source must
+    /// remain the activation anchor and the sink a zero-delay no-op.
+    ImmutableVertex(VertexId),
 }
 
 impl fmt::Display for GraphError {
@@ -81,6 +86,10 @@ impl fmt::Display for GraphError {
                 f,
                 "constraint graph has a positive cycle (unfeasible constraints, witness {witness})"
             ),
+            GraphError::UnknownEdge(e) => write!(f, "unknown or removed edge {e}"),
+            GraphError::ImmutableVertex(v) => {
+                write!(f, "vertex {v} is the source or sink and cannot be mutated")
+            }
         }
     }
 }

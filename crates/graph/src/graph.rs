@@ -246,6 +246,11 @@ impl Vertex {
 pub struct ConstraintGraph {
     vertices: Vec<Vertex>,
     edges: Vec<Edge>,
+    /// Tombstones: removed edges stay in `edges` (so surviving [`EdgeId`]s
+    /// remain stable and iteration order deterministic) but are skipped by
+    /// every iterator and count.
+    dead: Vec<bool>,
+    n_dead: usize,
     source: VertexId,
     sink: VertexId,
 }
@@ -262,6 +267,8 @@ impl ConstraintGraph {
         let mut g = ConstraintGraph {
             vertices: Vec::new(),
             edges: Vec::new(),
+            dead: Vec::new(),
+            n_dead: 0,
             source: VertexId(0),
             sink: VertexId(1),
         };
@@ -295,14 +302,14 @@ impl ConstraintGraph {
         self.vertices.len()
     }
 
-    /// Number of edges (forward and backward).
+    /// Number of live edges (forward and backward).
     pub fn n_edges(&self) -> usize {
-        self.edges.len()
+        self.edges.len() - self.n_dead
     }
 
-    /// Number of backward edges `|E_b|` (maximum timing constraints).
+    /// Number of live backward edges `|E_b|` (maximum timing constraints).
     pub fn n_backward_edges(&self) -> usize {
-        self.edges.iter().filter(|e| e.is_backward()).count()
+        self.edges().filter(|(_, e)| e.is_backward()).count()
     }
 
     /// Adds an operation with the given name and execution delay.
@@ -345,11 +352,12 @@ impl ConstraintGraph {
         (2..self.vertices.len() as u32).map(VertexId)
     }
 
-    /// Iterates over all edges.
+    /// Iterates over all live edges.
     pub fn edges(&self) -> impl Iterator<Item = (EdgeId, &Edge)> + '_ {
         self.edges
             .iter()
             .enumerate()
+            .filter(|&(i, _)| !self.dead[i])
             .map(|(i, e)| (EdgeId(i as u32), e))
     }
 
@@ -446,6 +454,8 @@ impl ConstraintGraph {
     /// Used by the transitive-reduction pass; edge ids are reassigned.
     pub(crate) fn replace_edges(&mut self, edges: Vec<Edge>) {
         self.edges.clear();
+        self.dead.clear();
+        self.n_dead = 0;
         for v in &mut self.vertices {
             v.out_edges.clear();
             v.in_edges.clear();
@@ -460,7 +470,94 @@ impl ConstraintGraph {
         self.vertices[edge.from.index()].out_edges.push(id);
         self.vertices[edge.to.index()].in_edges.push(id);
         self.edges.push(edge);
+        self.dead.push(false);
         id
+    }
+
+    /// `true` if `e` names a live edge of this graph.
+    pub fn is_live_edge(&self, e: EdgeId) -> bool {
+        e.index() < self.edges.len() && !self.dead[e.index()]
+    }
+
+    /// Removes an edge, returning a copy of it.
+    ///
+    /// The removal is a tombstone: every other edge keeps its [`EdgeId`]
+    /// and the relative iteration order of surviving edges is unchanged,
+    /// so analyses that replay edits stay deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownEdge`] if `e` is foreign or was already
+    /// removed.
+    pub fn remove_edge(&mut self, e: EdgeId) -> Result<Edge, GraphError> {
+        if !self.is_live_edge(e) {
+            return Err(GraphError::UnknownEdge(e));
+        }
+        let edge = self.edges[e.index()];
+        self.dead[e.index()] = true;
+        self.n_dead += 1;
+        self.vertices[edge.from.index()]
+            .out_edges
+            .retain(|&id| id != e);
+        self.vertices[edge.to.index()]
+            .in_edges
+            .retain(|&id| id != e);
+        Ok(edge)
+    }
+
+    /// Changes the execution delay of an operation, re-weighting its
+    /// outgoing edges to keep Table I invariants:
+    ///
+    /// - sequencing edges out of `v` carry `δ(v)` — `Fixed(d)` for a fixed
+    ///   delay, the symbolic `Unbounded` weight for an anchor;
+    /// - minimum constraints sourced at `v` keep their separation `l` but
+    ///   switch between `Fixed(l)` and the completion-relative
+    ///   `δ(v) + l` form;
+    /// - maximum constraints are delay-independent and are left alone.
+    ///
+    /// Returns `true` when the delay (and hence possibly the anchor set)
+    /// actually changed, `false` for a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownVertex`] for a foreign id and
+    /// [`GraphError::ImmutableVertex`] for the source or sink.
+    pub fn set_delay(&mut self, v: VertexId, delay: ExecDelay) -> Result<bool, GraphError> {
+        self.check_vertex(v)?;
+        if v == self.source || v == self.sink {
+            return Err(GraphError::ImmutableVertex(v));
+        }
+        if self.vertices[v.index()].delay == delay {
+            return Ok(false);
+        }
+        self.vertices[v.index()].delay = delay;
+        let out: Vec<EdgeId> = self.vertices[v.index()].out_edges.clone();
+        for e in out {
+            let edge = &mut self.edges[e.index()];
+            match edge.kind {
+                EdgeKind::Sequencing => {
+                    edge.weight = match delay {
+                        ExecDelay::Fixed(d) => Weight::Fixed(d as i64),
+                        ExecDelay::Unbounded => Weight::Unbounded {
+                            anchor: v,
+                            extra: 0,
+                        },
+                    };
+                }
+                EdgeKind::MinConstraint => {
+                    let min = edge.weight.zeroed();
+                    edge.weight = match delay {
+                        ExecDelay::Fixed(_) => Weight::Fixed(min),
+                        ExecDelay::Unbounded => Weight::Unbounded {
+                            anchor: v,
+                            extra: min,
+                        },
+                    };
+                }
+                EdgeKind::MaxConstraint => {}
+            }
+        }
+        Ok(true)
     }
 
     /// Adds a sequencing dependency `(from, to)` with weight `δ(from)`
@@ -845,6 +942,93 @@ mod tests {
         assert_eq!(
             g.add_dependency(a, ghost),
             Err(GraphError::UnknownVertex(ghost))
+        );
+    }
+
+    #[test]
+    fn remove_edge_tombstones_preserve_ids() {
+        let mut g = ConstraintGraph::new();
+        let a = g.add_operation("a", ExecDelay::Fixed(1));
+        let b = g.add_operation("b", ExecDelay::Fixed(2));
+        let c = g.add_operation("c", ExecDelay::Fixed(3));
+        let e_ab = g.add_dependency(a, b).unwrap();
+        let e_bc = g.add_dependency(b, c).unwrap();
+        let e_max = g.add_max_constraint(a, c, 9).unwrap();
+        assert_eq!(g.n_edges(), 3);
+        assert_eq!(g.n_backward_edges(), 1);
+
+        let removed = g.remove_edge(e_bc).unwrap();
+        assert_eq!((removed.from(), removed.to()), (b, c));
+        assert_eq!(g.n_edges(), 2);
+        assert!(!g.is_live_edge(e_bc));
+        assert!(g.is_live_edge(e_ab) && g.is_live_edge(e_max));
+        // Survivors keep their ids and adjacency no longer mentions e_bc.
+        assert_eq!(g.edge(e_max).weight(), Weight::Fixed(-9));
+        assert!(g.out_edges(b).all(|(id, _)| id != e_bc));
+        assert!(g.in_edges(c).all(|(id, _)| id != e_bc));
+        assert!(!g.has_forward_path(a, c));
+        // Double removal and foreign ids are rejected.
+        assert_eq!(g.remove_edge(e_bc), Err(GraphError::UnknownEdge(e_bc)));
+        assert_eq!(
+            g.remove_edge(EdgeId(42)),
+            Err(GraphError::UnknownEdge(EdgeId(42)))
+        );
+        // A removed dependency can be re-added (new id).
+        let e_new = g.add_dependency(b, c).unwrap();
+        assert_ne!(e_new, e_bc);
+        assert_eq!(g.n_edges(), 3);
+    }
+
+    #[test]
+    fn set_delay_reweights_outgoing_edges() {
+        let mut g = ConstraintGraph::new();
+        let a = g.add_operation("a", ExecDelay::Fixed(2));
+        let b = g.add_operation("b", ExecDelay::Fixed(1));
+        let c = g.add_operation("c", ExecDelay::Fixed(1));
+        let seq = g.add_dependency(a, b).unwrap();
+        let min = g.add_min_constraint(a, c, 5).unwrap();
+        let max = g.add_max_constraint(a, b, 7).unwrap();
+
+        // Fixed -> unbounded: a becomes an anchor, δ(a) shows up in both
+        // forward weights, the max constraint is untouched.
+        assert!(g.set_delay(a, ExecDelay::Unbounded).unwrap());
+        assert!(g.is_anchor(a));
+        assert_eq!(
+            g.edge(seq).weight(),
+            Weight::Unbounded {
+                anchor: a,
+                extra: 0
+            }
+        );
+        assert_eq!(
+            g.edge(min).weight(),
+            Weight::Unbounded {
+                anchor: a,
+                extra: 5
+            }
+        );
+        assert_eq!(g.edge(max).weight(), Weight::Fixed(-7));
+
+        // Unbounded -> fixed restores plain weights, keeping the min value.
+        assert!(g.set_delay(a, ExecDelay::Fixed(4)).unwrap());
+        assert!(!g.is_anchor(a));
+        assert_eq!(g.edge(seq).weight(), Weight::Fixed(4));
+        assert_eq!(g.edge(min).weight(), Weight::Fixed(5));
+        assert_eq!(g.edge(max).weight(), Weight::Fixed(-7));
+
+        // No-op and error cases.
+        assert!(!g.set_delay(a, ExecDelay::Fixed(4)).unwrap());
+        assert_eq!(
+            g.set_delay(g.source(), ExecDelay::Fixed(0)),
+            Err(GraphError::ImmutableVertex(g.source()))
+        );
+        assert_eq!(
+            g.set_delay(g.sink(), ExecDelay::Unbounded),
+            Err(GraphError::ImmutableVertex(g.sink()))
+        );
+        assert_eq!(
+            g.set_delay(VertexId(99), ExecDelay::Fixed(1)),
+            Err(GraphError::UnknownVertex(VertexId(99)))
         );
     }
 

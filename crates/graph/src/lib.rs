@@ -57,7 +57,7 @@ mod topo;
 pub use dot::DotOptions;
 pub use error::GraphError;
 pub use graph::{ConstraintGraph, Edge, EdgeId, EdgeKind, ExecDelay, Vertex, VertexId, Weight};
-pub use paths::{LongestPaths, PathMatrix};
+pub use paths::{LongestPaths, PathMatrix, ReachCache};
 pub use reduce::ReductionReport;
 pub use text::TextFormatError;
 pub use topo::ForwardTopo;

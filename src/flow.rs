@@ -57,6 +57,22 @@ impl Synthesis {
         !self.validations.is_empty() && self.validations.iter().all(GraphActivation::all_clean)
     }
 
+    /// Opens an incremental re-scheduling [`Session`](rsched_engine::Session)
+    /// on the lowered constraint graph of `graph`, for interactive
+    /// constraint exploration after synthesis (what-if latency bounds,
+    /// added serializations) without re-running the front end.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling errors from the session's initial run;
+    /// cannot normally fail, since the flow already scheduled this graph.
+    pub fn edit_session(
+        &self,
+        graph: SeqGraphId,
+    ) -> Result<rsched_engine::Session, rsched_core::ScheduleError> {
+        rsched_engine::Session::open(self.schedule.graph_schedule(graph).lowered.graph.clone())
+    }
+
     /// Latency of the root graph: fixed cycles, or `None` when unbounded
     /// (data-dependent).
     pub fn root_latency(&self) -> Option<u64> {

@@ -15,6 +15,7 @@
 //! | [`ctrl`] | `rsched-ctrl` | counter / shift-register control generation |
 //! | [`sim`] | `rsched-sim` | cycle-accurate simulation + constraint checking |
 //! | [`designs`] | `rsched-designs` | the paper's figures and eight benchmark designs |
+//! | [`engine`] | `rsched-engine` | incremental re-scheduling sessions + the `rsched serve` JSON-lines service |
 //!
 //! # Quickstart
 //!
@@ -54,6 +55,7 @@ pub use rsched_binding as binding;
 pub use rsched_core as core;
 pub use rsched_ctrl as ctrl;
 pub use rsched_designs as designs;
+pub use rsched_engine as engine;
 pub use rsched_graph as graph;
 pub use rsched_hdl as hdl;
 pub use rsched_sgraph as sgraph;
