@@ -15,12 +15,11 @@
 //! `BENCH_engine.json` at the repository root, so the perf trajectory is
 //! tracked across revisions.
 
-use criterion::{BenchmarkId, Criterion};
+use criterion::{BenchmarkId, Criterion, SummaryWriter};
 
 use rsched_core::schedule;
 use rsched_designs::paper::fig10;
 use rsched_designs::random::{random_constraint_graph, RandomGraphConfig};
-use rsched_engine::json::{object, Json};
 use rsched_engine::Session;
 use rsched_graph::{ConstraintGraph, VertexId};
 
@@ -173,31 +172,13 @@ fn main() {
         _ => 0.0,
     };
 
-    let json = object([
-        ("bench", Json::from("engine_edits")),
-        ("largest_design", Json::from(LARGEST)),
-        ("single_edit_speedup_largest", Json::Float(speedup)),
-        (
-            "results",
-            Json::Array(
-                results
-                    .iter()
-                    .map(|r| {
-                        object([
-                            ("group", Json::from(r.group.as_str())),
-                            ("id", Json::from(r.id.as_str())),
-                            ("mean_ns", Json::Float(r.mean_ns)),
-                            ("min_ns", Json::Float(r.min_ns)),
-                            ("max_ns", Json::Float(r.max_ns)),
-                            ("iterations", Json::from(r.iterations as i64)),
-                        ])
-                    })
-                    .collect(),
-            ),
-        ),
-    ]);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
-    std::fs::write(path, json.render() + "\n").expect("write BENCH_engine.json");
+    SummaryWriter::new("engine_edits")
+        .threads(1)
+        .tag("largest_design", LARGEST)
+        .metric("single_edit_speedup_largest", speedup)
+        .write(path, &results)
+        .expect("write BENCH_engine.json");
     println!("single-edit speedup on {LARGEST}: {speedup:.1}x (summary: BENCH_engine.json)");
     assert!(
         speedup >= 5.0,

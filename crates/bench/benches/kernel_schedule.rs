@@ -1,0 +1,221 @@
+//! CSR kernel vs reference scheduler, single- and multi-threaded.
+//!
+//! Three variants of a cold `schedule()` run on each design:
+//!
+//! - `legacy/…` — [`rsched_core::schedule_reference`], the pre-kernel
+//!   adjacency-list fixpoint;
+//! - `kernel/…` — [`rsched_core::schedule`], the CSR kernel on one thread;
+//! - `kernel_t<N>/…` — [`rsched_core::schedule_threaded`], the kernel with
+//!   anchor columns fanned over `N` workers.
+//!
+//! A `batch/…` group additionally schedules a fleet of independent designs
+//! serially vs fanned across a [`std::thread::scope`] pool — the parallel
+//! mode the `batch_schedule` service request uses.
+//!
+//! Before any timing, every variant is asserted **bit-identical** to the
+//! reference (offsets, anchors, iteration counts); a variant that drifted
+//! would make the comparison meaningless. A custom `main` exports the
+//! samples and the kernel-vs-legacy speedup on the largest design to
+//! `BENCH_kernel.json` at the repository root, stamped with the commit
+//! hash and thread count. Set `RSCHED_BENCH_SMOKE=1` (CI) to shrink the
+//! timing budgets and skip the speedup floor.
+
+use criterion::{BenchmarkId, Criterion, SummaryWriter};
+
+use rsched_core::{schedule, schedule_reference, schedule_threaded, RelativeSchedule};
+use rsched_designs::paper::fig10;
+use rsched_designs::random::{random_constraint_graph, RandomGraphConfig};
+use rsched_graph::ConstraintGraph;
+
+const LARGEST: &str = "rand_800";
+const BATCH_DESIGNS: usize = 8;
+
+fn smoke() -> bool {
+    std::env::var("RSCHED_BENCH_SMOKE").is_ok_and(|v| v == "1")
+}
+
+fn fan_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .clamp(2, 8)
+}
+
+fn designs() -> Vec<(&'static str, ConstraintGraph)> {
+    let (fig10_graph, ..) = fig10();
+    vec![
+        ("fig10", fig10_graph),
+        (
+            "rand_200",
+            random_constraint_graph(
+                7,
+                &RandomGraphConfig {
+                    n_ops: 200,
+                    ..Default::default()
+                },
+            ),
+        ),
+        (
+            LARGEST,
+            random_constraint_graph(
+                11,
+                &RandomGraphConfig {
+                    n_ops: 800,
+                    ..Default::default()
+                },
+            ),
+        ),
+    ]
+}
+
+/// The independent fleet for the batch group: same shape, varied seeds.
+fn batch_fleet() -> Vec<ConstraintGraph> {
+    (0..BATCH_DESIGNS as u64)
+        .map(|seed| {
+            random_constraint_graph(
+                100 + seed,
+                &RandomGraphConfig {
+                    n_ops: 200,
+                    ..Default::default()
+                },
+            )
+        })
+        .collect()
+}
+
+/// Schedules every design of `fleet`, fanning over `threads` scoped
+/// workers pulling from a shared index — the bench twin of the service's
+/// `batch_schedule`. Results come back in input order.
+fn schedule_fleet(fleet: &[ConstraintGraph], threads: usize) -> Vec<RelativeSchedule> {
+    if threads <= 1 {
+        return fleet
+            .iter()
+            .map(|g| schedule(g).expect("feasible"))
+            .collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<Option<RelativeSchedule>>> =
+        fleet.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(fleet.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(g) = fleet.get(i) else { break };
+                *slots[i].lock().expect("unshared slot") = Some(schedule(g).expect("feasible"));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("unshared slot")
+                .expect("worker filled slot")
+        })
+        .collect()
+}
+
+fn assert_identical(a: &RelativeSchedule, b: &RelativeSchedule, what: &str) {
+    assert_eq!(a, b, "{what}: schedules must be bit-identical");
+    assert_eq!(a.iterations(), b.iterations(), "{what}: iteration counts");
+}
+
+fn kernel_schedule(c: &mut Criterion, threads: usize) {
+    let mut group = c.benchmark_group("kernel_schedule");
+    for (name, graph) in designs() {
+        let reference = schedule_reference(&graph).expect("designs are feasible");
+        assert_identical(&schedule(&graph).expect("kernel"), &reference, name);
+        assert_identical(
+            &schedule_threaded(&graph, threads).expect("kernel threaded"),
+            &reference,
+            name,
+        );
+        group.bench_with_input(BenchmarkId::new("legacy", name), &graph, |b, g| {
+            b.iter(|| schedule_reference(g).expect("feasible"))
+        });
+        group.bench_with_input(BenchmarkId::new("kernel", name), &graph, |b, g| {
+            b.iter(|| schedule(g).expect("feasible"))
+        });
+        group.bench_with_input(
+            BenchmarkId::new(format!("kernel_t{threads}"), name),
+            &graph,
+            |b, g| b.iter(|| schedule_threaded(g, threads).expect("feasible")),
+        );
+    }
+    group.finish();
+}
+
+fn batch(c: &mut Criterion, threads: usize) {
+    let fleet = batch_fleet();
+    let serial = schedule_fleet(&fleet, 1);
+    let fanned = schedule_fleet(&fleet, threads);
+    for (i, (a, b)) in serial.iter().zip(&fanned).enumerate() {
+        assert_identical(a, b, &format!("batch design {i}"));
+    }
+    let mut group = c.benchmark_group("batch");
+    group.bench_with_input(
+        BenchmarkId::new("serial", format!("{BATCH_DESIGNS}x200")),
+        &fleet,
+        |b, fleet| b.iter(|| schedule_fleet(fleet, 1)),
+    );
+    group.bench_with_input(
+        BenchmarkId::new(format!("fanned_t{threads}"), format!("{BATCH_DESIGNS}x200")),
+        &fleet,
+        |b, fleet| b.iter(|| schedule_fleet(fleet, threads)),
+    );
+    group.finish();
+}
+
+fn main() {
+    let smoke = smoke();
+    let threads = fan_threads();
+    let (samples, warm_ms, measure_ms) = if smoke { (2, 5, 20) } else { (10, 100, 400) };
+    let mut criterion = Criterion::default()
+        .sample_size(samples)
+        .warm_up_time(std::time::Duration::from_millis(warm_ms))
+        .measurement_time(std::time::Duration::from_millis(measure_ms));
+    kernel_schedule(&mut criterion, threads);
+    batch(&mut criterion, threads);
+    let results = criterion.take_results();
+
+    let mean_of =
+        |id: String| -> Option<f64> { results.iter().find(|r| r.id == id).map(|r| r.mean_ns) };
+    let ratio = |num: Option<f64>, den: Option<f64>| match (num, den) {
+        (Some(n), Some(d)) if d > 0.0 => n / d,
+        _ => 0.0,
+    };
+    let kernel_speedup = ratio(
+        mean_of(format!("legacy/{LARGEST}")),
+        mean_of(format!("kernel/{LARGEST}")),
+    );
+    let thread_speedup = ratio(
+        mean_of(format!("kernel/{LARGEST}")),
+        mean_of(format!("kernel_t{threads}/{LARGEST}")),
+    );
+    let batch_speedup = ratio(
+        mean_of(format!("serial/{BATCH_DESIGNS}x200")),
+        mean_of(format!("fanned_t{threads}/{BATCH_DESIGNS}x200")),
+    );
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernel.json");
+    SummaryWriter::new("kernel_schedule")
+        .threads(threads)
+        .tag("largest_design", LARGEST)
+        .metric("kernel_vs_legacy_largest", kernel_speedup)
+        .metric("threads_vs_kernel_largest", thread_speedup)
+        .metric("batch_fanned_vs_serial", batch_speedup)
+        .int("smoke", i64::from(smoke))
+        .write(path, &results)
+        .expect("write BENCH_kernel.json");
+    println!(
+        "kernel vs legacy on {LARGEST}: {kernel_speedup:.1}x; \
+         {threads} threads vs kernel: {thread_speedup:.2}x; \
+         batch fan-out: {batch_speedup:.2}x (summary: BENCH_kernel.json)"
+    );
+    if !smoke {
+        assert!(
+            kernel_speedup >= 2.0,
+            "kernel cold schedule must be >= 2x faster than legacy on {LARGEST}"
+        );
+    }
+}

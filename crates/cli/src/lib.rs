@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! rsched check     <graph.rsg>                 feasibility + well-posedness
-//! rsched schedule  <graph.rsg> [--ir] [--trace]  minimum relative schedule
+//! rsched schedule  <graph.rsg> [--ir] [--trace] [--threads N]  minimum relative schedule
 //! rsched slack     <graph.rsg>                 ASAP/ALAP offsets + mobility
 //! rsched explain   <graph.rsg>                 binding path behind every offset
 //! rsched control   <graph.rsg> [--style counter|shift] [--ir]
@@ -31,7 +31,7 @@ use std::fs;
 
 use rsched_core::{
     check_well_posed, explain_offset, iteration_bound, make_well_posed, relative_slack, schedule,
-    schedule_traced, IrredundantAnchors, WellPosedness,
+    schedule_threaded, schedule_traced, IrredundantAnchors, WellPosedness,
 };
 use rsched_ctrl::{generate, ControlStyle, Fsm};
 use rsched_graph::{ConstraintGraph, DotOptions};
@@ -64,7 +64,7 @@ impl CliError {
 
 const USAGE: &str = "usage:
   rsched check     <graph.rsg>
-  rsched schedule  <graph.rsg> [--ir] [--trace]
+  rsched schedule  <graph.rsg> [--ir] [--trace] [--threads N]
   rsched slack     <graph.rsg>
   rsched explain   <graph.rsg>
   rsched control   <graph.rsg> [--style counter|shift] [--ir]
@@ -239,6 +239,15 @@ fn check_cmd(source: &str) -> Result<String, CliError> {
 
 fn schedule_cmd(source: &str, flags: &[&String]) -> Result<String, CliError> {
     let g = load_graph(source)?;
+    // Worker threads fanned over anchor columns; any count yields
+    // bit-identical offsets, iteration counts, and verdicts.
+    let threads: usize = flag_value(flags, "--threads")
+        .map(|v| {
+            v.parse()
+                .map_err(|_| CliError::usage("--threads expects a number"))
+        })
+        .transpose()?
+        .unwrap_or(1);
     let mut out = String::new();
     if has_flag(flags, "--trace") {
         let trace = schedule_traced(&g).map_err(CliError::failure)?;
@@ -251,7 +260,7 @@ fn schedule_cmd(source: &str, flags: &[&String]) -> Result<String, CliError> {
             );
         }
     }
-    let omega = schedule(&g).map_err(CliError::failure)?;
+    let omega = schedule_threaded(&g, threads.max(1)).map_err(CliError::failure)?;
     let omega = if has_flag(flags, "--ir") {
         let analysis = IrredundantAnchors::analyze(&g).map_err(CliError::failure)?;
         omega.restrict(analysis.irredundant.family())
@@ -566,6 +575,16 @@ max vi vj 4
         assert!(out.contains("σ_sync=2")); // `out` starts 2 after sync
         let ir = run_args(&["schedule", p.to_str().unwrap(), "--ir"]).unwrap();
         assert!(ir.contains("σ_sync"));
+    }
+
+    #[test]
+    fn schedule_threads_flag_is_bit_identical() {
+        let p = write_temp("sched_threads", GRAPH);
+        let single = run_args(&["schedule", p.to_str().unwrap()]).unwrap();
+        let fanned = run_args(&["schedule", p.to_str().unwrap(), "--threads", "4"]).unwrap();
+        assert_eq!(single, fanned);
+        let err = run_args(&["schedule", p.to_str().unwrap(), "--threads", "x"]).unwrap_err();
+        assert_eq!(err.code, 2);
     }
 
     #[test]

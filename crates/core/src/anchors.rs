@@ -47,7 +47,7 @@ impl fmt::Debug for AnchorSetFamily {
 
 impl AnchorSetFamily {
     fn empty(graph: &ConstraintGraph) -> Self {
-        let anchors = graph.anchors();
+        let anchors = graph.anchors().to_vec();
         let mut anchor_index = vec![None; graph.n_vertices()];
         for (i, &a) in anchors.iter().enumerate() {
             anchor_index[a.index()] = Some(i as u32);
@@ -84,6 +84,14 @@ impl AnchorSetFamily {
     fn row(&self, v: VertexId) -> &[u64] {
         let start = v.index() * self.words_per_row;
         &self.bits[start..start + self.words_per_row]
+    }
+
+    /// Raw bitset words of `v`'s row: bit `i` is set iff the anchor with
+    /// family index `i` belongs to the set. Bits at or above
+    /// [`Self::n_anchors`] are never set. The scheduling kernel reads
+    /// these to build its per-chunk column masks.
+    pub(crate) fn row_words(&self, v: VertexId) -> &[u64] {
+        self.row(v)
     }
 
     fn row_mut(&mut self, v: VertexId) -> &mut [u64] {

@@ -75,8 +75,9 @@ pub use anchors::{
 pub use error::ScheduleError;
 pub use explain::{explain_offset, OffsetExplanation};
 pub use schedule::{
-    relax_additive, reschedule, schedule, schedule_traced, schedule_with_sets, IterationTrace,
-    RelativeSchedule, ScheduleTrace,
+    relax_additive, relax_additive_on, reschedule, reschedule_on, reschedule_reference, schedule,
+    schedule_reference, schedule_threaded, schedule_traced, schedule_with_sets,
+    schedule_with_sets_on, IterationTrace, RelativeSchedule, ScheduleTrace,
 };
 pub use slack::{relative_slack, SlackAnalysis};
 pub use start_time::{

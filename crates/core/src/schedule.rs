@@ -10,8 +10,10 @@
 //! `ReadjustOffsets` sweep over the backward edges.
 
 use std::fmt;
+use std::sync::{mpsc, Arc};
+use std::thread;
 
-use rsched_graph::{ConstraintGraph, EdgeId, VertexId};
+use rsched_graph::{ConstraintGraph, EdgeId, ScheduleKernel, VertexId};
 
 use crate::anchors::{AnchorSetFamily, AnchorSets};
 use crate::error::ScheduleError;
@@ -253,6 +255,53 @@ pub struct ScheduleTrace {
 /// # }
 /// ```
 pub fn schedule(graph: &ConstraintGraph) -> Result<RelativeSchedule, ScheduleError> {
+    schedule_threaded(graph, 1)
+}
+
+/// [`schedule`] with the per-anchor fixpoint fanned out over `threads`
+/// worker threads.
+///
+/// Anchor offset columns never interact inside the fixpoint — every sweep,
+/// scan and readjustment reads and writes a single column — so the columns
+/// are distributed over a scoped worker set while the per-iteration
+/// violation list (a column-order-independent OR across columns) is joined
+/// on the calling thread. The result is **bit-identical** for every
+/// `threads` value, including the sequential `threads <= 1` path.
+///
+/// # Errors
+///
+/// Same conditions as [`schedule`].
+pub fn schedule_threaded(
+    graph: &ConstraintGraph,
+    threads: usize,
+) -> Result<RelativeSchedule, ScheduleError> {
+    let sets = AnchorSets::compute(graph)?;
+    match check_well_posed_with(graph, &sets) {
+        WellPosedness::WellPosed => {}
+        WellPosedness::Unfeasible { witness } => return Err(ScheduleError::Unfeasible { witness }),
+        WellPosedness::IllPosed { violations } => {
+            let v = &violations[0];
+            return Err(ScheduleError::IllPosed {
+                from: v.from,
+                to: v.to,
+                missing: v.missing.clone(),
+            });
+        }
+    }
+    let kernel = ScheduleKernel::build(graph)?;
+    schedule_with_sets_on(&kernel, sets.family(), threads)
+}
+
+/// The pre-kernel adjacency-walking implementation of [`schedule`].
+///
+/// Retained as the reference the CSR kernel is differentially tested (and
+/// benchmarked) against: identical checks, identical offsets, iteration
+/// counts and error values — only the execution strategy differs.
+///
+/// # Errors
+///
+/// Same conditions as [`schedule`].
+pub fn schedule_reference(graph: &ConstraintGraph) -> Result<RelativeSchedule, ScheduleError> {
     let sets = AnchorSets::compute(graph)?;
     match check_well_posed_with(graph, &sets) {
         WellPosedness::WellPosed => {}
@@ -285,7 +334,28 @@ pub fn schedule_with_sets(
     graph: &ConstraintGraph,
     sets: &AnchorSetFamily,
 ) -> Result<RelativeSchedule, ScheduleError> {
-    run(graph, sets.clone(), None)
+    let kernel = ScheduleKernel::build(graph)?;
+    schedule_with_sets_on(&kernel, sets, 1)
+}
+
+/// [`schedule_with_sets`] over a prebuilt [`ScheduleKernel`] snapshot —
+/// the zero-rebuild entry point for long-lived sessions.
+///
+/// `kernel` must snapshot the same graph revision `sets` was computed for.
+/// `threads <= 1` runs the fixpoint sequentially; larger values fan the
+/// anchor columns out over scoped worker threads with bit-identical
+/// results (see [`schedule_threaded`]).
+///
+/// # Errors
+///
+/// Same conditions as [`schedule_with_sets`].
+pub fn schedule_with_sets_on(
+    kernel: &ScheduleKernel,
+    sets: &AnchorSetFamily,
+    threads: usize,
+) -> Result<RelativeSchedule, ScheduleError> {
+    let omega = RelativeSchedule::new(sets.clone(), kernel.n_vertices());
+    kernel_run_from(kernel, omega, threads)
 }
 
 /// [`schedule`] with per-iteration snapshots (used to reproduce Fig. 10).
@@ -342,12 +412,61 @@ pub fn reschedule(
     prev: &RelativeSchedule,
     warm_anchors: &[VertexId],
 ) -> Result<RelativeSchedule, ScheduleError> {
-    let mut omega = RelativeSchedule::new(sets.clone(), graph.n_vertices());
+    let kernel = ScheduleKernel::build(graph)?;
+    reschedule_on(&kernel, sets, prev, warm_anchors, 1)
+}
+
+/// [`reschedule`] over a prebuilt [`ScheduleKernel`] snapshot.
+///
+/// `kernel` must snapshot the same graph revision `sets` describes;
+/// `threads` behaves as in [`schedule_with_sets_on`].
+///
+/// # Errors
+///
+/// Same conditions as [`reschedule`].
+pub fn reschedule_on(
+    kernel: &ScheduleKernel,
+    sets: &AnchorSetFamily,
+    prev: &RelativeSchedule,
+    warm_anchors: &[VertexId],
+    threads: usize,
+) -> Result<RelativeSchedule, ScheduleError> {
+    let omega = seeded_omega(kernel.n_vertices(), sets, prev, warm_anchors);
+    kernel_run_from(kernel, omega, threads)
+}
+
+/// The pre-kernel adjacency-walking implementation of [`reschedule`],
+/// retained as the differential-test reference (see
+/// [`schedule_reference`]).
+///
+/// # Errors
+///
+/// Same conditions as [`reschedule`].
+pub fn reschedule_reference(
+    graph: &ConstraintGraph,
+    sets: &AnchorSetFamily,
+    prev: &RelativeSchedule,
+    warm_anchors: &[VertexId],
+) -> Result<RelativeSchedule, ScheduleError> {
+    let omega = seeded_omega(graph.n_vertices(), sets, prev, warm_anchors);
+    run_from(graph, omega, None)
+}
+
+/// Fresh schedule seeded with `prev`'s offsets on the `warm_anchors`
+/// columns (where both families track the `(vertex, anchor)` pair); all
+/// other slots start at zero.
+fn seeded_omega(
+    n_vertices: usize,
+    sets: &AnchorSetFamily,
+    prev: &RelativeSchedule,
+    warm_anchors: &[VertexId],
+) -> RelativeSchedule {
+    let mut omega = RelativeSchedule::new(sets.clone(), n_vertices);
     for &a in warm_anchors {
         let (Some(ai_new), Some(ai_old)) = (sets.anchor_index(a), prev.sets.anchor_index(a)) else {
             continue;
         };
-        for vi in 0..graph.n_vertices() {
+        for vi in 0..n_vertices {
             let v = VertexId::from_index(vi);
             if sets.contains(v, a) && prev.sets.contains(v, a) {
                 omega.offsets[vi * omega.n_anchors + ai_new] =
@@ -355,7 +474,7 @@ pub fn reschedule(
             }
         }
     }
-    run_from(graph, omega, None)
+    omega
 }
 
 /// Local re-relaxation after one *additive* edit — the incremental
@@ -518,6 +637,156 @@ pub fn relax_additive(
     Ok(raised_list)
 }
 
+/// [`relax_additive`] over a prebuilt [`ScheduleKernel`] snapshot — the
+/// incremental engine's fast path without per-edit adjacency walking.
+///
+/// `kernel` must snapshot the graph revision *including* `new_edge` (the
+/// same revision `sets` describes). Preconditions, in-place update
+/// semantics, return value and failure behavior are exactly those of
+/// [`relax_additive`]: the worklist visits out-edges in the same adjacency
+/// order, so the raised-vertex discovery order is identical too.
+///
+/// # Errors
+///
+/// Same conditions as [`relax_additive`], with the same
+/// [`ScheduleError::Inconsistent`] iteration count.
+pub fn relax_additive_on(
+    kernel: &ScheduleKernel,
+    sets: &AnchorSetFamily,
+    prev: &mut RelativeSchedule,
+    new_edge: EdgeId,
+    changed_sets: &[VertexId],
+) -> Result<Vec<VertexId>, ScheduleError> {
+    // One relaxation of the edge `(t, h, w, forward)` — the kernel twin of
+    // `relax_additive`'s `relax_edge`.
+    fn relax_edge_k(
+        omega: &mut RelativeSchedule,
+        anchors: &[VertexId],
+        t: u32,
+        h: u32,
+        w: i64,
+        forward: bool,
+    ) -> bool {
+        let n = omega.n_anchors;
+        let (tv, hv) = (
+            VertexId::from_index(t as usize),
+            VertexId::from_index(h as usize),
+        );
+        let mut raised = false;
+        for (ai, &a) in anchors.iter().enumerate() {
+            if !omega.sets.contains(tv, a) || !omega.sets.contains(hv, a) {
+                continue;
+            }
+            let cand = omega.offsets[t as usize * n + ai] + w;
+            let slot = &mut omega.offsets[h as usize * n + ai];
+            if cand > *slot {
+                *slot = cand;
+                raised = true;
+            }
+        }
+        if forward {
+            if let Some(ai) = omega.sets.anchor_index(tv) {
+                if omega.sets.contains(hv, tv) {
+                    let slot = &mut omega.offsets[h as usize * n + ai];
+                    if w > *slot {
+                        *slot = w;
+                        raised = true;
+                    }
+                }
+            }
+        }
+        raised
+    }
+
+    debug_assert_eq!(
+        sets.anchors(),
+        prev.sets.anchors(),
+        "additive edits keep the anchor roster"
+    );
+    let anchors = sets.anchors().to_vec();
+    if !changed_sets.is_empty() {
+        prev.sets = sets.clone();
+    } else {
+        debug_assert!(prev.sets == *sets, "no set change means identical families");
+    }
+    prev.iterations = 1;
+    let omega = prev;
+    let n_vertices = kernel.n_vertices();
+    let mut raised_list = Vec::new();
+    let mut is_raised = vec![false; n_vertices];
+    let mut in_queue = vec![false; n_vertices];
+    let mut pops = vec![0u32; n_vertices];
+    // Same per-vertex pop budget as the reference path: |V| pops per
+    // anchor column before divergence is declared.
+    let cap = (n_vertices.max(2) as u32).saturating_mul(anchors.len().max(1) as u32);
+    let mut queue = std::collections::VecDeque::new();
+    // Seed: relax every in-edge of each grown vertex. In-edge relaxations
+    // of `v` write only `v`'s own slots and read tails' slots, so visiting
+    // the forward CSR row first and the backward in-edges second is
+    // equivalent to the reference's interleaved adjacency order.
+    for &v in changed_sets {
+        if !in_queue[v.index()] {
+            in_queue[v.index()] = true;
+            queue.push_back(v);
+        }
+        let mut grew = false;
+        let (tails, weights) = kernel.forward_in_edges(v.index());
+        for (&t, &w) in tails.iter().zip(weights) {
+            grew |= relax_edge_k(omega, &anchors, t, v.index() as u32, w, true);
+        }
+        let heads = kernel.backward_heads();
+        for (i, &h) in heads.iter().enumerate() {
+            if h as usize == v.index() {
+                let t = kernel.backward_tails()[i];
+                let w = kernel.backward_weights()[i];
+                grew |= relax_edge_k(omega, &anchors, t, h, w, false);
+            }
+        }
+        if grew && !is_raised[v.index()] {
+            is_raised[v.index()] = true;
+            raised_list.push(v);
+        }
+    }
+    {
+        let (t, h, w, forward) = kernel.edge(new_edge);
+        if relax_edge_k(omega, &anchors, t, h, w, forward) {
+            let hv = VertexId::from_index(h as usize);
+            if !is_raised[hv.index()] {
+                raised_list.push(hv);
+                is_raised[hv.index()] = true;
+            }
+            if !in_queue[hv.index()] {
+                in_queue[hv.index()] = true;
+                queue.push_back(hv);
+            }
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        in_queue[v.index()] = false;
+        pops[v.index()] += 1;
+        if pops[v.index()] > cap {
+            return Err(ScheduleError::Inconsistent {
+                iterations: kernel.n_backward_edges() + 1,
+            });
+        }
+        let (heads, weights, forward) = kernel.out_edges(v.index());
+        for (k, &h) in heads.iter().enumerate() {
+            if relax_edge_k(omega, &anchors, v.index() as u32, h, weights[k], forward[k]) {
+                let u = VertexId::from_index(h as usize);
+                if !is_raised[u.index()] {
+                    is_raised[u.index()] = true;
+                    raised_list.push(u);
+                }
+                if !in_queue[u.index()] {
+                    in_queue[u.index()] = true;
+                    queue.push_back(u);
+                }
+            }
+        }
+    }
+    Ok(raised_list)
+}
+
 fn run(
     graph: &ConstraintGraph,
     sets: AnchorSetFamily,
@@ -645,6 +914,405 @@ fn readjust_offsets(graph: &ConstraintGraph, omega: &mut RelativeSchedule, viola
             let slot = &mut omega.offsets[h.index() * n_anchors + ai];
             if *slot < required {
                 *slot = required;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CSR kernel execution
+//
+// The fixpoint above interleaves all anchor columns through the mutable
+// adjacency lists. The kernel path runs the *same* iteration — identical
+// per-iteration states, hence identical offsets, iteration counts and
+// error values — as linear passes over a [`ScheduleKernel`] snapshot.
+//
+// The offset matrix is partitioned into contiguous **anchor chunks**, one
+// per worker, each stored vertex-major (`chunk[v * width + j]` is column
+// `lo + j` at vertex `v` — for one worker the single chunk is exactly the
+// `RelativeSchedule` layout). Per iteration:
+//
+// 1. per chunk: one topological forward sweep (`IncrementalOffset`) —
+//    each forward CSR row is read once and relaxes all of the chunk's
+//    columns, so the edge structure is traversed once per chunk, not
+//    once per column;
+// 2. per chunk: flag the backward edges any of its columns violate;
+// 3. joined: OR the per-chunk flags into one violation list in EdgeId
+//    order — exactly `find_violations`' list, since it records an edge
+//    once if *any* column violates it;
+// 4. per chunk: `ReadjustOffsets` over that joint list (a non-violated
+//    column's readjustment is a no-op, as in the reference).
+//
+// Steps 1, 2 and 4 write only the chunk's own columns, so distributing
+// chunks over threads cannot change any state; step 3 is an
+// order-independent OR. That is the determinism argument for
+// `threads > 1`: every iterate equals the reference bit for bit, for any
+// thread count.
+// ---------------------------------------------------------------------------
+
+/// Runs the iterative fixpoint over the kernel, starting from (and
+/// preserving the untracked slots of) `omega`'s offsets.
+fn kernel_run_from(
+    kernel: &ScheduleKernel,
+    mut omega: RelativeSchedule,
+    threads: usize,
+) -> Result<RelativeSchedule, ScheduleError> {
+    let n = kernel.n_vertices();
+    let n_anchors = omega.n_anchors;
+    let budget = kernel.n_backward_edges() + 1;
+    if n_anchors == 0 {
+        // With no columns the first violation scan is vacuously empty.
+        omega.iterations = 1;
+        return Ok(omega);
+    }
+
+    // Column index of each anchor vertex (for the σ_a(a) = 0 base case).
+    let mut col_of_vertex = vec![u32::MAX; n];
+    for (ai, &a) in omega.sets.anchors().iter().enumerate() {
+        col_of_vertex[a.index()] = ai as u32;
+    }
+
+    let workers = threads.max(1).min(n_anchors);
+    if workers <= 1 {
+        // One chunk covering every column: operate on the offset matrix
+        // in place — its layout is already chunk-major.
+        let masks = chunk_masks(&omega.sets, n, 0, n_anchors);
+        let mut data = std::mem::take(&mut omega.offsets);
+        let iterations =
+            kernel_fixpoint_serial(kernel, &col_of_vertex, &masks, &mut data, n_anchors, budget);
+        omega.offsets = data;
+        return match iterations {
+            Some(iters) => {
+                omega.iterations = iters;
+                Ok(omega)
+            }
+            None => Err(ScheduleError::Inconsistent { iterations: budget }),
+        };
+    }
+
+    // Chunk-major scratch: worker `c` owns columns `[lo_c, lo_c + w_c)`
+    // as an `n × w_c` vertex-major block.
+    let per = n_anchors.div_ceil(workers);
+    let mut bounds: Vec<(usize, usize)> = Vec::with_capacity(workers);
+    let mut lo = 0;
+    while lo < n_anchors {
+        let width = per.min(n_anchors - lo);
+        bounds.push((lo, width));
+        lo += width;
+    }
+    let mut data = vec![0i64; n_anchors * n];
+    let mut off = 0;
+    for &(lo, width) in &bounds {
+        for vi in 0..n {
+            let src = vi * n_anchors + lo;
+            let dst = off + vi * width;
+            data[dst..dst + width].copy_from_slice(&omega.offsets[src..src + width]);
+        }
+        off += n * width;
+    }
+
+    let iterations = kernel_fixpoint_parallel(
+        kernel,
+        &omega.sets,
+        &col_of_vertex,
+        &bounds,
+        &mut data,
+        budget,
+    );
+    match iterations {
+        Some(iters) => {
+            let mut off = 0;
+            for &(lo, width) in &bounds {
+                for vi in 0..n {
+                    let src = off + vi * width;
+                    let dst = vi * n_anchors + lo;
+                    omega.offsets[dst..dst + width].copy_from_slice(&data[src..src + width]);
+                }
+                off += n * width;
+            }
+            omega.iterations = iters;
+            Ok(omega)
+        }
+        None => Err(ScheduleError::Inconsistent { iterations: budget }),
+    }
+}
+
+/// Chunk-local column masks: for each vertex, `width.div_ceil(64)` words
+/// whose bit `j` is set iff the vertex tracks column `lo + j`. For the
+/// single-chunk case (`lo = 0`, full width) this is a straight copy of
+/// the family's bitset rows; chunks at a non-zero `lo` stitch each word
+/// from two adjacent row words.
+fn chunk_masks(sets: &AnchorSetFamily, n: usize, lo: usize, width: usize) -> Vec<u64> {
+    let words = width.div_ceil(64).max(1);
+    let mut masks = vec![0u64; n * words];
+    for vi in 0..n {
+        let row = sets.row_words(VertexId::from_index(vi));
+        let dst = &mut masks[vi * words..(vi + 1) * words];
+        for (k, slot) in dst.iter_mut().enumerate() {
+            let base = lo + 64 * k;
+            let shift = base % 64;
+            let mut word = row.get(base / 64).copied().unwrap_or(0) >> shift;
+            if shift != 0 {
+                word |= row.get(base / 64 + 1).copied().unwrap_or(0) << (64 - shift);
+            }
+            let rem = width - 64 * k;
+            if rem < 64 {
+                word &= (1u64 << rem) - 1;
+            }
+            *slot = word;
+        }
+    }
+    masks
+}
+
+/// Sequential driver over one chunk spanning every column: sweep + scan,
+/// build the violation list, readjust; `None` when the budget is
+/// exhausted.
+fn kernel_fixpoint_serial(
+    kernel: &ScheduleKernel,
+    col_of_vertex: &[u32],
+    masks: &[u64],
+    data: &mut [i64],
+    width: usize,
+    budget: usize,
+) -> Option<usize> {
+    let n_back = kernel.n_backward_edges();
+    let mut viol = vec![false; n_back];
+    let mut list: Vec<u32> = Vec::new();
+    for iter in 1..=budget {
+        viol.fill(false);
+        kernel_sweep(kernel, col_of_vertex, 0, width, masks, data);
+        kernel_scan(kernel, width, masks, data, &mut viol);
+        list.clear();
+        list.extend((0..n_back as u32).filter(|&i| viol[i as usize]));
+        if list.is_empty() {
+            return Some(iter);
+        }
+        kernel_readjust(kernel, width, masks, data, &list);
+    }
+    None
+}
+
+/// Phase commands broadcast to the chunk workers.
+enum ChunkCmd {
+    /// Sweep + scan the worker's chunk; report the violation flags.
+    Sweep,
+    /// Readjust the worker's chunk over the joint violation list.
+    Readjust(Arc<Vec<u32>>),
+}
+
+/// Parallel driver: one scoped thread per anchor chunk; the main thread
+/// joins violation flags per iteration. Bit-identical to the sequential
+/// driver (see the module comment above). `data` is chunk-major with the
+/// blocks described by `bounds` laid out back to back.
+fn kernel_fixpoint_parallel(
+    kernel: &ScheduleKernel,
+    sets: &AnchorSetFamily,
+    col_of_vertex: &[u32],
+    bounds: &[(usize, usize)],
+    data: &mut [i64],
+    budget: usize,
+) -> Option<usize> {
+    let n = kernel.n_vertices();
+    let n_back = kernel.n_backward_edges();
+    let mut result: Option<usize> = None;
+    thread::scope(|s| {
+        let mut cmd_txs = Vec::new();
+        let mut res_rxs = Vec::new();
+        let mut data_rest = data;
+        for &(lo, width) in bounds {
+            let (chunk, rest) = data_rest.split_at_mut(width * n);
+            data_rest = rest;
+            let (cmd_tx, cmd_rx) = mpsc::channel::<ChunkCmd>();
+            let (res_tx, res_rx) = mpsc::channel::<Vec<bool>>();
+            cmd_txs.push(cmd_tx);
+            res_rxs.push(res_rx);
+            s.spawn(move || {
+                let chunk = chunk;
+                let masks = chunk_masks(sets, n, lo, width);
+                let mut viol = vec![false; n_back];
+                for cmd in cmd_rx {
+                    match cmd {
+                        ChunkCmd::Sweep => {
+                            viol.fill(false);
+                            kernel_sweep(kernel, col_of_vertex, lo, width, &masks, chunk);
+                            kernel_scan(kernel, width, &masks, chunk, &mut viol);
+                            if res_tx.send(viol.clone()).is_err() {
+                                break;
+                            }
+                        }
+                        ChunkCmd::Readjust(list) => {
+                            kernel_readjust(kernel, width, &masks, chunk, &list);
+                        }
+                    }
+                }
+            });
+        }
+        for iter in 1..=budget {
+            for tx in &cmd_txs {
+                tx.send(ChunkCmd::Sweep).expect("chunk worker alive");
+            }
+            let mut joint = vec![false; n_back];
+            for rx in &res_rxs {
+                let flags = rx.recv().expect("chunk worker reports");
+                for (j, b) in flags.into_iter().enumerate() {
+                    joint[j] |= b;
+                }
+            }
+            let list: Vec<u32> = (0..n_back as u32).filter(|&i| joint[i as usize]).collect();
+            if list.is_empty() {
+                result = Some(iter);
+                break;
+            }
+            let list = Arc::new(list);
+            for tx in &cmd_txs {
+                tx.send(ChunkCmd::Readjust(Arc::clone(&list)))
+                    .expect("chunk worker alive");
+            }
+        }
+        drop(cmd_txs);
+    });
+    result
+}
+
+/// Disjoint (tail, head) row views into a vertex-major chunk. Callers
+/// pass rows of distinct vertices (forward edges cannot self-loop — the
+/// kernel's topological order exists).
+fn two_rows(data: &mut [i64], trow: usize, hrow: usize, width: usize) -> (&[i64], &mut [i64]) {
+    if trow < hrow {
+        let (lo, hi) = data.split_at_mut(hrow);
+        (&lo[trow..trow + width], &mut hi[..width])
+    } else {
+        let (lo, hi) = data.split_at_mut(trow);
+        (&hi[..width], &mut lo[hrow..hrow + width])
+    }
+}
+
+/// `IncrementalOffset` for one chunk: a topological longest-path sweep
+/// over the forward CSR, relaxing all of the chunk's columns per edge.
+/// Columns tracked by both endpoints come from the intersection of the
+/// endpoint mask rows, so sparse anchor sets (the common case — most
+/// vertices track a handful of the anchors) cost one word-AND per 64
+/// columns plus one relaxation per *live* column. `lo` is the chunk's
+/// first global column; `col_of_vertex` maps an anchor vertex to its
+/// global column for the `σ_a(a) = 0` base case.
+fn kernel_sweep(
+    kernel: &ScheduleKernel,
+    col_of_vertex: &[u32],
+    lo: usize,
+    width: usize,
+    masks: &[u64],
+    data: &mut [i64],
+) {
+    let words = width.div_ceil(64).max(1);
+    for &v in kernel.topo_order() {
+        let vi = v as usize;
+        let hrow = vi * width;
+        let hmask = &masks[vi * words..(vi + 1) * words];
+        let (tails, weights) = kernel.forward_in_edges(vi);
+        for (&t, &w) in tails.iter().zip(weights) {
+            let ti = t as usize;
+            let trow = ti * width;
+            {
+                // For every column tracked by both tail and head: relax.
+                let (tail, head) = two_rows(data, trow, hrow, width);
+                let tmask = &masks[ti * words..(ti + 1) * words];
+                for k in 0..words {
+                    let mut bits = tmask[k] & hmask[k];
+                    while bits != 0 {
+                        let j = (k << 6) | bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        let cand = tail[j] + w;
+                        if cand > head[j] {
+                            head[j] = cand;
+                        }
+                    }
+                }
+            }
+            // Base case σ_a(a) = 0 (Definition 3 normalization): when the
+            // tail is itself an anchor whose column lies in this chunk and
+            // is tracked at v, the edge contributes `0 + w`. This is what
+            // carries a minimum constraint sourced at an anchor (e.g. the
+            // source) into its successor's offset; for unbounded edges
+            // (w = 0) it is a no-op.
+            let a = col_of_vertex[ti] as usize;
+            let j = a.wrapping_sub(lo);
+            if j < width && hmask[j >> 6] >> (j & 63) & 1 != 0 {
+                let slot = &mut data[hrow + j];
+                if w > *slot {
+                    *slot = w;
+                }
+            }
+        }
+    }
+}
+
+/// Flags (ORs into `viol`) the backward edges any of this chunk's columns
+/// violate.
+fn kernel_scan(
+    kernel: &ScheduleKernel,
+    width: usize,
+    masks: &[u64],
+    data: &[i64],
+    viol: &mut [bool],
+) {
+    let words = width.div_ceil(64).max(1);
+    let tails = kernel.backward_tails();
+    let heads = kernel.backward_heads();
+    let weights = kernel.backward_weights();
+    for (i, flag) in viol.iter_mut().enumerate() {
+        if *flag {
+            continue;
+        }
+        let ti = tails[i] as usize;
+        let hi = heads[i] as usize;
+        let trow = ti * width;
+        let hrow = hi * width;
+        let w = weights[i];
+        'cols: for k in 0..words {
+            let mut bits = masks[ti * words + k] & masks[hi * words + k];
+            while bits != 0 {
+                let j = (k << 6) | bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                if data[hrow + j] < data[trow + j] + w {
+                    *flag = true;
+                    break 'cols;
+                }
+            }
+        }
+    }
+}
+
+/// `ReadjustOffsets` for one chunk over the joint violation list (a
+/// non-violated column's readjustment is a no-op, exactly as in the
+/// interleaved reference).
+fn kernel_readjust(
+    kernel: &ScheduleKernel,
+    width: usize,
+    masks: &[u64],
+    data: &mut [i64],
+    list: &[u32],
+) {
+    let words = width.div_ceil(64).max(1);
+    let tails = kernel.backward_tails();
+    let heads = kernel.backward_heads();
+    let weights = kernel.backward_weights();
+    for &i in list {
+        let i = i as usize;
+        let ti = tails[i] as usize;
+        let hi = heads[i] as usize;
+        let trow = ti * width;
+        let hrow = hi * width;
+        let w = weights[i];
+        for k in 0..words {
+            let mut bits = masks[ti * words + k] & masks[hi * words + k];
+            while bits != 0 {
+                let j = (k << 6) | bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let required = data[trow + j] + w;
+                if data[hrow + j] < required {
+                    data[hrow + j] = required;
+                }
             }
         }
     }

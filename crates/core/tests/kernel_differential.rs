@@ -1,0 +1,177 @@
+//! Differential property tests pinning the CSR kernel to the reference
+//! scheduler.
+//!
+//! The kernel path ([`schedule`], [`schedule_threaded`], [`reschedule`],
+//! [`relax_additive_on`]) must be **bit-identical** to the retained
+//! pre-kernel implementations ([`schedule_reference`],
+//! [`reschedule_reference`], [`relax_additive`]) on arbitrary designs:
+//! identical offsets, anchor sets, iteration counts, and identical error
+//! values (unfeasibility witnesses, ill-posedness violations,
+//! inconsistency budgets). Thread fan-out must not change a single bit
+//! either — `threads = 1` and `threads = 8` run the exact same iterates.
+
+use proptest::prelude::*;
+
+use rsched_core::{
+    relax_additive, relax_additive_on, reschedule, reschedule_on, reschedule_reference, schedule,
+    schedule_reference, schedule_threaded, schedule_with_sets, AnchorSets,
+};
+use rsched_graph::{ConstraintGraph, ExecDelay, ScheduleKernel, VertexId};
+
+#[derive(Debug, Clone)]
+struct GraphSpec {
+    /// `None` = unbounded delay.
+    delays: Vec<Option<u64>>,
+    /// Dependency edges `(i, j)`, kept only when `i < j`.
+    deps: Vec<(usize, usize)>,
+    /// Minimum constraints `(i, j, l)`, kept only when `i < j`.
+    mins: Vec<(usize, usize, u64)>,
+    /// Maximum constraints `(i, j, u)`, any `i != j`.
+    maxs: Vec<(usize, usize, u64)>,
+}
+
+fn graph_spec(max_ops: usize) -> impl Strategy<Value = GraphSpec> {
+    (2usize..max_ops).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(
+                prop_oneof![3 => (0u64..6).prop_map(Some), 1 => Just(None)],
+                n,
+            ),
+            proptest::collection::vec((0..n, 0..n), 1..2 * n),
+            proptest::collection::vec((0..n, 0..n, 0u64..6), 0..4),
+            proptest::collection::vec((0..n, 0..n, 0u64..12), 0..4),
+        )
+            .prop_map(|(delays, deps, mins, maxs)| GraphSpec {
+                delays,
+                deps,
+                mins,
+                maxs,
+            })
+    })
+}
+
+fn build(spec: &GraphSpec) -> (ConstraintGraph, Vec<VertexId>) {
+    let mut g = ConstraintGraph::new();
+    let vs: Vec<VertexId> = spec
+        .delays
+        .iter()
+        .enumerate()
+        .map(|(i, d)| {
+            g.add_operation(
+                format!("op{i}"),
+                match d {
+                    Some(d) => ExecDelay::Fixed(*d),
+                    None => ExecDelay::Unbounded,
+                },
+            )
+        })
+        .collect();
+    for &(i, j) in &spec.deps {
+        if i < j {
+            g.add_dependency(vs[i], vs[j])
+                .expect("i < j keeps G_f acyclic");
+        }
+    }
+    for &(i, j, l) in &spec.mins {
+        if i < j {
+            g.add_min_constraint(vs[i], vs[j], l)
+                .expect("i < j cannot contradict dependencies");
+        }
+    }
+    for &(i, j, u) in &spec.maxs {
+        if i != j {
+            g.add_max_constraint(vs[i], vs[j], u)
+                .expect("valid endpoints");
+        }
+    }
+    g.polarize()
+        .expect("polarize cannot fail on fresh operations");
+    (g, vs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Cold scheduling: the CSR kernel and the adjacency-walking
+    /// reference return the same `Result` — offsets, iteration counts,
+    /// and every error variant included.
+    #[test]
+    fn kernel_equals_reference(spec in graph_spec(20)) {
+        let (g, _) = build(&spec);
+        let kernel = schedule(&g);
+        let reference = schedule_reference(&g);
+        prop_assert_eq!(&kernel, &reference);
+        if let (Ok(k), Ok(r)) = (&kernel, &reference) {
+            prop_assert_eq!(k.iterations(), r.iterations());
+        }
+    }
+
+    /// Fanning anchor columns over worker threads changes nothing:
+    /// `threads = 1` and any larger count produce the same bits.
+    #[test]
+    fn thread_counts_are_bit_identical(spec in graph_spec(20), threads in 2usize..9) {
+        let (g, _) = build(&spec);
+        let serial = schedule_threaded(&g, 1);
+        let fanned = schedule_threaded(&g, threads);
+        let wide = schedule_threaded(&g, 8);
+        prop_assert_eq!(&serial, &fanned);
+        prop_assert_eq!(&serial, &wide);
+        if let (Ok(s), Ok(f)) = (&serial, &fanned) {
+            prop_assert_eq!(s.iterations(), f.iterations());
+        }
+    }
+
+    /// Warm restarts after an additive edit: the kernel reschedule (at
+    /// several thread counts) agrees with the reference reschedule.
+    #[test]
+    fn warm_reschedule_matches_reference(
+        spec in graph_spec(16),
+        extra in (0usize..64, 0usize..64, 0u64..5),
+    ) {
+        let (mut g, vs) = build(&spec);
+        let Ok(prev) = schedule(&g) else { return Ok(()) };
+        let (i, j, l) = extra;
+        let (from, to) = (vs[i % vs.len()], vs[j % vs.len()]);
+        if g.add_min_constraint(from, to, l).is_err() {
+            return Ok(());
+        }
+        let sets = AnchorSets::compute(&g).expect("additive edit keeps structure sound");
+        // Additive edits only raise minimum offsets: every anchor stays warm.
+        let warm: Vec<VertexId> = sets.anchors().to_vec();
+        let reference = reschedule_reference(&g, sets.family(), &prev, &warm);
+        let kernel = reschedule(&g, sets.family(), &prev, &warm);
+        prop_assert_eq!(&kernel, &reference);
+        let snapshot = ScheduleKernel::build(&g).expect("forward subgraph stays acyclic");
+        let fanned = reschedule_on(&snapshot, sets.family(), &prev, &warm, 4);
+        prop_assert_eq!(&fanned, &reference);
+        if let (Ok(k), Ok(r)) = (&kernel, &reference) {
+            prop_assert_eq!(k.iterations(), r.iterations());
+        }
+    }
+
+    /// The single-edge relaxation fast path: the kernel variant raises
+    /// the same vertices in the same order and leaves the same offsets as
+    /// the adjacency-walking one.
+    #[test]
+    fn relax_additive_matches_kernel(
+        spec in graph_spec(16),
+        extra in (0usize..64, 0usize..64, 0u64..5),
+    ) {
+        let (mut g, vs) = build(&spec);
+        let Ok(mut sets) = AnchorSets::compute(&g) else { return Ok(()) };
+        let Ok(prev) = schedule_with_sets(&g, sets.family()) else { return Ok(()) };
+        let (i, j, l) = extra;
+        let (from, to) = (vs[i % vs.len()], vs[j % vs.len()]);
+        let Ok(edge) = g.add_min_constraint(from, to, l) else { return Ok(()) };
+        let changed = sets.notify_add_edge(&g, edge);
+        let mut walked = prev.clone();
+        let mut kerneled = prev;
+        let reference = relax_additive(&g, sets.family(), &mut walked, edge, &changed);
+        let snapshot = ScheduleKernel::build(&g).expect("forward subgraph stays acyclic");
+        let fast = relax_additive_on(&snapshot, sets.family(), &mut kerneled, edge, &changed);
+        prop_assert_eq!(&fast, &reference);
+        if reference.is_ok() {
+            prop_assert_eq!(&kerneled, &walked);
+        }
+    }
+}

@@ -64,7 +64,7 @@ fn build(spec: &SmallSpec) -> (ConstraintGraph, Vec<VertexId>) {
 fn enumerate_well_posed(g: &ConstraintGraph, max_added: usize) -> Vec<ConstraintGraph> {
     let anchors = g.anchors();
     let mut candidates: Vec<(VertexId, VertexId)> = Vec::new();
-    for &a in &anchors {
+    for &a in anchors {
         for v in g.vertex_ids() {
             if v != a && v != g.source() && !g.has_forward_path(a, v) && !g.has_forward_path(v, a) {
                 candidates.push((a, v));

@@ -99,12 +99,7 @@ fn build(spec: &GraphSpec) -> (ConstraintGraph, Vec<VertexId>) {
 
 fn profile_from_spec(g: &ConstraintGraph, spec: &GraphSpec) -> rsched_core::DelayProfile {
     let mut builder = profile_for(g);
-    for (k, a) in g
-        .anchors()
-        .into_iter()
-        .filter(|&a| a != g.source())
-        .enumerate()
-    {
+    for (k, &a) in g.anchors().iter().filter(|&&a| a != g.source()).enumerate() {
         builder = builder.with_delay(a, spec.profile_delays[k % spec.profile_delays.len()]);
     }
     builder.build()

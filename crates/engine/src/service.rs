@@ -24,6 +24,19 @@
 //! `"delay"`: a cycle count or `"unbounded"`). Responses are
 //! `{"id":…,"ok":true,…}` or `{"id":…,"ok":false,"error":"…"}`.
 //!
+//! One sessionless request exists: `batch_schedule` cold-schedules many
+//! independent designs in a single round trip, fanning them across a
+//! scoped thread pool inside the handling worker:
+//!
+//! ```text
+//! {"id":6,"op":"batch_schedule","threads":4,
+//!  "designs":[{"name":"d0","design":"op a 1\n…"},{"name":"d1","design":"…"}]}
+//! ```
+//!
+//! The response carries `"results"`, one entry per design **in input
+//! order** (independent of completion order), each with the design's
+//! verdict and iteration count or an in-band error.
+//!
 //! Each request honors a deadline (the `ServeConfig` default, overridable
 //! per request via `"deadline_ms"`), measured from the moment the line is
 //! read; a request still queued when its deadline passes is answered with
@@ -33,12 +46,13 @@
 
 use std::collections::HashMap;
 use std::io::{self, BufRead, Write};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::Mutex;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use rsched_core::WellPosedness;
+use rsched_core::{schedule, ScheduleError, WellPosedness};
 use rsched_graph::{ConstraintGraph, ExecDelay};
 
 use crate::json::{object, Json};
@@ -124,16 +138,22 @@ where
                 }
             };
             let id = request.get("id").cloned().unwrap_or(Json::Null);
-            let Some(session) = request.get("session").and_then(Json::as_str) else {
-                respond(&out, fail(id, "missing \"session\""))?;
-                continue;
+            // `batch_schedule` is stateless (it opens no session), so it is
+            // spread over workers by request id instead of a session pin.
+            let slot = if request.get("op").and_then(Json::as_str) == Some("batch_schedule") {
+                pin(&id.render(), n_workers)
+            } else {
+                let Some(session) = request.get("session").and_then(Json::as_str) else {
+                    respond(&out, fail(id, "missing \"session\""))?;
+                    continue;
+                };
+                pin(session, n_workers)
             };
             let deadline = request
                 .get("deadline_ms")
                 .and_then(Json::as_i64)
                 .map(|ms| Duration::from_millis(ms.max(0) as u64))
                 .or(config.deadline);
-            let slot = pin(session, n_workers);
             let job = Job {
                 id,
                 request,
@@ -214,15 +234,18 @@ fn handle(
     request: &Json,
     opened: &Mutex<usize>,
 ) -> Json {
+    let op = match request.get("op").and_then(Json::as_str) {
+        Some(op) => op,
+        None => return fail(id, "missing \"op\""),
+    };
+    if op == "batch_schedule" {
+        return batch_schedule(id, request);
+    }
     let name = request
         .get("session")
         .and_then(Json::as_str)
         .expect("dispatcher verified")
         .to_owned();
-    let op = match request.get("op").and_then(Json::as_str) {
-        Some(op) => op,
-        None => return fail(id, "missing \"op\""),
-    };
     match op {
         "open" => {
             let Some(design) = request.get("design").and_then(Json::as_str) else {
@@ -317,6 +340,124 @@ fn handle(
             }
         }
         other => fail(id, format!("unknown op '{other}'")),
+    }
+}
+
+/// Schedules each design in `"designs"` independently — no session state
+/// is created — fanning the batch across a scoped pool of `"threads"`
+/// workers. Each design runs the cold single-thread scheduler, so results
+/// are bit-identical to individual `open` requests; the response lists
+/// them in input order regardless of completion order.
+fn batch_schedule(id: Json, request: &Json) -> Json {
+    let Some(designs) = request.get("designs").and_then(Json::as_array) else {
+        return fail(id, "batch_schedule needs a \"designs\" array");
+    };
+    let threads = request
+        .get("threads")
+        .and_then(Json::as_i64)
+        .map_or(1, |t| t.max(1) as usize)
+        .min(designs.len().max(1));
+    let mut results = vec![Json::Null; designs.len()];
+    let next = AtomicUsize::new(0);
+    let (res_tx, res_rx) = mpsc::channel::<(usize, Json)>();
+    thread::scope(|scope| {
+        for _ in 0..threads {
+            let res_tx = res_tx.clone();
+            let next = &next;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(entry) = designs.get(i) else { break };
+                if res_tx.send((i, batch_entry(entry))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(res_tx);
+        for (i, result) in res_rx {
+            results[i] = result;
+        }
+    });
+    object([
+        ("id", id),
+        ("ok", Json::Bool(true)),
+        ("results", Json::Array(results)),
+    ])
+}
+
+/// Parses, polarizes, and cold-schedules one `{"name", "design"}` entry.
+fn batch_entry(entry: &Json) -> Json {
+    let name = Json::from(entry.get("name").and_then(Json::as_str).unwrap_or(""));
+    let bad = |name: Json, error: String| {
+        object([
+            ("name", name),
+            ("ok", Json::Bool(false)),
+            ("error", Json::Str(error)),
+        ])
+    };
+    let Some(design) = entry.get("design").and_then(Json::as_str) else {
+        return bad(name, "missing \"design\"".to_owned());
+    };
+    let mut graph = match ConstraintGraph::from_text(design) {
+        Ok(g) => g,
+        Err(e) => return bad(name, format!("bad design: {e}")),
+    };
+    if !graph.is_polar() {
+        if let Err(e) = graph.polarize() {
+            return bad(name, format!("bad design: {e}"));
+        }
+    }
+    match schedule(&graph) {
+        Ok(omega) => object([
+            ("name", name),
+            ("ok", Json::Bool(true)),
+            ("verdict", Json::from("well-posed")),
+            ("iterations", Json::from(omega.iterations())),
+            (
+                "anchors",
+                Json::Array(
+                    omega
+                        .anchors()
+                        .iter()
+                        .map(|&a| Json::from(graph.vertex(a).name()))
+                        .collect(),
+                ),
+            ),
+            ("vertices", Json::from(graph.n_vertices())),
+            ("edges", Json::from(graph.n_edges())),
+        ]),
+        Err(ScheduleError::Unfeasible { witness }) => object([
+            ("name", name),
+            ("ok", Json::Bool(true)),
+            (
+                "verdict",
+                object([
+                    ("kind", Json::from("unfeasible")),
+                    ("witness", Json::from(graph.vertex(witness).name())),
+                ]),
+            ),
+        ]),
+        Err(ScheduleError::IllPosed { from, to, missing }) => object([
+            ("name", name),
+            ("ok", Json::Bool(true)),
+            (
+                "verdict",
+                object([
+                    ("kind", Json::from("ill-posed")),
+                    ("from", Json::from(graph.vertex(from).name())),
+                    ("to", Json::from(graph.vertex(to).name())),
+                    (
+                        "missing",
+                        Json::Array(
+                            missing
+                                .iter()
+                                .map(|&a| Json::from(graph.vertex(a).name()))
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+        ]),
+        Err(e) => bad(name, format!("cannot schedule: {e}")),
     }
 }
 
@@ -588,6 +729,76 @@ mod tests {
             .contains("deadline"));
         // Later requests on the same session still execute.
         assert_eq!(by_id(&responses, 3).get("ok"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn batch_schedule_returns_results_in_input_order() {
+        let design = DESIGN.replace('\n', "\\n");
+        // d1 is unfeasible (min 9 against max 4), d2 is malformed.
+        let infeasible = format!("{design}min alu out 9\\n");
+        let lines = vec![format!(
+            concat!(
+                r#"{{"id":1,"op":"batch_schedule","threads":4,"designs":["#,
+                r#"{{"name":"d0","design":"{d0}"}},"#,
+                r#"{{"name":"d1","design":"{d1}"}},"#,
+                r#"{{"name":"d2","design":"op oops"}},"#,
+                r#"{{"name":"d3","design":"{d0}"}}]}}"#
+            ),
+            d0 = design,
+            d1 = infeasible,
+        )];
+        let (responses, summary) = run_lines(&lines, &ServeConfig::default());
+        assert_eq!(summary.requests, 1);
+        assert_eq!(summary.sessions_opened, 0);
+        let response = by_id(&responses, 1);
+        assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+        let results = response.get("results").and_then(Json::as_array).unwrap();
+        assert_eq!(results.len(), 4);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(
+                r.get("name").and_then(Json::as_str),
+                Some(&*format!("d{i}"))
+            );
+        }
+        assert_eq!(
+            results[0].get("verdict").unwrap(),
+            &Json::from("well-posed")
+        );
+        assert_eq!(
+            results[1]
+                .get("verdict")
+                .and_then(|v| v.get("kind"))
+                .and_then(Json::as_str),
+            Some("unfeasible")
+        );
+        assert_eq!(results[2].get("ok"), Some(&Json::Bool(false)));
+        assert!(results[2]
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("bad design"));
+        // The same design gives the same result wherever it sits in the batch.
+        assert_eq!(results[3].get("iterations"), results[0].get("iterations"));
+        assert_eq!(results[3].get("anchors"), results[0].get("anchors"));
+    }
+
+    #[test]
+    fn batch_schedule_thread_counts_agree() {
+        let design = DESIGN.replace('\n', "\\n");
+        let batch = |id: i64, threads: usize| {
+            let entries: Vec<String> = (0..6)
+                .map(|i| format!(r#"{{"name":"d{i}","design":"{design}"}}"#))
+                .collect();
+            format!(
+                r#"{{"id":{id},"op":"batch_schedule","threads":{threads},"designs":[{}]}}"#,
+                entries.join(",")
+            )
+        };
+        let (responses, _) = run_lines(&[batch(1, 1), batch(2, 8)], &ServeConfig::default());
+        let serial = by_id(&responses, 1).get("results").cloned();
+        let fanned = by_id(&responses, 2).get("results").cloned();
+        assert!(serial.is_some());
+        assert_eq!(serial, fanned);
     }
 
     #[test]

@@ -44,11 +44,13 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use rsched_core::{
-    check_well_posed_with, relax_additive, reschedule, schedule_with_sets, start_times,
+    check_well_posed_with, relax_additive, reschedule_on, schedule_with_sets_on, start_times,
     update_start_times, verify_start_times, AnchorSets, DelayProfile, IllPosedEdge,
     RelativeSchedule, ScheduleError, StartTimes, WellPosedness,
 };
-use rsched_graph::{ConstraintGraph, EdgeId, ExecDelay, GraphError, ReachCache, VertexId};
+use rsched_graph::{
+    ConstraintGraph, EdgeId, ExecDelay, GraphError, ReachCache, ScheduleKernel, VertexId,
+};
 
 /// Structured result of one session edit.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -139,8 +141,18 @@ struct ZeroCertificate {
 #[derive(Debug, Clone)]
 pub struct Session {
     graph: ConstraintGraph,
+    /// CSR snapshot of `graph`; all full fixpoint runs execute against
+    /// it. Edits mark it stale and it is rebuilt lazily on the next
+    /// [`Session::run_schedule`] — the additive fast path repairs the
+    /// schedule by a worklist walk of the (already-updated) adjacency
+    /// lists and never pays the rebuild.
+    kernel: ScheduleKernel,
+    /// `false` after a mutation until the snapshot is rebuilt.
+    kernel_fresh: bool,
     sets: AnchorSets,
     reach: ReachCache,
+    /// Worker threads fanned over anchor columns per scheduling run.
+    threads: usize,
     /// Most recent successful schedule; stale while ill-posed/unfeasible.
     current: Option<RelativeSchedule>,
     /// Zero-profile start times of `current` (refreshed on every accept).
@@ -168,11 +180,15 @@ impl Session {
             graph.polarize().map_err(ScheduleError::Graph)?;
         }
         let sets = AnchorSets::compute(&graph)?;
+        let kernel = ScheduleKernel::build(&graph).map_err(ScheduleError::Graph)?;
         let reach = ReachCache::compute(&graph, sets.family().anchors().iter().copied());
         let mut session = Session {
             graph,
+            kernel,
+            kernel_fresh: true,
             sets,
             reach,
+            threads: 1,
             current: None,
             zero_times: None,
             dirty: BTreeSet::new(),
@@ -224,6 +240,20 @@ impl Session {
     /// Work counters.
     pub fn stats(&self) -> &SessionStats {
         &self.stats
+    }
+
+    /// Worker threads fanned over anchor columns per scheduling run.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Sets the worker-thread count for subsequent scheduling runs.
+    /// Anchor columns are independent within each fixpoint phase and
+    /// violation flags are joined by a commutative OR, so every offset,
+    /// iteration count, and verdict is identical for any count; values
+    /// below 1 are clamped to 1.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
     }
 
     /// Finds an operation by name.
@@ -314,6 +344,19 @@ impl Session {
         EditOutcome::Rejected { error }
     }
 
+    /// Rebuilds the CSR snapshot if a mutation left it stale. Called on
+    /// the full-fixpoint path only, so a burst of fast-path edits pays
+    /// for at most one rebuild, when a sweep actually needs the
+    /// snapshot. The guarded mutators preserve forward acyclicity, so
+    /// the rebuild cannot fail.
+    fn refresh_kernel(&mut self) {
+        if !self.kernel_fresh {
+            self.kernel = ScheduleKernel::build(&self.graph)
+                .expect("edit mutators preserve forward acyclicity");
+            self.kernel_fresh = true;
+        }
+    }
+
     /// Post-edit path for pure additions: previous offsets remain lower
     /// bounds for every anchor (constraints only push offsets up), so the
     /// dirty set does not grow — and when the edit also leaves every
@@ -322,6 +365,7 @@ impl Session {
     /// instead of a full re-analysis.
     fn after_additive_edit(&mut self, id: EdgeId) -> EditOutcome {
         self.stats.edits += 1;
+        self.kernel_fresh = false;
         let edge = *self.graph.edge(id);
         self.reach
             .notify_add_edge(&self.graph, edge.from(), edge.to());
@@ -369,7 +413,10 @@ impl Session {
             return None;
         }
         // Relax in place — cloning the |V| × |A| offset matrix would cost
-        // as much as the relaxation itself on large designs.
+        // as much as the relaxation itself on large designs. The
+        // adjacency-walking variant (not `relax_additive_on`): the cone
+        // of one edge is far smaller than the CSR rebuild the kernel
+        // variant would need first.
         let mut omega = self.current.take().expect("checked above");
         let raised = match relax_additive(&self.graph, self.sets.family(), &mut omega, id, changed)
         {
@@ -456,6 +503,7 @@ impl Session {
     /// cached family.
     fn after_edit(&mut self) -> EditOutcome {
         self.stats.edits += 1;
+        self.kernel_fresh = false;
         let new_sets = match AnchorSets::compute(&self.graph) {
             Ok(s) => s,
             // Unreachable after a guarded edit (mutators preserve forward
@@ -553,6 +601,7 @@ impl Session {
     }
 
     fn run_schedule(&mut self) -> EditOutcome {
+        self.refresh_kernel();
         let family = self.sets.family().clone();
         let warm: Vec<VertexId> = match &self.current {
             Some(prev) => family
@@ -564,8 +613,10 @@ impl Session {
             None => Vec::new(),
         };
         let result = match &self.current {
-            Some(prev) if !warm.is_empty() => reschedule(&self.graph, &family, prev, &warm),
-            _ => schedule_with_sets(&self.graph, &family),
+            Some(prev) if !warm.is_empty() => {
+                reschedule_on(&self.kernel, &family, prev, &warm, self.threads)
+            }
+            _ => schedule_with_sets_on(&self.kernel, &family, self.threads),
         };
         let (schedule, warm_used) = match result {
             Ok(schedule) => {
@@ -616,15 +667,19 @@ impl Session {
                     WellPosedness::Unfeasible { witness } => {
                         return self.mark_unfeasible(witness);
                     }
-                    WellPosedness::WellPosed => match schedule_with_sets(&self.graph, &family) {
-                        Ok(schedule) => {
-                            self.zero_times = None;
-                            (schedule, 0)
+                    WellPosedness::WellPosed => {
+                        match schedule_with_sets_on(&self.kernel, &family, self.threads) {
+                            Ok(schedule) => {
+                                self.zero_times = None;
+                                (schedule, 0)
+                            }
+                            Err(e) => {
+                                unreachable!(
+                                    "cold run failed on a feasible, well-posed graph: {e:?}"
+                                )
+                            }
                         }
-                        Err(e) => {
-                            unreachable!("cold run failed on a feasible, well-posed graph: {e:?}")
-                        }
-                    },
+                    }
                     verdict @ WellPosedness::IllPosed { .. } => {
                         unreachable!("containment cache disagrees: {verdict:?}")
                     }
@@ -832,6 +887,25 @@ mod tests {
         assert_eq!(session.schedule().cloned(), before);
         assert_eq!(session.stats().rejected, 2);
         assert_eq!(session.stats().edits, 0);
+    }
+
+    #[test]
+    fn threaded_session_is_bit_identical() {
+        let run = |threads: usize| {
+            let (g, sync, alu, out) = demo();
+            let mut session = Session::open(g).unwrap();
+            session.set_threads(threads);
+            session.add_min_constraint(sync, alu, 1);
+            session.add_max_constraint(alu, out, 9);
+            session.set_delay(out, ExecDelay::Unbounded);
+            session.set_delay(out, ExecDelay::Fixed(2));
+            session
+        };
+        let one = run(1);
+        let eight = run(8);
+        assert_eq!(one.schedule().cloned(), eight.schedule().cloned());
+        assert_eq!(one.stats(), eight.stats());
+        assert_eq!(one.posedness(), eight.posedness());
     }
 
     #[test]

@@ -251,6 +251,10 @@ pub struct ConstraintGraph {
     /// every iterator and count.
     dead: Vec<bool>,
     n_dead: usize,
+    /// The anchor roster in id order, maintained eagerly: only
+    /// [`ConstraintGraph::add_operation`] and [`ConstraintGraph::set_delay`]
+    /// can change anchor-hood, and vertices are never removed.
+    anchors: Vec<VertexId>,
     source: VertexId,
     sink: VertexId,
 }
@@ -269,6 +273,7 @@ impl ConstraintGraph {
             edges: Vec::new(),
             dead: Vec::new(),
             n_dead: 0,
+            anchors: vec![VertexId(0)],
             source: VertexId(0),
             sink: VertexId(1),
         };
@@ -312,6 +317,12 @@ impl ConstraintGraph {
         self.edges().filter(|(_, e)| e.is_backward()).count()
     }
 
+    /// Total edge-id slots ever allocated, live and tombstoned (the
+    /// exclusive upper bound on raw [`EdgeId`] indices).
+    pub(crate) fn n_all_edge_slots(&self) -> usize {
+        self.edges.len()
+    }
+
     /// Adds an operation with the given name and execution delay.
     pub fn add_operation(&mut self, name: impl Into<String>, delay: ExecDelay) -> VertexId {
         let id = VertexId(self.vertices.len() as u32);
@@ -321,6 +332,11 @@ impl ConstraintGraph {
             out_edges: Vec::new(),
             in_edges: Vec::new(),
         });
+        if delay.is_unbounded() {
+            // Ids are assigned in increasing order, so a push keeps the
+            // roster sorted.
+            self.anchors.push(id);
+        }
         id
     }
 
@@ -408,13 +424,16 @@ impl ConstraintGraph {
     }
 
     /// All anchors of the graph, in id order. The source is always first.
-    pub fn anchors(&self) -> Vec<VertexId> {
-        self.vertex_ids().filter(|&v| self.is_anchor(v)).collect()
+    ///
+    /// The roster is cached and maintained across mutations, so this is a
+    /// free borrow rather than a scan-and-allocate.
+    pub fn anchors(&self) -> &[VertexId] {
+        &self.anchors
     }
 
     /// Number of anchors `|A|`.
     pub fn n_anchors(&self) -> usize {
-        self.vertex_ids().filter(|&v| self.is_anchor(v)).count()
+        self.anchors.len()
     }
 
     fn check_vertex(&self, v: VertexId) -> Result<(), GraphError> {
@@ -530,9 +549,18 @@ impl ConstraintGraph {
         if self.vertices[v.index()].delay == delay {
             return Ok(false);
         }
+        let was_anchor = self.vertices[v.index()].delay.is_unbounded();
         self.vertices[v.index()].delay = delay;
-        let out: Vec<EdgeId> = self.vertices[v.index()].out_edges.clone();
-        for e in out {
+        if delay.is_unbounded() != was_anchor {
+            if delay.is_unbounded() {
+                let pos = self.anchors.partition_point(|&a| a < v);
+                self.anchors.insert(pos, v);
+            } else {
+                self.anchors.retain(|&a| a != v);
+            }
+        }
+        for i in 0..self.vertices[v.index()].out_edges.len() {
+            let e = self.vertices[v.index()].out_edges[i];
             let edge = &mut self.edges[e.index()];
             match edge.kind {
                 EdgeKind::Sequencing => {

@@ -1,0 +1,354 @@
+//! Immutable compressed-sparse-row snapshot of a constraint graph for the
+//! scheduling fixpoint.
+//!
+//! The mutable [`ConstraintGraph`] is built for editing: per-vertex
+//! `Vec<EdgeId>` adjacency, tombstoned edges, symbolic weights. Every
+//! iteration of the scheduler, however, is a linear pass — a topological
+//! longest-path sweep over the forward edges followed by a batched scan of
+//! the backward edges — and pays for that flexibility with pointer-chasing
+//! and scattered loads on each step. A [`ScheduleKernel`] freezes one
+//! graph revision into flat `u32`/`i64` arrays laid out in exactly the
+//! orders the fixpoint consumes them:
+//!
+//! - the forward topological order, precomputed once per snapshot rather
+//!   than once per scheduling call;
+//! - forward in-edges in CSR form, row per head vertex, so a sweep reads
+//!   `(tail, weight)` pairs from two contiguous arrays;
+//! - backward edges as parallel arrays in live [`EdgeId`] order — the
+//!   exact order the violation scan and `ReadjustOffsets` visit them;
+//! - all out-edges in CSR form, row per tail vertex in adjacency order,
+//!   for worklist-style local relaxation after incremental edits;
+//! - per-edge endpoint/weight lookup tables indexed by raw [`EdgeId`];
+//! - the anchor roster and a per-vertex anchor-index table.
+//!
+//! Weights are stored **zeroed** (`Weight::zeroed`), the paper's
+//! convention for every static path computation, so consumers do plain
+//! integer arithmetic with no `enum` dispatch. A kernel describes the
+//! graph revision it was built from and must be rebuilt after any
+//! mutation; the build is a single `O(|V| + |E|)` pass.
+
+use crate::error::GraphError;
+use crate::graph::{ConstraintGraph, EdgeId, VertexId};
+
+/// A frozen, data-oriented view of one [`ConstraintGraph`] revision.
+///
+/// See the [module documentation](self) for the layout rationale. Build
+/// one with [`ScheduleKernel::build`]; every accessor is a cheap slice
+/// borrow.
+#[derive(Debug, Clone)]
+pub struct ScheduleKernel {
+    n_vertices: usize,
+    n_backward: usize,
+    /// Vertex ids in forward topological order.
+    topo: Vec<u32>,
+    /// CSR row offsets into `fin_tail` / `fin_weight`, one row per head
+    /// vertex; length `n_vertices + 1`.
+    fin_off: Vec<u32>,
+    /// Tails of the forward in-edges of each row's head, adjacency order.
+    fin_tail: Vec<u32>,
+    /// Zeroed weights parallel to `fin_tail`.
+    fin_weight: Vec<i64>,
+    /// Backward-edge ids in live [`EdgeId`] order.
+    back_id: Vec<EdgeId>,
+    /// Tails parallel to `back_id`.
+    back_tail: Vec<u32>,
+    /// Heads parallel to `back_id`.
+    back_head: Vec<u32>,
+    /// Zeroed weights parallel to `back_id`.
+    back_weight: Vec<i64>,
+    /// CSR row offsets into the `out_*` arrays, one row per tail vertex;
+    /// length `n_vertices + 1`.
+    out_off: Vec<u32>,
+    /// Heads of each row's out-edges, adjacency order (forward and
+    /// backward interleaved exactly as the graph stores them).
+    out_head: Vec<u32>,
+    /// Zeroed weights parallel to `out_head`.
+    out_weight: Vec<i64>,
+    /// Forward flags parallel to `out_head`.
+    out_forward: Vec<bool>,
+    /// Endpoints/weights indexed by raw [`EdgeId`]; meaningful for live
+    /// edges only (tombstoned slots hold their last value).
+    edge_from: Vec<u32>,
+    edge_to: Vec<u32>,
+    edge_weight: Vec<i64>,
+    edge_forward: Vec<bool>,
+    /// The anchor roster in id order (source first).
+    anchors: Vec<VertexId>,
+    /// Per-vertex index into `anchors`, or `u32::MAX` for non-anchors.
+    anchor_index: Vec<u32>,
+}
+
+impl ScheduleKernel {
+    /// Snapshots `graph` into flat arrays.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::ForwardCycle`] when the forward subgraph is
+    /// cyclic and has no topological order (impossible for graphs built
+    /// exclusively through the mutation API, which rejects such edges).
+    pub fn build(graph: &ConstraintGraph) -> Result<ScheduleKernel, GraphError> {
+        let topo_order = graph.forward_topological_order()?;
+        let n = graph.n_vertices();
+        let topo: Vec<u32> = topo_order.order().iter().map(|v| v.0).collect();
+
+        let mut fin_off = Vec::with_capacity(n + 1);
+        let mut fin_tail = Vec::new();
+        let mut fin_weight = Vec::new();
+        let mut out_off = Vec::with_capacity(n + 1);
+        let mut out_head = Vec::new();
+        let mut out_weight = Vec::new();
+        let mut out_forward = Vec::new();
+        for v in graph.vertex_ids() {
+            fin_off.push(fin_tail.len() as u32);
+            for (_, e) in graph.in_edges(v) {
+                if e.is_forward() {
+                    fin_tail.push(e.from().0);
+                    fin_weight.push(e.weight().zeroed());
+                }
+            }
+            out_off.push(out_head.len() as u32);
+            for (_, e) in graph.out_edges(v) {
+                out_head.push(e.to().0);
+                out_weight.push(e.weight().zeroed());
+                out_forward.push(e.is_forward());
+            }
+        }
+        fin_off.push(fin_tail.len() as u32);
+        out_off.push(out_head.len() as u32);
+
+        let mut back_id = Vec::new();
+        let mut back_tail = Vec::new();
+        let mut back_head = Vec::new();
+        let mut back_weight = Vec::new();
+        for (id, e) in graph.backward_edges() {
+            back_id.push(id);
+            back_tail.push(e.from().0);
+            back_head.push(e.to().0);
+            back_weight.push(e.weight().zeroed());
+        }
+
+        let n_all_edges = graph.n_all_edge_slots();
+        let mut edge_from = vec![0u32; n_all_edges];
+        let mut edge_to = vec![0u32; n_all_edges];
+        let mut edge_weight = vec![0i64; n_all_edges];
+        let mut edge_forward = vec![false; n_all_edges];
+        for (id, e) in graph.edges() {
+            edge_from[id.index()] = e.from().0;
+            edge_to[id.index()] = e.to().0;
+            edge_weight[id.index()] = e.weight().zeroed();
+            edge_forward[id.index()] = e.is_forward();
+        }
+
+        let anchors = graph.anchors().to_vec();
+        let mut anchor_index = vec![u32::MAX; n];
+        for (i, a) in anchors.iter().enumerate() {
+            anchor_index[a.index()] = i as u32;
+        }
+
+        Ok(ScheduleKernel {
+            n_vertices: n,
+            n_backward: back_id.len(),
+            topo,
+            fin_off,
+            fin_tail,
+            fin_weight,
+            back_id,
+            back_tail,
+            back_head,
+            back_weight,
+            out_off,
+            out_head,
+            out_weight,
+            out_forward,
+            edge_from,
+            edge_to,
+            edge_weight,
+            edge_forward,
+            anchors,
+            anchor_index,
+        })
+    }
+
+    /// Number of vertices in the snapshotted graph.
+    pub fn n_vertices(&self) -> usize {
+        self.n_vertices
+    }
+
+    /// Number of live backward edges `|E_b|` in the snapshot.
+    pub fn n_backward_edges(&self) -> usize {
+        self.n_backward
+    }
+
+    /// Vertex ids (as raw `u32` indices) in forward topological order.
+    pub fn topo_order(&self) -> &[u32] {
+        &self.topo
+    }
+
+    /// The forward in-edges of vertex index `v` as parallel
+    /// `(tails, weights)` slices, in adjacency order.
+    pub fn forward_in_edges(&self, v: usize) -> (&[u32], &[i64]) {
+        let lo = self.fin_off[v] as usize;
+        let hi = self.fin_off[v + 1] as usize;
+        (&self.fin_tail[lo..hi], &self.fin_weight[lo..hi])
+    }
+
+    /// Backward-edge ids in live [`EdgeId`] order.
+    pub fn backward_ids(&self) -> &[EdgeId] {
+        &self.back_id
+    }
+
+    /// Backward-edge tails (vertex indices), parallel to
+    /// [`ScheduleKernel::backward_ids`].
+    pub fn backward_tails(&self) -> &[u32] {
+        &self.back_tail
+    }
+
+    /// Backward-edge heads (vertex indices), parallel to
+    /// [`ScheduleKernel::backward_ids`].
+    pub fn backward_heads(&self) -> &[u32] {
+        &self.back_head
+    }
+
+    /// Backward-edge zeroed weights, parallel to
+    /// [`ScheduleKernel::backward_ids`].
+    pub fn backward_weights(&self) -> &[i64] {
+        &self.back_weight
+    }
+
+    /// All out-edges of vertex index `v` as parallel
+    /// `(heads, weights, forward-flags)` slices, in adjacency order.
+    pub fn out_edges(&self, v: usize) -> (&[u32], &[i64], &[bool]) {
+        let lo = self.out_off[v] as usize;
+        let hi = self.out_off[v + 1] as usize;
+        (
+            &self.out_head[lo..hi],
+            &self.out_weight[lo..hi],
+            &self.out_forward[lo..hi],
+        )
+    }
+
+    /// Endpoints, zeroed weight and forward flag of a live edge:
+    /// `(from, to, weight, is_forward)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range for the snapshotted graph. Passing a
+    /// tombstoned id returns that slot's last live value.
+    pub fn edge(&self, e: EdgeId) -> (u32, u32, i64, bool) {
+        let i = e.index();
+        (
+            self.edge_from[i],
+            self.edge_to[i],
+            self.edge_weight[i],
+            self.edge_forward[i],
+        )
+    }
+
+    /// The anchor roster of the snapshot, in id order (source first).
+    pub fn anchors(&self) -> &[VertexId] {
+        &self.anchors
+    }
+
+    /// Index of `v` in the anchor roster, or `None` for non-anchors.
+    pub fn anchor_index(&self, v: VertexId) -> Option<usize> {
+        let i = self.anchor_index[v.index()];
+        (i != u32::MAX).then_some(i as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::ExecDelay;
+
+    fn sample() -> (ConstraintGraph, [VertexId; 3]) {
+        let mut g = ConstraintGraph::new();
+        let a = g.add_operation("a", ExecDelay::Unbounded);
+        let b = g.add_operation("b", ExecDelay::Fixed(2));
+        let c = g.add_operation("c", ExecDelay::Fixed(1));
+        g.add_dependency(a, b).unwrap();
+        g.add_dependency(b, c).unwrap();
+        g.add_max_constraint(b, c, 4).unwrap();
+        g.polarize().unwrap();
+        (g, [a, b, c])
+    }
+
+    #[test]
+    fn snapshot_matches_graph_iteration() {
+        let (g, [a, b, c]) = sample();
+        let k = ScheduleKernel::build(&g).unwrap();
+        assert_eq!(k.n_vertices(), g.n_vertices());
+        assert_eq!(k.n_backward_edges(), g.n_backward_edges());
+        assert_eq!(k.anchors(), g.anchors());
+        assert_eq!(k.anchor_index(a), Some(1));
+        assert_eq!(k.anchor_index(b), None);
+
+        // Topological order matches the graph's.
+        let topo = g.forward_topological_order().unwrap();
+        let expect: Vec<u32> = topo.order().iter().map(|v| v.index() as u32).collect();
+        assert_eq!(k.topo_order(), expect.as_slice());
+
+        // Forward in-edges of every vertex, in adjacency order.
+        for v in g.vertex_ids() {
+            let (tails, weights) = k.forward_in_edges(v.index());
+            let expect: Vec<(u32, i64)> = g
+                .in_edges(v)
+                .filter(|(_, e)| e.is_forward())
+                .map(|(_, e)| (e.from().index() as u32, e.weight().zeroed()))
+                .collect();
+            let got: Vec<(u32, i64)> = tails.iter().copied().zip(weights.iter().copied()).collect();
+            assert_eq!(got, expect, "forward in-edges of {v}");
+
+            let (heads, ws, fwd) = k.out_edges(v.index());
+            let expect: Vec<(u32, i64, bool)> = g
+                .out_edges(v)
+                .map(|(_, e)| (e.to().index() as u32, e.weight().zeroed(), e.is_forward()))
+                .collect();
+            let got: Vec<(u32, i64, bool)> = heads
+                .iter()
+                .zip(ws)
+                .zip(fwd)
+                .map(|((&h, &w), &f)| (h, w, f))
+                .collect();
+            assert_eq!(got, expect, "out-edges of {v}");
+        }
+
+        // Backward arrays in EdgeId order.
+        let expect: Vec<EdgeId> = g.backward_edges().map(|(id, _)| id).collect();
+        assert_eq!(k.backward_ids(), expect.as_slice());
+        for (i, (_, e)) in g.backward_edges().enumerate() {
+            assert_eq!(k.backward_tails()[i], e.from().index() as u32);
+            assert_eq!(k.backward_heads()[i], e.to().index() as u32);
+            assert_eq!(k.backward_weights()[i], e.weight().zeroed());
+        }
+
+        // Per-edge lookup agrees with the graph.
+        for (id, e) in g.edges() {
+            assert_eq!(
+                k.edge(id),
+                (
+                    e.from().index() as u32,
+                    e.to().index() as u32,
+                    e.weight().zeroed(),
+                    e.is_forward()
+                )
+            );
+        }
+        let _ = c;
+    }
+
+    #[test]
+    fn snapshot_skips_tombstoned_edges() {
+        let (mut g, [_, b, c]) = sample();
+        let victim = g
+            .out_edges(b)
+            .find(|(_, e)| e.is_forward() && e.to() == c)
+            .map(|(id, _)| id)
+            .unwrap();
+        g.remove_edge(victim).unwrap();
+        let k = ScheduleKernel::build(&g).unwrap();
+        let (tails, _) = k.forward_in_edges(c.index());
+        assert!(tails.iter().all(|&t| t != b.index() as u32));
+        assert_eq!(k.n_backward_edges(), 1);
+    }
+}

@@ -49,6 +49,7 @@
 mod dot;
 mod error;
 mod graph;
+mod kernel;
 mod paths;
 mod reduce;
 mod text;
@@ -57,6 +58,7 @@ mod topo;
 pub use dot::DotOptions;
 pub use error::GraphError;
 pub use graph::{ConstraintGraph, Edge, EdgeId, EdgeKind, ExecDelay, Vertex, VertexId, Weight};
+pub use kernel::ScheduleKernel;
 pub use paths::{LongestPaths, PathMatrix, ReachCache};
 pub use reduce::ReductionReport;
 pub use text::TextFormatError;

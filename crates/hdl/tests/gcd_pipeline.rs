@@ -134,7 +134,7 @@ fn gcd_schedules_with_relative_scheduling() {
     let b = compiled.tag("b").unwrap();
     let va = rs.lowered.op_vertices[a.op.index()];
     let vb = rs.lowered.op_vertices[b.op.index()];
-    for anchor in rs.lowered.graph.anchors() {
+    for &anchor in rs.lowered.graph.anchors() {
         if let (Some(oa), Some(ob)) = (
             rs.schedule.offset(va, anchor),
             rs.schedule.offset(vb, anchor),

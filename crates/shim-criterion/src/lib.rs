@@ -290,6 +290,163 @@ fn fmt_ns(ns: f64) -> String {
     }
 }
 
+/// One extra scalar field in a [`SummaryWriter`] header.
+#[derive(Debug, Clone)]
+enum Field {
+    Str(String),
+    Int(i64),
+    Num(f64),
+}
+
+/// Renders `BENCH_*.json` summaries stamped with provenance metadata.
+///
+/// Every summary leads with the benchmark name, the commit hash, and the
+/// thread count, so artifacts checked into the repository say exactly
+/// what produced them. The commit is resolved from `RSCHED_COMMIT`, then
+/// `GITHUB_SHA` (CI), then `git rev-parse --short HEAD`, falling back to
+/// `"unknown"` outside a checkout.
+///
+/// ```no_run
+/// # use criterion::SummaryWriter;
+/// SummaryWriter::new("kernel_schedule")
+///     .threads(8)
+///     .metric("speedup", 2.5)
+///     .write("BENCH_kernel.json", &[])
+///     .unwrap();
+/// ```
+#[derive(Debug, Clone)]
+pub struct SummaryWriter {
+    fields: Vec<(String, Field)>,
+}
+
+impl SummaryWriter {
+    /// Starts a summary for the benchmark `bench`, stamping the commit.
+    pub fn new(bench: impl Into<String>) -> SummaryWriter {
+        SummaryWriter {
+            fields: vec![
+                ("bench".to_owned(), Field::Str(bench.into())),
+                ("commit".to_owned(), Field::Str(commit_hash())),
+            ],
+        }
+    }
+
+    /// Stamps the worker-thread count the benchmark ran with.
+    pub fn threads(self, threads: usize) -> SummaryWriter {
+        self.int("threads", threads as i64)
+    }
+
+    /// Adds a string header field.
+    pub fn tag(mut self, key: impl Into<String>, value: impl Into<String>) -> SummaryWriter {
+        self.fields.push((key.into(), Field::Str(value.into())));
+        self
+    }
+
+    /// Adds an integer header field.
+    pub fn int(mut self, key: impl Into<String>, value: i64) -> SummaryWriter {
+        self.fields.push((key.into(), Field::Int(value)));
+        self
+    }
+
+    /// Adds a floating-point header field (non-finite values render as
+    /// `null`).
+    pub fn metric(mut self, key: impl Into<String>, value: f64) -> SummaryWriter {
+        self.fields.push((key.into(), Field::Num(value)));
+        self
+    }
+
+    /// Renders the summary (header fields, then `"results"`) as one JSON
+    /// object.
+    pub fn render(&self, results: &[BenchResult]) -> String {
+        let mut out = String::from("{");
+        for (key, value) in &self.fields {
+            out.push_str(&json_str(key));
+            out.push(':');
+            match value {
+                Field::Str(s) => out.push_str(&json_str(s)),
+                Field::Int(i) => out.push_str(&i.to_string()),
+                Field::Num(n) => out.push_str(&json_num(*n)),
+            }
+            out.push(',');
+        }
+        out.push_str("\"results\":[");
+        for (i, r) in results.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"group\":{},\"id\":{},\"mean_ns\":{},\"min_ns\":{},\"max_ns\":{},\"iterations\":{}}}",
+                json_str(&r.group),
+                json_str(&r.id),
+                json_num(r.mean_ns),
+                json_num(r.min_ns),
+                json_num(r.max_ns),
+                r.iterations,
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Writes the rendered summary (plus a trailing newline) to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    pub fn write(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        results: &[BenchResult],
+    ) -> std::io::Result<()> {
+        std::fs::write(path, self.render(results) + "\n")
+    }
+}
+
+fn commit_hash() -> String {
+    for var in ["RSCHED_COMMIT", "GITHUB_SHA"] {
+        if let Ok(v) = std::env::var(var) {
+            let v = v.trim().to_owned();
+            if !v.is_empty() {
+                return v;
+            }
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_num(n: f64) -> String {
+    if n.is_finite() {
+        format!("{n}")
+    } else {
+        "null".to_owned()
+    }
+}
+
 /// Bundles benchmark functions with a configuration into one group
 /// function.
 #[macro_export]
@@ -344,5 +501,38 @@ mod tests {
         assert!(results
             .iter()
             .all(|r| r.min_ns <= r.mean_ns && r.mean_ns <= r.max_ns));
+    }
+
+    #[test]
+    fn summary_writer_stamps_provenance() {
+        let results = vec![BenchResult {
+            group: "g".to_owned(),
+            id: "kernel/rand_800".to_owned(),
+            mean_ns: 1.5,
+            min_ns: 1.0,
+            max_ns: f64::INFINITY,
+            iterations: 10,
+        }];
+        let json = SummaryWriter::new("kernel_schedule")
+            .threads(8)
+            .tag("largest_design", "rand_800")
+            .metric("speedup", 2.5)
+            .int("designs", 3)
+            .render(&results);
+        assert!(json.starts_with("{\"bench\":\"kernel_schedule\",\"commit\":\""));
+        assert!(json.contains("\"threads\":8"));
+        assert!(json.contains("\"largest_design\":\"rand_800\""));
+        assert!(json.contains("\"speedup\":2.5"));
+        assert!(json.contains("\"designs\":3"));
+        assert!(json.contains("\"id\":\"kernel/rand_800\""));
+        assert!(json.contains("\"max_ns\":null"), "non-finite renders null");
+        // The commit stamp is never empty — at worst it is "unknown".
+        assert!(!json.contains("\"commit\":\"\""));
+    }
+
+    #[test]
+    fn summary_writer_escapes_strings() {
+        let json = SummaryWriter::new("a\"b\\c\nd").render(&[]);
+        assert!(json.contains(r#""bench":"a\"b\\c\nd""#));
     }
 }

@@ -110,7 +110,7 @@ fn irredundant_start_times_match_on_benchmarks() {
             let g = &gs.lowered.graph;
             for delay in [0u64, 3, 11] {
                 let mut builder = profile_for(g);
-                for v in g.anchors() {
+                for &v in g.anchors() {
                     if v != g.source() {
                         builder = builder.with_delay(v, delay);
                     }
