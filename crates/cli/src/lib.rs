@@ -17,6 +17,7 @@
 //! rsched dot       <graph.rsg>                 Graphviz output
 //! rsched compile   <design.hc> [--vcd --seed N]  HardwareC -> schedules
 //! rsched serve     [--workers N] [--deadline-ms N]  JSON-lines service on stdio
+//! rsched fuzz      [--seed N] [--iters N] [--minimize] [--repro-dir D]  oracle-refereed fuzzing
 //! rsched help                                  print usage
 //! ```
 //!
@@ -75,6 +76,7 @@ const USAGE: &str = "usage:
   rsched dot       <graph.rsg>
   rsched compile   <design.hc> [--vcd --seed N]
   rsched serve     [--workers N] [--deadline-ms N]
+  rsched fuzz      [--seed N] [--iters N] [--minimize] [--repro-dir D]
   rsched help";
 
 /// Executes a CLI invocation (`args` excludes the program name) and
@@ -98,6 +100,10 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             rsched_engine::serve(stdin.lock(), std::io::stdout(), &config)
                 .map_err(CliError::failure)?;
             return Ok(String::new());
+        }
+        "fuzz" => {
+            let flags: Vec<&String> = it.collect();
+            return fuzz_cmd(&flags);
         }
         _ => {}
     }
@@ -159,6 +165,65 @@ fn parse_serve_config(flags: &[&String]) -> Result<rsched_engine::ServeConfig, C
         return Err(CliError::usage(format!("unknown serve flag '{stray}'")));
     }
     Ok(config)
+}
+
+fn parse_fuzz_config(flags: &[&String]) -> Result<rsched_oracle::FuzzConfig, CliError> {
+    let mut config = rsched_oracle::FuzzConfig {
+        minimize: has_flag(flags, "--minimize"),
+        ..rsched_oracle::FuzzConfig::default()
+    };
+    if let Some(v) = flag_value(flags, "--seed") {
+        config.seed = v
+            .parse()
+            .map_err(|_| CliError::usage("--seed expects a number"))?;
+    }
+    if let Some(v) = flag_value(flags, "--iters") {
+        config.iters = v
+            .parse()
+            .map_err(|_| CliError::usage("--iters expects a number"))?;
+    }
+    if let Some(v) = flag_value(flags, "--repro-dir") {
+        config.repro_dir = Some(std::path::PathBuf::from(v));
+    }
+    let known = ["--seed", "--iters", "--minimize", "--repro-dir"];
+    let mut expect_value = false;
+    for f in flags {
+        if expect_value {
+            expect_value = false;
+            continue;
+        }
+        match f.as_str() {
+            "--minimize" => {}
+            "--seed" | "--iters" | "--repro-dir" => expect_value = true,
+            other if !known.contains(&other) => {
+                return Err(CliError::usage(format!("unknown fuzz flag '{other}'")));
+            }
+            _ => {}
+        }
+    }
+    Ok(config)
+}
+
+/// Runs the oracle-refereed structured fuzzer plus the serve-protocol
+/// adversarial harness; any violation is an exit-code-1 failure carrying
+/// the full report (with repro paths when `--repro-dir` is set).
+fn fuzz_cmd(flags: &[&String]) -> Result<String, CliError> {
+    let config = parse_fuzz_config(flags)?;
+    let report = rsched_oracle::fuzz(&config);
+    let serve_report = rsched_oracle::fuzz_serve(&rsched_oracle::ServeFuzzConfig {
+        seed: config.seed,
+        rounds: (config.iters / 25).clamp(2, 40),
+        frames_per_round: 40,
+    });
+    let rendered = format!(
+        "graph fuzz (seed {}):\n{report}\nserve fuzz:\n{serve_report}",
+        config.seed
+    );
+    if report.is_ok() && serve_report.is_ok() {
+        Ok(rendered)
+    } else {
+        Err(CliError::failure(rendered))
+    }
 }
 
 fn load_graph(source: &str) -> Result<ConstraintGraph, CliError> {
@@ -741,7 +806,7 @@ process demo (req, ack)
             let out = run_args(&[invocation]).unwrap();
             for cmd in [
                 "check", "schedule", "slack", "explain", "control", "fsm", "simulate", "reduce",
-                "verilog", "dot", "compile", "serve", "help",
+                "verilog", "dot", "compile", "serve", "fuzz", "help",
             ] {
                 assert!(out.contains(cmd), "'{invocation}' output misses '{cmd}'");
             }
@@ -783,6 +848,37 @@ process demo (req, ack)
             2
         );
         assert_eq!(run_args(&["serve", "--frob"]).unwrap_err().code, 2);
+    }
+
+    #[test]
+    fn fuzz_flag_parsing() {
+        let args = [
+            "--seed".to_string(),
+            "9".to_string(),
+            "--iters".to_string(),
+            "17".to_string(),
+            "--minimize".to_string(),
+            "--repro-dir".to_string(),
+            "/tmp/repros".to_string(),
+        ];
+        let flags: Vec<&String> = args.iter().collect();
+        let cfg = parse_fuzz_config(&flags).unwrap();
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.iters, 17);
+        assert!(cfg.minimize);
+        assert_eq!(
+            cfg.repro_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/repros"))
+        );
+        assert_eq!(run_args(&["fuzz", "--seed", "x"]).unwrap_err().code, 2);
+        assert_eq!(run_args(&["fuzz", "--frob"]).unwrap_err().code, 2);
+    }
+
+    #[test]
+    fn fuzz_smoke_run_is_clean() {
+        let out = run_args(&["fuzz", "--seed", "5", "--iters", "8"]).unwrap();
+        assert!(out.contains("zero oracle violations"), "{out}");
+        assert!(out.contains("protocol contract held"), "{out}");
     }
 
     #[test]

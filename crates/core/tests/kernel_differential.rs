@@ -9,6 +9,11 @@
 //! values (unfeasibility witnesses, ill-posedness violations,
 //! inconsistency budgets). Thread fan-out must not change a single bit
 //! either — `threads = 1` and `threads = 8` run the exact same iterates.
+//!
+//! On top of the mutual pinning, every cold result is judged by the
+//! independent first-principles oracle (`rsched_oracle::check_result`),
+//! so a bug shared by the kernel *and* the reference — a wrong reading
+//! of a theorem rather than a wrong port of the code — still fails here.
 
 use proptest::prelude::*;
 
@@ -104,6 +109,10 @@ proptest! {
         if let (Ok(k), Ok(r)) = (&kernel, &reference) {
             prop_assert_eq!(k.iterations(), r.iterations());
         }
+        // Independent referee: the oracle re-derives every theorem from
+        // the graph alone and must agree with whatever both returned.
+        let report = rsched_oracle::check_result(&g, &kernel);
+        prop_assert!(report.is_ok(), "oracle disagrees with both implementations:\n{}", report);
     }
 
     /// Fanning anchor columns over worker threads changes nothing:

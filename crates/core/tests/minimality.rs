@@ -152,6 +152,51 @@ proptest! {
         }
     }
 
+    /// Lemma 7: every serialization edge `makeWellposed` adds carries a
+    /// real gating requirement — removing one re-introduces ill-posedness
+    /// whenever the removal actually severs the `a -> v` forward
+    /// connectivity. (A later addition may subsume an earlier edge
+    /// transitively, e.g. `a -> u -> v` alongside `a -> v`; then the
+    /// removal changes no anchor set and the graph must stay well-posed.)
+    #[test]
+    fn every_serialization_edge_is_necessary(spec in small_spec()) {
+        let (g, _) = build(&spec);
+        if g.has_positive_cycle() {
+            return Ok(());
+        }
+        let mut repaired = g.clone();
+        let Ok(report) = make_well_posed(&mut repaired) else { return Ok(()); };
+        prop_assert!(matches!(
+            check_well_posed(&repaired).expect("acyclic"),
+            WellPosedness::WellPosed
+        ));
+        for &(a, v) in &report.added {
+            let id = repaired
+                .edges()
+                .find(|(_, e)| e.from() == a && e.to() == v && !e.kind().is_backward())
+                .map(|(id, _)| id)
+                .expect("serialization edge must be live in the repaired graph");
+            let mut weakened = repaired.clone();
+            weakened.remove_edge(id).expect("live edge");
+            let verdict = check_well_posed(&weakened).expect("acyclic");
+            if weakened.has_forward_path(a, v) {
+                prop_assert!(
+                    matches!(verdict, WellPosedness::WellPosed),
+                    "transitively subsumed edge {} -> {} must be droppable",
+                    repaired.vertex(a).name(),
+                    repaired.vertex(v).name()
+                );
+            } else {
+                prop_assert!(
+                    matches!(verdict, WellPosedness::IllPosed { .. }),
+                    "dropping serialization edge {} -> {} must re-introduce ill-posedness",
+                    repaired.vertex(a).name(),
+                    repaired.vertex(v).name()
+                );
+            }
+        }
+    }
+
     /// Theorem 8: observed iterations never exceed `L + 1`, and `L` never
     /// exceeds `|E_b|`.
     #[test]

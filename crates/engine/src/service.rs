@@ -95,6 +95,17 @@ struct Job {
     deadline: Option<Duration>,
 }
 
+/// Every op the protocol understands; anything else is rejected at
+/// intake with the request id echoed.
+const KNOWN_OPS: [&str; 6] = [
+    "open",
+    "edit",
+    "schedule",
+    "stats",
+    "close",
+    "batch_schedule",
+];
+
 /// Runs the service until `input` reaches EOF, writing responses to
 /// `output`.
 ///
@@ -138,9 +149,23 @@ where
                 }
             };
             let id = request.get("id").cloned().unwrap_or(Json::Null);
+            // Validate the op at intake so a frame with a missing or
+            // unknown op is answered with its id echoed even when it also
+            // lacks a "session" (which only known session ops require).
+            let op = match request.get("op").and_then(Json::as_str) {
+                Some(op) => op,
+                None => {
+                    respond(&out, fail(id, "missing \"op\""))?;
+                    continue;
+                }
+            };
+            if !KNOWN_OPS.contains(&op) {
+                respond(&out, fail(id, format!("unknown op '{op}'")))?;
+                continue;
+            }
             // `batch_schedule` is stateless (it opens no session), so it is
             // spread over workers by request id instead of a session pin.
-            let slot = if request.get("op").and_then(Json::as_str) == Some("batch_schedule") {
+            let slot = if op == "batch_schedule" {
                 pin(&id.render(), n_workers)
             } else {
                 let Some(session) = request.get("session").and_then(Json::as_str) else {
@@ -709,6 +734,44 @@ mod tests {
             .and_then(Json::as_str)
             .unwrap()
             .contains("session"));
+    }
+
+    #[test]
+    fn unknown_or_missing_op_echoes_id_with_exact_shape() {
+        // Locks the error contract: a frame with an unknown or missing
+        // op — even without a "session" — is answered in-band with its
+        // id echoed (null when the frame had none or did not parse), as
+        // exactly `{"id":…,"ok":false,"error":…}`.
+        let lines = vec![
+            r#"{"id":7,"op":"frobnicate"}"#.to_owned(),
+            r#"{"id":"x9"}"#.to_owned(),
+            "{not json".to_owned(),
+        ];
+        let (responses, summary) = run_lines(&lines, &ServeConfig::default());
+        assert_eq!(summary.requests, 3);
+        assert_eq!(summary.errors, 3);
+        assert_eq!(
+            by_id(&responses, 7),
+            &Json::parse(r#"{"id":7,"ok":false,"error":"unknown op 'frobnicate'"}"#).unwrap()
+        );
+        let missing_op = responses
+            .iter()
+            .find(|r| r.get("id") == Some(&Json::Str("x9".to_owned())))
+            .expect("missing-op frame must be answered");
+        assert_eq!(
+            missing_op,
+            &Json::parse(r#"{"id":"x9","ok":false,"error":"missing \"op\""}"#).unwrap()
+        );
+        let malformed = responses
+            .iter()
+            .find(|r| r.get("id") == Some(&Json::Null))
+            .expect("unparsable frame must be answered under id null");
+        assert_eq!(malformed.get("ok"), Some(&Json::Bool(false)));
+        assert!(malformed
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .starts_with("malformed request:"));
     }
 
     #[test]

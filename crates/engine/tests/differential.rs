@@ -7,6 +7,11 @@
 //! The mirror graph applies the same mutations through the plain
 //! `ConstraintGraph` API, so the test also pins down that the session
 //! accepts and rejects exactly the edits the graph layer does.
+//!
+//! The cold result at every step is additionally judged by the
+//! first-principles oracle (`rsched_oracle::check_result`), so the warm
+//! and cold paths are not just pinned to each other — both are pinned to
+//! an independent re-derivation of the paper's theorems.
 
 use proptest::prelude::*;
 
@@ -143,6 +148,14 @@ fn assert_matches_cold(session: &Session, mirror: &ConstraintGraph, step: usize)
 
     // Anchor sets must be identical.
     let cold = schedule(mirror);
+
+    // Independent referee: whatever the cold path produced — schedule or
+    // rejection — must be exactly what the theorems demand of this graph.
+    let report = rsched_oracle::check_result(mirror, &cold);
+    assert!(
+        report.is_ok(),
+        "oracle rejected the cold result at step {step}:\n{report}"
+    );
     let cold_sets = rsched_core::AnchorSets::compute(mirror).unwrap();
     for v in mirror.vertex_ids() {
         let warm_set: Vec<VertexId> = session.anchor_sets().set(v).collect();

@@ -1,0 +1,39 @@
+//! First-principles oracle and structured fuzzer for relative scheduling.
+//!
+//! This crate is the independent referee for the whole scheduling stack
+//! (Ku & De Micheli, *Relative Scheduling Under Timing Constraints*,
+//! DAC 1990). It deliberately shares **no** algorithmic code with
+//! `rsched_core::schedule`: every paper property is re-derived here from
+//! the constraint graph alone, using naive Bellman–Ford and set algebra,
+//! so a bug common to the reference scheduler, the CSR kernel, and the
+//! incremental engine still gets caught.
+//!
+//! Three layers:
+//!
+//! - [`oracle`] — [`verify`]/[`check_result`] judge a
+//!   `(ConstraintGraph, RelativeSchedule)` pair theorem by theorem
+//!   (Thm 1 feasibility, Thm 2 well-posedness, Thms 4–6 anchor
+//!   minimality, Thm 8/Cor 2 minimum-offset optimality, Thm 3 start-time
+//!   semantics) and return a structured [`OracleReport`] with witness
+//!   paths and a per-offset minimality certificate.
+//! - [`fuzz`] — [`GraphMutator`] grows seeded random graphs (well-posed
+//!   and deliberately hostile) and edit scripts; [`fuzz::fuzz`] replays
+//!   them through cold, threaded, and warm-session schedulers and feeds
+//!   every state to the oracle.
+//! - [`serve_fuzz`] — [`fuzz_serve`] attacks the JSON-lines service with
+//!   malformed and adversarial frames, asserting it never panics and
+//!   always echoes the request id.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fuzz;
+pub mod oracle;
+pub mod serve_fuzz;
+
+pub use fuzz::{fuzz, Edit, FuzzConfig, FuzzFailure, FuzzReport, GraphMutator};
+pub use oracle::{
+    anchor_roster, anchor_set_masks, check_result, positive_cycle, verify, Check, OffsetBound,
+    OracleReport, Witness,
+};
+pub use serve_fuzz::{fuzz_serve, ServeFuzzConfig, ServeFuzzReport};

@@ -1,0 +1,842 @@
+//! The invariant oracle: re-verifies every paper property of a
+//! `(ConstraintGraph, RelativeSchedule)` pair from first principles.
+//!
+//! Nothing here is shared with `rsched_core::schedule` — the oracle
+//! recomputes anchor sets by naive fixpoint iteration over the edge list,
+//! longest paths by textbook Bellman–Ford with parent tracking, and set
+//! relations with plain boolean masks. Agreement between the oracle and
+//! the production schedulers is therefore evidence of correctness rather
+//! than of a shared bug; see `crates/core/tests/kernel_differential.rs`
+//! and `crates/engine/tests/differential.rs`, which use [`check_result`]
+//! as the referee over all three scheduler implementations.
+//!
+//! The checks, theorem by theorem (section numbers follow the paper):
+//!
+//! - **Theorem 1 (feasibility)** — the full graph, with unbounded delays
+//!   set to 0, must contain no positive cycle. Verified by Bellman–Ford
+//!   from a virtual super-source; on failure the witness is the concrete
+//!   cycle, recovered through parent pointers.
+//! - **Theorem 2 (well-posedness)** — for every backward edge
+//!   `(vi, vj)`, `A(vi) ⊆ A(vj)`. Anchor sets are recomputed here by
+//!   fixpoint iteration (an anchor `a` enters `A(v)` when a forward edge
+//!   leaves `a` towards `v`, directly or transitively), independent of
+//!   the topological sweep `rsched_core::AnchorSets` uses.
+//! - **Theorems 4–6 (anchor minimality)** — the schedule must track
+//!   exactly the first-principles `A(v)` per vertex (Thms 4–5), and the
+//!   oracle's own relevant/irredundant analysis must certify every anchor
+//!   it prunes by the Definition 11 domination inequality
+//!   `σ_x(v) ≤ σ_x(r) + σ_r(v)`, evaluated on the schedule's offsets
+//!   (Thm 6).
+//! - **Theorem 8 / Corollary 2 (minimum offsets)** — every tracked
+//!   offset `σ_a(v)` must equal the longest weighted path from `a` to
+//!   `v` in the full graph; the per-pair comparison is returned as a
+//!   minimality certificate, and the reported iteration count must
+//!   respect the `|E_b| + 1` convergence bound. On failure the witness
+//!   is the longest path itself.
+//! - **Start-time semantics (Theorem 3)** — under several deterministic
+//!   delay profiles, start times derived from the offsets alone must
+//!   satisfy every min/max constraint of the graph.
+
+use std::fmt;
+
+use rsched_core::{RelativeSchedule, ScheduleError};
+use rsched_graph::{ConstraintGraph, Edge, ExecDelay, VertexId, Weight};
+
+/// A failed check's evidence: the offending path or cycle plus a rendered
+/// explanation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Witness {
+    /// Vertices of the witness path (or cycle), in traversal order.
+    pub path: Vec<VertexId>,
+    /// Human-readable account of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Witness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+/// Verdict of one theorem's re-verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Check {
+    /// The property holds.
+    Holds,
+    /// The property is violated; the witness explains where.
+    Violated(Witness),
+    /// The property was not checkable for this input (e.g. offset checks
+    /// on a graph the scheduler rejected).
+    Skipped {
+        /// Why the check did not run.
+        reason: String,
+    },
+}
+
+impl Check {
+    /// `true` unless the check found a violation.
+    pub fn passed(&self) -> bool {
+        !matches!(self, Check::Violated(_))
+    }
+
+    fn violated(path: Vec<VertexId>, message: String) -> Self {
+        Check::Violated(Witness { path, message })
+    }
+}
+
+impl fmt::Display for Check {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Check::Holds => write!(f, "holds"),
+            Check::Violated(w) => write!(f, "VIOLATED: {w}"),
+            Check::Skipped { reason } => write!(f, "skipped ({reason})"),
+        }
+    }
+}
+
+/// One row of the Theorem 8 minimality certificate: the independent
+/// longest-path lower bound next to the offset the schedule reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OffsetBound {
+    /// The scheduled operation.
+    pub vertex: VertexId,
+    /// The anchor the offset is relative to.
+    pub anchor: VertexId,
+    /// `length(anchor, vertex)` by naive Bellman–Ford — the Theorem 8
+    /// lower bound every valid schedule must meet, and the value the
+    /// minimum schedule must equal.
+    pub lower_bound: i64,
+    /// `σ_anchor(vertex)` as the schedule reports it.
+    pub offset: i64,
+}
+
+/// Structured result of a full oracle pass.
+#[derive(Debug, Clone)]
+pub struct OracleReport {
+    /// Theorem 1: no positive cycle.
+    pub feasibility: Check,
+    /// Theorem 2: `A(tail) ⊆ A(head)` per backward edge.
+    pub well_posedness: Check,
+    /// Theorems 4–5: tracked anchor sets equal first-principles `A(v)`.
+    pub anchor_sets: Check,
+    /// Theorem 6: every pruned anchor is dominated per Definition 11.
+    pub irredundancy: Check,
+    /// Theorem 8 / Corollary 2: offsets equal longest paths; iteration
+    /// count within `|E_b| + 1`.
+    pub offsets: Check,
+    /// Theorem 3 semantics: constraints hold under concrete delay
+    /// profiles.
+    pub start_times: Check,
+    /// Per-(vertex, anchor) minimality certificate (empty when the offset
+    /// check was skipped).
+    pub certificate: Vec<OffsetBound>,
+}
+
+impl OracleReport {
+    /// `true` when no check found a violation.
+    pub fn is_ok(&self) -> bool {
+        self.checks().iter().all(|(_, c)| c.passed())
+    }
+
+    /// Every check with its theorem label, in paper order.
+    pub fn checks(&self) -> [(&'static str, &Check); 6] {
+        [
+            ("Thm 1 feasibility", &self.feasibility),
+            ("Thm 2 well-posedness", &self.well_posedness),
+            ("Thms 4-5 anchor sets", &self.anchor_sets),
+            ("Thm 6 irredundancy", &self.irredundancy),
+            ("Thm 8/Cor 2 minimum offsets", &self.offsets),
+            ("Thm 3 start-time semantics", &self.start_times),
+        ]
+    }
+
+    /// The first violated check, if any.
+    pub fn first_violation(&self) -> Option<(&'static str, &Witness)> {
+        self.checks().into_iter().find_map(|(label, c)| match c {
+            Check::Violated(w) => Some((label, w)),
+            _ => None,
+        })
+    }
+
+    fn all_skipped(reason: &str) -> Self {
+        let skip = || Check::Skipped {
+            reason: reason.to_owned(),
+        };
+        OracleReport {
+            feasibility: skip(),
+            well_posedness: skip(),
+            anchor_sets: skip(),
+            irredundancy: skip(),
+            offsets: skip(),
+            start_times: skip(),
+            certificate: Vec::new(),
+        }
+    }
+}
+
+impl fmt::Display for OracleReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (label, check) in self.checks() {
+            writeln!(f, "{label}: {check}")?;
+        }
+        Ok(())
+    }
+}
+
+/// First-principles anchor roster: the source plus every unbounded-delay
+/// operation, in id order.
+pub fn anchor_roster(graph: &ConstraintGraph) -> Vec<VertexId> {
+    graph
+        .vertex_ids()
+        .filter(|&v| v == graph.source() || graph.vertex(v).delay() == ExecDelay::Unbounded)
+        .collect()
+}
+
+/// First-principles anchor sets `A(v)` as boolean masks over vertex
+/// indices, computed by fixpoint iteration over the forward edge list: a
+/// forward edge `u -> w` contributes `A(u)` to `A(w)`, plus `u` itself
+/// when `u` is an anchor (its out-edges carry the symbolic `δ(u)`).
+pub fn anchor_set_masks(graph: &ConstraintGraph) -> Vec<Vec<bool>> {
+    let n = graph.n_vertices();
+    let is_anchor: Vec<bool> = {
+        let mut mask = vec![false; n];
+        for a in anchor_roster(graph) {
+            mask[a.index()] = true;
+        }
+        mask
+    };
+    let mut sets = vec![vec![false; n]; n];
+    loop {
+        let mut changed = false;
+        for (_, e) in graph.forward_edges() {
+            let (u, w) = (e.from().index(), e.to().index());
+            if is_anchor[u] && !sets[w][u] {
+                sets[w][u] = true;
+                changed = true;
+            }
+            // Index loop: `sets[u]` and `sets[w]` are two rows of the same
+            // matrix, so iterator-based simultaneous access won't borrow.
+            #[allow(clippy::needless_range_loop)]
+            for i in 0..n {
+                if sets[u][i] && !sets[w][i] {
+                    sets[w][i] = true;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return sets;
+        }
+    }
+}
+
+/// Longest weighted paths from one anchor by textbook Bellman–Ford, with
+/// parent pointers for witness reconstruction. Unbounded delays count as
+/// 0 (the paper's static-path convention). `Err` carries a positive
+/// cycle.
+///
+/// Definition 3 defines σ_a(v) over paths that stay inside `a`'s cone:
+/// an edge `(u, w)` participates only when both endpoints are gated by
+/// `a` (`a ∈ A(u)` and `a ∈ A(w)`, with `u = a` as the base case). A
+/// path escaping the cone — e.g. through a backward edge into a sibling
+/// branch — synchronises against *other* anchors and says nothing about
+/// offsets relative to `a`, so relaxation must not follow it.
+struct NaivePaths {
+    dist: Vec<Option<i64>>,
+    parent: Vec<Option<VertexId>>,
+}
+
+impl NaivePaths {
+    /// `tracked[x]` must be `a ∈ A(x)` for `source = a` (one column of
+    /// [`anchor_set_masks`]).
+    fn from(
+        graph: &ConstraintGraph,
+        source: VertexId,
+        tracked: &[bool],
+    ) -> Result<NaivePaths, Vec<VertexId>> {
+        let n = graph.n_vertices();
+        let mut dist: Vec<Option<i64>> = vec![None; n];
+        let mut parent: Vec<Option<VertexId>> = vec![None; n];
+        dist[source.index()] = Some(0);
+        for round in 0..=n {
+            let mut changed = false;
+            for (_, e) in graph.edges() {
+                let (u, v) = (e.from(), e.to());
+                if (u != source && !tracked[u.index()]) || !tracked[v.index()] {
+                    continue; // leaves the anchor's cone (Definition 3)
+                }
+                let Some(du) = dist[u.index()] else {
+                    continue;
+                };
+                let cand = du + e.weight().zeroed();
+                if dist[v.index()].is_none_or(|dv| cand > dv) {
+                    dist[v.index()] = Some(cand);
+                    parent[v.index()] = Some(u);
+                    changed = true;
+                }
+            }
+            if !changed {
+                return Ok(NaivePaths { dist, parent });
+            }
+            if round == n {
+                break;
+            }
+        }
+        Err(extract_cycle(graph, &parent))
+    }
+
+    /// The witness path `source -> … -> v` through the parent chain.
+    fn path_to(&self, v: VertexId) -> Vec<VertexId> {
+        let mut path = vec![v];
+        let mut cur = v;
+        while let Some(p) = self.parent[cur.index()] {
+            path.push(p);
+            cur = p;
+            if path.len() > self.parent.len() {
+                break; // defensive: never loop on a corrupt parent chain
+            }
+        }
+        path.reverse();
+        path
+    }
+}
+
+/// Detects a positive cycle anywhere in the graph (Theorem 1's negation)
+/// with a virtual super-source, returning the cycle's vertices if found.
+pub fn positive_cycle(graph: &ConstraintGraph) -> Option<Vec<VertexId>> {
+    let n = graph.n_vertices();
+    let mut dist = vec![0i64; n];
+    let mut parent: Vec<Option<VertexId>> = vec![None; n];
+    for round in 0..=n {
+        let mut changed = false;
+        for (_, e) in graph.edges() {
+            let cand = dist[e.from().index()] + e.weight().zeroed();
+            if cand > dist[e.to().index()] {
+                dist[e.to().index()] = cand;
+                parent[e.to().index()] = Some(e.from());
+                changed = true;
+            }
+        }
+        if !changed {
+            return None;
+        }
+        if round == n {
+            break;
+        }
+    }
+    Some(extract_cycle(graph, &parent))
+}
+
+/// Walks parent pointers far enough to be inside a cycle, then collects
+/// it. Only called when relaxation failed to converge, so a cycle exists.
+fn extract_cycle(graph: &ConstraintGraph, parent: &[Option<VertexId>]) -> Vec<VertexId> {
+    let n = graph.n_vertices();
+    let start = parent
+        .iter()
+        .position(Option::is_some)
+        .map(VertexId::from_index)
+        .unwrap_or_else(|| graph.source());
+    let mut cur = start;
+    for _ in 0..n {
+        if let Some(p) = parent[cur.index()] {
+            cur = p;
+        }
+    }
+    let mut cycle = vec![cur];
+    let mut walk = parent[cur.index()];
+    while let Some(v) = walk {
+        if v == cur {
+            break;
+        }
+        cycle.push(v);
+        walk = parent[v.index()];
+    }
+    cycle.reverse();
+    cycle
+}
+
+fn names(graph: &ConstraintGraph, path: &[VertexId]) -> String {
+    path.iter()
+        .map(|&v| graph.vertex(v).name().to_owned())
+        .collect::<Vec<_>>()
+        .join(" -> ")
+}
+
+fn mask_names(graph: &ConstraintGraph, mask: &[bool]) -> String {
+    let list: Vec<String> = mask
+        .iter()
+        .enumerate()
+        .filter(|(_, &b)| b)
+        .map(|(i, _)| graph.vertex(VertexId::from_index(i)).name().to_owned())
+        .collect();
+    format!("{{{}}}", list.join(", "))
+}
+
+/// Re-verifies a schedule against its graph; see the module docs for the
+/// theorem-by-theorem breakdown.
+pub fn verify(graph: &ConstraintGraph, omega: &RelativeSchedule) -> OracleReport {
+    let sets = anchor_set_masks(graph);
+    let roster = anchor_roster(graph);
+
+    let feasibility = match positive_cycle(graph) {
+        None => Check::Holds,
+        Some(cycle) => {
+            let msg = format!(
+                "schedule exists but the graph has a positive cycle: {}",
+                names(graph, &cycle)
+            );
+            Check::violated(cycle, msg)
+        }
+    };
+
+    let well_posedness = check_well_posedness(graph, &sets);
+    let anchor_sets = check_anchor_sets(graph, omega, &sets, &roster);
+
+    // Longest paths from every anchor, computed once and shared by the
+    // offset, irredundancy and start-time checks.
+    let mut paths: Vec<Option<NaivePaths>> = Vec::with_capacity(roster.len());
+    let mut cycle_hit = None;
+    for &a in &roster {
+        let tracked: Vec<bool> = sets.iter().map(|row| row[a.index()]).collect();
+        match NaivePaths::from(graph, a, &tracked) {
+            Ok(p) => paths.push(Some(p)),
+            Err(cycle) => {
+                cycle_hit = Some(cycle);
+                paths.push(None);
+            }
+        }
+    }
+    if let Some(cycle) = cycle_hit {
+        let msg = format!(
+            "longest paths undefined: positive cycle {}",
+            names(graph, &cycle)
+        );
+        return OracleReport {
+            feasibility: Check::violated(cycle, msg.clone()),
+            well_posedness,
+            anchor_sets,
+            irredundancy: Check::Skipped {
+                reason: msg.clone(),
+            },
+            offsets: Check::Skipped {
+                reason: msg.clone(),
+            },
+            start_times: Check::Skipped { reason: msg },
+            certificate: Vec::new(),
+        };
+    }
+    let paths: Vec<NaivePaths> = paths.into_iter().flatten().collect();
+
+    let (offsets, certificate) = check_offsets(graph, omega, &sets, &roster, &paths);
+    let irredundancy = check_irredundancy(graph, omega, &sets, &roster);
+    let start_times = check_start_times(graph, omega, &sets, &roster);
+
+    OracleReport {
+        feasibility,
+        well_posedness,
+        anchor_sets,
+        irredundancy,
+        offsets,
+        start_times,
+        certificate,
+    }
+}
+
+/// Judges a scheduler's full `Result`: `Ok` schedules get the full
+/// [`verify`] pass; `Unfeasible`/`IllPosed` rejections are checked to be
+/// *justified* from first principles (a wrong rejection is as much a bug
+/// as a wrong schedule).
+pub fn check_result(
+    graph: &ConstraintGraph,
+    result: &Result<RelativeSchedule, ScheduleError>,
+) -> OracleReport {
+    match result {
+        Ok(omega) => verify(graph, omega),
+        Err(ScheduleError::Unfeasible { witness }) => {
+            let mut report =
+                OracleReport::all_skipped("scheduler rejected the graph as unfeasible");
+            report.feasibility = match positive_cycle(graph) {
+                Some(_) => Check::Holds,
+                None => Check::violated(
+                    vec![*witness],
+                    format!(
+                        "scheduler claimed a positive cycle through {} but Bellman-Ford converges",
+                        graph.vertex(*witness).name()
+                    ),
+                ),
+            };
+            report
+        }
+        Err(ScheduleError::IllPosed { from, to, missing }) => {
+            let mut report = OracleReport::all_skipped("scheduler rejected the graph as ill-posed");
+            let sets = anchor_set_masks(graph);
+            let my_missing: Vec<VertexId> = sets[from.index()]
+                .iter()
+                .enumerate()
+                .filter(|&(i, &b)| b && !sets[to.index()][i])
+                .map(|(i, _)| VertexId::from_index(i))
+                .collect();
+            report.well_posedness = if my_missing == *missing {
+                Check::Holds
+            } else {
+                Check::violated(
+                    vec![*from, *to],
+                    format!(
+                        "scheduler reported missing anchors {:?} on backward edge {} -> {} \
+                         but first principles give {:?}",
+                        missing
+                            .iter()
+                            .map(|&a| graph.vertex(a).name().to_owned())
+                            .collect::<Vec<_>>(),
+                        graph.vertex(*from).name(),
+                        graph.vertex(*to).name(),
+                        my_missing
+                            .iter()
+                            .map(|&a| graph.vertex(a).name().to_owned())
+                            .collect::<Vec<_>>(),
+                    ),
+                )
+            };
+            report
+        }
+        Err(other) => OracleReport::all_skipped(&format!("scheduler error not judged: {other}")),
+    }
+}
+
+fn check_well_posedness(graph: &ConstraintGraph, sets: &[Vec<bool>]) -> Check {
+    for (_, e) in graph.backward_edges() {
+        let (tail, head) = (e.from().index(), e.to().index());
+        let missing: Vec<usize> = (0..sets.len())
+            .filter(|&i| sets[tail][i] && !sets[head][i])
+            .collect();
+        if !missing.is_empty() {
+            let mut mask = vec![false; sets.len()];
+            for &i in &missing {
+                mask[i] = true;
+            }
+            return Check::violated(
+                vec![e.from(), e.to()],
+                format!(
+                    "backward edge {} -> {}: anchors {} gate the tail but not the head",
+                    graph.vertex(e.from()).name(),
+                    graph.vertex(e.to()).name(),
+                    mask_names(graph, &mask)
+                ),
+            );
+        }
+    }
+    Check::Holds
+}
+
+fn check_anchor_sets(
+    graph: &ConstraintGraph,
+    omega: &RelativeSchedule,
+    sets: &[Vec<bool>],
+    roster: &[VertexId],
+) -> Check {
+    if omega.anchors() != roster {
+        return Check::violated(
+            Vec::new(),
+            format!(
+                "anchor roster mismatch: schedule has {:?}, first principles give {:?}",
+                omega.anchors(),
+                roster
+            ),
+        );
+    }
+    for v in graph.vertex_ids() {
+        let mut tracked = vec![false; graph.n_vertices()];
+        for a in omega.tracked_sets().set(v) {
+            tracked[a.index()] = true;
+        }
+        if tracked != sets[v.index()] {
+            return Check::violated(
+                vec![v],
+                format!(
+                    "A({name}) mismatch: schedule tracks {got}, first principles give {want}",
+                    name = graph.vertex(v).name(),
+                    got = mask_names(graph, &tracked),
+                    want = mask_names(graph, &sets[v.index()])
+                ),
+            );
+        }
+    }
+    Check::Holds
+}
+
+fn check_offsets(
+    graph: &ConstraintGraph,
+    omega: &RelativeSchedule,
+    sets: &[Vec<bool>],
+    roster: &[VertexId],
+    paths: &[NaivePaths],
+) -> (Check, Vec<OffsetBound>) {
+    let mut certificate = Vec::new();
+    let mut verdict = Check::Holds;
+    for v in graph.vertex_ids() {
+        for (k, &a) in roster.iter().enumerate() {
+            if !sets[v.index()][a.index()] {
+                continue;
+            }
+            let bound = paths[k].dist[v.index()];
+            let offset = omega.offset(v, a);
+            match (bound, offset) {
+                (Some(bound), Some(offset)) => {
+                    certificate.push(OffsetBound {
+                        vertex: v,
+                        anchor: a,
+                        lower_bound: bound,
+                        offset,
+                    });
+                    if offset != bound && verdict.passed() {
+                        let path = paths[k].path_to(v);
+                        let msg = format!(
+                            "σ_{a_name}({v_name}) = {offset} but the longest path \
+                             {path_names} has weight {bound} (Theorem 8 requires equality)",
+                            a_name = graph.vertex(a).name(),
+                            v_name = graph.vertex(v).name(),
+                            path_names = names(graph, &path),
+                        );
+                        verdict = Check::violated(path, msg);
+                    }
+                }
+                (None, _) => {
+                    if verdict.passed() {
+                        verdict = Check::violated(
+                            vec![a, v],
+                            format!(
+                                "{} ∈ A({}) but no path reaches it from the anchor",
+                                graph.vertex(a).name(),
+                                graph.vertex(v).name()
+                            ),
+                        );
+                    }
+                }
+                (Some(bound), None) => {
+                    if verdict.passed() {
+                        verdict = Check::violated(
+                            vec![a, v],
+                            format!(
+                                "σ_{}({}) is untracked but Theorem 8 demands offset {bound}",
+                                graph.vertex(a).name(),
+                                graph.vertex(v).name()
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    // Corollary 2: convergence within |E_b| + 1 iterations.
+    let n_backward = graph.backward_edges().count();
+    if verdict.passed() && omega.iterations() > n_backward + 1 {
+        verdict = Check::violated(
+            Vec::new(),
+            format!(
+                "{} iterations exceed the Corollary 2 bound |E_b| + 1 = {}",
+                omega.iterations(),
+                n_backward + 1
+            ),
+        );
+    }
+    (verdict, certificate)
+}
+
+/// First-principles relevant anchor masks `R(v)` (Definition 9): each
+/// anchor is flooded out of its own unbounded edges and onwards through
+/// bounded-weight edges only.
+fn relevant_masks(graph: &ConstraintGraph, roster: &[VertexId]) -> Vec<Vec<bool>> {
+    let n = graph.n_vertices();
+    let mut rel = vec![vec![false; n]; n];
+    let anchor_mask: Vec<bool> = {
+        let mut m = vec![false; n];
+        for &a in roster {
+            m[a.index()] = true;
+        }
+        m
+    };
+    // An out-edge carries a symbolic δ exactly when it is a forward edge
+    // leaving an anchor; everything else is bounded.
+    let bounded = |e: &Edge| e.kind().is_backward() || !anchor_mask[e.from().index()];
+    for &a in roster {
+        let mut seen = vec![false; n];
+        seen[a.index()] = true;
+        let mut stack: Vec<VertexId> = graph
+            .out_edges(a)
+            .filter(|(_, e)| !e.kind().is_backward())
+            .map(|(_, e)| e.to())
+            .collect();
+        while let Some(v) = stack.pop() {
+            if seen[v.index()] {
+                continue;
+            }
+            seen[v.index()] = true;
+            rel[v.index()][a.index()] = true;
+            for (_, e) in graph.out_edges(v) {
+                if bounded(e) && !seen[e.to().index()] {
+                    stack.push(e.to());
+                }
+            }
+        }
+    }
+    rel
+}
+
+/// Theorem 6: recompute relevant and irredundant anchor sets from first
+/// principles and certify every pruning decision with the Definition 11
+/// domination inequality on the schedule's own offsets.
+fn check_irredundancy(
+    graph: &ConstraintGraph,
+    omega: &RelativeSchedule,
+    sets: &[Vec<bool>],
+    roster: &[VertexId],
+) -> Check {
+    let rel = relevant_masks(graph, roster);
+    for v in graph.vertex_ids() {
+        // On a well-posed graph every relevant anchor also gates: R ⊆ A.
+        for &a in roster {
+            if rel[v.index()][a.index()] && !sets[v.index()][a.index()] {
+                return Check::violated(
+                    vec![a, v],
+                    format!(
+                        "{} is relevant to {} without gating it — the graph cannot be \
+                         well-posed",
+                        graph.vertex(a).name(),
+                        graph.vertex(v).name()
+                    ),
+                );
+            }
+        }
+        let relevant_of_v: Vec<VertexId> = roster
+            .iter()
+            .copied()
+            .filter(|a| rel[v.index()][a.index()])
+            .collect();
+        for &x in &relevant_of_v {
+            for &r in &relevant_of_v {
+                if x == r || !sets[r.index()][x.index()] {
+                    continue;
+                }
+                let (Some(xv), Some(xr), Some(rv)) =
+                    (omega.offset(v, x), omega.offset(r, x), omega.offset(v, r))
+                else {
+                    return Check::violated(
+                        vec![x, r, v],
+                        format!(
+                            "irredundancy test σ_{x}({v}) ≤ σ_{x}({r}) + σ_{r}({v}) has an \
+                             untracked operand",
+                            x = graph.vertex(x).name(),
+                            r = graph.vertex(r).name(),
+                            v = graph.vertex(v).name()
+                        ),
+                    );
+                };
+                // The x -> r -> v concatenation is itself a path, so the
+                // minimum offset σ_x(v) (a longest path, Theorem 8) can
+                // never fall below σ_x(r) + σ_r(v). Definition 11 prunes x
+                // exactly when equality makes r's gating subsume x's; a
+                // strictly smaller σ_x(v) would wrongly mark every such x
+                // redundant, which is the failure this check catches.
+                if xv < xr + rv {
+                    return Check::violated(
+                        vec![x, r, v],
+                        format!(
+                            "σ_{x}({v}) = {xv} < σ_{x}({r}) + σ_{r}({v}) = {sum}: offsets \
+                             violate the path-concatenation lower bound behind Theorem 6",
+                            x = graph.vertex(x).name(),
+                            r = graph.vertex(r).name(),
+                            v = graph.vertex(v).name(),
+                            sum = xr + rv
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    Check::Holds
+}
+
+/// Theorem 3 semantics: under a delay profile `δ`, start times follow
+/// `T(v) = max_{a ∈ A(v)} (T(a) + δ(a) + σ_a(v))`; every edge constraint
+/// of the graph must then hold. The oracle evaluates three deterministic
+/// profiles (all-zero plus two staggered ones).
+///
+/// Theorem 3 presumes a polar graph. When an edit has disconnected the
+/// source (some vertex tracks no anchor at all), start times for the
+/// orphaned vertices are unconstrained by any offset and the theorem has
+/// nothing to say — the check is reported as skipped, mirroring the
+/// engine's documented "feasible but lost polarity" accept path.
+fn check_start_times(
+    graph: &ConstraintGraph,
+    omega: &RelativeSchedule,
+    sets: &[Vec<bool>],
+    roster: &[VertexId],
+) -> Check {
+    let n = graph.n_vertices();
+    for v in graph.vertex_ids() {
+        if v != graph.source() && sets[v.index()].iter().all(|&b| !b) {
+            return Check::Skipped {
+                reason: format!(
+                    "graph is not polar: {} tracks no anchor (Theorem 3 presumes polarity)",
+                    graph.vertex(v).name()
+                ),
+            };
+        }
+    }
+    for profile_no in 0u64..3 {
+        let delta = |a: VertexId| -> i64 {
+            if profile_no == 0 || a == graph.source() {
+                0
+            } else {
+                ((a.index() as u64 * 7 + profile_no * 3 + 1) % 9) as i64
+            }
+        };
+        // Fixpoint evaluation of the recursion; anchors form a DAG under
+        // forward reachability, so n rounds always suffice.
+        let mut t = vec![0i64; n];
+        for _ in 0..n {
+            let mut changed = false;
+            for v in graph.vertex_ids() {
+                let mut best = 0i64;
+                for &a in roster {
+                    if !sets[v.index()][a.index()] {
+                        continue;
+                    }
+                    let Some(sigma) = omega.offset(v, a) else {
+                        continue;
+                    };
+                    best = best.max(t[a.index()] + delta(a) + sigma);
+                }
+                if best > t[v.index()] {
+                    t[v.index()] = best;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Every edge (min, max, sequencing) must be satisfied.
+        for (_, e) in graph.edges() {
+            let required = match e.weight() {
+                Weight::Fixed(w) => w,
+                Weight::Unbounded { anchor, extra } => delta(anchor) + extra,
+            };
+            if t[e.to().index()] < t[e.from().index()] + required {
+                return Check::violated(
+                    vec![e.from(), e.to()],
+                    format!(
+                        "profile {profile_no}: T({to}) = {tt} < T({from}) + {required} = {need} \
+                         violates the {kind:?} edge {from} -> {to}",
+                        from = graph.vertex(e.from()).name(),
+                        to = graph.vertex(e.to()).name(),
+                        tt = t[e.to().index()],
+                        need = t[e.from().index()] + required,
+                        kind = e.kind()
+                    ),
+                );
+            }
+        }
+    }
+    Check::Holds
+}

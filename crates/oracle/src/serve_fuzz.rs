@@ -1,0 +1,300 @@
+//! Adversarial fuzzing of the JSON-lines scheduling service.
+//!
+//! [`fuzz_serve`] feeds [`rsched_engine::serve`] a seeded stream of
+//! frames mixing valid traffic (opens, edits, schedules, stats, closes,
+//! batch schedules) with hostile input: truncated JSON, plain garbage,
+//! non-object frames, unknown and missing ops, missing sessions,
+//! mid-session edge removals, bogus operation names, and `deadline_ms: 0`
+//! requests that expire before execution. The harness asserts the
+//! protocol contract the clients rely on:
+//!
+//! - the service never panics and [`rsched_engine::serve`] returns `Ok`,
+//! - every non-blank input line gets exactly one response line,
+//! - the multiset of echoed `"id"` values matches the requests (`null`
+//!   for frames whose id is missing or unparsable),
+//! - every response is a JSON object with a boolean `"ok"`, and carries a
+//!   string `"error"` whenever `"ok"` is `false`.
+//!
+//! Responses may arrive out of order (sessions are pinned to workers),
+//! so ids are compared as multisets, not sequences.
+
+use std::fmt;
+use std::io::Cursor;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use rsched_engine::json::Json;
+use rsched_engine::{serve, ServeConfig};
+
+use crate::fuzz::GraphMutator;
+
+/// Tuning knobs for [`fuzz_serve`].
+#[derive(Debug, Clone)]
+pub struct ServeFuzzConfig {
+    /// PRNG seed; the run is a pure function of `(seed, rounds, frames)`.
+    pub seed: u64,
+    /// Independent service runs (each gets a fresh worker pool).
+    pub rounds: usize,
+    /// Frames per round.
+    pub frames_per_round: usize,
+}
+
+impl Default for ServeFuzzConfig {
+    fn default() -> Self {
+        ServeFuzzConfig {
+            seed: 0,
+            rounds: 8,
+            frames_per_round: 40,
+        }
+    }
+}
+
+/// Outcome of a [`fuzz_serve`] run.
+#[derive(Debug, Clone, Default)]
+pub struct ServeFuzzReport {
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Frames sent across all rounds.
+    pub frames: usize,
+    /// Response lines received across all rounds.
+    pub responses: usize,
+    /// Contract violations, in discovery order.
+    pub failures: Vec<String>,
+}
+
+impl ServeFuzzReport {
+    /// `true` when every round honoured the protocol contract.
+    pub fn is_ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+impl fmt::Display for ServeFuzzReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} serve round(s), {} frame(s), {} response(s)",
+            self.rounds, self.frames, self.responses
+        )?;
+        if self.failures.is_empty() {
+            writeln!(f, "protocol contract held on every frame")?;
+        } else {
+            writeln!(f, "{} FAILURE(S):", self.failures.len())?;
+            for fail in &self.failures {
+                writeln!(f, "  {fail}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runs the adversarial serve harness; see the module docs for the
+/// contract it checks.
+pub fn fuzz_serve(config: &ServeFuzzConfig) -> ServeFuzzReport {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut designs = GraphMutator::new(config.seed.wrapping_add(0x5e17));
+    let mut report = ServeFuzzReport::default();
+    for round in 0..config.rounds {
+        report.rounds += 1;
+        let mut script = String::new();
+        let mut n_lines = 0usize;
+        for frame_no in 0..config.frames_per_round {
+            let frame = random_frame(&mut rng, &mut designs, frame_no as i64);
+            if !frame.trim().is_empty() {
+                n_lines += 1;
+            }
+            script.push_str(&frame);
+            script.push('\n');
+        }
+        report.frames += n_lines;
+        let expected_ids = expected_id_multiset(&script);
+        let workers = rng.gen_range(1usize..=4);
+        let mut output: Vec<u8> = Vec::new();
+        let serve_config = ServeConfig {
+            workers,
+            deadline: None,
+        };
+        let summary = match serve(Cursor::new(script.into_bytes()), &mut output, &serve_config) {
+            Ok(s) => s,
+            Err(e) => {
+                report
+                    .failures
+                    .push(format!("round {round}: serve returned an error: {e}"));
+                continue;
+            }
+        };
+        if summary.requests != n_lines {
+            report.failures.push(format!(
+                "round {round}: {n_lines} frame(s) sent but {} response(s) counted",
+                summary.requests
+            ));
+        }
+        let text = String::from_utf8_lossy(&output);
+        let mut echoed: Vec<String> = Vec::new();
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            report.responses += 1;
+            match Json::parse(line) {
+                Ok(response) => {
+                    if let Some(violation) = malformed_response(&response) {
+                        report
+                            .failures
+                            .push(format!("round {round}: {violation}: {line}"));
+                    }
+                    let id = response.get("id").cloned().unwrap_or(Json::Null);
+                    echoed.push(id.render());
+                }
+                Err(e) => {
+                    report
+                        .failures
+                        .push(format!("round {round}: unparsable response ({e}): {line}"));
+                }
+            }
+        }
+        let mut expected = expected_ids;
+        expected.sort();
+        echoed.sort();
+        if expected != echoed {
+            report.failures.push(format!(
+                "round {round}: echoed id multiset {echoed:?} != expected {expected:?}"
+            ));
+        }
+        if report.failures.len() >= 5 {
+            break;
+        }
+    }
+    report
+}
+
+/// `Some(reason)` when a response violates the protocol shape.
+fn malformed_response(response: &Json) -> Option<&'static str> {
+    let ok = response.get("ok").and_then(Json::as_bool)?;
+    if !ok && response.get("error").and_then(Json::as_str).is_none() {
+        return Some("\"ok\":false response without a string \"error\"");
+    }
+    None
+    // `?` above: a response without a boolean "ok" is itself a violation.
+}
+
+/// The ids the service must echo for `script`: one per non-blank line,
+/// `null` for frames that fail to parse or carry no `"id"`.
+fn expected_id_multiset(script: &str) -> Vec<String> {
+    script
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|line| match Json::parse(line) {
+            Ok(v) => v.get("id").cloned().unwrap_or(Json::Null).render(),
+            Err(_) => Json::Null.render(),
+        })
+        .collect()
+}
+
+/// One random frame. Valid traffic and hostile input are interleaved in
+/// a single stream so the service has live sessions while being attacked.
+fn random_frame(rng: &mut StdRng, designs: &mut GraphMutator, frame_no: i64) -> String {
+    let session = format!("s{}", rng.gen_range(0u8..4));
+    let id = match rng.gen_range(0u8..5) {
+        0 => Json::Null,
+        1 => Json::Str(format!("req-{frame_no}")),
+        _ => Json::Int(frame_no),
+    };
+    let op_name = |rng: &mut StdRng| format!("op{}", rng.gen_range(0u8..8));
+    let mut pairs: Vec<(&str, Json)> = vec![("id", id)];
+    match rng.gen_range(0u8..12) {
+        0 | 1 => {
+            // Valid open.
+            let design = designs.grow(6).to_text();
+            pairs.push(("session", Json::Str(session)));
+            pairs.push(("op", Json::from("open")));
+            pairs.push(("design", Json::Str(design)));
+        }
+        2 | 3 => {
+            // Edit, possibly against unknown sessions or operations;
+            // includes mid-session removals.
+            let kind = ["add_dep", "add_min", "add_max", "remove_edge", "set_delay"]
+                [rng.gen_range(0usize..5)];
+            pairs.push(("session", Json::Str(session)));
+            pairs.push(("op", Json::from("edit")));
+            pairs.push(("kind", Json::from(kind)));
+            pairs.push(("from", Json::Str(op_name(rng))));
+            pairs.push(("to", Json::Str(op_name(rng))));
+            pairs.push(("vertex", Json::Str(op_name(rng))));
+            pairs.push(("value", Json::Int(rng.gen_range(0i64..8))));
+            if rng.gen_bool(0.5) {
+                pairs.push(("delay", Json::Int(rng.gen_range(0i64..4))));
+            }
+        }
+        4 => {
+            pairs.push(("session", Json::Str(session)));
+            pairs.push(("op", Json::from("schedule")));
+        }
+        5 => {
+            let op = ["stats", "close"][rng.gen_range(0usize..2)];
+            pairs.push(("session", Json::Str(session)));
+            pairs.push(("op", Json::from(op)));
+        }
+        6 => {
+            // Batch with a mix of good, broken, and non-object entries.
+            let mut entries = Vec::new();
+            for i in 0..rng.gen_range(0usize..4) {
+                entries.push(match rng.gen_range(0u8..4) {
+                    0 => Json::Object(vec![
+                        ("name".to_owned(), Json::Str(format!("d{i}"))),
+                        ("design".to_owned(), Json::Str(designs.grow(5).to_text())),
+                    ]),
+                    1 => Json::Object(vec![
+                        ("name".to_owned(), Json::Str(format!("d{i}"))),
+                        ("design".to_owned(), Json::Str("op a\ndep a b".to_owned())),
+                    ]),
+                    2 => Json::Object(vec![("name".to_owned(), Json::Str(format!("d{i}")))]),
+                    _ => Json::Int(i as i64),
+                });
+            }
+            pairs.push(("op", Json::from("batch_schedule")));
+            pairs.push(("designs", Json::Array(entries)));
+            if rng.gen_bool(0.3) {
+                pairs.push(("threads", Json::Int(rng.gen_range(1i64..4))));
+            }
+        }
+        7 => {
+            // Unknown or missing op.
+            pairs.push(("session", Json::Str(session)));
+            if rng.gen_bool(0.5) {
+                pairs.push(("op", Json::from("frobnicate")));
+            }
+        }
+        8 => {
+            // Missing session on a session-requiring op.
+            pairs.push(("op", Json::from("schedule")));
+        }
+        9 => {
+            // Expired deadline: must still answer, echoing the id.
+            pairs.push(("session", Json::Str(session)));
+            pairs.push(("op", Json::from("stats")));
+            pairs.push(("deadline_ms", Json::Int(0)));
+        }
+        10 => {
+            // Truncated frame: chop a valid frame mid-way.
+            pairs.push(("session", Json::Str(session)));
+            pairs.push(("op", Json::from("schedule")));
+            let rendered =
+                Json::Object(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect()).render();
+            let cut = rng.gen_range(1usize..rendered.len());
+            let truncated: String = rendered.chars().take(cut).collect();
+            return truncated.replace('\n', " ");
+        }
+        _ => {
+            // Plain garbage and non-object JSON.
+            return [
+                "not json at all",
+                "{\"id\":",
+                "[1,2,3]",
+                "\"just a string\"",
+                "{}",
+                "42",
+            ][rng.gen_range(0usize..6)]
+            .to_owned();
+        }
+    }
+    Json::Object(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect()).render()
+}

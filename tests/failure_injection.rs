@@ -20,7 +20,11 @@ fn verify_start_times_catches_early_starts() {
     // Pull v3 one cycle early: its min constraint (source -> v3 >= 3)
     // breaks.
     let mut times: Vec<u64> = g.vertex_ids().map(|v| good.time(v)).collect();
-    times[v3.index()] = times[v3.index()] - 1;
+    assert!(
+        times[v3.index()] > 0,
+        "fig2's min constraint keeps v3 off cycle 0; pulling it earlier must stay representable"
+    );
+    times[v3.index()] = times[v3.index()].saturating_sub(1);
     let bad = StartTimes::from_raw(times);
     let violations = verify_start_times(&g, &bad, &profile);
     assert!(!violations.is_empty(), "early start must be caught");
