@@ -1,0 +1,226 @@
+//! Cost of the fault-tolerance machinery when nothing is failing.
+//!
+//! Failpoint sites are compiled into the kernel, the session engine, and
+//! the serve loop unconditionally; this bench prices the three states a
+//! site can be in:
+//!
+//! - `probe/disabled_check` — one evaluation of the `failpoint!` macro
+//!   with nothing armed anywhere (a single relaxed atomic load), the
+//!   state every production run is in;
+//! - `…/disarmed` — the instrumented hot paths (warm session edit, CSR
+//!   kernel build) with no failpoints armed;
+//! - `…/armed_miss` — the same paths while a failpoint is armed under a
+//!   foreign scope token, paying the registry lookup on every hit.
+//!
+//! A `serve_round` group measures a full service round (open, eight
+//! edits, schedule, close) without and with a `--journal-dir` WAL mirror,
+//! pricing the journaling layer.
+//!
+//! A custom `main` exports everything to `BENCH_faults.json` and asserts
+//! the disabled-site overhead on the cheapest instrumented operation
+//! stays under 2% — the "failpoints compiled but disabled" budget.
+
+use criterion::{BenchmarkId, Criterion, SummaryWriter};
+
+use rsched_designs::random::{random_constraint_graph, RandomGraphConfig};
+use rsched_engine::{serve, ServeConfig, Session};
+use rsched_graph::failpoint::{self, FailAction};
+use rsched_graph::{ConstraintGraph, ScheduleKernel, VertexId};
+
+/// A scope token no bench thread ever enters: armed faults under it are
+/// looked up on every hit but can never fire.
+const FOREIGN_SCOPE: u64 = 0xbe9c_0000;
+/// Failpoint sites evaluated per warm session edit (serve::handle is not
+/// on this path; session::reschedule and kernel::build are, plus margin).
+const SITES_PER_EDIT: f64 = 4.0;
+
+fn smoke() -> bool {
+    std::env::var("RSCHED_BENCH_SMOKE").is_ok_and(|v| v == "1")
+}
+
+fn design() -> ConstraintGraph {
+    random_constraint_graph(
+        7,
+        &RandomGraphConfig {
+            n_ops: 200,
+            ..Default::default()
+        },
+    )
+}
+
+/// One feasibility-preserving warm edit on the session: a zero-weight
+/// min constraint along an existing precedence.
+fn safe_edit(session: &Session) -> (VertexId, VertexId) {
+    let ops: Vec<VertexId> = session.graph().operation_ids().collect();
+    for w in ops.windows(2) {
+        let mut probe = session.clone();
+        if probe.add_min_constraint(w[0], w[1], 0).is_scheduled() {
+            return (w[0], w[1]);
+        }
+    }
+    panic!("no feasibility-preserving edit in the bench design");
+}
+
+fn hot_paths(c: &mut Criterion, variant: &str) {
+    let graph = design();
+    let session = Session::open(graph.clone()).expect("bench design opens");
+    let (from, to) = safe_edit(&session);
+    let mut group = c.benchmark_group("faults");
+    group.bench_with_input(
+        BenchmarkId::new("session_edit", variant),
+        &session,
+        |b, session| {
+            b.iter_batched(
+                || session.clone(),
+                |mut s| {
+                    assert!(s.add_min_constraint(from, to, 0).is_scheduled());
+                    s
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        },
+    );
+    group.bench_with_input(BenchmarkId::new("kernel_build", variant), &graph, |b, g| {
+        b.iter(|| ScheduleKernel::build(g).expect("bench design builds"))
+    });
+    group.finish();
+}
+
+fn probe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("probe");
+    group.bench_function(BenchmarkId::new("disabled_check", "1"), |b| {
+        b.iter(|| rsched_graph::failpoint!("serve_faults::probe"))
+    });
+    group.finish();
+}
+
+/// One full service round over an in-memory stream: an open, eight warm
+/// edits, a schedule, and a close (11 requests) — single worker, so the
+/// round is all request handling.
+fn serve_round(c: &mut Criterion, variant: &str, journal_dir: Option<std::path::PathBuf>) {
+    let graph = design();
+    let names: Vec<String> = graph
+        .operation_ids()
+        .map(|v| graph.vertex(v).name().to_owned())
+        .collect();
+    let mut lines = vec![format!(
+        r#"{{"id":0,"session":"b","op":"open","design":"{}"}}"#,
+        graph.to_text().replace('\n', "\\n")
+    )];
+    for (i, w) in names.windows(2).take(8).enumerate() {
+        lines.push(format!(
+            r#"{{"id":{},"session":"b","op":"edit","kind":"add_min","from":"{}","to":"{}","value":0}}"#,
+            i + 1,
+            w[0],
+            w[1]
+        ));
+    }
+    lines.push(r#"{"id":9,"session":"b","op":"schedule"}"#.to_owned());
+    lines.push(r#"{"id":10,"session":"b","op":"close"}"#.to_owned());
+    let script = lines.join("\n") + "\n";
+    let config = ServeConfig {
+        workers: 1,
+        journal_dir,
+        ..ServeConfig::default()
+    };
+    let mut group = c.benchmark_group("serve_round");
+    group.bench_with_input(BenchmarkId::new(variant, "11req"), &script, |b, script| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            let summary = serve(
+                std::io::Cursor::new(script.clone().into_bytes()),
+                &mut out,
+                &config,
+            )
+            .expect("bench round serves");
+            assert_eq!(summary.requests, 11);
+            out
+        })
+    });
+    group.finish();
+}
+
+fn main() {
+    let smoke = smoke();
+    let (samples, warm_ms, measure_ms) = if smoke { (2, 5, 20) } else { (10, 100, 400) };
+    let mut criterion = Criterion::default()
+        .sample_size(samples)
+        .warm_up_time(std::time::Duration::from_millis(warm_ms))
+        .measurement_time(std::time::Duration::from_millis(measure_ms));
+
+    probe(&mut criterion);
+    hot_paths(&mut criterion, "disarmed");
+    {
+        let _armed = failpoint::arm(
+            "session::reschedule",
+            Some(FOREIGN_SCOPE),
+            FailAction::Panic,
+            0,
+            None,
+        );
+        let _armed_kernel = failpoint::arm(
+            "kernel::build",
+            Some(FOREIGN_SCOPE),
+            FailAction::Panic,
+            0,
+            None,
+        );
+        hot_paths(&mut criterion, "armed_miss");
+    }
+    let wal_dir = std::env::temp_dir().join(format!("rsched_bench_wal_{}", std::process::id()));
+    serve_round(&mut criterion, "plain", None);
+    serve_round(&mut criterion, "wal", Some(wal_dir.clone()));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+
+    let results = criterion.take_results();
+    let mean_of =
+        |id: &str| -> Option<f64> { results.iter().find(|r| r.id == id).map(|r| r.mean_ns) };
+    let pct = |num: Option<f64>, den: Option<f64>| match (num, den) {
+        (Some(n), Some(d)) if d > 0.0 => n / d * 100.0,
+        _ => 0.0,
+    };
+    let check_ns = mean_of("disabled_check/1").unwrap_or(0.0);
+    // The tightest budget: what the compiled-but-disabled sites add to
+    // one warm edit, the cheapest instrumented operation.
+    let edit_overhead_pct = pct(
+        Some(check_ns * SITES_PER_EDIT),
+        mean_of("session_edit/disarmed"),
+    );
+    let build_overhead_pct = pct(Some(check_ns), mean_of("kernel_build/disarmed"));
+    let armed_miss_pct = pct(
+        mean_of("session_edit/armed_miss")
+            .zip(mean_of("session_edit/disarmed"))
+            .map(|(a, d)| a - d),
+        mean_of("session_edit/disarmed"),
+    );
+    let wal_overhead_pct = pct(
+        mean_of("wal/11req")
+            .zip(mean_of("plain/11req"))
+            .map(|(w, p)| w - p),
+        mean_of("plain/11req"),
+    );
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_faults.json");
+    SummaryWriter::new("serve_faults")
+        .threads(1)
+        .metric("disabled_check_ns", check_ns)
+        .metric("edit_overhead_pct", edit_overhead_pct)
+        .metric("kernel_build_overhead_pct", build_overhead_pct)
+        .metric("armed_miss_edit_pct", armed_miss_pct)
+        .metric("wal_round_overhead_pct", wal_overhead_pct)
+        .int("smoke", i64::from(smoke))
+        .write(path, &results)
+        .expect("write BENCH_faults.json");
+    println!(
+        "disabled failpoint check: {check_ns:.2} ns; edit overhead {edit_overhead_pct:.3}%; \
+         armed-miss edit delta {armed_miss_pct:.2}%; WAL round overhead {wal_overhead_pct:.2}% \
+         (summary: BENCH_faults.json)"
+    );
+    if !smoke {
+        assert!(
+            edit_overhead_pct < 2.0,
+            "disabled failpoints must add < 2% to a warm session edit \
+             (measured {edit_overhead_pct:.3}%)"
+        );
+    }
+}

@@ -16,8 +16,9 @@
 //! rsched verilog   <graph.rsg> [--style counter|shift] [--ir] [--name M]
 //! rsched dot       <graph.rsg>                 Graphviz output
 //! rsched compile   <design.hc> [--vcd --seed N]  HardwareC -> schedules
-//! rsched serve     [--workers N] [--deadline-ms N]  JSON-lines service on stdio
-//! rsched fuzz      [--seed N] [--iters N] [--minimize] [--repro-dir D]  oracle-refereed fuzzing
+//! rsched serve     [--workers N] [--deadline-ms N] [--queue-depth N]
+//!                  [--max-ops N] [--max-edges N] [--journal-dir D]  JSON-lines service on stdio
+//! rsched fuzz      [--seed N] [--iters N] [--minimize] [--repro-dir D] [--faults]  oracle-refereed fuzzing
 //! rsched help                                  print usage
 //! ```
 //!
@@ -75,8 +76,9 @@ const USAGE: &str = "usage:
   rsched verilog   <graph.rsg> [--style counter|shift] [--ir] [--name M]
   rsched dot       <graph.rsg>
   rsched compile   <design.hc> [--vcd --seed N]
-  rsched serve     [--workers N] [--deadline-ms N]
-  rsched fuzz      [--seed N] [--iters N] [--minimize] [--repro-dir D]
+  rsched serve     [--workers N] [--deadline-ms N] [--queue-depth N]
+                   [--max-ops N] [--max-edges N] [--journal-dir D]
+  rsched fuzz      [--seed N] [--iters N] [--minimize] [--repro-dir D] [--faults]
   rsched help";
 
 /// Executes a CLI invocation (`args` excludes the program name) and
@@ -158,11 +160,50 @@ fn parse_serve_config(flags: &[&String]) -> Result<rsched_engine::ServeConfig, C
             .map_err(|_| CliError::usage("--deadline-ms expects a number"))?;
         config.deadline = Some(std::time::Duration::from_millis(ms));
     }
-    if let Some(stray) = flags
-        .iter()
-        .find(|f| !matches!(f.as_str(), "--workers" | "--deadline-ms") && f.parse::<u64>().is_err())
-    {
-        return Err(CliError::usage(format!("unknown serve flag '{stray}'")));
+    if let Some(v) = flag_value(flags, "--queue-depth") {
+        config.queue_depth = v
+            .parse()
+            .map_err(|_| CliError::usage("--queue-depth expects a number"))?;
+        if config.queue_depth == 0 {
+            return Err(CliError::usage("--queue-depth must be at least 1"));
+        }
+    }
+    if let Some(v) = flag_value(flags, "--max-ops") {
+        config.max_ops = Some(
+            v.parse()
+                .map_err(|_| CliError::usage("--max-ops expects a number"))?,
+        );
+    }
+    if let Some(v) = flag_value(flags, "--max-edges") {
+        config.max_edges = Some(
+            v.parse()
+                .map_err(|_| CliError::usage("--max-edges expects a number"))?,
+        );
+    }
+    if let Some(v) = flag_value(flags, "--journal-dir") {
+        config.journal_dir = Some(std::path::PathBuf::from(v));
+    }
+    // `--journal-dir` takes an arbitrary path, so stray detection walks
+    // flag positions instead of pattern-matching every operand.
+    let known = [
+        "--workers",
+        "--deadline-ms",
+        "--queue-depth",
+        "--max-ops",
+        "--max-edges",
+        "--journal-dir",
+    ];
+    let mut expect_value = false;
+    for f in flags {
+        if expect_value {
+            expect_value = false;
+            continue;
+        }
+        if known.contains(&f.as_str()) {
+            expect_value = true;
+        } else {
+            return Err(CliError::usage(format!("unknown serve flag '{f}'")));
+        }
     }
     Ok(config)
 }
@@ -185,7 +226,7 @@ fn parse_fuzz_config(flags: &[&String]) -> Result<rsched_oracle::FuzzConfig, Cli
     if let Some(v) = flag_value(flags, "--repro-dir") {
         config.repro_dir = Some(std::path::PathBuf::from(v));
     }
-    let known = ["--seed", "--iters", "--minimize", "--repro-dir"];
+    let known = ["--seed", "--iters", "--minimize", "--repro-dir", "--faults"];
     let mut expect_value = false;
     for f in flags {
         if expect_value {
@@ -193,7 +234,7 @@ fn parse_fuzz_config(flags: &[&String]) -> Result<rsched_oracle::FuzzConfig, Cli
             continue;
         }
         match f.as_str() {
-            "--minimize" => {}
+            "--minimize" | "--faults" => {}
             "--seed" | "--iters" | "--repro-dir" => expect_value = true,
             other if !known.contains(&other) => {
                 return Err(CliError::usage(format!("unknown fuzz flag '{other}'")));
@@ -206,7 +247,10 @@ fn parse_fuzz_config(flags: &[&String]) -> Result<rsched_oracle::FuzzConfig, Cli
 
 /// Runs the oracle-refereed structured fuzzer plus the serve-protocol
 /// adversarial harness; any violation is an exit-code-1 failure carrying
-/// the full report (with repro paths when `--repro-dir` is set).
+/// the full report (with repro paths when `--repro-dir` is set). With
+/// `--faults`, additionally interleaves deterministic failpoint faults
+/// (panics, worker kills, stalls, injected errors) with edit scripts and
+/// asserts recovery is bit-identical to a cold rebuild.
 fn fuzz_cmd(flags: &[&String]) -> Result<String, CliError> {
     let config = parse_fuzz_config(flags)?;
     let report = rsched_oracle::fuzz(&config);
@@ -215,11 +259,21 @@ fn fuzz_cmd(flags: &[&String]) -> Result<String, CliError> {
         rounds: (config.iters / 25).clamp(2, 40),
         frames_per_round: 40,
     });
-    let rendered = format!(
+    let mut rendered = format!(
         "graph fuzz (seed {}):\n{report}\nserve fuzz:\n{serve_report}",
         config.seed
     );
-    if report.is_ok() && serve_report.is_ok() {
+    let mut ok = report.is_ok() && serve_report.is_ok();
+    if has_flag(flags, "--faults") {
+        let fault_report = rsched_oracle::fuzz_faults(&rsched_oracle::FaultFuzzConfig {
+            seed: config.seed,
+            rounds: (config.iters / 4).max(1),
+            repro_dir: config.repro_dir.clone(),
+        });
+        let _ = write!(rendered, "fault fuzz:\n{fault_report}");
+        ok = ok && fault_report.is_ok();
+    }
+    if ok {
         Ok(rendered)
     } else {
         Err(CliError::failure(rendered))
@@ -837,6 +891,25 @@ process demo (req, ack)
         let flags: Vec<&String> = args.iter().collect();
         let cfg = parse_serve_config(&flags).unwrap();
         assert_eq!(cfg.deadline, Some(std::time::Duration::from_millis(250)));
+        let args = [
+            "--queue-depth".to_string(),
+            "8".to_string(),
+            "--max-ops".to_string(),
+            "64".to_string(),
+            "--max-edges".to_string(),
+            "256".to_string(),
+            "--journal-dir".to_string(),
+            "/tmp/wal".to_string(),
+        ];
+        let flags: Vec<&String> = args.iter().collect();
+        let cfg = parse_serve_config(&flags).unwrap();
+        assert_eq!(cfg.queue_depth, 8);
+        assert_eq!(cfg.max_ops, Some(64));
+        assert_eq!(cfg.max_edges, Some(256));
+        assert_eq!(
+            cfg.journal_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/wal"))
+        );
         // Bad values and stray flags are usage errors (exit code 2),
         // reported before any stdin read.
         assert_eq!(
@@ -847,6 +920,11 @@ process demo (req, ack)
             run_args(&["serve", "--deadline-ms", "x"]).unwrap_err().code,
             2
         );
+        assert_eq!(
+            run_args(&["serve", "--queue-depth", "0"]).unwrap_err().code,
+            2
+        );
+        assert_eq!(run_args(&["serve", "--max-ops", "x"]).unwrap_err().code, 2);
         assert_eq!(run_args(&["serve", "--frob"]).unwrap_err().code, 2);
     }
 
@@ -872,6 +950,14 @@ process demo (req, ack)
         );
         assert_eq!(run_args(&["fuzz", "--seed", "x"]).unwrap_err().code, 2);
         assert_eq!(run_args(&["fuzz", "--frob"]).unwrap_err().code, 2);
+        // `--faults` is a bare flag: the parser must not eat an operand.
+        let args = [
+            "--faults".to_string(),
+            "--seed".to_string(),
+            "3".to_string(),
+        ];
+        let flags: Vec<&String> = args.iter().collect();
+        assert_eq!(parse_fuzz_config(&flags).unwrap().seed, 3);
     }
 
     #[test]
@@ -879,6 +965,14 @@ process demo (req, ack)
         let out = run_args(&["fuzz", "--seed", "5", "--iters", "8"]).unwrap();
         assert!(out.contains("zero oracle violations"), "{out}");
         assert!(out.contains("protocol contract held"), "{out}");
+        assert!(!out.contains("fault fuzz"), "{out}");
+    }
+
+    #[test]
+    fn fuzz_faults_smoke_run_is_clean() {
+        let out = run_args(&["fuzz", "--seed", "11", "--iters", "32", "--faults"]).unwrap();
+        assert!(out.contains("fault fuzz"), "{out}");
+        assert!(out.contains("fault-tolerance contract held"), "{out}");
     }
 
     #[test]

@@ -1,0 +1,308 @@
+//! Append-only session journals with deterministic replay recovery.
+//!
+//! Every serve session keeps a [`Journal`]: the opening design text plus
+//! each *accepted* mutating edit, recorded by operation **name** (not
+//! `VertexId`), so the whole history replays through a fresh
+//! [`Session`] regardless of internal id assignment. When a request
+//! panics mid-edit the live `Session` may be half-mutated and is
+//! quarantined; the journal — appended only *after* an edit is accepted —
+//! still describes the last consistent state, and [`Journal::replay`]
+//! rebuilds it deterministically. Replay is bit-identical to the live
+//! session at every prefix (`posedness()`, offsets, anchor roster): the
+//! engine's differential guarantees already pin every edit path to the
+//! cold scheduler, and the journal is exactly that edit sequence.
+//!
+//! Journals can optionally be mirrored to a write-ahead file (one JSON
+//! object per line) under `--journal-dir`, giving operators an audit
+//! trail that survives the process. Mirror I/O errors are swallowed:
+//! recovery reads only the in-memory journal, and a full disk must never
+//! take the service down.
+
+use std::fs::File;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use rsched_graph::{ConstraintGraph, ExecDelay};
+
+use crate::json::{object, Json};
+use crate::session::{EditOutcome, Session};
+
+/// One replayable session mutation, keyed by operation names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalOp {
+    /// `Session::open` on a design in the graph text format.
+    Open {
+        /// The design source; replay re-parses it.
+        design: String,
+    },
+    /// `add_dependency(from, to)`.
+    AddDep {
+        /// Tail operation name.
+        from: String,
+        /// Head operation name.
+        to: String,
+    },
+    /// `add_min_constraint(from, to, value)`.
+    AddMin {
+        /// Tail operation name.
+        from: String,
+        /// Head operation name.
+        to: String,
+        /// Minimum start-time separation in cycles.
+        value: u64,
+    },
+    /// `add_max_constraint(from, to, value)`.
+    AddMax {
+        /// Tail operation name.
+        from: String,
+        /// Head operation name.
+        to: String,
+        /// Maximum start-time separation in cycles.
+        value: u64,
+    },
+    /// `remove_edge` of the first live edge between two operations —
+    /// the same resolution rule the serve protocol uses, so replay picks
+    /// the identical edge.
+    RemoveEdge {
+        /// Tail operation name.
+        from: String,
+        /// Head operation name.
+        to: String,
+    },
+    /// `set_delay(vertex, delay)`.
+    SetDelay {
+        /// Operation name.
+        vertex: String,
+        /// New execution delay.
+        delay: ExecDelay,
+    },
+}
+
+impl JournalOp {
+    /// Renders the op as one WAL line (a JSON object).
+    fn to_json(&self) -> Json {
+        match self {
+            JournalOp::Open { design } => object([
+                ("op", Json::from("open")),
+                ("design", Json::from(design.as_str())),
+            ]),
+            JournalOp::AddDep { from, to } => object([
+                ("op", Json::from("add_dep")),
+                ("from", Json::from(from.as_str())),
+                ("to", Json::from(to.as_str())),
+            ]),
+            JournalOp::AddMin { from, to, value } => object([
+                ("op", Json::from("add_min")),
+                ("from", Json::from(from.as_str())),
+                ("to", Json::from(to.as_str())),
+                ("value", Json::from(*value as usize)),
+            ]),
+            JournalOp::AddMax { from, to, value } => object([
+                ("op", Json::from("add_max")),
+                ("from", Json::from(from.as_str())),
+                ("to", Json::from(to.as_str())),
+                ("value", Json::from(*value as usize)),
+            ]),
+            JournalOp::RemoveEdge { from, to } => object([
+                ("op", Json::from("remove_edge")),
+                ("from", Json::from(from.as_str())),
+                ("to", Json::from(to.as_str())),
+            ]),
+            JournalOp::SetDelay { vertex, delay } => object([
+                ("op", Json::from("set_delay")),
+                ("vertex", Json::from(vertex.as_str())),
+                (
+                    "delay",
+                    match delay {
+                        ExecDelay::Unbounded => Json::from("unbounded"),
+                        ExecDelay::Fixed(c) => Json::Int(*c as i64),
+                    },
+                ),
+            ]),
+        }
+    }
+}
+
+/// The append-only edit history of one session; see the module docs.
+#[derive(Debug)]
+pub struct Journal {
+    ops: Vec<JournalOp>,
+    /// Mirror file, opened lazily and dropped on the first write error.
+    wal: Option<(PathBuf, Option<File>)>,
+}
+
+impl Journal {
+    /// Starts a journal for a session opened on `design`, optionally
+    /// mirrored to `wal_path` (truncating any previous file there).
+    pub fn open(design: String, wal_path: Option<PathBuf>) -> Journal {
+        let mut journal = Journal {
+            ops: Vec::new(),
+            wal: wal_path.map(|p| {
+                let file = File::create(&p).ok();
+                (p, file)
+            }),
+        };
+        journal.append(JournalOp::Open { design });
+        journal
+    }
+
+    /// Records one accepted mutation (and mirrors it to the WAL).
+    pub fn append(&mut self, op: JournalOp) {
+        if let Some((_, Some(file))) = &mut self.wal {
+            let line = format!("{}\n", op.to_json().render());
+            if file
+                .write_all(line.as_bytes())
+                .and_then(|()| file.flush())
+                .is_err()
+            {
+                // Mirror is best-effort; stop writing after the first
+                // failure instead of hammering a dead disk per edit.
+                self.wal.as_mut().expect("checked above").1 = None;
+            }
+        }
+        self.ops.push(op);
+    }
+
+    /// Edits recorded after the opening design.
+    pub fn edits(&self) -> usize {
+        self.ops.len().saturating_sub(1)
+    }
+
+    /// Where the WAL mirror lives, when one was requested.
+    pub fn wal_path(&self) -> Option<&std::path::Path> {
+        self.wal.as_ref().map(|(p, _)| p.as_path())
+    }
+
+    /// Replays the journal through a fresh [`Session`].
+    ///
+    /// Deterministic: the recorded edits were all accepted against the
+    /// same prefix states, so replay reproduces the exact graph, verdict,
+    /// and offsets of the live session after its last accepted edit.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first op that fails — possible only
+    /// if the journal was corrupted (it records accepted edits only).
+    pub fn replay(&self) -> Result<Session, String> {
+        let mut ops = self.ops.iter();
+        let Some(JournalOp::Open { design }) = ops.next() else {
+            return Err("journal does not start with an open".to_owned());
+        };
+        let graph = ConstraintGraph::from_text(design)
+            .map_err(|e| format!("journal replay: bad design: {e}"))?;
+        let mut session =
+            Session::open(graph).map_err(|e| format!("journal replay: cannot open: {e}"))?;
+        for (i, op) in ops.enumerate() {
+            let vertex = |s: &Session, name: &str| {
+                s.vertex_named(name)
+                    .ok_or_else(|| format!("journal replay: edit {i}: no operation '{name}'"))
+            };
+            let outcome = match op {
+                JournalOp::Open { .. } => {
+                    return Err(format!("journal replay: edit {i}: duplicate open"));
+                }
+                JournalOp::AddDep { from, to } => {
+                    let (f, t) = (vertex(&session, from)?, vertex(&session, to)?);
+                    session.add_dependency(f, t)
+                }
+                JournalOp::AddMin { from, to, value } => {
+                    let (f, t) = (vertex(&session, from)?, vertex(&session, to)?);
+                    session.add_min_constraint(f, t, *value)
+                }
+                JournalOp::AddMax { from, to, value } => {
+                    let (f, t) = (vertex(&session, from)?, vertex(&session, to)?);
+                    session.add_max_constraint(f, t, *value)
+                }
+                JournalOp::RemoveEdge { from, to } => {
+                    let (f, t) = (vertex(&session, from)?, vertex(&session, to)?);
+                    let Some(e) = session.edge_between(f, t) else {
+                        return Err(format!(
+                            "journal replay: edit {i}: no live edge {from} -> {to}"
+                        ));
+                    };
+                    session.remove_edge(e)
+                }
+                JournalOp::SetDelay {
+                    vertex: name,
+                    delay,
+                } => {
+                    let v = vertex(&session, name)?;
+                    session.set_delay(v, *delay)
+                }
+            };
+            if let EditOutcome::Rejected { error } = outcome {
+                return Err(format!("journal replay: edit {i}: rejected: {error}"));
+            }
+        }
+        Ok(session)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DESIGN: &str =
+        "op sync unbounded\nop alu 2\nop out 1\ndep sync alu\ndep alu out\nmax alu out 4\n";
+
+    #[test]
+    fn replay_reproduces_the_live_session() {
+        let graph = ConstraintGraph::from_text(DESIGN).unwrap();
+        let mut live = Session::open(graph).unwrap();
+        let mut journal = Journal::open(DESIGN.to_owned(), None);
+
+        let (alu, out) = (
+            live.vertex_named("alu").unwrap(),
+            live.vertex_named("out").unwrap(),
+        );
+        assert!(live.add_min_constraint(alu, out, 3).is_scheduled());
+        journal.append(JournalOp::AddMin {
+            from: "alu".into(),
+            to: "out".into(),
+            value: 3,
+        });
+        live.set_delay(alu, ExecDelay::Unbounded); // ill-posed, still journaled
+        journal.append(JournalOp::SetDelay {
+            vertex: "alu".into(),
+            delay: ExecDelay::Unbounded,
+        });
+
+        let replayed = journal.replay().expect("journal replays");
+        assert_eq!(replayed.posedness(), live.posedness());
+        assert_eq!(replayed.schedule(), live.schedule());
+        assert_eq!(journal.edits(), 2);
+    }
+
+    #[test]
+    fn replay_rejects_corrupt_history() {
+        let mut journal = Journal::open(DESIGN.to_owned(), None);
+        journal.append(JournalOp::AddDep {
+            from: "alu".into(),
+            to: "nonesuch".into(),
+        });
+        let err = journal.replay().unwrap_err();
+        assert!(err.contains("nonesuch"), "{err}");
+    }
+
+    #[test]
+    fn wal_mirror_writes_one_line_per_op() {
+        let dir = std::env::temp_dir().join(format!("rsched_wal_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("s.wal");
+        let mut journal = Journal::open(DESIGN.to_owned(), Some(path.clone()));
+        journal.append(JournalOp::AddMax {
+            from: "alu".into(),
+            to: "out".into(),
+            value: 7,
+        });
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"op\":\"open\""));
+        assert_eq!(
+            Json::parse(lines[1]).unwrap().get("value"),
+            Some(&Json::Int(7))
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

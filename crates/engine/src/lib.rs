@@ -22,9 +22,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod journal;
 pub mod json;
 pub mod service;
 pub mod session;
 
+pub use journal::{Journal, JournalOp};
 pub use service::{serve, ServeConfig, ServeSummary};
 pub use session::{EditOutcome, Session, SessionStats};

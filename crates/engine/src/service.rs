@@ -16,7 +16,8 @@
 //! {"id":2,"op":"edit","session":"s","kind":"add_max","from":"a","to":"b","value":4}
 //! {"id":3,"op":"schedule","session":"s"}
 //! {"id":4,"op":"stats","session":"s"}
-//! {"id":5,"op":"close","session":"s"}
+//! {"id":5,"op":"recover","session":"s"}
+//! {"id":6,"op":"close","session":"s"}
 //! ```
 //!
 //! `"kind"` is one of `add_dep`, `add_min`, `add_max` (with `"value"`),
@@ -26,16 +27,8 @@
 //!
 //! One sessionless request exists: `batch_schedule` cold-schedules many
 //! independent designs in a single round trip, fanning them across a
-//! scoped thread pool inside the handling worker:
-//!
-//! ```text
-//! {"id":6,"op":"batch_schedule","threads":4,
-//!  "designs":[{"name":"d0","design":"op a 1\n…"},{"name":"d1","design":"…"}]}
-//! ```
-//!
-//! The response carries `"results"`, one entry per design **in input
-//! order** (independent of completion order), each with the design's
-//! verdict and iteration count or an in-band error.
+//! scoped thread pool inside the handling worker. The response carries
+//! `"results"`, one entry per design **in input order**.
 //!
 //! Each request honors a deadline (the `ServeConfig` default, overridable
 //! per request via `"deadline_ms"`), measured from the moment the line is
@@ -43,18 +36,55 @@
 //! an error instead of being executed. On end of input the service stops
 //! accepting work, drains every queue, joins the workers, and returns a
 //! summary — a clean EOF shutdown needs no special request.
+//!
+//! ## Failure model
+//!
+//! The service survives faults in its own request handlers; see
+//! `DESIGN.md` §11 for the full model. In short:
+//!
+//! - **Panic isolation.** Every request executes under
+//!   [`std::panic::catch_unwind`]. A panic is answered in-band as
+//!   `{"id":…,"ok":false,"error":"worker_panic: …"}`, the targeted
+//!   session (whose `Session` may be half-mutated) is **quarantined**,
+//!   and the worker keeps serving. Quarantined sessions reject
+//!   `edit`/`schedule` with an error naming the `recover` op.
+//! - **Journaling + replay recovery.** Each session keeps an append-only
+//!   [`Journal`] of its design and every *accepted* mutating edit,
+//!   optionally mirrored to a write-ahead file under
+//!   [`ServeConfig::journal_dir`]. `recover` rebuilds the session by
+//!   deterministic replay — bit-identical to the pre-panic state.
+//! - **Worker respawn.** A worker thread that dies outright (not just a
+//!   caught request panic) is respawned on the same queue; sessions and
+//!   queued jobs live in shared state that outlives any one thread, so
+//!   nothing is lost or reordered and `serve` still ends only at EOF.
+//! - **Admission control.** Worker queues are bounded
+//!   ([`ServeConfig::queue_depth`]); when a queue is full the request is
+//!   shed in-band with `"error":"overloaded: …"` and a `retry_after_ms`
+//!   hint instead of stalling the intake loop. Oversized designs are
+//!   rejected at intake when [`ServeConfig::max_ops`] /
+//!   [`ServeConfig::max_edges`] are set.
+//!
+//! Deterministic fault-injection tests drive all of this through the
+//! `rsched_graph::failpoint` facility: the sites `serve::handle` (per
+//! request) and `serve::worker_kill` (per worker loop) plus
+//! `session::reschedule` and `kernel::build` deeper down. Workers enter
+//! [`ServeConfig::fault_scope`] so a harness can target one service
+//! instance without affecting concurrent tests.
 
 use std::collections::HashMap;
 use std::io::{self, BufRead, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc::{self, Receiver, Sender};
-use std::sync::Mutex;
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
 
 use rsched_core::{schedule, ScheduleError, WellPosedness};
-use rsched_graph::{ConstraintGraph, ExecDelay};
+use rsched_graph::{failpoint, ConstraintGraph, ExecDelay};
 
+use crate::journal::{Journal, JournalOp};
 use crate::json::{object, Json};
 use crate::session::{EditOutcome, Session};
 
@@ -66,6 +96,23 @@ pub struct ServeConfig {
     /// Default per-request deadline; `None` means no deadline unless the
     /// request carries `"deadline_ms"`.
     pub deadline: Option<Duration>,
+    /// Bounded depth of each worker's job queue; clamped to ≥ 1. A
+    /// request arriving at a full queue is shed with an in-band
+    /// `"overloaded"` error carrying a `retry_after_ms` hint.
+    pub queue_depth: usize,
+    /// Reject `open`/`batch_schedule` designs declaring more than this
+    /// many operations. `None` = unlimited.
+    pub max_ops: Option<usize>,
+    /// Reject designs declaring more than this many dependency/timing
+    /// constraint lines. `None` = unlimited.
+    pub max_edges: Option<usize>,
+    /// Mirror every session journal to a write-ahead file
+    /// (`<session>-<hash>.wal`) in this directory. Mirror I/O failures
+    /// never fail requests; recovery replays the in-memory journal.
+    pub journal_dir: Option<PathBuf>,
+    /// Failpoint scope token the worker threads enter, so a fault-
+    /// injection harness can target exactly this service instance.
+    pub fault_scope: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -73,6 +120,11 @@ impl Default for ServeConfig {
         ServeConfig {
             workers: 4,
             deadline: None,
+            queue_depth: 1024,
+            max_ops: None,
+            max_edges: None,
+            journal_dir: None,
+            fault_scope: None,
         }
     }
 }
@@ -86,7 +138,25 @@ pub struct ServeSummary {
     pub errors: usize,
     /// `open` requests that created a session.
     pub sessions_opened: usize,
+    /// Request handlers that panicked (answered in-band as
+    /// `worker_panic`).
+    pub panics: usize,
+    /// Sessions quarantined after a panic.
+    pub quarantined: usize,
+    /// Successful `recover` replays.
+    pub recoveries: usize,
+    /// Requests shed because a worker queue was full.
+    pub shed: usize,
+    /// Worker threads respawned after dying outright.
+    pub workers_respawned: usize,
 }
+
+/// Milliseconds a shed client should wait before retrying.
+const RETRY_AFTER_MS: i64 = 25;
+
+/// Respawn attempts per worker slot at EOF before the dispatcher drains
+/// the queue inline (where `serve::worker_kill` is never evaluated).
+const MAX_RESPAWNS_AT_EOF: usize = 4;
 
 struct Job {
     id: Json,
@@ -97,21 +167,75 @@ struct Job {
 
 /// Every op the protocol understands; anything else is rejected at
 /// intake with the request id echoed.
-const KNOWN_OPS: [&str; 6] = [
+const KNOWN_OPS: [&str; 7] = [
     "open",
     "edit",
     "schedule",
     "stats",
+    "recover",
     "close",
     "batch_schedule",
 ];
+
+/// One session as the service tracks it: the live engine state (absent
+/// while quarantined) plus the journal that can rebuild it.
+struct SessionEntry {
+    /// `None` after a panic mid-request left the `Session` suspect.
+    session: Option<Session>,
+    journal: Journal,
+    recoveries: usize,
+}
+
+/// Per-worker-slot session table. Lives outside the worker thread so a
+/// dead worker's sessions survive into its replacement.
+#[derive(Default)]
+struct SlotState {
+    sessions: HashMap<String, SessionEntry>,
+}
+
+#[derive(Default)]
+struct Counters {
+    opened: AtomicUsize,
+    panics: AtomicUsize,
+    quarantined: AtomicUsize,
+    recoveries: AtomicUsize,
+    shed: AtomicUsize,
+    respawned: AtomicUsize,
+}
+
+impl Counters {
+    fn bump(counter: &AtomicUsize) -> usize {
+        counter.fetch_add(1, Ordering::Relaxed) + 1
+    }
+}
+
+/// Everything a worker needs that must outlive any one worker thread.
+struct Shared<W: Write> {
+    out: Mutex<CountingWriter<W>>,
+    counters: Counters,
+    slots: Vec<Mutex<SlotState>>,
+    /// Receivers live here — not in the worker — so queued jobs survive a
+    /// worker death and drain through its replacement.
+    receivers: Vec<Mutex<Receiver<Job>>>,
+    journal_dir: Option<PathBuf>,
+    fault_scope: Option<u64>,
+}
+
+/// Mutex poisoning only means "a panic happened near this data"; every
+/// structure here is left consistent by construction (request panics are
+/// caught inside the lock scope and quarantine the session), so recover
+/// the guard instead of propagating.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Runs the service until `input` reaches EOF, writing responses to
 /// `output`.
 ///
 /// # Errors
 ///
-/// Only I/O errors on the transport are fatal; malformed requests are
+/// Only I/O errors on the transport are fatal; malformed requests,
+/// handler panics, shed load, and resource-limit rejections are all
 /// answered in-band with `"ok":false`.
 pub fn serve<R, W>(input: R, output: W, config: &ServeConfig) -> io::Result<ServeSummary>
 where
@@ -119,22 +243,39 @@ where
     W: Write + Send,
 {
     let n_workers = config.workers.max(1);
-    let out = Mutex::new(CountingWriter {
-        inner: output,
-        responses: 0,
-        errors: 0,
-    });
-    let opened = Mutex::new(0usize);
+    let queue_depth = config.queue_depth.max(1);
+    if let Some(dir) = &config.journal_dir {
+        // Best-effort: a missing directory only disables the WAL mirror.
+        let _ = std::fs::create_dir_all(dir);
+    }
+
+    let mut senders: Vec<SyncSender<Job>> = Vec::with_capacity(n_workers);
+    let mut receivers: Vec<Mutex<Receiver<Job>>> = Vec::with_capacity(n_workers);
+    for _ in 0..n_workers {
+        let (tx, rx) = mpsc::sync_channel(queue_depth);
+        senders.push(tx);
+        receivers.push(Mutex::new(rx));
+    }
+    let shared = Shared {
+        out: Mutex::new(CountingWriter {
+            inner: output,
+            responses: 0,
+            errors: 0,
+        }),
+        counters: Counters::default(),
+        slots: (0..n_workers)
+            .map(|_| Mutex::new(SlotState::default()))
+            .collect(),
+        receivers,
+        journal_dir: config.journal_dir.clone(),
+        fault_scope: config.fault_scope,
+    };
+    let shared = &shared;
 
     thread::scope(|scope| -> io::Result<()> {
-        let mut queues: Vec<Sender<Job>> = Vec::with_capacity(n_workers);
-        for _ in 0..n_workers {
-            let (tx, rx): (Sender<Job>, Receiver<Job>) = mpsc::channel();
-            queues.push(tx);
-            let out = &out;
-            let opened = &opened;
-            scope.spawn(move || worker(rx, out, opened));
-        }
+        let mut handles: Vec<Option<thread::ScopedJoinHandle<'_, ()>>> = (0..n_workers)
+            .map(|slot| Some(scope.spawn(move || worker(slot, shared))))
+            .collect();
 
         for line in input.lines() {
             let line = line?;
@@ -144,7 +285,10 @@ where
             let request = match Json::parse(&line) {
                 Ok(v) => v,
                 Err(e) => {
-                    respond(&out, fail(Json::Null, format!("malformed request: {e}")))?;
+                    respond(
+                        &shared.out,
+                        fail(Json::Null, format!("malformed request: {e}")),
+                    )?;
                     continue;
                 }
             };
@@ -155,12 +299,16 @@ where
             let op = match request.get("op").and_then(Json::as_str) {
                 Some(op) => op,
                 None => {
-                    respond(&out, fail(id, "missing \"op\""))?;
+                    respond(&shared.out, fail(id, "missing \"op\""))?;
                     continue;
                 }
             };
             if !KNOWN_OPS.contains(&op) {
-                respond(&out, fail(id, format!("unknown op '{op}'")))?;
+                respond(&shared.out, fail(id, format!("unknown op '{op}'")))?;
+                continue;
+            }
+            if let Some(error) = resource_violation(&request, op, config) {
+                respond(&shared.out, fail(id, error))?;
                 continue;
             }
             // `batch_schedule` is stateless (it opens no session), so it is
@@ -169,7 +317,7 @@ where
                 pin(&id.render(), n_workers)
             } else {
                 let Some(session) = request.get("session").and_then(Json::as_str) else {
-                    respond(&out, fail(id, "missing \"session\""))?;
+                    respond(&shared.out, fail(id, "missing \"session\""))?;
                     continue;
                 };
                 pin(session, n_workers)
@@ -185,31 +333,152 @@ where
                 accepted: Instant::now(),
                 deadline,
             };
-            if queues[slot].send(job).is_err() {
-                // A worker can only disappear by panicking; surface it.
-                return Err(io::Error::other("service worker died"));
+            // A dead worker (it can only die by panicking outside the
+            // per-request catch, i.e. an injected kill) is replaced before
+            // the job is queued; its sessions and queue are shared state,
+            // so the replacement continues exactly where it stopped.
+            if handles[slot].as_ref().is_some_and(|h| h.is_finished()) {
+                let died = handles[slot].take().expect("checked above").join().is_err();
+                if died {
+                    Counters::bump(&shared.counters.respawned);
+                }
+                handles[slot] = Some(scope.spawn(move || worker(slot, shared)));
+            }
+            match senders[slot].try_send(job) {
+                Ok(()) => {}
+                Err(TrySendError::Full(job)) => {
+                    Counters::bump(&shared.counters.shed);
+                    respond(&shared.out, overloaded(job.id))?;
+                }
+                // The receiver lives in `shared` for the whole scope, so
+                // disconnection is impossible; answer in-band anyway
+                // rather than aborting the service on a logic error.
+                Err(TrySendError::Disconnected(job)) => {
+                    respond(&shared.out, fail(job.id, "worker queue disconnected"))?;
+                }
             }
         }
-        drop(queues); // EOF: close every queue so workers drain and exit.
+        drop(senders); // EOF: close every queue so workers drain and exit.
+
+        // Join every worker; respawn the ones that died with jobs still
+        // queued, falling back to an inline drain (which never evaluates
+        // the kill failpoint) if a slot keeps dying.
+        for (slot, entry) in handles.iter_mut().enumerate() {
+            let mut handle = entry.take();
+            let mut attempts = 0;
+            while let Some(h) = handle.take() {
+                if h.join().is_ok() {
+                    break;
+                }
+                Counters::bump(&shared.counters.respawned);
+                attempts += 1;
+                if attempts > MAX_RESPAWNS_AT_EOF {
+                    drain_inline(slot, shared);
+                    break;
+                }
+                handle = Some(scope.spawn(move || worker(slot, shared)));
+            }
+        }
         Ok(())
     })?;
 
-    let writer = out.into_inner().expect("no worker holds the lock anymore");
+    let writer = shared.out.lock().unwrap_or_else(PoisonError::into_inner);
+    let c = &shared.counters;
     Ok(ServeSummary {
         requests: writer.responses,
         errors: writer.errors,
-        sessions_opened: opened.into_inner().expect("workers joined"),
+        sessions_opened: c.opened.load(Ordering::Relaxed),
+        panics: c.panics.load(Ordering::Relaxed),
+        quarantined: c.quarantined.load(Ordering::Relaxed),
+        recoveries: c.recoveries.load(Ordering::Relaxed),
+        shed: c.shed.load(Ordering::Relaxed),
+        workers_respawned: c.respawned.load(Ordering::Relaxed),
     })
+}
+
+/// Checks `open`/`batch_schedule` designs against the configured size
+/// limits, counting declared `op` and constraint lines without a full
+/// parse. Returns the exact in-band error for the first violation.
+fn resource_violation(request: &Json, op: &str, config: &ServeConfig) -> Option<String> {
+    if config.max_ops.is_none() && config.max_edges.is_none() {
+        return None;
+    }
+    let check = |design: &str, label: &str| -> Option<String> {
+        let (mut ops, mut edges) = (0usize, 0usize);
+        for line in design.lines() {
+            let line = line.trim_start();
+            if line.starts_with("op ") {
+                ops += 1;
+            } else if line.starts_with("dep ")
+                || line.starts_with("min ")
+                || line.starts_with("max ")
+            {
+                edges += 1;
+            }
+        }
+        if let Some(m) = config.max_ops {
+            if ops > m {
+                return Some(format!(
+                    "resource limit exceeded: design{label} has {ops} operations, limit {m}"
+                ));
+            }
+        }
+        if let Some(m) = config.max_edges {
+            if edges > m {
+                return Some(format!(
+                    "resource limit exceeded: design{label} has {edges} constraint edges, limit {m}"
+                ));
+            }
+        }
+        None
+    };
+    match op {
+        "open" => check(request.get("design").and_then(Json::as_str)?, ""),
+        "batch_schedule" => {
+            for entry in request.get("designs").and_then(Json::as_array)? {
+                let Some(design) = entry.get("design").and_then(Json::as_str) else {
+                    continue;
+                };
+                let name = entry.get("name").and_then(Json::as_str).unwrap_or("");
+                if let Some(err) = check(design, &format!(" '{name}'")) {
+                    return Some(err);
+                }
+            }
+            None
+        }
+        _ => None,
+    }
 }
 
 /// FNV-1a pin of a session name to a worker slot.
 fn pin(session: &str, n_workers: usize) -> usize {
+    (fnv1a(session) % n_workers as u64) as usize
+}
+
+fn fnv1a(s: &str) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in session.bytes() {
+    for b in s.bytes() {
         h ^= u64::from(b);
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
-    (h % n_workers as u64) as usize
+    h
+}
+
+/// WAL file name for a session: a sanitized prefix for humans plus the
+/// FNV hash of the exact name so distinct sessions never collide.
+fn wal_file_name(session: &str) -> String {
+    let safe: String = session
+        .chars()
+        .take(40)
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    format!("{safe}-{:016x}.wal", fnv1a(session))
 }
 
 struct CountingWriter<W: Write> {
@@ -219,7 +488,7 @@ struct CountingWriter<W: Write> {
 }
 
 fn respond<W: Write>(out: &Mutex<CountingWriter<W>>, response: Json) -> io::Result<()> {
-    let mut guard = out.lock().expect("response writer poisoned");
+    let mut guard = lock_recover(out);
     guard.responses += 1;
     if response.get("ok").and_then(Json::as_bool) == Some(false) {
         guard.errors += 1;
@@ -238,27 +507,126 @@ fn fail(id: Json, message: impl Into<String>) -> Json {
     ])
 }
 
-fn worker<W: Write>(rx: Receiver<Job>, out: &Mutex<CountingWriter<W>>, opened: &Mutex<usize>) {
-    let mut sessions: HashMap<String, Session> = HashMap::new();
-    while let Ok(job) = rx.recv() {
-        let expired = job.deadline.is_some_and(|d| job.accepted.elapsed() > d);
-        let response = if expired {
-            fail(job.id, "deadline exceeded before execution")
-        } else {
-            handle(&mut sessions, job.id, &job.request, opened)
+/// The in-band load-shedding response: still `{"id":…,"ok":false,…}` so
+/// generic clients treat it as an error, plus a retry hint.
+fn overloaded(id: Json) -> Json {
+    object([
+        ("id", id),
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            Json::Str("overloaded: worker queue full, retry later".to_owned()),
+        ),
+        ("retry_after_ms", Json::Int(RETRY_AFTER_MS)),
+    ])
+}
+
+fn worker<W: Write + Send>(slot: usize, shared: &Shared<W>) {
+    let _scope = shared.fault_scope.map(failpoint::enter_scope);
+    loop {
+        // Kill site, evaluated with no job in hand and no lock held: an
+        // injected panic here takes the thread down but loses nothing —
+        // queued jobs and sessions live in `shared` and the dispatcher
+        // respawns a replacement on the same queue.
+        let _ = rsched_graph::failpoint!("serve::worker_kill");
+        let job = {
+            let rx = lock_recover(&shared.receivers[slot]);
+            rx.recv()
         };
-        if respond(out, response).is_err() {
+        let Ok(job) = job else { return };
+        if process(slot, shared, job).is_err() {
             return; // Output gone; nothing sensible left to do.
         }
     }
 }
 
-fn handle(
-    sessions: &mut HashMap<String, Session>,
-    id: Json,
-    request: &Json,
-    opened: &Mutex<usize>,
-) -> Json {
+/// Executes one job against the slot's shared session table, isolating
+/// panics: a panicking handler yields an in-band `worker_panic` error and
+/// quarantines the targeted session instead of killing the worker.
+fn process<W: Write + Send>(slot: usize, shared: &Shared<W>, job: Job) -> io::Result<()> {
+    let expired = job.deadline.is_some_and(|d| job.accepted.elapsed() > d);
+    let response = if expired {
+        fail(job.id, "deadline exceeded before execution")
+    } else {
+        let session_name = job
+            .request
+            .get("session")
+            .and_then(Json::as_str)
+            .map(str::to_owned);
+        let id = job.id.clone();
+        let mut state = lock_recover(&shared.slots[slot]);
+        // The catch is *inside* the lock scope: the guard drops normally,
+        // so the slot mutex is never poisoned by a request panic.
+        match catch_unwind(AssertUnwindSafe(|| {
+            handle(&mut state, job.id, &job.request, shared)
+        })) {
+            Ok(response) => response,
+            Err(payload) => {
+                Counters::bump(&shared.counters.panics);
+                // `&payload` would downcast against the `Box` itself;
+                // deref to reach the boxed payload.
+                let msg = panic_message(&*payload);
+                let quarantined = session_name.as_deref().is_some_and(|name| {
+                    let taken = state
+                        .sessions
+                        .get_mut(name)
+                        .is_some_and(|entry| entry.session.take().is_some());
+                    if taken {
+                        Counters::bump(&shared.counters.quarantined);
+                    }
+                    taken
+                });
+                let mut pairs = vec![
+                    ("id", id),
+                    ("ok", Json::Bool(false)),
+                    ("error", Json::Str(format!("worker_panic: {msg}"))),
+                    ("quarantined", Json::Bool(quarantined)),
+                ];
+                if let Some(name) = session_name.filter(|_| quarantined) {
+                    pairs.push(("session", Json::Str(name)));
+                    pairs.push(("recover_with", Json::Str("recover".to_owned())));
+                }
+                object(pairs)
+            }
+        }
+    };
+    respond(&shared.out, response)
+}
+
+/// EOF backstop when a slot's worker keeps dying: the dispatcher thread
+/// answers the remaining queue itself. It never evaluates
+/// `serve::worker_kill` (that site lives in the worker loop) and request
+/// panics are still caught per job, so this drain always terminates.
+fn drain_inline<W: Write + Send>(slot: usize, shared: &Shared<W>) {
+    loop {
+        let job = {
+            let rx = lock_recover(&shared.receivers[slot]);
+            rx.try_recv()
+        };
+        let Ok(job) = job else { return };
+        if process(slot, shared, job).is_err() {
+            return;
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+fn handle<W: Write>(state: &mut SlotState, id: Json, request: &Json, shared: &Shared<W>) -> Json {
+    // Per-request fault site: an Error action is surfaced in-band, a
+    // Panic action exercises the quarantine path, a Delay action stalls
+    // the worker (for overload tests). One relaxed load when disarmed.
+    if let Some(msg) = rsched_graph::failpoint!("serve::handle") {
+        return fail(id, format!("injected fault: {msg}"));
+    }
     let op = match request.get("op").and_then(Json::as_str) {
         Some(op) => op,
         None => return fail(id, "missing \"op\""),
@@ -284,21 +652,37 @@ fn handle(
                 Ok(s) => s,
                 Err(e) => return fail(id, format!("cannot open session: {e}")),
             };
-            *opened.lock().expect("open counter poisoned") += 1;
+            Counters::bump(&shared.counters.opened);
+            let wal = shared
+                .journal_dir
+                .as_ref()
+                .map(|dir| dir.join(wal_file_name(&name)));
+            let journal = Journal::open(design.to_owned(), wal);
             let body = [
                 ("vertices", Json::from(session.graph().n_vertices())),
                 ("edges", Json::from(session.graph().n_edges())),
                 ("anchors", Json::from(session.graph().n_anchors())),
                 ("verdict", verdict_json(&session)),
             ];
-            let replaced = sessions.insert(name, session).is_some();
+            let replaced = state
+                .sessions
+                .insert(
+                    name,
+                    SessionEntry {
+                        session: Some(session),
+                        journal,
+                        recoveries: 0,
+                    },
+                )
+                .is_some();
             let mut pairs = vec![("id", id), ("ok", Json::Bool(true))];
             pairs.extend(body);
             pairs.push(("replaced", Json::Bool(replaced)));
             object(pairs)
         }
-        "edit" => with_session(sessions, &name, id, |id, s| edit(s, id, request)),
-        "schedule" => with_session(sessions, &name, id, |id, s| {
+        "edit" => with_live(state, &name, id, |id, entry| edit(entry, id, request)),
+        "schedule" => with_live(state, &name, id, |id, entry| {
+            let s = entry.session.as_ref().expect("with_live verified");
             let mut pairs = vec![
                 ("id", id),
                 ("ok", Json::Bool(true)),
@@ -334,27 +718,65 @@ fn handle(
             }
             object(pairs)
         }),
-        "stats" => with_session(sessions, &name, id, |id, s| {
-            let st = s.stats();
-            object([
-                ("id", id),
-                ("ok", Json::Bool(true)),
-                ("edits", Json::from(st.edits)),
-                ("rejected", Json::from(st.rejected)),
-                ("noops", Json::from(st.noops)),
-                ("reschedules", Json::from(st.reschedules)),
-                ("warm_anchor_columns", Json::from(st.warm_anchor_columns)),
-                ("cold_anchor_columns", Json::from(st.cold_anchor_columns)),
-                ("iterations", Json::from(st.iterations)),
-                ("ill_posed", Json::from(st.ill_posed)),
-                ("unfeasible", Json::from(st.unfeasible)),
-                ("containment_checks", Json::from(st.containment_checks)),
-                ("vertices", Json::from(s.graph().n_vertices())),
-                ("edges", Json::from(s.graph().n_edges())),
-            ])
-        }),
+        "stats" => {
+            // Unlike edit/schedule, stats answers for quarantined
+            // sessions too — operators need to see the journal state to
+            // decide whether to recover or close.
+            let Some(entry) = state.sessions.get(&name) else {
+                return fail(id, format!("unknown session '{name}'"));
+            };
+            let mut pairs = vec![("id", id), ("ok", Json::Bool(true))];
+            if let Some(s) = &entry.session {
+                let st = s.stats();
+                pairs.extend([
+                    ("edits", Json::from(st.edits)),
+                    ("rejected", Json::from(st.rejected)),
+                    ("noops", Json::from(st.noops)),
+                    ("reschedules", Json::from(st.reschedules)),
+                    ("warm_anchor_columns", Json::from(st.warm_anchor_columns)),
+                    ("cold_anchor_columns", Json::from(st.cold_anchor_columns)),
+                    ("iterations", Json::from(st.iterations)),
+                    ("ill_posed", Json::from(st.ill_posed)),
+                    ("unfeasible", Json::from(st.unfeasible)),
+                    ("containment_checks", Json::from(st.containment_checks)),
+                    ("vertices", Json::from(s.graph().n_vertices())),
+                    ("edges", Json::from(s.graph().n_edges())),
+                ]);
+            }
+            pairs.extend([
+                ("quarantined", Json::Bool(entry.session.is_none())),
+                ("journal_len", Json::from(entry.journal.edits())),
+                ("recoveries", Json::from(entry.recoveries)),
+            ]);
+            object(pairs)
+        }
+        "recover" => {
+            let Some(entry) = state.sessions.get_mut(&name) else {
+                return fail(id, format!("unknown session '{name}'"));
+            };
+            let was_quarantined = entry.session.is_none();
+            match entry.journal.replay() {
+                Ok(session) => {
+                    entry.session = Some(session);
+                    entry.recoveries += 1;
+                    Counters::bump(&shared.counters.recoveries);
+                    object([
+                        ("id", id),
+                        ("ok", Json::Bool(true)),
+                        ("recovered", Json::Bool(true)),
+                        ("was_quarantined", Json::Bool(was_quarantined)),
+                        ("edits_replayed", Json::from(entry.journal.edits())),
+                        (
+                            "verdict",
+                            verdict_json(entry.session.as_ref().expect("just set")),
+                        ),
+                    ])
+                }
+                Err(e) => fail(id, format!("recover failed: {e}")),
+            }
+        }
         "close" => {
-            if sessions.remove(&name).is_some() {
+            if state.sessions.remove(&name).is_some() {
                 object([
                     ("id", id),
                     ("ok", Json::Bool(true)),
@@ -382,6 +804,9 @@ fn batch_schedule(id: Json, request: &Json) -> Json {
         .and_then(Json::as_i64)
         .map_or(1, |t| t.max(1) as usize)
         .min(designs.len().max(1));
+    // Inner pool threads are fresh OS threads: propagate the failpoint
+    // scope so injected faults reach the fan-out workers too.
+    let fault_scope = failpoint::current_scope();
     let mut results = vec![Json::Null; designs.len()];
     let next = AtomicUsize::new(0);
     let (res_tx, res_rx) = mpsc::channel::<(usize, Json)>();
@@ -389,11 +814,14 @@ fn batch_schedule(id: Json, request: &Json) -> Json {
         for _ in 0..threads {
             let res_tx = res_tx.clone();
             let next = &next;
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(entry) = designs.get(i) else { break };
-                if res_tx.send((i, batch_entry(entry))).is_err() {
-                    break;
+            scope.spawn(move || {
+                let _scope = fault_scope.map(failpoint::enter_scope);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(entry) = designs.get(i) else { break };
+                    if res_tx.send((i, batch_entry(entry))).is_err() {
+                        break;
+                    }
                 }
             });
         }
@@ -486,30 +914,37 @@ fn batch_entry(entry: &Json) -> Json {
     }
 }
 
-fn with_session(
-    sessions: &mut HashMap<String, Session>,
+/// Runs `f` on the named entry if it exists *and* its session is live;
+/// quarantined sessions answer with an error naming the `recover` op.
+fn with_live(
+    state: &mut SlotState,
     name: &str,
     id: Json,
-    f: impl FnOnce(Json, &mut Session) -> Json,
+    f: impl FnOnce(Json, &mut SessionEntry) -> Json,
 ) -> Json {
-    match sessions.get_mut(name) {
-        Some(s) => f(id, s),
+    match state.sessions.get_mut(name) {
         None => fail(id, format!("unknown session '{name}'")),
+        Some(entry) if entry.session.is_none() => fail(
+            id,
+            format!(
+                "session '{name}' is quarantined after a panic; \
+                 send {{\"op\":\"recover\"}} to restore it or close it"
+            ),
+        ),
+        Some(entry) => f(id, entry),
     }
 }
 
-fn edit(session: &mut Session, id: Json, request: &Json) -> Json {
+fn edit(entry: &mut SessionEntry, id: Json, request: &Json) -> Json {
     let Some(kind) = request.get("kind").and_then(Json::as_str) else {
         return fail(id, "edit needs a \"kind\"");
     };
-    let vertex = |key: &str| -> Result<rsched_graph::VertexId, String> {
-        let name = request
+    let name_of = |key: &str| -> Result<String, String> {
+        request
             .get(key)
             .and_then(Json::as_str)
-            .ok_or_else(|| format!("edit kind '{kind}' needs \"{key}\""))?;
-        session
-            .vertex_named(name)
-            .ok_or_else(|| format!("no operation named '{name}'"))
+            .map(str::to_owned)
+            .ok_or_else(|| format!("edit kind '{kind}' needs \"{key}\""))
     };
     let value = || -> Result<u64, String> {
         request
@@ -518,28 +953,77 @@ fn edit(session: &mut Session, id: Json, request: &Json) -> Json {
             .and_then(|v| u64::try_from(v).ok())
             .ok_or_else(|| format!("edit kind '{kind}' needs a non-negative \"value\""))
     };
-    let outcome = match kind {
-        "add_dep" => match (vertex("from"), vertex("to")) {
-            (Ok(f), Ok(t)) => session.add_dependency(f, t),
-            (Err(e), _) | (_, Err(e)) => return fail(id, e),
-        },
-        "add_min" => match (vertex("from"), vertex("to"), value()) {
-            (Ok(f), Ok(t), Ok(v)) => session.add_min_constraint(f, t, v),
-            (Err(e), ..) | (_, Err(e), _) | (.., Err(e)) => return fail(id, e),
-        },
-        "add_max" => match (vertex("from"), vertex("to"), value()) {
-            (Ok(f), Ok(t), Ok(v)) => session.add_max_constraint(f, t, v),
-            (Err(e), ..) | (_, Err(e), _) | (.., Err(e)) => return fail(id, e),
-        },
-        "remove_edge" => match (vertex("from"), vertex("to")) {
-            (Ok(f), Ok(t)) => match session.edge_between(f, t) {
-                Some(e) => session.remove_edge(e),
+    let resolve = |session: &Session, name: &str| -> Result<rsched_graph::VertexId, String> {
+        session
+            .vertex_named(name)
+            .ok_or_else(|| format!("no operation named '{name}'"))
+    };
+    let session = entry
+        .session
+        .as_mut()
+        .expect("caller verified live session");
+    // Each arm yields the engine outcome plus the name-keyed journal op
+    // that reproduces the edit on replay.
+    let (outcome, journal_op) = match kind {
+        "add_dep" => {
+            let (from, to) = match (name_of("from"), name_of("to")) {
+                (Ok(f), Ok(t)) => (f, t),
+                (Err(e), _) | (_, Err(e)) => return fail(id, e),
+            };
+            let (f, t) = match (resolve(session, &from), resolve(session, &to)) {
+                (Ok(f), Ok(t)) => (f, t),
+                (Err(e), _) | (_, Err(e)) => return fail(id, e),
+            };
+            (session.add_dependency(f, t), JournalOp::AddDep { from, to })
+        }
+        "add_min" => {
+            let (from, to, v) = match (name_of("from"), name_of("to"), value()) {
+                (Ok(f), Ok(t), Ok(v)) => (f, t, v),
+                (Err(e), ..) | (_, Err(e), _) | (.., Err(e)) => return fail(id, e),
+            };
+            let (f, t) = match (resolve(session, &from), resolve(session, &to)) {
+                (Ok(f), Ok(t)) => (f, t),
+                (Err(e), _) | (_, Err(e)) => return fail(id, e),
+            };
+            (
+                session.add_min_constraint(f, t, v),
+                JournalOp::AddMin { from, to, value: v },
+            )
+        }
+        "add_max" => {
+            let (from, to, v) = match (name_of("from"), name_of("to"), value()) {
+                (Ok(f), Ok(t), Ok(v)) => (f, t, v),
+                (Err(e), ..) | (_, Err(e), _) | (.., Err(e)) => return fail(id, e),
+            };
+            let (f, t) = match (resolve(session, &from), resolve(session, &to)) {
+                (Ok(f), Ok(t)) => (f, t),
+                (Err(e), _) | (_, Err(e)) => return fail(id, e),
+            };
+            (
+                session.add_max_constraint(f, t, v),
+                JournalOp::AddMax { from, to, value: v },
+            )
+        }
+        "remove_edge" => {
+            let (from, to) = match (name_of("from"), name_of("to")) {
+                (Ok(f), Ok(t)) => (f, t),
+                (Err(e), _) | (_, Err(e)) => return fail(id, e),
+            };
+            let (f, t) = match (resolve(session, &from), resolve(session, &to)) {
+                (Ok(f), Ok(t)) => (f, t),
+                (Err(e), _) | (_, Err(e)) => return fail(id, e),
+            };
+            match session.edge_between(f, t) {
+                Some(e) => (session.remove_edge(e), JournalOp::RemoveEdge { from, to }),
                 None => return fail(id, "no live edge between those operations"),
-            },
-            (Err(e), _) | (_, Err(e)) => return fail(id, e),
-        },
+            }
+        }
         "set_delay" => {
-            let v = match vertex("vertex") {
+            let vertex_name = match name_of("vertex") {
+                Ok(v) => v,
+                Err(e) => return fail(id, e),
+            };
+            let v = match resolve(session, &vertex_name) {
                 Ok(v) => v,
                 Err(e) => return fail(id, e),
             };
@@ -551,11 +1035,26 @@ fn edit(session: &mut Session, id: Json, request: &Json) -> Json {
                 },
                 None => return fail(id, "edit kind 'set_delay' needs \"delay\""),
             };
-            session.set_delay(v, delay)
+            (
+                session.set_delay(v, delay),
+                JournalOp::SetDelay {
+                    vertex: vertex_name,
+                    delay,
+                },
+            )
         }
         other => return fail(id, format!("unknown edit kind '{other}'")),
     };
-    outcome_json(session, id, &outcome)
+    // Only accepted mutations are journaled: Rejected edits changed
+    // nothing and Unchanged edits replay to Unchanged anyway — skipping
+    // both keeps replay exact and the journal minimal.
+    if !matches!(
+        outcome,
+        EditOutcome::Rejected { .. } | EditOutcome::Unchanged
+    ) {
+        entry.journal.append(journal_op);
+    }
+    outcome_json(entry.session.as_ref().expect("still live"), id, &outcome)
 }
 
 fn outcome_json(session: &Session, id: Json, outcome: &EditOutcome) -> Json {
@@ -638,6 +1137,7 @@ fn verdict_json(session: &Session) -> Json {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rsched_graph::failpoint::FailAction;
 
     const DESIGN: &str =
         "op sync unbounded\nop alu 2\nop out 1\ndep sync alu\ndep alu out\nmax alu out 4\n";
@@ -701,12 +1201,10 @@ mod tests {
             .and_then(|r| r.get("sync"))
             .and_then(Json::as_i64);
         assert_eq!(sigma, Some(3), "min constraint pushed out to 3 after sync");
-        assert!(
-            by_id(&responses, 4)
-                .get("reschedules")
-                .and_then(Json::as_i64)
-                >= Some(2)
-        );
+        let stats = by_id(&responses, 4);
+        assert!(stats.get("reschedules").and_then(Json::as_i64) >= Some(2));
+        assert_eq!(stats.get("journal_len"), Some(&Json::Int(1)));
+        assert_eq!(stats.get("quarantined"), Some(&Json::Bool(false)));
         assert_eq!(by_id(&responses, 5).get("ok"), Some(&Json::Bool(true)));
         // After close, the session is gone.
         assert_eq!(by_id(&responses, 6).get("ok"), Some(&Json::Bool(false)));
@@ -891,7 +1389,7 @@ mod tests {
             &lines,
             &ServeConfig {
                 workers: 3,
-                deadline: None,
+                ..ServeConfig::default()
             },
         );
         assert_eq!(summary.sessions_opened, 4);
@@ -917,5 +1415,318 @@ mod tests {
                 &Json::from("well-posed")
             );
         }
+    }
+
+    #[test]
+    fn panic_is_isolated_and_session_recovers() {
+        const SCOPE: u64 = 0x5e41;
+        let design = DESIGN.replace('\n', "\\n");
+        // Requests on one worker execute in order: open and the first
+        // edit pass (skip 2), the second edit panics (count 1).
+        let _g = failpoint::arm("serve::handle", Some(SCOPE), FailAction::Panic, 2, Some(1));
+        let lines = vec![
+            req(1, "s", &format!(r#""op":"open","design":"{design}""#)),
+            req(
+                2,
+                "s",
+                r#""op":"edit","kind":"add_min","from":"alu","to":"out","value":3"#,
+            ),
+            req(
+                3,
+                "s",
+                r#""op":"edit","kind":"add_min","from":"sync","to":"out","value":1"#,
+            ),
+            req(4, "s", r#""op":"schedule""#),
+            req(5, "s", r#""op":"stats""#),
+            req(6, "s", r#""op":"recover""#),
+            req(7, "s", r#""op":"schedule""#),
+        ];
+        let (responses, summary) = run_lines(
+            &lines,
+            &ServeConfig {
+                workers: 1,
+                fault_scope: Some(SCOPE),
+                ..ServeConfig::default()
+            },
+        );
+        let panic = by_id(&responses, 3);
+        assert_eq!(panic.get("ok"), Some(&Json::Bool(false)));
+        assert!(panic
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .starts_with("worker_panic:"));
+        assert_eq!(panic.get("quarantined"), Some(&Json::Bool(true)));
+        // Quarantined: schedule refuses, stats still reports.
+        let refused = by_id(&responses, 4);
+        assert_eq!(refused.get("ok"), Some(&Json::Bool(false)));
+        assert!(refused
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("quarantined"));
+        let stats = by_id(&responses, 5);
+        assert_eq!(stats.get("quarantined"), Some(&Json::Bool(true)));
+        assert_eq!(stats.get("journal_len"), Some(&Json::Int(1)));
+        // Recover replays the journal (open + 1 accepted edit)…
+        let recover = by_id(&responses, 6);
+        assert_eq!(recover.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(recover.get("was_quarantined"), Some(&Json::Bool(true)));
+        assert_eq!(recover.get("edits_replayed"), Some(&Json::Int(1)));
+        // …and the schedule afterwards reflects exactly that edit.
+        let sched = by_id(&responses, 7);
+        assert_eq!(sched.get("ok"), Some(&Json::Bool(true)));
+        let sigma = sched
+            .get("offsets")
+            .and_then(|o| o.get("out"))
+            .and_then(|r| r.get("sync"))
+            .and_then(Json::as_i64);
+        assert_eq!(sigma, Some(3), "recovered state includes the accepted edit");
+        assert_eq!(summary.panics, 1);
+        assert_eq!(summary.quarantined, 1);
+        assert_eq!(summary.recoveries, 1);
+        assert_eq!(summary.requests, 7);
+    }
+
+    #[test]
+    fn worker_death_respawns_and_loses_nothing() {
+        const SCOPE: u64 = 0x5e42;
+        let design = DESIGN.replace('\n', "\\n");
+        // The kill site is evaluated once per worker loop, before recv:
+        // skip 1 lets the open through, then the worker dies with the
+        // remaining jobs queued. The replacement drains them.
+        let _g = failpoint::arm(
+            "serve::worker_kill",
+            Some(SCOPE),
+            FailAction::Panic,
+            1,
+            Some(1),
+        );
+        let lines = vec![
+            req(1, "s", &format!(r#""op":"open","design":"{design}""#)),
+            req(
+                2,
+                "s",
+                r#""op":"edit","kind":"add_min","from":"alu","to":"out","value":3"#,
+            ),
+            req(3, "s", r#""op":"schedule""#),
+        ];
+        let (responses, summary) = run_lines(
+            &lines,
+            &ServeConfig {
+                workers: 1,
+                fault_scope: Some(SCOPE),
+                ..ServeConfig::default()
+            },
+        );
+        assert_eq!(
+            summary.requests, 3,
+            "every request answered despite the kill"
+        );
+        assert_eq!(summary.errors, 0);
+        assert!(summary.workers_respawned >= 1);
+        assert_eq!(
+            by_id(&responses, 2).get("outcome").and_then(Json::as_str),
+            Some("rescheduled"),
+            "session opened before the kill survives into the respawned worker"
+        );
+        assert_eq!(by_id(&responses, 3).get("ok"), Some(&Json::Bool(true)));
+    }
+
+    /// Feeds each chunk after its delay, so a test can let the worker
+    /// reach a known state (e.g. stalled in a Delay failpoint) before the
+    /// dispatcher sees the next requests.
+    struct PacedReader {
+        chunks: std::vec::IntoIter<(u64, Vec<u8>)>,
+    }
+
+    impl io::Read for PacedReader {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            match self.chunks.next() {
+                None => Ok(0),
+                Some((delay_ms, bytes)) => {
+                    thread::sleep(Duration::from_millis(delay_ms));
+                    buf[..bytes.len()].copy_from_slice(&bytes);
+                    Ok(bytes.len())
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_queue_sheds_with_retry_hint() {
+        const SCOPE: u64 = 0x5e43;
+        let design = DESIGN.replace('\n', "\\n");
+        // Stall the worker on the first request so the single-slot queue
+        // fills: request 2 queues, request 3 is shed at intake. The
+        // paced input guarantees the worker has already dequeued request
+        // 1 (and is sleeping in the failpoint) before 2 and 3 arrive.
+        let _g = failpoint::arm(
+            "serve::handle",
+            Some(SCOPE),
+            FailAction::Delay(Duration::from_millis(500)),
+            0,
+            Some(1),
+        );
+        let chunks = vec![
+            (
+                0,
+                format!(
+                    "{}\n",
+                    req(1, "s", &format!(r#""op":"open","design":"{design}""#))
+                ),
+            ),
+            (
+                150,
+                format!(
+                    "{}\n{}\n",
+                    req(2, "s", r#""op":"schedule""#),
+                    req(3, "s", r#""op":"schedule""#)
+                ),
+            ),
+        ];
+        let input = io::BufReader::new(PacedReader {
+            chunks: chunks
+                .into_iter()
+                .map(|(d, s)| (d, s.into_bytes()))
+                .collect::<Vec<_>>()
+                .into_iter(),
+        });
+        let mut output = Vec::new();
+        let summary = serve(
+            input,
+            &mut output,
+            &ServeConfig {
+                workers: 1,
+                queue_depth: 1,
+                fault_scope: Some(SCOPE),
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let responses: Vec<Json> = String::from_utf8(output)
+            .unwrap()
+            .lines()
+            .map(|l| Json::parse(l).unwrap())
+            .collect();
+        assert_eq!(summary.requests, 3, "shed requests are still answered");
+        assert!(summary.shed >= 1);
+        let shed = by_id(&responses, 3);
+        assert_eq!(shed.get("ok"), Some(&Json::Bool(false)));
+        assert!(shed
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .starts_with("overloaded:"));
+        assert_eq!(shed.get("retry_after_ms"), Some(&Json::Int(RETRY_AFTER_MS)));
+        // The queued request (2) still executed after the stall.
+        assert_eq!(by_id(&responses, 2).get("ok"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn resource_limits_reject_at_intake_with_exact_shape() {
+        let design = DESIGN.replace('\n', "\\n"); // 3 ops, 3 constraint lines
+        let lines = vec![
+            req(1, "s", &format!(r#""op":"open","design":"{design}""#)),
+            format!(
+                r#"{{"id":2,"op":"batch_schedule","designs":[{{"name":"big","design":"{design}"}}]}}"#
+            ),
+        ];
+        let (responses, summary) = run_lines(
+            &lines,
+            &ServeConfig {
+                max_ops: Some(2),
+                ..ServeConfig::default()
+            },
+        );
+        assert_eq!(summary.errors, 2);
+        assert_eq!(summary.sessions_opened, 0);
+        assert_eq!(
+            by_id(&responses, 1),
+            &Json::parse(
+                r#"{"id":1,"ok":false,"error":"resource limit exceeded: design has 3 operations, limit 2"}"#
+            )
+            .unwrap()
+        );
+        assert_eq!(
+            by_id(&responses, 2),
+            &Json::parse(
+                r#"{"id":2,"ok":false,"error":"resource limit exceeded: design 'big' has 3 operations, limit 2"}"#
+            )
+            .unwrap()
+        );
+        // Edge limits use their own message.
+        let (responses, _) = run_lines(
+            &lines[..1],
+            &ServeConfig {
+                max_edges: Some(1),
+                ..ServeConfig::default()
+            },
+        );
+        assert!(by_id(&responses, 1)
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("3 constraint edges, limit 1"));
+    }
+
+    #[test]
+    fn recover_works_on_live_sessions_and_rejects_unknown() {
+        let design = DESIGN.replace('\n', "\\n");
+        let lines = vec![
+            req(1, "s", &format!(r#""op":"open","design":"{design}""#)),
+            req(
+                2,
+                "s",
+                r#""op":"edit","kind":"add_min","from":"alu","to":"out","value":3"#,
+            ),
+            req(3, "s", r#""op":"schedule""#),
+            req(4, "s", r#""op":"recover""#),
+            req(5, "s", r#""op":"schedule""#),
+            req(6, "ghost", r#""op":"recover""#),
+        ];
+        let (responses, summary) = run_lines(&lines, &ServeConfig::default());
+        let recover = by_id(&responses, 4);
+        assert_eq!(recover.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(recover.get("was_quarantined"), Some(&Json::Bool(false)));
+        // Replay of a live session is an identity: same offsets.
+        assert_eq!(
+            by_id(&responses, 3).get("offsets"),
+            by_id(&responses, 5).get("offsets")
+        );
+        assert_eq!(by_id(&responses, 6).get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(summary.recoveries, 1);
+    }
+
+    #[test]
+    fn journal_dir_mirrors_sessions_to_wal_files() {
+        let dir = std::env::temp_dir().join(format!("rsched_serve_wal_{}", std::process::id()));
+        let design = DESIGN.replace('\n', "\\n");
+        let lines = vec![
+            req(
+                1,
+                "my session!",
+                &format!(r#""op":"open","design":"{design}""#),
+            ),
+            req(
+                2,
+                "my session!",
+                r#""op":"edit","kind":"add_min","from":"alu","to":"out","value":3"#,
+            ),
+        ];
+        let (_, summary) = run_lines(
+            &lines,
+            &ServeConfig {
+                workers: 1,
+                journal_dir: Some(dir.clone()),
+                ..ServeConfig::default()
+            },
+        );
+        assert_eq!(summary.errors, 0);
+        let wal = dir.join(wal_file_name("my session!"));
+        let text = std::fs::read_to_string(&wal).expect("WAL mirror written");
+        assert_eq!(text.lines().count(), 2, "open + one accepted edit");
+        assert!(text.lines().nth(1).unwrap().contains("\"op\":\"add_min\""));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

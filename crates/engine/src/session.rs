@@ -412,6 +412,10 @@ impl Session {
         {
             return None;
         }
+        // Fault-injection site (see `classify_and_run`): after the early
+        // returns so a fallback edit counts one hit, before the take so a
+        // panic leaves the cached schedule intact.
+        let _ = rsched_graph::failpoint!("session::reschedule");
         // Relax in place — cloning the |V| × |A| offset matrix would cost
         // as much as the relaxation itself on large designs. The
         // adjacency-walking variant (not `relax_additive_on`): the cone
@@ -570,6 +574,13 @@ impl Session {
     /// runs a warm reschedule. Mirrors the cold `schedule()` pipeline
     /// verdict-for-verdict.
     fn classify_and_run(&mut self) -> EditOutcome {
+        // Fault-injection site: fires before any cached scheduling state
+        // is touched, so an injected panic leaves the session recoverable
+        // by journal replay. Together with the twin site on the additive
+        // fast path, every reschedule evaluates it exactly once (a fast
+        // path that diverges and falls back here fires twice — rare, and
+        // harmless to the seeded fault schedules).
+        let _ = rsched_graph::failpoint!("session::reschedule");
         if !self.violations.is_empty() {
             // Slow path: the cold pipeline reports `Unfeasible` with
             // priority over `IllPosed`, so a positive-cycle check is

@@ -87,6 +87,10 @@ impl ScheduleKernel {
     /// cyclic and has no topological order (impossible for graphs built
     /// exclusively through the mutation API, which rejects such edges).
     pub fn build(graph: &ConstraintGraph) -> Result<ScheduleKernel, GraphError> {
+        // Fault-injection site: one relaxed load when nothing is armed.
+        // Coarse on purpose — once per snapshot, never in the fixpoint
+        // inner loops, so the disabled cost is unmeasurable.
+        let _ = crate::failpoint!("kernel::build");
         let topo_order = graph.forward_topological_order()?;
         let n = graph.n_vertices();
         let topo: Vec<u32> = topo_order.order().iter().map(|v| v.0).collect();

@@ -48,6 +48,7 @@
 
 mod dot;
 mod error;
+pub mod failpoint;
 mod graph;
 mod kernel;
 mod paths;

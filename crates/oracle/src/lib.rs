@@ -23,14 +23,21 @@
 //! - [`serve_fuzz`] — [`fuzz_serve`] attacks the JSON-lines service with
 //!   malformed and adversarial frames, asserting it never panics and
 //!   always echoes the request id.
+//! - [`fault_fuzz`] — [`fuzz_faults`] arms deterministic failpoints
+//!   (injected panics, worker kills, stalls, in-band errors) while a
+//!   seeded script runs, asserting the service answers every line and
+//!   that journal-replay recovery is bit-identical to a mirror rebuilt
+//!   from the accepted edits — oracle-refereed.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault_fuzz;
 pub mod fuzz;
 pub mod oracle;
 pub mod serve_fuzz;
 
+pub use fault_fuzz::{fuzz_faults, FaultFuzzConfig, FaultFuzzReport};
 pub use fuzz::{fuzz, Edit, FuzzConfig, FuzzFailure, FuzzReport, GraphMutator};
 pub use oracle::{
     anchor_roster, anchor_set_masks, check_result, positive_cycle, verify, Check, OffsetBound,

@@ -113,7 +113,7 @@ pub fn fuzz_serve(config: &ServeFuzzConfig) -> ServeFuzzReport {
         let mut output: Vec<u8> = Vec::new();
         let serve_config = ServeConfig {
             workers,
-            deadline: None,
+            ..ServeConfig::default()
         };
         let summary = match serve(Cursor::new(script.into_bytes()), &mut output, &serve_config) {
             Ok(s) => s,

@@ -1,10 +1,14 @@
 //! Negative testing: the checkers must actually catch corrupted
 //! schedules and control — silence from a validator proves nothing
-//! unless broken inputs make it speak.
+//! unless broken inputs make it speak. The serve-level cases inject
+//! real panics through scoped failpoints and check the blast radius.
 
 use relative_scheduling::core::{schedule, verify_start_times, DelayProfile, StartTimes};
 use relative_scheduling::ctrl::{generate, ControlStyle, ControlUnit, EnableTerm};
 use relative_scheduling::designs::paper::{fig10, fig2};
+use relative_scheduling::engine::json::Json;
+use relative_scheduling::engine::{serve, ServeConfig};
+use relative_scheduling::graph::failpoint::{self, FailAction};
 use relative_scheduling::graph::VertexId;
 use relative_scheduling::sim::{DelaySource, Simulator};
 
@@ -132,4 +136,151 @@ fn gate_vs_behavioural_divergence_is_visible() {
         model.tick();
     }
     assert!(diverged, "mismatched schedules must diverge observably");
+}
+
+/// Delivers each byte chunk only after its delay, letting a test stage
+/// traffic into a live `serve` worker pool in deterministic waves.
+struct PacedReader {
+    chunks: Vec<(u64, Vec<u8>)>,
+    next: usize,
+}
+
+impl std::io::Read for PacedReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let Some((delay, bytes)) = self.chunks.get_mut(self.next) else {
+            return Ok(0);
+        };
+        std::thread::sleep(std::time::Duration::from_millis(*delay));
+        let n = buf.len().min(bytes.len());
+        buf[..n].copy_from_slice(&bytes[..n]);
+        bytes.drain(..n);
+        if bytes.is_empty() {
+            self.next += 1;
+        }
+        Ok(n)
+    }
+}
+
+/// A mid-schedule panic on one session must not drop, reorder, or
+/// corrupt the answers of the other sessions in flight on the worker
+/// pool — and the poisoned session itself must come back via `recover`.
+#[test]
+fn serve_panic_leaves_sibling_sessions_untouched() {
+    const SCOPE: u64 = 0x51b1;
+    let design =
+        "op sync unbounded\nop alu 2\nop out 1\ndep sync alu\ndep alu out\nmax alu out 4\n"
+            .replace('\n', "\\n");
+    // Opens fire `session::reschedule` once each while computing the
+    // initial schedule; skipping those three, the next reschedule in
+    // this serve's scope — exactly one session's `add_min` edit,
+    // whichever worker reaches it first — panics.
+    let _guard = failpoint::arm(
+        "session::reschedule",
+        Some(SCOPE),
+        FailAction::Panic,
+        3,
+        Some(1),
+    );
+    let sessions = ["a", "b", "c"];
+    let mut lines = Vec::new();
+    let mut id = 0i64;
+    for phase in [
+        format!(r#""op":"open","design":"{design}""#),
+        r#""op":"edit","kind":"add_min","from":"alu","to":"out","value":3"#.to_owned(),
+        r#""op":"schedule""#.to_owned(),
+        r#""op":"recover""#.to_owned(),
+        r#""op":"schedule""#.to_owned(),
+    ] {
+        for s in sessions {
+            id += 1;
+            lines.push(format!(r#"{{"id":{id},"session":"{s}",{phase}}}"#));
+        }
+    }
+    // Pace the stream: the three opens must all have consumed their
+    // skip budget before any edit can reach the armed failpoint, so the
+    // edits only enter the pool after a settling pause.
+    let opens = lines[..3].join("\n") + "\n";
+    let rest = lines[3..].join("\n") + "\n";
+    let paced = PacedReader {
+        chunks: vec![(0, opens.into_bytes()), (150, rest.into_bytes())],
+        next: 0,
+    };
+    let mut output = Vec::new();
+    let summary = serve(
+        std::io::BufReader::new(paced),
+        &mut output,
+        &ServeConfig {
+            workers: 3,
+            fault_scope: Some(SCOPE),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("a request panic must not abort serve");
+
+    let responses: Vec<Json> = String::from_utf8(output)
+        .unwrap()
+        .lines()
+        .map(|l| Json::parse(l).expect("every response line parses"))
+        .collect();
+    assert_eq!(responses.len(), 15, "every request is answered");
+    let by_id = |id: i64| {
+        responses
+            .iter()
+            .find(|r| r.get("id") == Some(&Json::Int(id)))
+            .unwrap_or_else(|| panic!("response {id} missing"))
+    };
+    let sigma = |r: &Json| {
+        r.get("offsets")
+            .and_then(|o| o.get("out"))
+            .and_then(|row| row.get("sync"))
+            .and_then(Json::as_i64)
+    };
+
+    // Exactly one edit (ids 4-6) took the injected panic; its session
+    // is quarantined in-band and named in the response.
+    let panicked: Vec<&Json> = (4..=6)
+        .map(by_id)
+        .filter(|r| {
+            r.get("error")
+                .and_then(Json::as_str)
+                .is_some_and(|e| e.starts_with("worker_panic:"))
+        })
+        .collect();
+    assert_eq!(panicked.len(), 1, "exactly one request absorbs the fault");
+    assert_eq!(panicked[0].get("quarantined"), Some(&Json::Bool(true)));
+    let victim = panicked[0]
+        .get("session")
+        .and_then(Json::as_str)
+        .expect("panic response names the poisoned session")
+        .to_owned();
+
+    for (offset, s) in sessions.iter().enumerate() {
+        let edit = by_id(4 + offset as i64);
+        let first = by_id(7 + offset as i64);
+        let recover = by_id(10 + offset as i64);
+        let second = by_id(13 + offset as i64);
+        assert_eq!(recover.get("ok"), Some(&Json::Bool(true)), "{s}");
+        if *s == victim {
+            // The victim refuses work until recovered; the panicked edit
+            // was never journaled, so replay restores the pre-edit state.
+            assert!(first
+                .get("error")
+                .and_then(Json::as_str)
+                .is_some_and(|e| e.contains("quarantined")));
+            assert_eq!(recover.get("was_quarantined"), Some(&Json::Bool(true)));
+            assert_eq!(recover.get("edits_replayed"), Some(&Json::Int(0)));
+            assert_eq!(sigma(second), Some(2), "victim recovers pre-edit offsets");
+        } else {
+            // Siblings never notice: edit accepted, both schedules exact.
+            assert_eq!(edit.get("ok"), Some(&Json::Bool(true)), "{s}");
+            assert_eq!(sigma(first), Some(3), "sibling {s} first schedule");
+            assert_eq!(recover.get("was_quarantined"), Some(&Json::Bool(false)));
+            assert_eq!(recover.get("edits_replayed"), Some(&Json::Int(1)));
+            assert_eq!(sigma(second), Some(3), "sibling {s} second schedule");
+        }
+    }
+    assert_eq!(summary.requests, 15);
+    assert_eq!(summary.panics, 1);
+    assert_eq!(summary.quarantined, 1);
+    assert_eq!(summary.recoveries, 3);
 }
