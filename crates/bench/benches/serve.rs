@@ -1,0 +1,247 @@
+//! Socket-server saturation and journal-recovery benchmarks.
+//!
+//! Two questions, one summary (`BENCH_serve.json`):
+//!
+//! - **Saturation** — a live loopback [`rsched_net::NetServer`] under
+//!   eight closed-loop connections: sustained requests/second plus p50
+//!   and p99 round-trip latency, measured at the client.
+//! - **Recovery curve** — [`rsched_engine::Journal::replay`] time as a
+//!   function of accepted-edit history length L ∈ {64, 256, 1024, 4096},
+//!   with and without snapshot compaction (`snapshot_every = 256`).
+//!   Uncompacted recovery is linear in L; compaction folds history into
+//!   a snapshot base, so recovery cost is bounded by the snapshot
+//!   interval and the curve goes flat. A custom `main` asserts exactly
+//!   that shape (outside `RSCHED_BENCH_SMOKE=1`).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::thread;
+use std::time::Instant;
+
+use criterion::{BenchmarkId, Criterion, SummaryWriter};
+
+use rsched_engine::json::Json;
+use rsched_engine::{Journal, JournalOp, Session};
+use rsched_graph::{ConstraintGraph, ExecDelay};
+use rsched_net::{Listen, NetConfig, NetServer};
+
+const DESIGN: &str =
+    "op sync unbounded\nop alu 2\nop out 1\ndep sync alu\ndep alu out\nmax alu out 4\n";
+const CONNECTIONS: usize = 8;
+const HISTORY_LENGTHS: [usize; 4] = [64, 256, 1024, 4096];
+const SNAPSHOT_EVERY: usize = 256;
+
+fn smoke() -> bool {
+    std::env::var("RSCHED_BENCH_SMOKE").is_ok_and(|v| v == "1")
+}
+
+/// A journal holding `edits` accepted `set_delay` edits (alternating
+/// delays so every edit reschedules and lands in the history), compacted
+/// per `snapshot_every` (`0` = never).
+fn journal_with_history(edits: usize, snapshot_every: usize) -> Journal {
+    let graph = ConstraintGraph::from_text(DESIGN).expect("bench design parses");
+    let mut session = Session::open(graph).expect("bench design opens");
+    let alu = session.vertex_named("alu").expect("alu exists");
+    let mut journal = Journal::open(DESIGN.to_owned(), None);
+    journal.set_snapshot_every(snapshot_every);
+    for i in 0..edits {
+        let delay = ExecDelay::Fixed(1 + (i % 2) as u64);
+        assert!(session.set_delay(alu, delay).is_scheduled());
+        journal.append(JournalOp::SetDelay {
+            vertex: "alu".to_owned(),
+            delay,
+        });
+        journal.maybe_compact(&session);
+    }
+    assert_eq!(journal.total_edits(), edits);
+    journal
+}
+
+/// Benchmarks `replay()` for every history length in both modes and
+/// returns `(uncompacted, compacted)` mean ns per length.
+fn recovery_curve(c: &mut Criterion, lengths: &[usize]) -> (Vec<f64>, Vec<f64>) {
+    let mut group = c.benchmark_group("recover");
+    for &l in lengths {
+        for (mode, every) in [("uncompacted", 0), ("compacted", SNAPSHOT_EVERY)] {
+            let journal = journal_with_history(l, every);
+            group.bench_with_input(BenchmarkId::new(mode, l), &journal, |b, j| {
+                b.iter(|| j.replay().expect("bench journal replays"))
+            });
+        }
+    }
+    group.finish();
+    let results = c.take_results();
+    let mean_of = |mode: &str, l: usize| {
+        results
+            .iter()
+            .find(|r| r.group == "recover" && r.id == format!("{mode}/{l}"))
+            .map(|r| r.mean_ns)
+            .expect("recovery bench ran")
+    };
+    (
+        lengths.iter().map(|&l| mean_of("uncompacted", l)).collect(),
+        lengths.iter().map(|&l| mean_of("compacted", l)).collect(),
+    )
+}
+
+/// One closed-loop client: open a session, alternate edit/schedule,
+/// close. Returns every round-trip latency in ns.
+fn drive_client(addr: &std::net::SocketAddr, conn: usize, requests: usize) -> Vec<u64> {
+    let session = format!("bench{conn}");
+    let mut script = vec![format!(
+        "{{\"id\":0,\"op\":\"open\",\"session\":\"{session}\",\"design\":{}}}",
+        Json::Str(DESIGN.to_owned()).render()
+    )];
+    for i in 1..requests.saturating_sub(1) {
+        if i % 2 == 1 {
+            script.push(format!(
+                "{{\"id\":{i},\"op\":\"edit\",\"session\":\"{session}\",\"kind\":\"set_delay\",\"vertex\":\"alu\",\"delay\":{}}}",
+                1 + (i % 2)
+            ));
+        } else {
+            script.push(format!(
+                "{{\"id\":{i},\"op\":\"schedule\",\"session\":\"{session}\"}}"
+            ));
+        }
+    }
+    script.push(format!(
+        "{{\"id\":{},\"op\":\"close\",\"session\":\"{session}\"}}",
+        requests - 1
+    ));
+
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let mut latencies = Vec::with_capacity(script.len());
+    for frame in &script {
+        let start = Instant::now();
+        writer
+            .write_all(format!("{frame}\n").as_bytes())
+            .expect("send");
+        writer.flush().expect("flush");
+        let mut line = String::new();
+        assert!(reader.read_line(&mut line).expect("recv") > 0, "early EOF");
+        latencies.push(start.elapsed().as_nanos() as u64);
+        let response = Json::parse(line.trim_end()).expect("response is json");
+        assert_eq!(response.get("ok"), Some(&Json::Bool(true)), "{line}");
+    }
+    latencies
+}
+
+/// Saturates a loopback server with closed-loop clients; returns
+/// `(sustained_rps, p50_ns, p99_ns, total_requests)`.
+fn saturation(requests_per_conn: usize) -> (f64, f64, f64, usize) {
+    let mut config = NetConfig::new(Listen::parse("127.0.0.1:0").expect("loopback"));
+    config.engine.workers = 4;
+    let server = NetServer::bind(config).expect("bind");
+    let Listen::Tcp(addr) = *server.local_addr() else {
+        panic!("expected tcp")
+    };
+    let handle = server.handle();
+    let server_thread = thread::spawn(move || server.run().expect("run"));
+
+    let start = Instant::now();
+    let mut latencies: Vec<u64> = thread::scope(|s| {
+        let handles: Vec<_> = (0..CONNECTIONS)
+            .map(|conn| s.spawn(move || drive_client(&addr, conn, requests_per_conn)))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client"))
+            .collect()
+    });
+    let wall = start.elapsed();
+    handle.shutdown();
+    let summary = server_thread.join().expect("server thread");
+    let total = CONNECTIONS * requests_per_conn;
+    assert_eq!(summary.requests, total);
+
+    latencies.sort_unstable();
+    let pick = |q: f64| latencies[((latencies.len() - 1) as f64 * q) as usize] as f64;
+    let rps = total as f64 / wall.as_secs_f64();
+    (rps, pick(0.50), pick(0.99), total)
+}
+
+fn main() {
+    let smoke = smoke();
+    let (samples, warm_ms, measure_ms) = if smoke { (2, 5, 20) } else { (10, 50, 200) };
+    let mut criterion = Criterion::default()
+        .sample_size(samples)
+        .warm_up_time(std::time::Duration::from_millis(warm_ms))
+        .measurement_time(std::time::Duration::from_millis(measure_ms));
+
+    let lengths: Vec<usize> = if smoke {
+        vec![64, 256]
+    } else {
+        HISTORY_LENGTHS.to_vec()
+    };
+    let (uncompacted, compacted) = recovery_curve(&mut criterion, &lengths);
+    let requests_per_conn = if smoke { 6 } else { 150 };
+    let (rps, p50_ns, p99_ns, total) = saturation(requests_per_conn);
+
+    let mut writer = SummaryWriter::new("serve")
+        .threads(CONNECTIONS)
+        .metric("sustained_rps", rps)
+        .metric("latency_p50_ns", p50_ns)
+        .metric("latency_p99_ns", p99_ns)
+        .int("saturation_requests", total as i64)
+        .int("smoke", i64::from(smoke));
+    for (i, &l) in lengths.iter().enumerate() {
+        writer = writer
+            .metric(format!("recovery_uncompacted_L{l}_ns"), uncompacted[i])
+            .metric(format!("recovery_compacted_L{l}_ns"), compacted[i]);
+    }
+    let results = criterion.take_results();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    writer
+        .write(path, &results)
+        .expect("write BENCH_serve.json");
+
+    println!(
+        "saturation: {rps:.0} req/s over {CONNECTIONS} connection(s), p50 {:.1} µs, p99 {:.1} µs",
+        p50_ns / 1e3,
+        p99_ns / 1e3
+    );
+    for (i, &l) in lengths.iter().enumerate() {
+        println!(
+            "recovery L={l}: uncompacted {:.1} µs, compacted {:.1} µs",
+            uncompacted[i] / 1e3,
+            compacted[i] / 1e3
+        );
+    }
+
+    if !smoke {
+        let last = lengths.len() - 1;
+        // Uncompacted recovery grows with history (L: 256 -> 4096 is
+        // 16x work; demand at least 4x time to absorb CI noise)…
+        assert!(
+            uncompacted[last] > uncompacted[1] * 4.0,
+            "uncompacted recovery must grow with history length \
+             (L={} {:.0} ns vs L={} {:.0} ns)",
+            lengths[1],
+            uncompacted[1],
+            lengths[last],
+            uncompacted[last]
+        );
+        // …while compacted recovery is flat: every post-snapshot journal
+        // replays a bounded delta regardless of L.
+        assert!(
+            compacted[last] < compacted[1] * 3.0,
+            "compacted recovery must stay flat across history lengths \
+             (L={} {:.0} ns vs L={} {:.0} ns)",
+            lengths[1],
+            compacted[1],
+            lengths[last],
+            compacted[last]
+        );
+        assert!(
+            compacted[last] * 2.0 < uncompacted[last],
+            "compaction must at least halve recovery at L={} \
+             (compacted {:.0} ns vs uncompacted {:.0} ns)",
+            lengths[last],
+            compacted[last],
+            uncompacted[last]
+        );
+    }
+}

@@ -12,13 +12,21 @@
 //! - `…/armed_miss` — the same paths while a failpoint is armed under a
 //!   foreign scope token, paying the registry lookup on every hit.
 //!
+//! The armed-miss *cost* is additionally measured by interleaving
+//! disarmed and armed batches within one run — sequential runs sit under
+//! different thermal/frequency conditions, and that drift dwarfs the true
+//! registry-lookup delta (it once reported a nonsensical −0.38%). The
+//! interleaved result is exported as an absolute `armed_miss_edit_delta_ns`.
+//!
 //! A `serve_round` group measures a full service round (open, eight
 //! edits, schedule, close) without and with a `--journal-dir` WAL mirror,
 //! pricing the journaling layer.
 //!
 //! A custom `main` exports everything to `BENCH_faults.json` and asserts
-//! the disabled-site overhead on the cheapest instrumented operation
-//! stays under 2% — the "failpoints compiled but disabled" budget.
+//! two budgets (outside smoke mode): the disabled-site overhead on the
+//! cheapest instrumented operation stays under 2%, and the group-committed
+//! WAL mirror adds under 45% to a service round (one buffered write and
+//! one flush per batch, not per edit — per-edit flushing measured ~58%).
 
 use criterion::{BenchmarkId, Criterion, SummaryWriter};
 
@@ -86,6 +94,59 @@ fn hot_paths(c: &mut Criterion, variant: &str) {
     group.finish();
 }
 
+/// Mean of the middle 60% of samples. A single scheduler preemption on a
+/// one-core CI box costs milliseconds against a 10 µs operation; a plain
+/// mean over a few hundred samples is dominated by whether one landed in
+/// the window, a trimmed mean is not.
+fn trimmed_mean_ns(mut samples: Vec<u128>) -> f64 {
+    samples.sort_unstable();
+    let skip = samples.len() / 5;
+    let kept = &samples[skip..samples.len() - skip];
+    kept.iter().sum::<u128>() as f64 / kept.len() as f64
+}
+
+/// Interleaved armed-miss measurement: alternating same-sized batches of
+/// disarmed and armed-under-a-foreign-scope edits, timed per edit with
+/// the session clone outside the timer. Both states see the same clock
+/// frequency, cache temperature, and allocator state, so the difference
+/// of the two trimmed means is the registry-lookup cost and nothing else.
+/// Returns `(disarmed_mean_ns, armed_miss_mean_ns)`.
+fn armed_miss_interleaved(rounds: usize, batch: usize) -> (f64, f64) {
+    let graph = design();
+    let session = Session::open(graph).expect("bench design opens");
+    let (from, to) = safe_edit(&session);
+    let timed_batch = |acc: &mut Vec<u128>| {
+        for _ in 0..batch {
+            let mut s = session.clone();
+            let start = std::time::Instant::now();
+            assert!(s.add_min_constraint(from, to, 0).is_scheduled());
+            acc.push(start.elapsed().as_nanos());
+            std::hint::black_box(&s);
+        }
+    };
+    timed_batch(&mut Vec::new()); // Warm-up batch, discarded.
+    let (mut disarmed, mut armed) = (Vec::new(), Vec::new());
+    for _ in 0..rounds {
+        timed_batch(&mut disarmed);
+        let _armed = failpoint::arm(
+            "session::reschedule",
+            Some(FOREIGN_SCOPE),
+            FailAction::Panic,
+            0,
+            None,
+        );
+        let _armed_kernel = failpoint::arm(
+            "kernel::build",
+            Some(FOREIGN_SCOPE),
+            FailAction::Panic,
+            0,
+            None,
+        );
+        timed_batch(&mut armed);
+    }
+    (trimmed_mean_ns(disarmed), trimmed_mean_ns(armed))
+}
+
 fn probe(c: &mut Criterion) {
     let mut group = c.benchmark_group("probe");
     group.bench_function(BenchmarkId::new("disabled_check", "1"), |b| {
@@ -94,10 +155,9 @@ fn probe(c: &mut Criterion) {
     group.finish();
 }
 
-/// One full service round over an in-memory stream: an open, eight warm
-/// edits, a schedule, and a close (11 requests) — single worker, so the
-/// round is all request handling.
-fn serve_round(c: &mut Criterion, variant: &str, journal_dir: Option<std::path::PathBuf>) {
+/// The 11-request service-round script: an open, eight warm edits, a
+/// schedule, and a close.
+fn round_script() -> String {
     let graph = design();
     let names: Vec<String> = graph
         .operation_ids()
@@ -117,7 +177,53 @@ fn serve_round(c: &mut Criterion, variant: &str, journal_dir: Option<std::path::
     }
     lines.push(r#"{"id":9,"session":"b","op":"schedule"}"#.to_owned());
     lines.push(r#"{"id":10,"session":"b","op":"close"}"#.to_owned());
-    let script = lines.join("\n") + "\n";
+    lines.join("\n") + "\n"
+}
+
+fn run_round(script: &str, config: &ServeConfig) -> u128 {
+    let start = std::time::Instant::now();
+    let mut out = Vec::new();
+    let summary = serve(
+        std::io::Cursor::new(script.as_bytes().to_vec()),
+        &mut out,
+        config,
+    )
+    .expect("bench round serves");
+    let elapsed = start.elapsed().as_nanos();
+    assert_eq!(summary.requests, 11);
+    std::hint::black_box(&out);
+    elapsed
+}
+
+/// Interleaved WAL-overhead measurement, same rationale as
+/// [`armed_miss_interleaved`]: alternating plain and WAL-mirrored service
+/// rounds see identical machine conditions, so the difference of means is
+/// the journaling cost alone. Returns `(plain_mean_ns, wal_mean_ns)`.
+fn wal_round_interleaved(rounds: usize, wal_dir: &std::path::Path) -> (f64, f64) {
+    let script = round_script();
+    let plain = ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    };
+    let wal = ServeConfig {
+        workers: 1,
+        journal_dir: Some(wal_dir.to_owned()),
+        ..ServeConfig::default()
+    };
+    run_round(&script, &plain);
+    run_round(&script, &wal);
+    let (mut plain_ns, mut wal_ns) = (Vec::new(), Vec::new());
+    for _ in 0..rounds {
+        plain_ns.push(run_round(&script, &plain));
+        wal_ns.push(run_round(&script, &wal));
+    }
+    (trimmed_mean_ns(plain_ns), trimmed_mean_ns(wal_ns))
+}
+
+/// One full service round over an in-memory stream — single worker, so
+/// the round is all request handling.
+fn serve_round(c: &mut Criterion, variant: &str, journal_dir: Option<std::path::PathBuf>) {
+    let script = round_script();
     let config = ServeConfig {
         workers: 1,
         journal_dir,
@@ -167,9 +273,13 @@ fn main() {
         );
         hot_paths(&mut criterion, "armed_miss");
     }
+    let (rounds, batch) = if smoke { (4, 4) } else { (40, 25) };
+    let (interleaved_disarmed_ns, interleaved_armed_ns) = armed_miss_interleaved(rounds, batch);
     let wal_dir = std::env::temp_dir().join(format!("rsched_bench_wal_{}", std::process::id()));
     serve_round(&mut criterion, "plain", None);
     serve_round(&mut criterion, "wal", Some(wal_dir.clone()));
+    let wal_rounds = if smoke { 4 } else { 120 };
+    let (plain_round_ns, wal_round_ns) = wal_round_interleaved(wal_rounds, &wal_dir);
     let _ = std::fs::remove_dir_all(&wal_dir);
 
     let results = criterion.take_results();
@@ -187,18 +297,14 @@ fn main() {
         mean_of("session_edit/disarmed"),
     );
     let build_overhead_pct = pct(Some(check_ns), mean_of("kernel_build/disarmed"));
-    let armed_miss_pct = pct(
-        mean_of("session_edit/armed_miss")
-            .zip(mean_of("session_edit/disarmed"))
-            .map(|(a, d)| a - d),
-        mean_of("session_edit/disarmed"),
-    );
-    let wal_overhead_pct = pct(
-        mean_of("wal/11req")
-            .zip(mean_of("plain/11req"))
-            .map(|(w, p)| w - p),
-        mean_of("plain/11req"),
-    );
+    // Armed-miss cost comes from the interleaved run, not from comparing
+    // the two sequential criterion groups (see the module docs for why).
+    let armed_miss_delta_ns = interleaved_armed_ns - interleaved_disarmed_ns;
+    let armed_miss_pct = pct(Some(armed_miss_delta_ns), Some(interleaved_disarmed_ns));
+    // Same discipline for the WAL cost: interleaved rounds, not the
+    // sequential `serve_round` groups above (which stay in the summary as
+    // absolute references).
+    let wal_overhead_pct = pct(Some(wal_round_ns - plain_round_ns), Some(plain_round_ns));
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_faults.json");
     SummaryWriter::new("serve_faults")
@@ -206,6 +312,7 @@ fn main() {
         .metric("disabled_check_ns", check_ns)
         .metric("edit_overhead_pct", edit_overhead_pct)
         .metric("kernel_build_overhead_pct", build_overhead_pct)
+        .metric("armed_miss_edit_delta_ns", armed_miss_delta_ns)
         .metric("armed_miss_edit_pct", armed_miss_pct)
         .metric("wal_round_overhead_pct", wal_overhead_pct)
         .int("smoke", i64::from(smoke))
@@ -213,14 +320,22 @@ fn main() {
         .expect("write BENCH_faults.json");
     println!(
         "disabled failpoint check: {check_ns:.2} ns; edit overhead {edit_overhead_pct:.3}%; \
-         armed-miss edit delta {armed_miss_pct:.2}%; WAL round overhead {wal_overhead_pct:.2}% \
-         (summary: BENCH_faults.json)"
+         armed-miss edit delta {armed_miss_delta_ns:.1} ns ({armed_miss_pct:.2}%); \
+         WAL round overhead {wal_overhead_pct:.2}% (summary: BENCH_faults.json)"
     );
     if !smoke {
         assert!(
             edit_overhead_pct < 2.0,
             "disabled failpoints must add < 2% to a warm session edit \
              (measured {edit_overhead_pct:.3}%)"
+        );
+        // Group commit (one buffered write + flush per batch) holds the
+        // journaling cost of a service round under this ceiling; the
+        // per-edit flush it replaced measured ~58% on the same round.
+        assert!(
+            wal_overhead_pct < 45.0,
+            "group-committed WAL mirror must add < 45% to a service round \
+             (measured {wal_overhead_pct:.2}%)"
         );
     }
 }

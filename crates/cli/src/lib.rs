@@ -16,8 +16,11 @@
 //! rsched verilog   <graph.rsg> [--style counter|shift] [--ir] [--name M]
 //! rsched dot       <graph.rsg>                 Graphviz output
 //! rsched compile   <design.hc> [--vcd --seed N]  HardwareC -> schedules
-//! rsched serve     [--workers N] [--deadline-ms N] [--queue-depth N]
-//!                  [--max-ops N] [--max-edges N] [--journal-dir D]  JSON-lines service on stdio
+//! rsched serve     [--stdio | --listen <ip:port|socket-path>]
+//!                  [--workers N] [--deadline-ms N] [--queue-depth N]
+//!                  [--max-ops N] [--max-edges N] [--journal-dir D]
+//!                  [--snapshot-every N] [--max-sessions N] [--max-inflight N]
+//!                                               JSON-lines service (stdio or socket)
 //! rsched fuzz      [--seed N] [--iters N] [--minimize] [--repro-dir D] [--faults]  oracle-refereed fuzzing
 //! rsched help                                  print usage
 //! ```
@@ -76,8 +79,10 @@ const USAGE: &str = "usage:
   rsched verilog   <graph.rsg> [--style counter|shift] [--ir] [--name M]
   rsched dot       <graph.rsg>
   rsched compile   <design.hc> [--vcd --seed N]
-  rsched serve     [--workers N] [--deadline-ms N] [--queue-depth N]
+  rsched serve     [--stdio | --listen <ip:port|socket-path>]
+                   [--workers N] [--deadline-ms N] [--queue-depth N]
                    [--max-ops N] [--max-edges N] [--journal-dir D]
+                   [--snapshot-every N] [--max-sessions N] [--max-inflight N]
   rsched fuzz      [--seed N] [--iters N] [--minimize] [--repro-dir D] [--faults]
   rsched help";
 
@@ -97,11 +102,30 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "help" | "--help" | "-h" => return Ok(format!("{USAGE}\n")),
         "serve" => {
             let flags: Vec<&String> = it.collect();
-            let config = parse_serve_config(&flags)?;
-            let stdin = std::io::stdin();
-            rsched_engine::serve(stdin.lock(), std::io::stdout(), &config)
-                .map_err(CliError::failure)?;
-            return Ok(String::new());
+            let invocation = parse_serve_config(&flags)?;
+            return match invocation.listen {
+                Some(listen) => {
+                    let mut net = rsched_net::NetConfig::new(listen);
+                    net.engine = invocation.config;
+                    net.max_sessions_per_conn = invocation.max_sessions;
+                    net.max_inflight_per_conn = invocation.max_inflight;
+                    let server = rsched_net::NetServer::bind(net).map_err(CliError::failure)?;
+                    // Banner on stdout before blocking, so scripts can
+                    // scrape the resolved address (port 0 binds).
+                    println!("listening on {}", server.local_addr());
+                    let summary = server.run().map_err(CliError::failure)?;
+                    Ok(format!(
+                        "served {} request(s) over {} connection(s)\n",
+                        summary.requests, summary.connections
+                    ))
+                }
+                None => {
+                    let stdin = std::io::stdin();
+                    rsched_engine::serve(stdin.lock(), std::io::stdout(), &invocation.config)
+                        .map_err(CliError::failure)?;
+                    Ok(String::new())
+                }
+            };
         }
         "fuzz" => {
             let flags: Vec<&String> = it.collect();
@@ -147,7 +171,18 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     }
 }
 
-fn parse_serve_config(flags: &[&String]) -> Result<rsched_engine::ServeConfig, CliError> {
+/// How `rsched serve` was asked to run: the engine config plus the
+/// transport (stdio by default or with `--stdio`, a socket listener with
+/// `--listen`) and the socket-only per-connection quotas.
+#[derive(Debug)]
+struct ServeInvocation {
+    config: rsched_engine::ServeConfig,
+    listen: Option<rsched_net::Listen>,
+    max_sessions: Option<usize>,
+    max_inflight: Option<usize>,
+}
+
+fn parse_serve_config(flags: &[&String]) -> Result<ServeInvocation, CliError> {
     let mut config = rsched_engine::ServeConfig::default();
     if let Some(v) = flag_value(flags, "--workers") {
         config.workers = v
@@ -183,15 +218,54 @@ fn parse_serve_config(flags: &[&String]) -> Result<rsched_engine::ServeConfig, C
     if let Some(v) = flag_value(flags, "--journal-dir") {
         config.journal_dir = Some(std::path::PathBuf::from(v));
     }
+    if let Some(v) = flag_value(flags, "--snapshot-every") {
+        config.snapshot_every = v.parse().map_err(|_| {
+            CliError::usage("--snapshot-every expects a number of edits (0 disables compaction)")
+        })?;
+    }
+    let listen = flag_value(flags, "--listen")
+        .map(|v| rsched_net::Listen::parse(v).map_err(CliError::usage))
+        .transpose()?;
+    if listen.is_some() && has_flag(flags, "--stdio") {
+        return Err(CliError::usage(
+            "--listen and --stdio are mutually exclusive",
+        ));
+    }
+    let quota = |name: &str| -> Result<Option<usize>, CliError> {
+        flag_value(flags, name)
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| CliError::usage(format!("{name} expects a number")))
+            })
+            .transpose()
+    };
+    let max_sessions = quota("--max-sessions")?;
+    let max_inflight = quota("--max-inflight")?;
+    if listen.is_none() {
+        if max_sessions.is_some() {
+            return Err(CliError::usage(
+                "--max-sessions requires --listen (it is a per-connection quota)",
+            ));
+        }
+        if max_inflight.is_some() {
+            return Err(CliError::usage(
+                "--max-inflight requires --listen (it is a per-connection quota)",
+            ));
+        }
+    }
     // `--journal-dir` takes an arbitrary path, so stray detection walks
     // flag positions instead of pattern-matching every operand.
-    let known = [
+    let value_flags = [
         "--workers",
         "--deadline-ms",
         "--queue-depth",
         "--max-ops",
         "--max-edges",
         "--journal-dir",
+        "--snapshot-every",
+        "--listen",
+        "--max-sessions",
+        "--max-inflight",
     ];
     let mut expect_value = false;
     for f in flags {
@@ -199,13 +273,18 @@ fn parse_serve_config(flags: &[&String]) -> Result<rsched_engine::ServeConfig, C
             expect_value = false;
             continue;
         }
-        if known.contains(&f.as_str()) {
+        if value_flags.contains(&f.as_str()) {
             expect_value = true;
-        } else {
+        } else if f.as_str() != "--stdio" {
             return Err(CliError::usage(format!("unknown serve flag '{f}'")));
         }
     }
-    Ok(config)
+    Ok(ServeInvocation {
+        config,
+        listen,
+        max_sessions,
+        max_inflight,
+    })
 }
 
 fn parse_fuzz_config(flags: &[&String]) -> Result<rsched_oracle::FuzzConfig, CliError> {
@@ -245,8 +324,9 @@ fn parse_fuzz_config(flags: &[&String]) -> Result<rsched_oracle::FuzzConfig, Cli
     Ok(config)
 }
 
-/// Runs the oracle-refereed structured fuzzer plus the serve-protocol
-/// adversarial harness; any violation is an exit-code-1 failure carrying
+/// Runs the oracle-refereed structured fuzzer, the serve-protocol
+/// adversarial harness, and the socket-parity harness (live TCP server
+/// vs stdio); any violation is an exit-code-1 failure carrying
 /// the full report (with repro paths when `--repro-dir` is set). With
 /// `--faults`, additionally interleaves deterministic failpoint faults
 /// (panics, worker kills, stalls, injected errors) with edit scripts and
@@ -259,11 +339,16 @@ fn fuzz_cmd(flags: &[&String]) -> Result<String, CliError> {
         rounds: (config.iters / 25).clamp(2, 40),
         frames_per_round: 40,
     });
+    let net_report = rsched_oracle::fuzz_net(&rsched_oracle::NetFuzzConfig {
+        seed: config.seed,
+        rounds: (config.iters / 50).clamp(1, 8),
+        ..rsched_oracle::NetFuzzConfig::default()
+    });
     let mut rendered = format!(
-        "graph fuzz (seed {}):\n{report}\nserve fuzz:\n{serve_report}",
+        "graph fuzz (seed {}):\n{report}\nserve fuzz:\n{serve_report}net fuzz:\n{net_report}",
         config.seed
     );
-    let mut ok = report.is_ok() && serve_report.is_ok();
+    let mut ok = report.is_ok() && serve_report.is_ok() && net_report.is_ok();
     if has_flag(flags, "--faults") {
         let fault_report = rsched_oracle::fuzz_faults(&rsched_oracle::FaultFuzzConfig {
             seed: config.seed,
@@ -864,6 +949,9 @@ process demo (req, ack)
             ] {
                 assert!(out.contains(cmd), "'{invocation}' output misses '{cmd}'");
             }
+            for flag in ["--listen", "--stdio", "--snapshot-every", "--max-sessions"] {
+                assert!(out.contains(flag), "'{invocation}' output misses '{flag}'");
+            }
         }
     }
 
@@ -878,38 +966,47 @@ process demo (req, ack)
         );
     }
 
+    fn parse_serve(args: &[&str]) -> Result<ServeInvocation, CliError> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let flags: Vec<&String> = owned.iter().collect();
+        parse_serve_config(&flags)
+    }
+
     #[test]
     fn serve_flag_parsing() {
-        let empty: Vec<&String> = Vec::new();
-        assert_eq!(parse_serve_config(&empty).unwrap().workers, 4);
-        let args = ["--workers".to_string(), "2".to_string()];
-        let flags: Vec<&String> = args.iter().collect();
-        let cfg = parse_serve_config(&flags).unwrap();
-        assert_eq!(cfg.workers, 2);
-        assert_eq!(cfg.deadline, None);
-        let args = ["--deadline-ms".to_string(), "250".to_string()];
-        let flags: Vec<&String> = args.iter().collect();
-        let cfg = parse_serve_config(&flags).unwrap();
-        assert_eq!(cfg.deadline, Some(std::time::Duration::from_millis(250)));
-        let args = [
-            "--queue-depth".to_string(),
-            "8".to_string(),
-            "--max-ops".to_string(),
-            "64".to_string(),
-            "--max-edges".to_string(),
-            "256".to_string(),
-            "--journal-dir".to_string(),
-            "/tmp/wal".to_string(),
-        ];
-        let flags: Vec<&String> = args.iter().collect();
-        let cfg = parse_serve_config(&flags).unwrap();
-        assert_eq!(cfg.queue_depth, 8);
-        assert_eq!(cfg.max_ops, Some(64));
-        assert_eq!(cfg.max_edges, Some(256));
+        let inv = parse_serve(&[]).unwrap();
+        assert_eq!(inv.config.workers, 4);
+        assert_eq!(inv.config.snapshot_every, 256);
+        assert_eq!(inv.listen, None);
+        let inv = parse_serve(&["--workers", "2"]).unwrap();
+        assert_eq!(inv.config.workers, 2);
+        assert_eq!(inv.config.deadline, None);
+        let inv = parse_serve(&["--deadline-ms", "250"]).unwrap();
         assert_eq!(
-            cfg.journal_dir.as_deref(),
+            inv.config.deadline,
+            Some(std::time::Duration::from_millis(250))
+        );
+        let inv = parse_serve(&[
+            "--queue-depth",
+            "8",
+            "--max-ops",
+            "64",
+            "--max-edges",
+            "256",
+            "--journal-dir",
+            "/tmp/wal",
+            "--snapshot-every",
+            "64",
+        ])
+        .unwrap();
+        assert_eq!(inv.config.queue_depth, 8);
+        assert_eq!(inv.config.max_ops, Some(64));
+        assert_eq!(inv.config.max_edges, Some(256));
+        assert_eq!(
+            inv.config.journal_dir.as_deref(),
             Some(std::path::Path::new("/tmp/wal"))
         );
+        assert_eq!(inv.config.snapshot_every, 64);
         // Bad values and stray flags are usage errors (exit code 2),
         // reported before any stdin read.
         assert_eq!(
@@ -926,6 +1023,65 @@ process demo (req, ack)
         );
         assert_eq!(run_args(&["serve", "--max-ops", "x"]).unwrap_err().code, 2);
         assert_eq!(run_args(&["serve", "--frob"]).unwrap_err().code, 2);
+        assert_eq!(
+            run_args(&["serve", "--snapshot-every", "x"])
+                .unwrap_err()
+                .code,
+            2
+        );
+    }
+
+    #[test]
+    fn serve_listen_flag_parsing() {
+        let inv = parse_serve(&["--listen", "127.0.0.1:7070", "--max-sessions", "4"]).unwrap();
+        assert_eq!(
+            inv.listen,
+            Some(rsched_net::Listen::Tcp("127.0.0.1:7070".parse().unwrap()))
+        );
+        assert_eq!(inv.max_sessions, Some(4));
+        assert_eq!(inv.max_inflight, None);
+        let inv = parse_serve(&["--listen", "/tmp/rsched.sock", "--max-inflight", "16"]).unwrap();
+        assert_eq!(
+            inv.listen,
+            Some(rsched_net::Listen::Unix("/tmp/rsched.sock".into()))
+        );
+        assert_eq!(inv.max_inflight, Some(16));
+        // `--stdio` is the explicit default transport.
+        let inv = parse_serve(&["--stdio", "--workers", "2"]).unwrap();
+        assert_eq!(inv.listen, None);
+        assert_eq!(inv.config.workers, 2);
+
+        // Malformed --listen surfaces the exact shape error.
+        let err = parse_serve(&["--listen", "localhost:7070"]).unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(
+            err.message.contains(
+                "--listen expects <ip:port> (e.g. 127.0.0.1:7070) or a unix socket path \
+                 containing '/', got 'localhost:7070'"
+            ),
+            "{}",
+            err.message
+        );
+        // The transports are mutually exclusive.
+        let err = parse_serve(&["--listen", "127.0.0.1:0", "--stdio"]).unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(
+            err.message.contains("mutually exclusive"),
+            "{}",
+            err.message
+        );
+        // Quotas are per-connection, so they need a socket transport.
+        for flag in ["--max-sessions", "--max-inflight"] {
+            let err = parse_serve(&[flag, "3"]).unwrap_err();
+            assert_eq!(err.code, 2);
+            assert!(
+                err.message.contains(&format!("{flag} requires --listen")),
+                "{}",
+                err.message
+            );
+            let err = parse_serve(&["--listen", "127.0.0.1:0", flag, "x"]).unwrap_err();
+            assert_eq!(err.code, 2);
+        }
     }
 
     #[test]
@@ -965,6 +1121,10 @@ process demo (req, ack)
         let out = run_args(&["fuzz", "--seed", "5", "--iters", "8"]).unwrap();
         assert!(out.contains("zero oracle violations"), "{out}");
         assert!(out.contains("protocol contract held"), "{out}");
+        assert!(
+            out.contains("socket protocol and stdio parity held"),
+            "{out}"
+        );
         assert!(!out.contains("fault fuzz"), "{out}");
     }
 

@@ -18,6 +18,11 @@
 //!   pair (stdin/stdout in the CLI): `open`/`edit`/`schedule`/`stats`/
 //!   `close` requests with id correlation, a bounded worker pool with
 //!   per-session ordering, per-request deadlines, and clean EOF shutdown.
+//! - [`Router`] — the transport-agnostic core of the service (session
+//!   tables sharded by [`shard_of`], validation, panic isolation,
+//!   journaling with snapshot compaction); the `rsched-net` crate mounts
+//!   the same router behind a socket listener, so socket and stdio
+//!   responses are bit-identical for the same op stream.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,5 +33,8 @@ pub mod service;
 pub mod session;
 
 pub use journal::{Journal, JournalOp};
-pub use service::{serve, ServeConfig, ServeSummary};
+pub use service::{
+    error_response, overloaded_response, serve, shard_of, Router, RouterStats, ServeConfig,
+    ServeSummary, DEADLINE_ERROR,
+};
 pub use session::{EditOutcome, Session, SessionStats};

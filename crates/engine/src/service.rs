@@ -6,8 +6,14 @@
 //! responses for *different* sessions can arrive out of order. Requests
 //! for the *same* session are executed in arrival order: sessions are
 //! pinned to one worker of a bounded [`std::thread`] pool by a hash of
-//! the session name, which keeps edit semantics sequential without a
-//! global lock.
+//! the session name ([`shard_of`]), which keeps edit semantics sequential
+//! without a global lock.
+//!
+//! The session tables, request validation, execution, and panic
+//! isolation all live in the transport-agnostic [`Router`]; this module's
+//! [`serve`] wires it to a stdin/stdout byte stream, and the `rsched-net`
+//! crate wires the same router to a socket listener — both transports
+//! produce bit-identical responses for the same op stream.
 //!
 //! ## Protocol
 //!
@@ -53,6 +59,11 @@
 //!   optionally mirrored to a write-ahead file under
 //!   [`ServeConfig::journal_dir`]. `recover` rebuilds the session by
 //!   deterministic replay — bit-identical to the pre-panic state.
+//! - **Snapshot compaction.** Every [`ServeConfig::snapshot_every`]
+//!   accepted edits the journal folds its history into a snapshot of the
+//!   session's current design (see the `journal` module docs), so replay
+//!   and recovery cost are bounded by the snapshot interval instead of
+//!   the session's lifetime edit count.
 //! - **Worker respawn.** A worker thread that dies outright (not just a
 //!   caught request panic) is respawned on the same queue; sessions and
 //!   queued jobs live in shared state that outlives any one thread, so
@@ -64,10 +75,16 @@
 //!   rejected at intake when [`ServeConfig::max_ops`] /
 //!   [`ServeConfig::max_edges`] are set.
 //!
+//! WAL mirror writes are **group-committed**: appends only buffer lines,
+//! and a worker flushes once per drained request batch
+//! ([`Router::sync_journals`]) instead of once per op — measured at ~58%
+//! of a serve round when every op paid its own write+flush.
+//!
 //! Deterministic fault-injection tests drive all of this through the
 //! `rsched_graph::failpoint` facility: the sites `serve::handle` (per
-//! request) and `serve::worker_kill` (per worker loop) plus
-//! `session::reschedule` and `kernel::build` deeper down. Workers enter
+//! request), `serve::worker_kill` (per worker loop), and
+//! `journal::snapshot` (pre-compaction) plus `session::reschedule` and
+//! `kernel::build` deeper down. Workers enter
 //! [`ServeConfig::fault_scope`] so a harness can target one service
 //! instance without affecting concurrent tests.
 
@@ -88,7 +105,7 @@ use crate::journal::{Journal, JournalOp};
 use crate::json::{object, Json};
 use crate::session::{EditOutcome, Session};
 
-/// Tuning knobs for [`serve`].
+/// Tuning knobs for [`serve`] (and, via [`Router`], the socket server).
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Worker threads (sessions are pinned to workers); clamped to ≥ 1.
@@ -110,6 +127,9 @@ pub struct ServeConfig {
     /// (`<session>-<hash>.wal`) in this directory. Mirror I/O failures
     /// never fail requests; recovery replays the in-memory journal.
     pub journal_dir: Option<PathBuf>,
+    /// Compact a session's journal into a snapshot once this many edits
+    /// accumulate since the last base; `0` disables compaction.
+    pub snapshot_every: usize,
     /// Failpoint scope token the worker threads enter, so a fault-
     /// injection harness can target exactly this service instance.
     pub fault_scope: Option<u64>,
@@ -124,6 +144,7 @@ impl Default for ServeConfig {
             max_ops: None,
             max_edges: None,
             journal_dir: None,
+            snapshot_every: 256,
             fault_scope: None,
         }
     }
@@ -145,6 +166,8 @@ pub struct ServeSummary {
     pub quarantined: usize,
     /// Successful `recover` replays.
     pub recoveries: usize,
+    /// Journal compactions (snapshots taken).
+    pub snapshots: usize,
     /// Requests shed because a worker queue was full.
     pub shed: usize,
     /// Worker threads respawned after dying outright.
@@ -153,6 +176,10 @@ pub struct ServeSummary {
 
 /// Milliseconds a shed client should wait before retrying.
 const RETRY_AFTER_MS: i64 = 25;
+
+/// The in-band error for a request whose deadline passed while it was
+/// still queued. Public so every transport answers with the same string.
+pub const DEADLINE_ERROR: &str = "deadline exceeded before execution";
 
 /// Respawn attempts per worker slot at EOF before the dispatcher drains
 /// the queue inline (where `serve::worker_kill` is never evaluated).
@@ -199,8 +226,7 @@ struct Counters {
     panics: AtomicUsize,
     quarantined: AtomicUsize,
     recoveries: AtomicUsize,
-    shed: AtomicUsize,
-    respawned: AtomicUsize,
+    snapshots: AtomicUsize,
 }
 
 impl Counters {
@@ -209,24 +235,545 @@ impl Counters {
     }
 }
 
-/// Everything a worker needs that must outlive any one worker thread.
-struct Shared<W: Write> {
-    out: Mutex<CountingWriter<W>>,
-    counters: Counters,
-    slots: Vec<Mutex<SlotState>>,
-    /// Receivers live here — not in the worker — so queued jobs survive a
-    /// worker death and drain through its replacement.
-    receivers: Vec<Mutex<Receiver<Job>>>,
-    journal_dir: Option<PathBuf>,
-    fault_scope: Option<u64>,
-}
-
 /// Mutex poisoning only means "a panic happened near this data"; every
 /// structure here is left consistent by construction (request panics are
 /// caught inside the lock scope and quarantine the session), so recover
 /// the guard instead of propagating.
 fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Counters the [`Router`] accumulates across all transports.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// `open` requests that created a session.
+    pub sessions_opened: usize,
+    /// Request handlers that panicked (answered in-band).
+    pub panics: usize,
+    /// Sessions quarantined after a panic.
+    pub quarantined: usize,
+    /// Successful `recover` replays.
+    pub recoveries: usize,
+    /// Journal compactions (snapshots taken).
+    pub snapshots: usize,
+}
+
+/// The transport-agnostic core of the scheduling service: session tables
+/// sharded into slots, request validation, execution under panic
+/// isolation, journaling, and snapshot compaction.
+///
+/// A transport (the stdio loop here, the socket listener in
+/// `rsched-net`) owns queueing, deadlines, and load shedding; it calls
+/// [`Router::route`] at intake to validate a request and learn its slot,
+/// guarantees per-slot execution is serial, calls [`Router::execute`]
+/// from the slot's worker, and [`Router::sync_journals`] once per
+/// drained batch (group commit).
+pub struct Router {
+    slots: Vec<Mutex<SlotState>>,
+    counters: Counters,
+    max_ops: Option<usize>,
+    max_edges: Option<usize>,
+    journal_dir: Option<PathBuf>,
+    snapshot_every: usize,
+}
+
+impl Router {
+    /// Builds a router with `n_slots` independent session tables
+    /// (clamped to ≥ 1), taking limits, journal, and snapshot settings
+    /// from `config`. Creates the journal directory best-effort — a
+    /// missing directory only disables the WAL mirror.
+    pub fn new(n_slots: usize, config: &ServeConfig) -> Router {
+        if let Some(dir) = &config.journal_dir {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        Router {
+            slots: (0..n_slots.max(1))
+                .map(|_| Mutex::new(SlotState::default()))
+                .collect(),
+            counters: Counters::default(),
+            max_ops: config.max_ops,
+            max_edges: config.max_edges,
+            journal_dir: config.journal_dir.clone(),
+            snapshot_every: config.snapshot_every,
+        }
+    }
+
+    /// Slots this router shards sessions across.
+    pub fn n_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Validates a request at intake and pins it to a slot. `Err` carries
+    /// the ready-to-send error response (unknown/missing op, missing
+    /// session, resource-limit violation) with the id echoed. Sessions
+    /// pin by [`shard_of`] their name; the sessionless `batch_schedule`
+    /// spreads by request id.
+    pub fn route(&self, id: &Json, request: &Json) -> Result<usize, Json> {
+        let op = match request.get("op").and_then(Json::as_str) {
+            Some(op) => op,
+            None => return Err(fail(id.clone(), "missing \"op\"")),
+        };
+        if !KNOWN_OPS.contains(&op) {
+            return Err(fail(id.clone(), format!("unknown op '{op}'")));
+        }
+        if let Some(error) = self.resource_violation(request, op) {
+            return Err(fail(id.clone(), error));
+        }
+        if op == "batch_schedule" {
+            Ok(shard_of(&id.render(), self.slots.len()))
+        } else {
+            let Some(session) = request.get("session").and_then(Json::as_str) else {
+                return Err(fail(id.clone(), "missing \"session\""));
+            };
+            Ok(shard_of(session, self.slots.len()))
+        }
+    }
+
+    /// Executes one routed request against its slot's session table,
+    /// isolating panics: a panicking handler yields an in-band
+    /// `worker_panic` error and quarantines the targeted session. The
+    /// caller must serialize calls per slot (one worker per slot).
+    pub fn execute(&self, slot: usize, id: Json, request: &Json) -> Json {
+        let session_name = request
+            .get("session")
+            .and_then(Json::as_str)
+            .map(str::to_owned);
+        let mut state = lock_recover(&self.slots[slot]);
+        // The catch is *inside* the lock scope: the guard drops normally,
+        // so the slot mutex is never poisoned by a request panic.
+        match catch_unwind(AssertUnwindSafe(|| {
+            self.handle(&mut state, id.clone(), request)
+        })) {
+            Ok(response) => response,
+            Err(payload) => {
+                Counters::bump(&self.counters.panics);
+                // `&payload` would downcast against the `Box` itself;
+                // deref to reach the boxed payload.
+                let msg = panic_message(&*payload);
+                let quarantined = session_name.as_deref().is_some_and(|name| {
+                    let taken = state
+                        .sessions
+                        .get_mut(name)
+                        .is_some_and(|entry| entry.session.take().is_some());
+                    if taken {
+                        Counters::bump(&self.counters.quarantined);
+                    }
+                    taken
+                });
+                let mut pairs = vec![
+                    ("id", id),
+                    ("ok", Json::Bool(false)),
+                    ("error", Json::Str(format!("worker_panic: {msg}"))),
+                    ("quarantined", Json::Bool(quarantined)),
+                ];
+                if let Some(name) = session_name.filter(|_| quarantined) {
+                    pairs.push(("session", Json::Str(name)));
+                    pairs.push(("recover_with", Json::Str("recover".to_owned())));
+                }
+                object(pairs)
+            }
+        }
+    }
+
+    /// Group commit: flushes every buffered WAL line in the slot with one
+    /// write+flush per dirty journal. Called by a slot's worker after
+    /// draining a request batch. Free when no journal directory is
+    /// configured.
+    pub fn sync_journals(&self, slot: usize) {
+        if self.journal_dir.is_none() {
+            return;
+        }
+        let mut state = lock_recover(&self.slots[slot]);
+        for entry in state.sessions.values_mut() {
+            entry.journal.sync();
+        }
+    }
+
+    /// A snapshot of the router's monotonic counters.
+    pub fn stats(&self) -> RouterStats {
+        let c = &self.counters;
+        RouterStats {
+            sessions_opened: c.opened.load(Ordering::Relaxed),
+            panics: c.panics.load(Ordering::Relaxed),
+            quarantined: c.quarantined.load(Ordering::Relaxed),
+            recoveries: c.recoveries.load(Ordering::Relaxed),
+            snapshots: c.snapshots.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Checks `open`/`batch_schedule` designs against the configured size
+    /// limits, counting declared `op` and constraint lines without a full
+    /// parse. Returns the exact in-band error for the first violation.
+    fn resource_violation(&self, request: &Json, op: &str) -> Option<String> {
+        if self.max_ops.is_none() && self.max_edges.is_none() {
+            return None;
+        }
+        let check = |design: &str, label: &str| -> Option<String> {
+            let (mut ops, mut edges) = (0usize, 0usize);
+            for line in design.lines() {
+                let line = line.trim_start();
+                if line.starts_with("op ") {
+                    ops += 1;
+                } else if line.starts_with("dep ")
+                    || line.starts_with("min ")
+                    || line.starts_with("max ")
+                {
+                    edges += 1;
+                }
+            }
+            if let Some(m) = self.max_ops {
+                if ops > m {
+                    return Some(format!(
+                        "resource limit exceeded: design{label} has {ops} operations, limit {m}"
+                    ));
+                }
+            }
+            if let Some(m) = self.max_edges {
+                if edges > m {
+                    return Some(format!(
+                        "resource limit exceeded: design{label} has {edges} constraint edges, limit {m}"
+                    ));
+                }
+            }
+            None
+        };
+        match op {
+            "open" => check(request.get("design").and_then(Json::as_str)?, ""),
+            "batch_schedule" => {
+                for entry in request.get("designs").and_then(Json::as_array)? {
+                    let Some(design) = entry.get("design").and_then(Json::as_str) else {
+                        continue;
+                    };
+                    let name = entry.get("name").and_then(Json::as_str).unwrap_or("");
+                    if let Some(err) = check(design, &format!(" '{name}'")) {
+                        return Some(err);
+                    }
+                }
+                None
+            }
+            _ => None,
+        }
+    }
+
+    fn handle(&self, state: &mut SlotState, id: Json, request: &Json) -> Json {
+        // Per-request fault site: an Error action is surfaced in-band, a
+        // Panic action exercises the quarantine path, a Delay action
+        // stalls the worker (for overload tests). One relaxed load when
+        // disarmed.
+        if let Some(msg) = rsched_graph::failpoint!("serve::handle") {
+            return fail(id, format!("injected fault: {msg}"));
+        }
+        let op = match request.get("op").and_then(Json::as_str) {
+            Some(op) => op,
+            None => return fail(id, "missing \"op\""),
+        };
+        if op == "batch_schedule" {
+            return batch_schedule(id, request);
+        }
+        let name = request
+            .get("session")
+            .and_then(Json::as_str)
+            .expect("router verified")
+            .to_owned();
+        match op {
+            "open" => {
+                let Some(design) = request.get("design").and_then(Json::as_str) else {
+                    return fail(id, "open needs a \"design\" (graph text format)");
+                };
+                let graph = match ConstraintGraph::from_text(design) {
+                    Ok(g) => g,
+                    Err(e) => return fail(id, format!("bad design: {e}")),
+                };
+                let session = match Session::open(graph) {
+                    Ok(s) => s,
+                    Err(e) => return fail(id, format!("cannot open session: {e}")),
+                };
+                Counters::bump(&self.counters.opened);
+                let wal = self
+                    .journal_dir
+                    .as_ref()
+                    .map(|dir| dir.join(wal_file_name(&name)));
+                let mut journal = Journal::open(design.to_owned(), wal);
+                journal.set_snapshot_every(self.snapshot_every);
+                let body = [
+                    ("vertices", Json::from(session.graph().n_vertices())),
+                    ("edges", Json::from(session.graph().n_edges())),
+                    ("anchors", Json::from(session.graph().n_anchors())),
+                    ("verdict", verdict_json(&session)),
+                ];
+                let replaced = state
+                    .sessions
+                    .insert(
+                        name,
+                        SessionEntry {
+                            session: Some(session),
+                            journal,
+                            recoveries: 0,
+                        },
+                    )
+                    .is_some();
+                let mut pairs = vec![("id", id), ("ok", Json::Bool(true))];
+                pairs.extend(body);
+                pairs.push(("replaced", Json::Bool(replaced)));
+                object(pairs)
+            }
+            "edit" => with_live(state, &name, id, |id, entry| self.edit(entry, id, request)),
+            "schedule" => with_live(state, &name, id, |id, entry| {
+                let s = entry.session.as_ref().expect("with_live verified");
+                let mut pairs = vec![
+                    ("id", id),
+                    ("ok", Json::Bool(true)),
+                    ("verdict", verdict_json(s)),
+                ];
+                if let Some(omega) = s.schedule() {
+                    let anchors = Json::Array(
+                        omega
+                            .anchors()
+                            .iter()
+                            .map(|&a| Json::from(s.graph().vertex(a).name()))
+                            .collect(),
+                    );
+                    let offsets = Json::Object(
+                        s.graph()
+                            .vertex_ids()
+                            .map(|v| {
+                                let row = Json::Object(
+                                    omega
+                                        .offsets_of(v)
+                                        .map(|(a, o)| {
+                                            (s.graph().vertex(a).name().to_owned(), Json::Int(o))
+                                        })
+                                        .collect(),
+                                );
+                                (s.graph().vertex(v).name().to_owned(), row)
+                            })
+                            .collect(),
+                    );
+                    pairs.push(("anchors", anchors));
+                    pairs.push(("offsets", offsets));
+                    pairs.push(("stale", Json::Bool(!s.posedness().is_well_posed())));
+                }
+                object(pairs)
+            }),
+            "stats" => {
+                // Unlike edit/schedule, stats answers for quarantined
+                // sessions too — operators need to see the journal state
+                // to decide whether to recover or close.
+                let Some(entry) = state.sessions.get(&name) else {
+                    return fail(id, format!("unknown session '{name}'"));
+                };
+                let mut pairs = vec![("id", id), ("ok", Json::Bool(true))];
+                if let Some(s) = &entry.session {
+                    let st = s.stats();
+                    pairs.extend([
+                        ("edits", Json::from(st.edits)),
+                        ("rejected", Json::from(st.rejected)),
+                        ("noops", Json::from(st.noops)),
+                        ("reschedules", Json::from(st.reschedules)),
+                        ("warm_anchor_columns", Json::from(st.warm_anchor_columns)),
+                        ("cold_anchor_columns", Json::from(st.cold_anchor_columns)),
+                        ("iterations", Json::from(st.iterations)),
+                        ("ill_posed", Json::from(st.ill_posed)),
+                        ("unfeasible", Json::from(st.unfeasible)),
+                        ("containment_checks", Json::from(st.containment_checks)),
+                        ("vertices", Json::from(s.graph().n_vertices())),
+                        ("edges", Json::from(s.graph().n_edges())),
+                    ]);
+                }
+                pairs.extend([
+                    ("quarantined", Json::Bool(entry.session.is_none())),
+                    ("journal_len", Json::from(entry.journal.edits())),
+                    ("total_edits", Json::from(entry.journal.total_edits())),
+                    ("compactions", Json::from(entry.journal.compactions())),
+                    ("recoveries", Json::from(entry.recoveries)),
+                ]);
+                object(pairs)
+            }
+            "recover" => {
+                let Some(entry) = state.sessions.get_mut(&name) else {
+                    return fail(id, format!("unknown session '{name}'"));
+                };
+                let was_quarantined = entry.session.is_none();
+                match entry.journal.replay() {
+                    Ok(session) => {
+                        entry.session = Some(session);
+                        entry.recoveries += 1;
+                        Counters::bump(&self.counters.recoveries);
+                        object([
+                            ("id", id),
+                            ("ok", Json::Bool(true)),
+                            ("recovered", Json::Bool(true)),
+                            ("was_quarantined", Json::Bool(was_quarantined)),
+                            ("edits_replayed", Json::from(entry.journal.edits())),
+                            ("snapshot", Json::Bool(entry.journal.snapshotted())),
+                            (
+                                "verdict",
+                                verdict_json(entry.session.as_ref().expect("just set")),
+                            ),
+                        ])
+                    }
+                    Err(e) => fail(id, format!("recover failed: {e}")),
+                }
+            }
+            "close" => {
+                if state.sessions.remove(&name).is_some() {
+                    // Dropping the entry's journal syncs its WAL tail.
+                    object([
+                        ("id", id),
+                        ("ok", Json::Bool(true)),
+                        ("closed", Json::from(true)),
+                    ])
+                } else {
+                    fail(id, format!("unknown session '{name}'"))
+                }
+            }
+            other => fail(id, format!("unknown op '{other}'")),
+        }
+    }
+
+    fn edit(&self, entry: &mut SessionEntry, id: Json, request: &Json) -> Json {
+        let Some(kind) = request.get("kind").and_then(Json::as_str) else {
+            return fail(id, "edit needs a \"kind\"");
+        };
+        let name_of = |key: &str| -> Result<String, String> {
+            request
+                .get(key)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("edit kind '{kind}' needs \"{key}\""))
+        };
+        let value = || -> Result<u64, String> {
+            request
+                .get("value")
+                .and_then(Json::as_i64)
+                .and_then(|v| u64::try_from(v).ok())
+                .ok_or_else(|| format!("edit kind '{kind}' needs a non-negative \"value\""))
+        };
+        let resolve = |session: &Session, name: &str| -> Result<rsched_graph::VertexId, String> {
+            session
+                .vertex_named(name)
+                .ok_or_else(|| format!("no operation named '{name}'"))
+        };
+        let session = entry
+            .session
+            .as_mut()
+            .expect("caller verified live session");
+        // Each arm yields the engine outcome plus the name-keyed journal
+        // op that reproduces the edit on replay.
+        let (outcome, journal_op) = match kind {
+            "add_dep" => {
+                let (from, to) = match (name_of("from"), name_of("to")) {
+                    (Ok(f), Ok(t)) => (f, t),
+                    (Err(e), _) | (_, Err(e)) => return fail(id, e),
+                };
+                let (f, t) = match (resolve(session, &from), resolve(session, &to)) {
+                    (Ok(f), Ok(t)) => (f, t),
+                    (Err(e), _) | (_, Err(e)) => return fail(id, e),
+                };
+                (session.add_dependency(f, t), JournalOp::AddDep { from, to })
+            }
+            "add_min" => {
+                let (from, to, v) = match (name_of("from"), name_of("to"), value()) {
+                    (Ok(f), Ok(t), Ok(v)) => (f, t, v),
+                    (Err(e), ..) | (_, Err(e), _) | (.., Err(e)) => return fail(id, e),
+                };
+                let (f, t) = match (resolve(session, &from), resolve(session, &to)) {
+                    (Ok(f), Ok(t)) => (f, t),
+                    (Err(e), _) | (_, Err(e)) => return fail(id, e),
+                };
+                (
+                    session.add_min_constraint(f, t, v),
+                    JournalOp::AddMin { from, to, value: v },
+                )
+            }
+            "add_max" => {
+                let (from, to, v) = match (name_of("from"), name_of("to"), value()) {
+                    (Ok(f), Ok(t), Ok(v)) => (f, t, v),
+                    (Err(e), ..) | (_, Err(e), _) | (.., Err(e)) => return fail(id, e),
+                };
+                let (f, t) = match (resolve(session, &from), resolve(session, &to)) {
+                    (Ok(f), Ok(t)) => (f, t),
+                    (Err(e), _) | (_, Err(e)) => return fail(id, e),
+                };
+                (
+                    session.add_max_constraint(f, t, v),
+                    JournalOp::AddMax { from, to, value: v },
+                )
+            }
+            "remove_edge" => {
+                let (from, to) = match (name_of("from"), name_of("to")) {
+                    (Ok(f), Ok(t)) => (f, t),
+                    (Err(e), _) | (_, Err(e)) => return fail(id, e),
+                };
+                let (f, t) = match (resolve(session, &from), resolve(session, &to)) {
+                    (Ok(f), Ok(t)) => (f, t),
+                    (Err(e), _) | (_, Err(e)) => return fail(id, e),
+                };
+                match session.edge_between(f, t) {
+                    Some(e) => (session.remove_edge(e), JournalOp::RemoveEdge { from, to }),
+                    None => return fail(id, "no live edge between those operations"),
+                }
+            }
+            "set_delay" => {
+                let vertex_name = match name_of("vertex") {
+                    Ok(v) => v,
+                    Err(e) => return fail(id, e),
+                };
+                let v = match resolve(session, &vertex_name) {
+                    Ok(v) => v,
+                    Err(e) => return fail(id, e),
+                };
+                let delay = match request.get("delay") {
+                    Some(Json::Str(s)) if s == "unbounded" => ExecDelay::Unbounded,
+                    Some(d) => match d.as_i64().and_then(|v| u64::try_from(v).ok()) {
+                        Some(cycles) => ExecDelay::Fixed(cycles),
+                        None => {
+                            return fail(id, "\"delay\" must be a cycle count or \"unbounded\"")
+                        }
+                    },
+                    None => return fail(id, "edit kind 'set_delay' needs \"delay\""),
+                };
+                (
+                    session.set_delay(v, delay),
+                    JournalOp::SetDelay {
+                        vertex: vertex_name,
+                        delay,
+                    },
+                )
+            }
+            other => return fail(id, format!("unknown edit kind '{other}'")),
+        };
+        // Only accepted mutations are journaled: Rejected edits changed
+        // nothing and Unchanged edits replay to Unchanged anyway —
+        // skipping both keeps replay exact and the journal minimal.
+        if !matches!(
+            outcome,
+            EditOutcome::Rejected { .. } | EditOutcome::Unchanged
+        ) {
+            entry.journal.append(journal_op);
+            // Compaction point: the session just reached a post-edit
+            // state; if the delta is long enough and the state is
+            // snapshot-safe, fold it. An injected `journal::snapshot`
+            // panic unwinds to `execute`'s catch with the journal intact.
+            let session = entry.session.as_ref().expect("still live");
+            if entry.journal.maybe_compact(session) {
+                Counters::bump(&self.counters.snapshots);
+            }
+        }
+        outcome_json(entry.session.as_ref().expect("still live"), id, &outcome)
+    }
+}
+
+/// Everything a stdio worker needs that must outlive any one worker
+/// thread.
+struct Shared<W: Write> {
+    out: Mutex<CountingWriter<W>>,
+    router: Router,
+    /// Receivers live here — not in the worker — so queued jobs survive a
+    /// worker death and drain through its replacement.
+    receivers: Vec<Mutex<Receiver<Job>>>,
+    fault_scope: Option<u64>,
+    shed: AtomicUsize,
 }
 
 /// Runs the service until `input` reaches EOF, writing responses to
@@ -244,10 +791,6 @@ where
 {
     let n_workers = config.workers.max(1);
     let queue_depth = config.queue_depth.max(1);
-    if let Some(dir) = &config.journal_dir {
-        // Best-effort: a missing directory only disables the WAL mirror.
-        let _ = std::fs::create_dir_all(dir);
-    }
 
     let mut senders: Vec<SyncSender<Job>> = Vec::with_capacity(n_workers);
     let mut receivers: Vec<Mutex<Receiver<Job>>> = Vec::with_capacity(n_workers);
@@ -262,15 +805,13 @@ where
             responses: 0,
             errors: 0,
         }),
-        counters: Counters::default(),
-        slots: (0..n_workers)
-            .map(|_| Mutex::new(SlotState::default()))
-            .collect(),
+        router: Router::new(n_workers, config),
         receivers,
-        journal_dir: config.journal_dir.clone(),
         fault_scope: config.fault_scope,
+        shed: AtomicUsize::new(0),
     };
     let shared = &shared;
+    let respawned = AtomicUsize::new(0);
 
     thread::scope(|scope| -> io::Result<()> {
         let mut handles: Vec<Option<thread::ScopedJoinHandle<'_, ()>>> = (0..n_workers)
@@ -293,34 +834,15 @@ where
                 }
             };
             let id = request.get("id").cloned().unwrap_or(Json::Null);
-            // Validate the op at intake so a frame with a missing or
+            // Validation happens at intake so a frame with a missing or
             // unknown op is answered with its id echoed even when it also
             // lacks a "session" (which only known session ops require).
-            let op = match request.get("op").and_then(Json::as_str) {
-                Some(op) => op,
-                None => {
-                    respond(&shared.out, fail(id, "missing \"op\""))?;
+            let slot = match shared.router.route(&id, &request) {
+                Ok(slot) => slot,
+                Err(response) => {
+                    respond(&shared.out, response)?;
                     continue;
                 }
-            };
-            if !KNOWN_OPS.contains(&op) {
-                respond(&shared.out, fail(id, format!("unknown op '{op}'")))?;
-                continue;
-            }
-            if let Some(error) = resource_violation(&request, op, config) {
-                respond(&shared.out, fail(id, error))?;
-                continue;
-            }
-            // `batch_schedule` is stateless (it opens no session), so it is
-            // spread over workers by request id instead of a session pin.
-            let slot = if op == "batch_schedule" {
-                pin(&id.render(), n_workers)
-            } else {
-                let Some(session) = request.get("session").and_then(Json::as_str) else {
-                    respond(&shared.out, fail(id, "missing \"session\""))?;
-                    continue;
-                };
-                pin(session, n_workers)
             };
             let deadline = request
                 .get("deadline_ms")
@@ -340,15 +862,15 @@ where
             if handles[slot].as_ref().is_some_and(|h| h.is_finished()) {
                 let died = handles[slot].take().expect("checked above").join().is_err();
                 if died {
-                    Counters::bump(&shared.counters.respawned);
+                    respawned.fetch_add(1, Ordering::Relaxed);
                 }
                 handles[slot] = Some(scope.spawn(move || worker(slot, shared)));
             }
             match senders[slot].try_send(job) {
                 Ok(()) => {}
                 Err(TrySendError::Full(job)) => {
-                    Counters::bump(&shared.counters.shed);
-                    respond(&shared.out, overloaded(job.id))?;
+                    shared.shed.fetch_add(1, Ordering::Relaxed);
+                    respond(&shared.out, overloaded_response(job.id))?;
                 }
                 // The receiver lives in `shared` for the whole scope, so
                 // disconnection is impossible; answer in-band anyway
@@ -370,7 +892,7 @@ where
                 if h.join().is_ok() {
                     break;
                 }
-                Counters::bump(&shared.counters.respawned);
+                respawned.fetch_add(1, Ordering::Relaxed);
                 attempts += 1;
                 if attempts > MAX_RESPAWNS_AT_EOF {
                     drain_inline(slot, shared);
@@ -383,76 +905,26 @@ where
     })?;
 
     let writer = shared.out.lock().unwrap_or_else(PoisonError::into_inner);
-    let c = &shared.counters;
+    let router_stats = shared.router.stats();
     Ok(ServeSummary {
         requests: writer.responses,
         errors: writer.errors,
-        sessions_opened: c.opened.load(Ordering::Relaxed),
-        panics: c.panics.load(Ordering::Relaxed),
-        quarantined: c.quarantined.load(Ordering::Relaxed),
-        recoveries: c.recoveries.load(Ordering::Relaxed),
-        shed: c.shed.load(Ordering::Relaxed),
-        workers_respawned: c.respawned.load(Ordering::Relaxed),
+        sessions_opened: router_stats.sessions_opened,
+        panics: router_stats.panics,
+        quarantined: router_stats.quarantined,
+        recoveries: router_stats.recoveries,
+        snapshots: router_stats.snapshots,
+        shed: shared.shed.load(Ordering::Relaxed),
+        workers_respawned: respawned.load(Ordering::Relaxed),
     })
 }
 
-/// Checks `open`/`batch_schedule` designs against the configured size
-/// limits, counting declared `op` and constraint lines without a full
-/// parse. Returns the exact in-band error for the first violation.
-fn resource_violation(request: &Json, op: &str, config: &ServeConfig) -> Option<String> {
-    if config.max_ops.is_none() && config.max_edges.is_none() {
-        return None;
-    }
-    let check = |design: &str, label: &str| -> Option<String> {
-        let (mut ops, mut edges) = (0usize, 0usize);
-        for line in design.lines() {
-            let line = line.trim_start();
-            if line.starts_with("op ") {
-                ops += 1;
-            } else if line.starts_with("dep ")
-                || line.starts_with("min ")
-                || line.starts_with("max ")
-            {
-                edges += 1;
-            }
-        }
-        if let Some(m) = config.max_ops {
-            if ops > m {
-                return Some(format!(
-                    "resource limit exceeded: design{label} has {ops} operations, limit {m}"
-                ));
-            }
-        }
-        if let Some(m) = config.max_edges {
-            if edges > m {
-                return Some(format!(
-                    "resource limit exceeded: design{label} has {edges} constraint edges, limit {m}"
-                ));
-            }
-        }
-        None
-    };
-    match op {
-        "open" => check(request.get("design").and_then(Json::as_str)?, ""),
-        "batch_schedule" => {
-            for entry in request.get("designs").and_then(Json::as_array)? {
-                let Some(design) = entry.get("design").and_then(Json::as_str) else {
-                    continue;
-                };
-                let name = entry.get("name").and_then(Json::as_str).unwrap_or("");
-                if let Some(err) = check(design, &format!(" '{name}'")) {
-                    return Some(err);
-                }
-            }
-            None
-        }
-        _ => None,
-    }
-}
-
-/// FNV-1a pin of a session name to a worker slot.
-fn pin(session: &str, n_workers: usize) -> usize {
-    (fnv1a(session) % n_workers as u64) as usize
+/// FNV-1a pin of a session name (or other key) to one of `n_shards`
+/// slots. Public so every transport shards identically: a session served
+/// over the socket listener lands on the same kind of slot as over
+/// stdio, and a client can predict co-location.
+pub fn shard_of(key: &str, n_shards: usize) -> usize {
+    (fnv1a(key) % n_shards.max(1) as u64) as usize
 }
 
 fn fnv1a(s: &str) -> u64 {
@@ -499,7 +971,9 @@ fn respond<W: Write>(out: &Mutex<CountingWriter<W>>, response: Json) -> io::Resu
     guard.inner.flush()
 }
 
-fn fail(id: Json, message: impl Into<String>) -> Json {
+/// The standard `{"id":…,"ok":false,"error":…}` response. Public so
+/// every transport shapes errors identically.
+pub fn error_response(id: Json, message: impl Into<String>) -> Json {
     object([
         ("id", id),
         ("ok", Json::Bool(false)),
@@ -507,9 +981,15 @@ fn fail(id: Json, message: impl Into<String>) -> Json {
     ])
 }
 
+/// Internal shorthand for [`error_response`].
+fn fail(id: Json, message: impl Into<String>) -> Json {
+    error_response(id, message)
+}
+
 /// The in-band load-shedding response: still `{"id":…,"ok":false,…}` so
-/// generic clients treat it as an error, plus a retry hint.
-fn overloaded(id: Json) -> Json {
+/// generic clients treat it as an error, plus a retry hint. Public so
+/// every transport sheds identically.
+pub fn overloaded_response(id: Json) -> Json {
     object([
         ("id", id),
         ("ok", Json::Bool(false)),
@@ -533,62 +1013,37 @@ fn worker<W: Write + Send>(slot: usize, shared: &Shared<W>) {
             let rx = lock_recover(&shared.receivers[slot]);
             rx.recv()
         };
-        let Ok(job) = job else { return };
+        let Ok(job) = job else {
+            shared.router.sync_journals(slot);
+            return;
+        };
         if process(slot, shared, job).is_err() {
             return; // Output gone; nothing sensible left to do.
         }
+        // Batch drain: answer everything already queued, then group-
+        // commit the batch's WAL lines with a single sync per journal.
+        loop {
+            let _ = rsched_graph::failpoint!("serve::worker_kill");
+            let job = {
+                let rx = lock_recover(&shared.receivers[slot]);
+                rx.try_recv()
+            };
+            let Ok(job) = job else { break };
+            if process(slot, shared, job).is_err() {
+                return;
+            }
+        }
+        shared.router.sync_journals(slot);
     }
 }
 
-/// Executes one job against the slot's shared session table, isolating
-/// panics: a panicking handler yields an in-band `worker_panic` error and
-/// quarantines the targeted session instead of killing the worker.
+/// Executes one job against the router, honoring its deadline.
 fn process<W: Write + Send>(slot: usize, shared: &Shared<W>, job: Job) -> io::Result<()> {
     let expired = job.deadline.is_some_and(|d| job.accepted.elapsed() > d);
     let response = if expired {
-        fail(job.id, "deadline exceeded before execution")
+        fail(job.id, DEADLINE_ERROR)
     } else {
-        let session_name = job
-            .request
-            .get("session")
-            .and_then(Json::as_str)
-            .map(str::to_owned);
-        let id = job.id.clone();
-        let mut state = lock_recover(&shared.slots[slot]);
-        // The catch is *inside* the lock scope: the guard drops normally,
-        // so the slot mutex is never poisoned by a request panic.
-        match catch_unwind(AssertUnwindSafe(|| {
-            handle(&mut state, job.id, &job.request, shared)
-        })) {
-            Ok(response) => response,
-            Err(payload) => {
-                Counters::bump(&shared.counters.panics);
-                // `&payload` would downcast against the `Box` itself;
-                // deref to reach the boxed payload.
-                let msg = panic_message(&*payload);
-                let quarantined = session_name.as_deref().is_some_and(|name| {
-                    let taken = state
-                        .sessions
-                        .get_mut(name)
-                        .is_some_and(|entry| entry.session.take().is_some());
-                    if taken {
-                        Counters::bump(&shared.counters.quarantined);
-                    }
-                    taken
-                });
-                let mut pairs = vec![
-                    ("id", id),
-                    ("ok", Json::Bool(false)),
-                    ("error", Json::Str(format!("worker_panic: {msg}"))),
-                    ("quarantined", Json::Bool(quarantined)),
-                ];
-                if let Some(name) = session_name.filter(|_| quarantined) {
-                    pairs.push(("session", Json::Str(name)));
-                    pairs.push(("recover_with", Json::Str("recover".to_owned())));
-                }
-                object(pairs)
-            }
-        }
+        shared.router.execute(slot, job.id, &job.request)
     };
     respond(&shared.out, response)
 }
@@ -603,7 +1058,10 @@ fn drain_inline<W: Write + Send>(slot: usize, shared: &Shared<W>) {
             let rx = lock_recover(&shared.receivers[slot]);
             rx.try_recv()
         };
-        let Ok(job) = job else { return };
+        let Ok(job) = job else {
+            shared.router.sync_journals(slot);
+            return;
+        };
         if process(slot, shared, job).is_err() {
             return;
         }
@@ -617,176 +1075,6 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
         s.clone()
     } else {
         "non-string panic payload".to_owned()
-    }
-}
-
-fn handle<W: Write>(state: &mut SlotState, id: Json, request: &Json, shared: &Shared<W>) -> Json {
-    // Per-request fault site: an Error action is surfaced in-band, a
-    // Panic action exercises the quarantine path, a Delay action stalls
-    // the worker (for overload tests). One relaxed load when disarmed.
-    if let Some(msg) = rsched_graph::failpoint!("serve::handle") {
-        return fail(id, format!("injected fault: {msg}"));
-    }
-    let op = match request.get("op").and_then(Json::as_str) {
-        Some(op) => op,
-        None => return fail(id, "missing \"op\""),
-    };
-    if op == "batch_schedule" {
-        return batch_schedule(id, request);
-    }
-    let name = request
-        .get("session")
-        .and_then(Json::as_str)
-        .expect("dispatcher verified")
-        .to_owned();
-    match op {
-        "open" => {
-            let Some(design) = request.get("design").and_then(Json::as_str) else {
-                return fail(id, "open needs a \"design\" (graph text format)");
-            };
-            let graph = match ConstraintGraph::from_text(design) {
-                Ok(g) => g,
-                Err(e) => return fail(id, format!("bad design: {e}")),
-            };
-            let session = match Session::open(graph) {
-                Ok(s) => s,
-                Err(e) => return fail(id, format!("cannot open session: {e}")),
-            };
-            Counters::bump(&shared.counters.opened);
-            let wal = shared
-                .journal_dir
-                .as_ref()
-                .map(|dir| dir.join(wal_file_name(&name)));
-            let journal = Journal::open(design.to_owned(), wal);
-            let body = [
-                ("vertices", Json::from(session.graph().n_vertices())),
-                ("edges", Json::from(session.graph().n_edges())),
-                ("anchors", Json::from(session.graph().n_anchors())),
-                ("verdict", verdict_json(&session)),
-            ];
-            let replaced = state
-                .sessions
-                .insert(
-                    name,
-                    SessionEntry {
-                        session: Some(session),
-                        journal,
-                        recoveries: 0,
-                    },
-                )
-                .is_some();
-            let mut pairs = vec![("id", id), ("ok", Json::Bool(true))];
-            pairs.extend(body);
-            pairs.push(("replaced", Json::Bool(replaced)));
-            object(pairs)
-        }
-        "edit" => with_live(state, &name, id, |id, entry| edit(entry, id, request)),
-        "schedule" => with_live(state, &name, id, |id, entry| {
-            let s = entry.session.as_ref().expect("with_live verified");
-            let mut pairs = vec![
-                ("id", id),
-                ("ok", Json::Bool(true)),
-                ("verdict", verdict_json(s)),
-            ];
-            if let Some(omega) = s.schedule() {
-                let anchors = Json::Array(
-                    omega
-                        .anchors()
-                        .iter()
-                        .map(|&a| Json::from(s.graph().vertex(a).name()))
-                        .collect(),
-                );
-                let offsets = Json::Object(
-                    s.graph()
-                        .vertex_ids()
-                        .map(|v| {
-                            let row = Json::Object(
-                                omega
-                                    .offsets_of(v)
-                                    .map(|(a, o)| {
-                                        (s.graph().vertex(a).name().to_owned(), Json::Int(o))
-                                    })
-                                    .collect(),
-                            );
-                            (s.graph().vertex(v).name().to_owned(), row)
-                        })
-                        .collect(),
-                );
-                pairs.push(("anchors", anchors));
-                pairs.push(("offsets", offsets));
-                pairs.push(("stale", Json::Bool(!s.posedness().is_well_posed())));
-            }
-            object(pairs)
-        }),
-        "stats" => {
-            // Unlike edit/schedule, stats answers for quarantined
-            // sessions too — operators need to see the journal state to
-            // decide whether to recover or close.
-            let Some(entry) = state.sessions.get(&name) else {
-                return fail(id, format!("unknown session '{name}'"));
-            };
-            let mut pairs = vec![("id", id), ("ok", Json::Bool(true))];
-            if let Some(s) = &entry.session {
-                let st = s.stats();
-                pairs.extend([
-                    ("edits", Json::from(st.edits)),
-                    ("rejected", Json::from(st.rejected)),
-                    ("noops", Json::from(st.noops)),
-                    ("reschedules", Json::from(st.reschedules)),
-                    ("warm_anchor_columns", Json::from(st.warm_anchor_columns)),
-                    ("cold_anchor_columns", Json::from(st.cold_anchor_columns)),
-                    ("iterations", Json::from(st.iterations)),
-                    ("ill_posed", Json::from(st.ill_posed)),
-                    ("unfeasible", Json::from(st.unfeasible)),
-                    ("containment_checks", Json::from(st.containment_checks)),
-                    ("vertices", Json::from(s.graph().n_vertices())),
-                    ("edges", Json::from(s.graph().n_edges())),
-                ]);
-            }
-            pairs.extend([
-                ("quarantined", Json::Bool(entry.session.is_none())),
-                ("journal_len", Json::from(entry.journal.edits())),
-                ("recoveries", Json::from(entry.recoveries)),
-            ]);
-            object(pairs)
-        }
-        "recover" => {
-            let Some(entry) = state.sessions.get_mut(&name) else {
-                return fail(id, format!("unknown session '{name}'"));
-            };
-            let was_quarantined = entry.session.is_none();
-            match entry.journal.replay() {
-                Ok(session) => {
-                    entry.session = Some(session);
-                    entry.recoveries += 1;
-                    Counters::bump(&shared.counters.recoveries);
-                    object([
-                        ("id", id),
-                        ("ok", Json::Bool(true)),
-                        ("recovered", Json::Bool(true)),
-                        ("was_quarantined", Json::Bool(was_quarantined)),
-                        ("edits_replayed", Json::from(entry.journal.edits())),
-                        (
-                            "verdict",
-                            verdict_json(entry.session.as_ref().expect("just set")),
-                        ),
-                    ])
-                }
-                Err(e) => fail(id, format!("recover failed: {e}")),
-            }
-        }
-        "close" => {
-            if state.sessions.remove(&name).is_some() {
-                object([
-                    ("id", id),
-                    ("ok", Json::Bool(true)),
-                    ("closed", Json::from(true)),
-                ])
-            } else {
-                fail(id, format!("unknown session '{name}'"))
-            }
-        }
-        other => fail(id, format!("unknown op '{other}'")),
     }
 }
 
@@ -933,128 +1221,6 @@ fn with_live(
         ),
         Some(entry) => f(id, entry),
     }
-}
-
-fn edit(entry: &mut SessionEntry, id: Json, request: &Json) -> Json {
-    let Some(kind) = request.get("kind").and_then(Json::as_str) else {
-        return fail(id, "edit needs a \"kind\"");
-    };
-    let name_of = |key: &str| -> Result<String, String> {
-        request
-            .get(key)
-            .and_then(Json::as_str)
-            .map(str::to_owned)
-            .ok_or_else(|| format!("edit kind '{kind}' needs \"{key}\""))
-    };
-    let value = || -> Result<u64, String> {
-        request
-            .get("value")
-            .and_then(Json::as_i64)
-            .and_then(|v| u64::try_from(v).ok())
-            .ok_or_else(|| format!("edit kind '{kind}' needs a non-negative \"value\""))
-    };
-    let resolve = |session: &Session, name: &str| -> Result<rsched_graph::VertexId, String> {
-        session
-            .vertex_named(name)
-            .ok_or_else(|| format!("no operation named '{name}'"))
-    };
-    let session = entry
-        .session
-        .as_mut()
-        .expect("caller verified live session");
-    // Each arm yields the engine outcome plus the name-keyed journal op
-    // that reproduces the edit on replay.
-    let (outcome, journal_op) = match kind {
-        "add_dep" => {
-            let (from, to) = match (name_of("from"), name_of("to")) {
-                (Ok(f), Ok(t)) => (f, t),
-                (Err(e), _) | (_, Err(e)) => return fail(id, e),
-            };
-            let (f, t) = match (resolve(session, &from), resolve(session, &to)) {
-                (Ok(f), Ok(t)) => (f, t),
-                (Err(e), _) | (_, Err(e)) => return fail(id, e),
-            };
-            (session.add_dependency(f, t), JournalOp::AddDep { from, to })
-        }
-        "add_min" => {
-            let (from, to, v) = match (name_of("from"), name_of("to"), value()) {
-                (Ok(f), Ok(t), Ok(v)) => (f, t, v),
-                (Err(e), ..) | (_, Err(e), _) | (.., Err(e)) => return fail(id, e),
-            };
-            let (f, t) = match (resolve(session, &from), resolve(session, &to)) {
-                (Ok(f), Ok(t)) => (f, t),
-                (Err(e), _) | (_, Err(e)) => return fail(id, e),
-            };
-            (
-                session.add_min_constraint(f, t, v),
-                JournalOp::AddMin { from, to, value: v },
-            )
-        }
-        "add_max" => {
-            let (from, to, v) = match (name_of("from"), name_of("to"), value()) {
-                (Ok(f), Ok(t), Ok(v)) => (f, t, v),
-                (Err(e), ..) | (_, Err(e), _) | (.., Err(e)) => return fail(id, e),
-            };
-            let (f, t) = match (resolve(session, &from), resolve(session, &to)) {
-                (Ok(f), Ok(t)) => (f, t),
-                (Err(e), _) | (_, Err(e)) => return fail(id, e),
-            };
-            (
-                session.add_max_constraint(f, t, v),
-                JournalOp::AddMax { from, to, value: v },
-            )
-        }
-        "remove_edge" => {
-            let (from, to) = match (name_of("from"), name_of("to")) {
-                (Ok(f), Ok(t)) => (f, t),
-                (Err(e), _) | (_, Err(e)) => return fail(id, e),
-            };
-            let (f, t) = match (resolve(session, &from), resolve(session, &to)) {
-                (Ok(f), Ok(t)) => (f, t),
-                (Err(e), _) | (_, Err(e)) => return fail(id, e),
-            };
-            match session.edge_between(f, t) {
-                Some(e) => (session.remove_edge(e), JournalOp::RemoveEdge { from, to }),
-                None => return fail(id, "no live edge between those operations"),
-            }
-        }
-        "set_delay" => {
-            let vertex_name = match name_of("vertex") {
-                Ok(v) => v,
-                Err(e) => return fail(id, e),
-            };
-            let v = match resolve(session, &vertex_name) {
-                Ok(v) => v,
-                Err(e) => return fail(id, e),
-            };
-            let delay = match request.get("delay") {
-                Some(Json::Str(s)) if s == "unbounded" => ExecDelay::Unbounded,
-                Some(d) => match d.as_i64().and_then(|v| u64::try_from(v).ok()) {
-                    Some(cycles) => ExecDelay::Fixed(cycles),
-                    None => return fail(id, "\"delay\" must be a cycle count or \"unbounded\""),
-                },
-                None => return fail(id, "edit kind 'set_delay' needs \"delay\""),
-            };
-            (
-                session.set_delay(v, delay),
-                JournalOp::SetDelay {
-                    vertex: vertex_name,
-                    delay,
-                },
-            )
-        }
-        other => return fail(id, format!("unknown edit kind '{other}'")),
-    };
-    // Only accepted mutations are journaled: Rejected edits changed
-    // nothing and Unchanged edits replay to Unchanged anyway — skipping
-    // both keeps replay exact and the journal minimal.
-    if !matches!(
-        outcome,
-        EditOutcome::Rejected { .. } | EditOutcome::Unchanged
-    ) {
-        entry.journal.append(journal_op);
-    }
-    outcome_json(entry.session.as_ref().expect("still live"), id, &outcome)
 }
 
 fn outcome_json(session: &Session, id: Json, outcome: &EditOutcome) -> Json {
@@ -1204,6 +1370,8 @@ mod tests {
         let stats = by_id(&responses, 4);
         assert!(stats.get("reschedules").and_then(Json::as_i64) >= Some(2));
         assert_eq!(stats.get("journal_len"), Some(&Json::Int(1)));
+        assert_eq!(stats.get("total_edits"), Some(&Json::Int(1)));
+        assert_eq!(stats.get("compactions"), Some(&Json::Int(0)));
         assert_eq!(stats.get("quarantined"), Some(&Json::Bool(false)));
         assert_eq!(by_id(&responses, 5).get("ok"), Some(&Json::Bool(true)));
         // After close, the session is gone.
@@ -1473,6 +1641,7 @@ mod tests {
         assert_eq!(recover.get("ok"), Some(&Json::Bool(true)));
         assert_eq!(recover.get("was_quarantined"), Some(&Json::Bool(true)));
         assert_eq!(recover.get("edits_replayed"), Some(&Json::Int(1)));
+        assert_eq!(recover.get("snapshot"), Some(&Json::Bool(false)));
         // …and the schedule afterwards reflects exactly that edit.
         let sched = by_id(&responses, 7);
         assert_eq!(sched.get("ok"), Some(&Json::Bool(true)));
@@ -1492,7 +1661,7 @@ mod tests {
     fn worker_death_respawns_and_loses_nothing() {
         const SCOPE: u64 = 0x5e42;
         let design = DESIGN.replace('\n', "\\n");
-        // The kill site is evaluated once per worker loop, before recv:
+        // The kill site is evaluated once per job attempt, before recv:
         // skip 1 lets the open through, then the worker dies with the
         // remaining jobs queued. The replacement drains them.
         let _g = failpoint::arm(
@@ -1725,8 +1894,69 @@ mod tests {
         assert_eq!(summary.errors, 0);
         let wal = dir.join(wal_file_name("my session!"));
         let text = std::fs::read_to_string(&wal).expect("WAL mirror written");
-        assert_eq!(text.lines().count(), 2, "open + one accepted edit");
+        assert_eq!(
+            text.lines().count(),
+            2,
+            "open + one accepted edit, group-committed by EOF"
+        );
         assert!(text.lines().nth(1).unwrap().contains("\"op\":\"add_min\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_every_compacts_and_recovery_replays_delta_only() {
+        let dir = std::env::temp_dir().join(format!("rsched_serve_snap_{}", std::process::id()));
+        let design = DESIGN.replace('\n', "\\n");
+        // Five accepted edits with snapshot_every=2: compactions after
+        // edits 2 and 4, leaving a 1-edit delta.
+        let mut lines = vec![req(1, "s", &format!(r#""op":"open","design":"{design}""#))];
+        for (i, v) in [3i64, 1, 4, 2, 3].iter().enumerate() {
+            lines.push(req(
+                i as i64 + 2,
+                "s",
+                &format!(r#""op":"edit","kind":"set_delay","vertex":"alu","delay":{v}"#),
+            ));
+        }
+        lines.push(req(10, "s", r#""op":"stats""#));
+        lines.push(req(11, "s", r#""op":"recover""#));
+        lines.push(req(12, "s", r#""op":"schedule""#));
+        let (responses, summary) = run_lines(
+            &lines,
+            &ServeConfig {
+                workers: 1,
+                snapshot_every: 2,
+                journal_dir: Some(dir.clone()),
+                ..ServeConfig::default()
+            },
+        );
+        assert_eq!(summary.errors, 0);
+        assert_eq!(summary.snapshots, 2);
+        let stats = by_id(&responses, 10);
+        assert_eq!(stats.get("journal_len"), Some(&Json::Int(1)));
+        assert_eq!(stats.get("total_edits"), Some(&Json::Int(5)));
+        assert_eq!(stats.get("compactions"), Some(&Json::Int(2)));
+        let recover = by_id(&responses, 11);
+        assert_eq!(recover.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(
+            recover.get("edits_replayed"),
+            Some(&Json::Int(1)),
+            "recovery replays only the post-snapshot delta"
+        );
+        assert_eq!(recover.get("snapshot"), Some(&Json::Bool(true)));
+        // The recovered schedule reflects the full edit history: the
+        // last set_delay put alu at 3, so out trails sync by 3.
+        let sigma = by_id(&responses, 12)
+            .get("offsets")
+            .and_then(|o| o.get("out"))
+            .and_then(|r| r.get("sync"))
+            .and_then(Json::as_i64);
+        assert_eq!(sigma, Some(3));
+        // The WAL was rewritten to snapshot + delta, not full history.
+        let wal = dir.join(wal_file_name("s"));
+        let text = std::fs::read_to_string(&wal).expect("WAL mirror written");
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].contains("\"op\":\"snapshot\""), "{text}");
+        assert_eq!(lines.len(), 2, "snapshot base + 1 delta edit");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,198 @@
+//! `rsched-net` — the sharded socket server behind `rsched serve
+//! --listen`.
+//!
+//! The stdio service in `rsched-engine` talks to exactly one client over
+//! one byte stream. This crate mounts the very same transport-agnostic
+//! [`rsched_engine::Router`] behind a socket listener (TCP or unix
+//! domain), accepting many concurrent client connections with the same
+//! JSON-lines framing and the same response shapes — a request stream
+//! produces **bit-identical** responses whether it arrives over stdio or
+//! over a socket, which the oracle crate's net fuzzer checks round by
+//! round.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  clients ──► accept loop ──► reader thread per connection
+//!                                 │  parse / route / quotas
+//!                                 ▼
+//!                     shard queues (bounded sync_channel)
+//!                         │ shard_of(session) % shards
+//!                         ▼
+//!              shard worker threads (supervised, respawn on kill)
+//!                  Router::execute ──► connection writer (locked)
+//! ```
+//!
+//! - **Sharding.** Each session is pinned to one shard by
+//!   [`rsched_engine::shard_of`] of its name — the identical consistent
+//!   hash the stdio loop uses — so a session's ops execute in dispatch
+//!   order on one thread with no global lock, even when several
+//!   connections touch the same session. Responses are written back to
+//!   the *originating* connection under a per-connection writer lock.
+//! - **Fault tolerance.** Shard workers run under a supervisor that
+//!   respawns them when an injected `serve::worker_kill` (or an organic
+//!   bug outside the per-request catch) takes one down; queued jobs and
+//!   session tables live in shared state, so nothing is lost. Per-request
+//!   panic isolation, quarantine, journaling, snapshot compaction, and
+//!   recovery all come with the router. The `net::accept` failpoint
+//!   covers the accept path itself: an injected error answers the new
+//!   connection in-band and drops it; an injected panic is caught and
+//!   the listener keeps accepting.
+//! - **Admission control.** The router's `max_ops`/`max_edges` design
+//!   limits and the bounded shard queues (shed with `overloaded` +
+//!   `retry_after_ms`) work as in the stdio loop. On top, per-connection
+//!   quotas: [`NetConfig::max_sessions_per_conn`] caps how many distinct
+//!   sessions one connection may hold open, and
+//!   [`NetConfig::max_inflight_per_conn`] caps its pipelined requests;
+//!   both answer in-band with a `"quota exceeded: …"` error so one
+//!   greedy tenant cannot monopolize the shard queues.
+//!
+//! # Lifecycle
+//!
+//! [`NetServer::bind`] binds the listener (use port `0` to let the OS
+//! pick), [`NetServer::run`] serves until [`ShutdownHandle::shutdown`]
+//! is called *and* every client connection has reached EOF, then returns
+//! a [`NetSummary`]. The stdio loop remains available as `rsched serve
+//! --stdio` for pipelines and backward compatibility.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::path::PathBuf;
+
+use rsched_engine::ServeConfig;
+
+mod server;
+
+pub use server::{NetServer, ShutdownHandle};
+
+/// Where the server listens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Listen {
+    /// A TCP socket address (`ip:port`; port `0` = OS-assigned).
+    Tcp(std::net::SocketAddr),
+    /// A unix domain socket path (any stale socket file is replaced).
+    Unix(PathBuf),
+}
+
+impl Listen {
+    /// Parses a `--listen` value: a spec containing `/` is a unix socket
+    /// path, anything else must be a full `ip:port` socket address.
+    ///
+    /// # Errors
+    ///
+    /// Returns the exact usage message for malformed specs.
+    pub fn parse(spec: &str) -> Result<Listen, String> {
+        if spec.contains('/') {
+            return Ok(Listen::Unix(PathBuf::from(spec)));
+        }
+        spec.parse()
+            .map(Listen::Tcp)
+            .map_err(|_| format!(
+                "--listen expects <ip:port> (e.g. 127.0.0.1:7070) or a unix socket path containing '/', got '{spec}'"
+            ))
+    }
+}
+
+impl fmt::Display for Listen {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Listen::Tcp(addr) => write!(f, "{addr}"),
+            Listen::Unix(path) => write!(f, "{}", path.display()),
+        }
+    }
+}
+
+/// Tuning knobs for [`NetServer`].
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Listener address.
+    pub listen: Listen,
+    /// Engine/router settings shared with the stdio loop: `workers`
+    /// becomes the shard count; deadlines, queue depth, design limits,
+    /// journal dir, snapshot interval, and fault scope keep their stdio
+    /// semantics.
+    pub engine: ServeConfig,
+    /// Most distinct sessions one connection may hold open at once
+    /// (`open` of a session already counted is a replace, `close` frees
+    /// a slot). `None` = unlimited.
+    pub max_sessions_per_conn: Option<usize>,
+    /// Most requests one connection may have in flight (dispatched but
+    /// not yet answered). `None` = unlimited.
+    pub max_inflight_per_conn: Option<usize>,
+}
+
+impl NetConfig {
+    /// A config listening on `listen` with stdio-default engine settings
+    /// and no per-connection quotas.
+    pub fn new(listen: Listen) -> NetConfig {
+        NetConfig {
+            listen,
+            engine: ServeConfig::default(),
+            max_sessions_per_conn: None,
+            max_inflight_per_conn: None,
+        }
+    }
+}
+
+/// What a [`NetServer::run`] processed, returned after shutdown.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetSummary {
+    /// Connections accepted (including ones dropped by `net::accept`
+    /// faults).
+    pub connections: usize,
+    /// Requests answered (including errors), across all connections.
+    pub requests: usize,
+    /// Requests answered with `"ok":false`.
+    pub errors: usize,
+    /// `open` requests that created a session.
+    pub sessions_opened: usize,
+    /// Request handlers that panicked (answered in-band).
+    pub panics: usize,
+    /// Sessions quarantined after a panic.
+    pub quarantined: usize,
+    /// Successful `recover` replays.
+    pub recoveries: usize,
+    /// Journal compactions (snapshots taken).
+    pub snapshots: usize,
+    /// Requests shed because a shard queue was full.
+    pub shed: usize,
+    /// Requests rejected by per-connection quotas.
+    pub quota_rejections: usize,
+    /// Shard worker threads respawned after dying outright.
+    pub shards_respawned: usize,
+    /// Connections answered-and-dropped or panicked by the `net::accept`
+    /// failpoint.
+    pub accept_faults: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn listen_parses_tcp_unix_and_rejects_garbage() {
+        assert_eq!(
+            Listen::parse("127.0.0.1:7070"),
+            Ok(Listen::Tcp("127.0.0.1:7070".parse().unwrap()))
+        );
+        assert_eq!(
+            Listen::parse("/tmp/rsched.sock"),
+            Ok(Listen::Unix(PathBuf::from("/tmp/rsched.sock")))
+        );
+        // Relative paths work too — anything with a '/'.
+        assert_eq!(
+            Listen::parse("run/s.sock"),
+            Ok(Listen::Unix(PathBuf::from("run/s.sock")))
+        );
+        let err = Listen::parse("localhost:7070").unwrap_err();
+        assert_eq!(
+            err,
+            "--listen expects <ip:port> (e.g. 127.0.0.1:7070) or a unix socket path containing \
+             '/', got 'localhost:7070'"
+        );
+        assert!(Listen::parse("7070").is_err());
+        assert!(Listen::parse("").is_err());
+    }
+}

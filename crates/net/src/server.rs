@@ -1,0 +1,494 @@
+//! The socket listener, connection readers, and supervised shard
+//! workers; see the crate docs for the architecture.
+
+use std::collections::HashSet;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use rsched_engine::json::Json;
+use rsched_engine::{error_response, overloaded_response, Router, DEADLINE_ERROR};
+use rsched_graph::failpoint;
+
+use crate::{Listen, NetConfig, NetSummary};
+
+/// One accepted client stream, TCP or unix — the two are identical from
+/// the framing up.
+enum Stream {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Stream {
+    fn try_clone(&self) -> io::Result<Stream> {
+        match self {
+            Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
+            Stream::Unix(s) => s.try_clone().map(Stream::Unix),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    Unix(UnixListener),
+}
+
+impl Listener {
+    fn accept(&self) -> io::Result<Stream> {
+        match self {
+            Listener::Tcp(l) => l.accept().map(|(s, _)| {
+                // Responses are single small lines; without TCP_NODELAY
+                // each round trip stalls on Nagle + delayed ACK (~40 ms).
+                let _ = s.set_nodelay(true);
+                Stream::Tcp(s)
+            }),
+            Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
+        }
+    }
+}
+
+/// Per-connection state shared between its reader thread and the shard
+/// workers answering its requests.
+struct Conn {
+    /// Writer half; every response line is written and flushed under
+    /// this lock so concurrent shards never interleave bytes.
+    writer: Mutex<Stream>,
+    /// Requests dispatched to a shard but not yet answered.
+    inflight: AtomicUsize,
+}
+
+struct ShardJob {
+    id: Json,
+    request: Json,
+    accepted: Instant,
+    deadline: Option<Duration>,
+    conn: Arc<Conn>,
+}
+
+/// Everything shard workers and connection readers share; outlives any
+/// individual worker thread (they are respawned on kill).
+struct NetShared {
+    router: Router,
+    /// Receivers live here — not in the workers — so queued jobs survive
+    /// a shard death and drain through its replacement.
+    receivers: Vec<Mutex<Receiver<ShardJob>>>,
+    fault_scope: Option<u64>,
+    responses: AtomicUsize,
+    errors: AtomicUsize,
+    shed: AtomicUsize,
+    quota_rejections: AtomicUsize,
+    respawned: AtomicUsize,
+    accept_faults: AtomicUsize,
+    connections: AtomicUsize,
+}
+
+/// See `rsched_engine::service`: poisoning here only ever means a panic
+/// was already handled elsewhere; the data is consistent by construction.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Asks a running [`NetServer`] to stop accepting connections.
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    flag: Arc<AtomicBool>,
+    target: Listen,
+}
+
+impl ShutdownHandle {
+    /// Signals shutdown and nudges the accept loop awake with a throwaway
+    /// connection. [`NetServer::run`] still drains every connected
+    /// client to EOF before returning.
+    pub fn shutdown(&self) {
+        self.flag.store(true, Ordering::Release);
+        match &self.target {
+            Listen::Tcp(addr) => drop(TcpStream::connect(addr)),
+            Listen::Unix(path) => drop(UnixStream::connect(path)),
+        }
+    }
+}
+
+/// A bound socket server; see the crate docs.
+pub struct NetServer {
+    listener: Listener,
+    resolved: Listen,
+    config: NetConfig,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl NetServer {
+    /// Binds the configured listener. For TCP, port `0` asks the OS for
+    /// a free port — read the outcome from [`NetServer::local_addr`]. A
+    /// stale unix socket file left by a dead process is replaced.
+    ///
+    /// # Errors
+    ///
+    /// Any bind failure (port in use, bad permissions, …).
+    pub fn bind(config: NetConfig) -> io::Result<NetServer> {
+        let (listener, resolved) = match &config.listen {
+            Listen::Tcp(addr) => {
+                let listener = TcpListener::bind(addr)?;
+                let resolved = Listen::Tcp(listener.local_addr()?);
+                (Listener::Tcp(listener), resolved)
+            }
+            Listen::Unix(path) => {
+                // A bind would fail on the leftover file of a previous
+                // (dead) server; nothing can be listening on it or the
+                // remove would race an active sibling — operator's call.
+                let _ = std::fs::remove_file(path);
+                let listener = UnixListener::bind(path)?;
+                (Listener::Unix(listener), Listen::Unix(path.clone()))
+            }
+        };
+        Ok(NetServer {
+            listener,
+            resolved,
+            config,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// Where the server actually listens (the OS-assigned port for TCP
+    /// binds to port `0`).
+    pub fn local_addr(&self) -> &Listen {
+        &self.resolved
+    }
+
+    /// A handle that can stop this server from another thread.
+    pub fn handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            flag: Arc::clone(&self.shutdown),
+            target: self.resolved.clone(),
+        }
+    }
+
+    /// Serves until [`ShutdownHandle::shutdown`] is called, then drains:
+    /// every already-accepted connection is read to EOF and every
+    /// dispatched request answered before the summary is returned.
+    ///
+    /// # Errors
+    ///
+    /// Only listener I/O errors are fatal; per-connection and per-request
+    /// failures are answered in-band or drop just that connection.
+    pub fn run(self) -> io::Result<NetSummary> {
+        let n_shards = self.config.engine.workers.max(1);
+        let queue_depth = self.config.engine.queue_depth.max(1);
+        let mut senders: Vec<SyncSender<ShardJob>> = Vec::with_capacity(n_shards);
+        let mut receivers: Vec<Mutex<Receiver<ShardJob>>> = Vec::with_capacity(n_shards);
+        for _ in 0..n_shards {
+            let (tx, rx) = mpsc::sync_channel(queue_depth);
+            senders.push(tx);
+            receivers.push(Mutex::new(rx));
+        }
+        let shared = NetShared {
+            router: Router::new(n_shards, &self.config.engine),
+            receivers,
+            fault_scope: self.config.engine.fault_scope,
+            responses: AtomicUsize::new(0),
+            errors: AtomicUsize::new(0),
+            shed: AtomicUsize::new(0),
+            quota_rejections: AtomicUsize::new(0),
+            respawned: AtomicUsize::new(0),
+            accept_faults: AtomicUsize::new(0),
+            connections: AtomicUsize::new(0),
+        };
+        let shared = &shared;
+
+        thread::scope(|scope| -> io::Result<()> {
+            for slot in 0..n_shards {
+                scope.spawn(move || supervise_shard(slot, shared));
+            }
+            // The accept thread enters the fault scope so `net::accept`
+            // can be targeted at exactly this server instance.
+            let _scope_guard = shared.fault_scope.map(failpoint::enter_scope);
+            let mut conn_handles = Vec::new();
+            loop {
+                let stream = match self.listener.accept() {
+                    Ok(s) => s,
+                    Err(e) => {
+                        if self.shutdown.load(Ordering::Acquire) {
+                            break;
+                        }
+                        return Err(e);
+                    }
+                };
+                if self.shutdown.load(Ordering::Acquire) {
+                    break; // The shutdown handle's wake-up connection.
+                }
+                shared.connections.fetch_add(1, Ordering::Relaxed);
+                // Accept fault site, isolated so an injected panic (or an
+                // organic bug in connection setup) never kills the
+                // listener: the connection is dropped, accepting goes on.
+                match catch_unwind(AssertUnwindSafe(|| failpoint!("net::accept"))) {
+                    Ok(None) => {}
+                    Ok(Some(msg)) => {
+                        shared.accept_faults.fetch_add(1, Ordering::Relaxed);
+                        let mut stream = stream;
+                        let line = error_response(Json::Null, format!("injected fault: {msg}"));
+                        let _ = stream.write_all(format!("{}\n", line.render()).as_bytes());
+                        continue; // Answered in-band, then dropped.
+                    }
+                    Err(_) => {
+                        shared.accept_faults.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                }
+                let Ok(read_half) = stream.try_clone() else {
+                    continue; // Connection already unusable.
+                };
+                let conn = Arc::new(Conn {
+                    writer: Mutex::new(stream),
+                    inflight: AtomicUsize::new(0),
+                });
+                let senders = senders.clone();
+                let config = &self.config;
+                conn_handles.push(
+                    scope.spawn(move || read_connection(read_half, conn, senders, shared, config)),
+                );
+            }
+            // Drain: connected clients run to EOF, then the queues close
+            // (every sender clone dropped) and the shards exit.
+            for handle in conn_handles {
+                let _ = handle.join();
+            }
+            drop(senders);
+            Ok(())
+        })?;
+
+        if let Listen::Unix(path) = &self.resolved {
+            let _ = std::fs::remove_file(path);
+        }
+        let router_stats = shared.router.stats();
+        Ok(NetSummary {
+            connections: shared.connections.load(Ordering::Relaxed),
+            requests: shared.responses.load(Ordering::Relaxed),
+            errors: shared.errors.load(Ordering::Relaxed),
+            sessions_opened: router_stats.sessions_opened,
+            panics: router_stats.panics,
+            quarantined: router_stats.quarantined,
+            recoveries: router_stats.recoveries,
+            snapshots: router_stats.snapshots,
+            shed: shared.shed.load(Ordering::Relaxed),
+            quota_rejections: shared.quota_rejections.load(Ordering::Relaxed),
+            shards_respawned: shared.respawned.load(Ordering::Relaxed),
+            accept_faults: shared.accept_faults.load(Ordering::Relaxed),
+        })
+    }
+}
+
+/// Writes one response line to its connection, counting it. Write errors
+/// only mean the client went away; the server never cares.
+fn write_response(shared: &NetShared, conn: &Conn, response: Json) {
+    shared.responses.fetch_add(1, Ordering::Relaxed);
+    if response.get("ok").and_then(Json::as_bool) == Some(false) {
+        shared.errors.fetch_add(1, Ordering::Relaxed);
+    }
+    let mut writer = lock_recover(&conn.writer);
+    let mut line = response.render();
+    line.push('\n'); // One write: the line must leave as a single segment.
+    let _ = writer.write_all(line.as_bytes());
+    let _ = writer.flush();
+}
+
+/// One connection's intake loop: parse, validate/route, enforce
+/// per-connection quotas, dispatch to the session's shard. Runs until
+/// client EOF (or a transport error), which ends the connection.
+fn read_connection(
+    stream: Stream,
+    conn: Arc<Conn>,
+    senders: Vec<SyncSender<ShardJob>>,
+    shared: &NetShared,
+    config: &NetConfig,
+) {
+    // Sessions this connection holds against `max_sessions_per_conn`,
+    // accounted at dispatch: an `open` claims the slot (even if the
+    // design later fails to parse — admission control is deliberately
+    // pessimistic), a `close` frees it.
+    let mut held: HashSet<String> = HashSet::new();
+    for line in BufReader::new(stream).lines() {
+        let Ok(line) = line else { return };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = match Json::parse(&line) {
+            Ok(v) => v,
+            Err(e) => {
+                write_response(
+                    shared,
+                    &conn,
+                    error_response(Json::Null, format!("malformed request: {e}")),
+                );
+                continue;
+            }
+        };
+        let id = request.get("id").cloned().unwrap_or(Json::Null);
+        let slot = match shared.router.route(&id, &request) {
+            Ok(slot) => slot,
+            Err(response) => {
+                write_response(shared, &conn, response);
+                continue;
+            }
+        };
+        // Quotas apply after validation so they only reject requests
+        // that would otherwise consume shard capacity.
+        if let Some(max) = config.max_inflight_per_conn {
+            if conn.inflight.load(Ordering::Acquire) >= max {
+                shared.quota_rejections.fetch_add(1, Ordering::Relaxed);
+                write_response(
+                    shared,
+                    &conn,
+                    error_response(
+                        id,
+                        format!(
+                            "quota exceeded: {max} request(s) already in flight on this connection"
+                        ),
+                    ),
+                );
+                continue;
+            }
+        }
+        let op = request.get("op").and_then(Json::as_str).unwrap_or("");
+        let session = request.get("session").and_then(Json::as_str);
+        if op == "open" {
+            if let (Some(max), Some(name)) = (config.max_sessions_per_conn, session) {
+                if !held.contains(name) && held.len() >= max {
+                    shared.quota_rejections.fetch_add(1, Ordering::Relaxed);
+                    write_response(
+                        shared,
+                        &conn,
+                        error_response(
+                            id,
+                            format!("quota exceeded: connection already holds {max} session(s)"),
+                        ),
+                    );
+                    continue;
+                }
+            }
+            if let Some(name) = session {
+                held.insert(name.to_owned());
+            }
+        } else if op == "close" {
+            if let Some(name) = session {
+                held.remove(name);
+            }
+        }
+        let deadline = request
+            .get("deadline_ms")
+            .and_then(Json::as_i64)
+            .map(|ms| Duration::from_millis(ms.max(0) as u64))
+            .or(config.engine.deadline);
+        conn.inflight.fetch_add(1, Ordering::AcqRel);
+        let job = ShardJob {
+            id,
+            request,
+            accepted: Instant::now(),
+            deadline,
+            conn: Arc::clone(&conn),
+        };
+        match senders[slot].try_send(job) {
+            Ok(()) => {}
+            Err(TrySendError::Full(job)) => {
+                shared.shed.fetch_add(1, Ordering::Relaxed);
+                job.conn.inflight.fetch_sub(1, Ordering::AcqRel);
+                write_response(shared, &job.conn, overloaded_response(job.id));
+            }
+            // Possible only if a shard's supervisor itself died — answer
+            // in-band rather than hanging the client.
+            Err(TrySendError::Disconnected(job)) => {
+                job.conn.inflight.fetch_sub(1, Ordering::AcqRel);
+                write_response(
+                    shared,
+                    &job.conn,
+                    error_response(job.id, "shard queue disconnected"),
+                );
+            }
+        }
+    }
+}
+
+/// Keeps one shard slot staffed: a worker that dies outright (an
+/// injected `serve::worker_kill`, or an organic bug outside the
+/// per-request catch) is replaced on the same queue — sessions and
+/// queued jobs live in `shared`, so nothing is lost or reordered.
+fn supervise_shard(slot: usize, shared: &NetShared) {
+    loop {
+        if catch_unwind(AssertUnwindSafe(|| shard_worker(slot, shared))).is_ok() {
+            return; // Clean exit: queue closed.
+        }
+        shared.respawned.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A shard's serving loop — the socket twin of the stdio worker: recv,
+/// execute, answer, batch-drain, then group-commit the batch's WAL
+/// lines with one sync per journal.
+fn shard_worker(slot: usize, shared: &NetShared) {
+    let _scope = shared.fault_scope.map(failpoint::enter_scope);
+    loop {
+        // Kill site, evaluated with no job in hand and no lock held.
+        let _ = failpoint!("serve::worker_kill");
+        let job = {
+            let rx = lock_recover(&shared.receivers[slot]);
+            rx.recv()
+        };
+        let Ok(job) = job else {
+            shared.router.sync_journals(slot);
+            return;
+        };
+        process(slot, shared, job);
+        loop {
+            let _ = failpoint!("serve::worker_kill");
+            let job = {
+                let rx = lock_recover(&shared.receivers[slot]);
+                rx.try_recv()
+            };
+            let Ok(job) = job else { break };
+            process(slot, shared, job);
+        }
+        shared.router.sync_journals(slot);
+    }
+}
+
+/// Executes one job, honoring its deadline, and answers its connection.
+/// Inflight is released before the write so a closed-loop client's next
+/// request never races its own quota.
+fn process(slot: usize, shared: &NetShared, job: ShardJob) {
+    let expired = job.deadline.is_some_and(|d| job.accepted.elapsed() > d);
+    let response = if expired {
+        error_response(job.id, DEADLINE_ERROR)
+    } else {
+        shared.router.execute(slot, job.id, &job.request)
+    };
+    job.conn.inflight.fetch_sub(1, Ordering::AcqRel);
+    write_response(shared, &job.conn, response);
+}

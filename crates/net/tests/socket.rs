@@ -1,0 +1,411 @@
+//! End-to-end socket tests: real TCP/unix round trips against a live
+//! [`NetServer`], quota enforcement, fault injection on the accept path,
+//! and clean shutdown.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::thread;
+
+use rsched_engine::json::Json;
+use rsched_graph::failpoint::{self, FailAction};
+use rsched_net::{Listen, NetConfig, NetServer, NetSummary};
+
+const DESIGN: &str =
+    "op sync unbounded\nop alu 2\nop out 1\ndep sync alu\ndep alu out\nmax alu out 4\n";
+
+/// A blocking line-oriented client over any socket stream.
+struct Client<S: std::io::Read + Write> {
+    reader: BufReader<S>,
+    writer: S,
+}
+
+impl Client<TcpStream> {
+    fn connect_tcp(listen: &Listen) -> Client<TcpStream> {
+        let Listen::Tcp(addr) = listen else {
+            panic!("expected tcp listen address")
+        };
+        let stream = TcpStream::connect(addr).expect("connect");
+        Client {
+            reader: BufReader::new(stream.try_clone().expect("clone")),
+            writer: stream,
+        }
+    }
+}
+
+impl Client<UnixStream> {
+    fn connect_unix(listen: &Listen) -> Client<UnixStream> {
+        let Listen::Unix(path) = listen else {
+            panic!("expected unix listen path")
+        };
+        let stream = UnixStream::connect(path).expect("connect");
+        Client {
+            reader: BufReader::new(stream.try_clone().expect("clone")),
+            writer: stream,
+        }
+    }
+}
+
+impl<S: std::io::Read + Write> Client<S> {
+    fn send(&mut self, line: &str) {
+        self.writer.write_all(line.as_bytes()).expect("write");
+        self.writer.write_all(b"\n").expect("write");
+        self.writer.flush().expect("flush");
+    }
+
+    fn recv(&mut self) -> Json {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("read");
+        assert!(n > 0, "server closed connection before responding");
+        Json::parse(line.trim_end()).expect("response is json")
+    }
+
+    fn round_trip(&mut self, line: &str) -> Json {
+        self.send(line);
+        self.recv()
+    }
+}
+
+fn spawn_server(
+    config: NetConfig,
+) -> (
+    Listen,
+    rsched_net::ShutdownHandle,
+    thread::JoinHandle<NetSummary>,
+) {
+    let server = NetServer::bind(config).expect("bind");
+    let listen = server.local_addr().clone();
+    let handle = server.handle();
+    let join = thread::spawn(move || server.run().expect("run"));
+    (listen, handle, join)
+}
+
+fn loopback_config() -> NetConfig {
+    let mut config = NetConfig::new(Listen::parse("127.0.0.1:0").unwrap());
+    config.engine.workers = 2;
+    config
+}
+
+fn open_line(session: &str, id: u32) -> String {
+    format!(
+        "{{\"id\":{id},\"op\":\"open\",\"session\":\"{session}\",\"design\":{}}}",
+        Json::Str(DESIGN.to_owned()).render()
+    )
+}
+
+#[test]
+fn tcp_round_trip_matches_stdio_shapes() {
+    let (listen, handle, join) = spawn_server(loopback_config());
+    let mut client = Client::connect_tcp(&listen);
+
+    let open = client.round_trip(&open_line("s1", 1));
+    assert_eq!(open.get("id"), Some(&Json::Int(1)));
+    assert_eq!(open.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(
+        open.get("verdict").and_then(Json::as_str),
+        Some("well-posed")
+    );
+
+    let edit = client.round_trip(
+        "{\"id\":2,\"op\":\"edit\",\"session\":\"s1\",\"kind\":\"set_delay\",\"vertex\":\"alu\",\"delay\":3}",
+    );
+    assert_eq!(edit.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(
+        edit.get("outcome").and_then(Json::as_str),
+        Some("rescheduled")
+    );
+
+    let schedule = client.round_trip("{\"id\":3,\"op\":\"schedule\",\"session\":\"s1\"}");
+    assert_eq!(schedule.get("ok"), Some(&Json::Bool(true)));
+    let offsets = schedule.get("offsets").expect("offsets");
+    assert_eq!(
+        offsets
+            .get("out")
+            .and_then(|row| row.get("sync"))
+            .and_then(Json::as_i64),
+        Some(3),
+        "out trails the sync anchor by delay(alu)=3: {schedule:?}"
+    );
+
+    // Unknown op and malformed JSON are answered in-band, same shapes as
+    // the stdio loop produces.
+    let unknown = client.round_trip("{\"id\":4,\"op\":\"warp\"}");
+    assert_eq!(unknown.get("ok"), Some(&Json::Bool(false)));
+    let garbage = client.round_trip("{not json");
+    assert_eq!(garbage.get("ok"), Some(&Json::Bool(false)));
+    assert_eq!(garbage.get("id"), Some(&Json::Null));
+
+    let close = client.round_trip("{\"id\":5,\"op\":\"close\",\"session\":\"s1\"}");
+    assert_eq!(close.get("ok"), Some(&Json::Bool(true)));
+
+    drop(client);
+    handle.shutdown();
+    let summary = join.join().expect("server thread");
+    assert_eq!(summary.connections, 1);
+    assert_eq!(summary.requests, 6);
+    assert_eq!(summary.sessions_opened, 1);
+    assert_eq!(summary.errors, 2);
+    assert_eq!(summary.quota_rejections, 0);
+}
+
+#[test]
+fn unix_socket_round_trips_and_removes_socket_file() {
+    let dir = std::env::temp_dir().join(format!("rsched-net-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("serve.sock");
+    let mut config = loopback_config();
+    config.listen = Listen::parse(path.to_str().unwrap()).unwrap();
+
+    let (listen, handle, join) = spawn_server(config);
+    let mut client = Client::connect_unix(&listen);
+    let open = client.round_trip(&open_line("u1", 1));
+    assert_eq!(open.get("ok"), Some(&Json::Bool(true)));
+    let stats = client.round_trip("{\"id\":2,\"op\":\"stats\",\"session\":\"u1\"}");
+    assert_eq!(stats.get("ok"), Some(&Json::Bool(true)));
+
+    drop(client);
+    handle.shutdown();
+    let summary = join.join().expect("server thread");
+    assert_eq!(summary.connections, 1);
+    assert_eq!(summary.requests, 2);
+    assert!(!path.exists(), "socket file removed after shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_connections_share_and_isolate_sessions() {
+    let (listen, handle, join) = spawn_server(loopback_config());
+
+    // Two clients, disjoint sessions, interleaved over real sockets.
+    let mut a = Client::connect_tcp(&listen);
+    let mut b = Client::connect_tcp(&listen);
+    assert_eq!(
+        a.round_trip(&open_line("a", 1)).get("ok"),
+        Some(&Json::Bool(true))
+    );
+    assert_eq!(
+        b.round_trip(&open_line("b", 1)).get("ok"),
+        Some(&Json::Bool(true))
+    );
+
+    // Session "a" is visible from connection b too — sessions are server
+    // state, pinned to a shard, not connection state.
+    let cross = b.round_trip("{\"id\":2,\"op\":\"schedule\",\"session\":\"a\"}");
+    assert_eq!(cross.get("ok"), Some(&Json::Bool(true)));
+
+    // But an unknown session still errors.
+    let missing = a.round_trip("{\"id\":3,\"op\":\"schedule\",\"session\":\"ghost\"}");
+    assert_eq!(missing.get("ok"), Some(&Json::Bool(false)));
+
+    drop(a);
+    drop(b);
+    handle.shutdown();
+    let summary = join.join().expect("server thread");
+    assert_eq!(summary.connections, 2);
+    assert_eq!(summary.sessions_opened, 2);
+}
+
+#[test]
+fn session_quota_rejects_in_band_and_close_frees_slot() {
+    let mut config = loopback_config();
+    config.max_sessions_per_conn = Some(1);
+    let (listen, handle, join) = spawn_server(config);
+    let mut client = Client::connect_tcp(&listen);
+
+    assert_eq!(
+        client.round_trip(&open_line("q1", 1)).get("ok"),
+        Some(&Json::Bool(true))
+    );
+    let rejected = client.round_trip(&open_line("q2", 2));
+    assert_eq!(rejected.get("ok"), Some(&Json::Bool(false)));
+    assert_eq!(rejected.get("id"), Some(&Json::Int(2)));
+    assert_eq!(
+        rejected.get("error").and_then(Json::as_str),
+        Some("quota exceeded: connection already holds 1 session(s)")
+    );
+
+    // Re-opening the *held* session is a replace, not a new slot.
+    assert_eq!(
+        client.round_trip(&open_line("q1", 3)).get("ok"),
+        Some(&Json::Bool(true))
+    );
+
+    // Closing frees the slot for a different session.
+    assert_eq!(
+        client
+            .round_trip("{\"id\":4,\"op\":\"close\",\"session\":\"q1\"}")
+            .get("ok"),
+        Some(&Json::Bool(true))
+    );
+    assert_eq!(
+        client.round_trip(&open_line("q2", 5)).get("ok"),
+        Some(&Json::Bool(true))
+    );
+
+    drop(client);
+    handle.shutdown();
+    let summary = join.join().expect("server thread");
+    assert_eq!(summary.quota_rejections, 1);
+    assert_eq!(summary.sessions_opened, 3);
+}
+
+#[test]
+fn inflight_quota_rejects_excess_pipelining() {
+    let mut config = loopback_config();
+    config.max_inflight_per_conn = Some(1);
+    // One worker whose every job stalls briefly, so a burst of pipelined
+    // requests reliably has one in flight when the next arrives.
+    config.engine.workers = 1;
+    let scope = 0x6e657401u64;
+    config.engine.fault_scope = Some(scope);
+    let _delay = failpoint::arm(
+        "serve::handle",
+        Some(scope),
+        FailAction::Delay(std::time::Duration::from_millis(40)),
+        0,
+        None,
+    );
+
+    let (listen, handle, join) = spawn_server(config);
+    let mut client = Client::connect_tcp(&listen);
+
+    client.send(&open_line("p1", 1));
+    client.send("{\"id\":2,\"op\":\"schedule\",\"session\":\"p1\"}");
+    client.send("{\"id\":3,\"op\":\"schedule\",\"session\":\"p1\"}");
+
+    // All three are answered; at least one of the trailing pair was
+    // rejected by the in-flight quota while an earlier one executed.
+    let responses: Vec<Json> = (0..3).map(|_| client.recv()).collect();
+    let rejected: Vec<&Json> = responses
+        .iter()
+        .filter(|r| {
+            r.get("error")
+                .and_then(Json::as_str)
+                .is_some_and(|e| e.starts_with("quota exceeded:"))
+        })
+        .collect();
+    assert!(
+        !rejected.is_empty(),
+        "expected an in-flight quota rejection: {responses:?}"
+    );
+    for r in &rejected {
+        assert_eq!(r.get("ok"), Some(&Json::Bool(false)));
+    }
+
+    drop(client);
+    handle.shutdown();
+    let summary = join.join().expect("server thread");
+    assert_eq!(summary.quota_rejections, rejected.len());
+    assert_eq!(summary.requests, 3);
+}
+
+#[test]
+fn accept_faults_answer_in_band_and_keep_listening() {
+    let mut config = loopback_config();
+    let scope = 0x6e657402u64;
+    config.engine.fault_scope = Some(scope);
+    // First connection gets an injected accept error, second a panic on
+    // the accept path, third proceeds normally.
+    let _err = failpoint::arm(
+        "net::accept",
+        Some(scope),
+        FailAction::Error("accept sabotage".to_owned()),
+        0,
+        Some(1),
+    );
+    // skip 0: exhausted entries are passed over, so once the error guard
+    // is spent the panic guard fires on the very next evaluation.
+    let _panic = failpoint::arm("net::accept", Some(scope), FailAction::Panic, 0, Some(1));
+
+    let (listen, handle, join) = spawn_server(config);
+
+    // Connection 1: answered in-band with the injected error, then closed.
+    let mut c1 = Client::connect_tcp(&listen);
+    let line = {
+        let mut line = String::new();
+        c1.reader.read_line(&mut line).expect("read");
+        line
+    };
+    let fault = Json::parse(line.trim_end()).expect("fault line is json");
+    assert_eq!(fault.get("ok"), Some(&Json::Bool(false)));
+    assert_eq!(
+        fault.get("error").and_then(Json::as_str),
+        Some("injected fault: accept sabotage")
+    );
+
+    // Connection 2: dropped by the injected panic — clean EOF or a reset
+    // (the server may close before our send drains), never a response.
+    let mut c2 = Client::connect_tcp(&listen);
+    // Best-effort send: the server may already have dropped us.
+    let _ = c2.writer.write_all(open_line("f1", 1).as_bytes());
+    let _ = c2.writer.write_all(b"\n");
+    let _ = c2.writer.flush();
+    let mut line = String::new();
+    let n = c2.reader.read_line(&mut line).unwrap_or(0);
+    assert_eq!(n, 0, "panicked accept drops the connection: {line:?}");
+
+    // Connection 3: business as usual.
+    let mut c3 = Client::connect_tcp(&listen);
+    assert_eq!(
+        c3.round_trip(&open_line("f2", 1)).get("ok"),
+        Some(&Json::Bool(true))
+    );
+
+    drop(c1);
+    drop(c2);
+    drop(c3);
+    handle.shutdown();
+    let summary = join.join().expect("server thread");
+    assert_eq!(summary.accept_faults, 2);
+    assert_eq!(summary.connections, 3);
+    assert_eq!(summary.sessions_opened, 1);
+}
+
+#[test]
+fn worker_kill_mid_stream_loses_no_requests() {
+    let mut config = loopback_config();
+    config.engine.workers = 1;
+    let scope = 0x6e657403u64;
+    config.engine.fault_scope = Some(scope);
+    // Kill the shard worker on its 3rd pass over the kill site; the
+    // supervisor must respawn it and answer everything.
+    let _kill = failpoint::arm(
+        "serve::worker_kill",
+        Some(scope),
+        FailAction::Panic,
+        2,
+        Some(1),
+    );
+
+    let (listen, handle, join) = spawn_server(config);
+    let mut client = Client::connect_tcp(&listen);
+    assert_eq!(
+        client.round_trip(&open_line("k1", 1)).get("ok"),
+        Some(&Json::Bool(true))
+    );
+    for i in 2..=12 {
+        let response = client.round_trip(&format!(
+            "{{\"id\":{i},\"op\":\"edit\",\"session\":\"k1\",\"kind\":\"set_delay\",\"vertex\":\"alu\",\"delay\":{}}}",
+            1 + (i % 3)
+        ));
+        assert_eq!(
+            response.get("id"),
+            Some(&Json::Int(i as i64)),
+            "request {i} answered in order: {response:?}"
+        );
+        assert_eq!(
+            response.get("ok"),
+            Some(&Json::Bool(true)),
+            "request {i} succeeded: {response:?}"
+        );
+    }
+
+    drop(client);
+    handle.shutdown();
+    let summary = join.join().expect("server thread");
+    assert_eq!(summary.requests, 12);
+    assert!(
+        summary.shards_respawned >= 1,
+        "the killed shard respawned: {summary:?}"
+    );
+}

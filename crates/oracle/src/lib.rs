@@ -28,17 +28,22 @@
 //!   seeded script runs, asserting the service answers every line and
 //!   that journal-replay recovery is bit-identical to a mirror rebuilt
 //!   from the accepted edits — oracle-refereed.
+//! - [`net_fuzz`] — [`fuzz_net`] replays the adversarial frame mix over
+//!   real concurrent TCP connections against the sharded socket server
+//!   and asserts the responses are bit-identical to the stdio loop.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod fault_fuzz;
 pub mod fuzz;
+pub mod net_fuzz;
 pub mod oracle;
 pub mod serve_fuzz;
 
 pub use fault_fuzz::{fuzz_faults, FaultFuzzConfig, FaultFuzzReport};
 pub use fuzz::{fuzz, Edit, FuzzConfig, FuzzFailure, FuzzReport, GraphMutator};
+pub use net_fuzz::{fuzz_net, NetFuzzConfig, NetFuzzReport};
 pub use oracle::{
     anchor_roster, anchor_set_masks, check_result, positive_cycle, verify, Check, OffsetBound,
     OracleReport, Witness,

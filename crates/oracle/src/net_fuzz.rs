@@ -1,0 +1,292 @@
+//! Socket-parity fuzzing of the sharded network server.
+//!
+//! [`fuzz_net`] drives a live [`rsched_net::NetServer`] on a loopback TCP
+//! port with several concurrent connections, each sending the same seeded
+//! adversarial frame mix as the stdio harness (valid traffic, garbage,
+//! truncated JSON, unknown ops, expired deadlines) over a **disjoint
+//! session namespace** per connection. It asserts two contracts:
+//!
+//! - **Protocol** — per connection: one well-shaped response per frame,
+//!   id multiset echoed exactly, never a dropped or extra line.
+//! - **Parity** — the multiset of response lines from the socket run is
+//!   *bit-identical* to running the concatenated per-connection scripts
+//!   through [`rsched_engine::serve`] on stdio. Sessions never span
+//!   connections, so per-session request order (the only order that
+//!   affects responses) is preserved by the concatenation; parity
+//!   therefore transfers every oracle guarantee the stdio fuzzers
+//!   establish to the socket path.
+
+use std::fmt;
+use std::io::{BufRead, BufReader, Cursor, Write};
+use std::net::TcpStream;
+use std::thread;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use rsched_engine::json::Json;
+use rsched_engine::{serve, ServeConfig};
+use rsched_net::{Listen, NetConfig, NetServer};
+
+use crate::fuzz::GraphMutator;
+use crate::serve_fuzz::{expected_id_multiset, malformed_response, random_frame};
+
+/// Tuning knobs for [`fuzz_net`].
+#[derive(Debug, Clone)]
+pub struct NetFuzzConfig {
+    /// PRNG seed; the frame mix is a pure function of the config.
+    pub seed: u64,
+    /// Independent server runs (each gets a fresh port and shard pool).
+    pub rounds: usize,
+    /// Concurrent client connections per round.
+    pub connections: usize,
+    /// Frames sent per connection.
+    pub frames_per_conn: usize,
+}
+
+impl Default for NetFuzzConfig {
+    fn default() -> Self {
+        NetFuzzConfig {
+            seed: 0,
+            rounds: 4,
+            connections: 4,
+            frames_per_conn: 24,
+        }
+    }
+}
+
+/// Outcome of a [`fuzz_net`] run.
+#[derive(Debug, Clone, Default)]
+pub struct NetFuzzReport {
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Connections opened across all rounds.
+    pub connections: usize,
+    /// Frames sent across all rounds.
+    pub frames: usize,
+    /// Response lines received across all rounds.
+    pub responses: usize,
+    /// Contract violations, in discovery order.
+    pub failures: Vec<String>,
+}
+
+impl NetFuzzReport {
+    /// `true` when every round honoured both contracts.
+    pub fn is_ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+impl fmt::Display for NetFuzzReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} net round(s), {} connection(s), {} frame(s), {} response(s)",
+            self.rounds, self.connections, self.frames, self.responses
+        )?;
+        if self.failures.is_empty() {
+            writeln!(f, "socket protocol and stdio parity held on every frame")?;
+        } else {
+            writeln!(f, "{} FAILURE(S):", self.failures.len())?;
+            for fail in &self.failures {
+                writeln!(f, "  {fail}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One connection's closed-loop exchange: send a frame, read exactly one
+/// response line, repeat. Returns the raw response lines.
+fn drive_connection(listen: &Listen, script: &[String]) -> Result<Vec<String>, String> {
+    let Listen::Tcp(addr) = listen else {
+        return Err("net fuzz expects a tcp listener".to_owned());
+    };
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| format!("clone: {e}"))?);
+    let mut writer = stream;
+    let mut responses = Vec::with_capacity(script.len());
+    for frame in script {
+        if frame.trim().is_empty() {
+            continue;
+        }
+        writer
+            .write_all(frame.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .map_err(|e| format!("send: {e}"))?;
+        let mut line = String::new();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| format!("recv: {e}"))?;
+        if n == 0 {
+            return Err(format!("connection closed before answering: {frame}"));
+        }
+        responses.push(line.trim_end().to_owned());
+    }
+    Ok(responses)
+}
+
+/// Runs the socket-parity harness; see the module docs for the contracts.
+pub fn fuzz_net(config: &NetFuzzConfig) -> NetFuzzReport {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut designs = GraphMutator::new(config.seed.wrapping_add(0x6e65));
+    let mut report = NetFuzzReport::default();
+    for round in 0..config.rounds {
+        report.rounds += 1;
+        // Disjoint session namespaces per connection ("c0x…", "c1x…") so
+        // cross-connection scheduling order cannot affect any response.
+        let scripts: Vec<Vec<String>> = (0..config.connections)
+            .map(|ci| {
+                (0..config.frames_per_conn)
+                    .map(|frame_no| {
+                        random_frame(&mut rng, &mut designs, frame_no as i64, &format!("c{ci}x"))
+                    })
+                    .filter(|f| !f.trim().is_empty())
+                    .collect()
+            })
+            .collect();
+
+        let mut net = NetConfig::new(Listen::parse("127.0.0.1:0").expect("loopback spec"));
+        net.engine.workers = rng.gen_range(1usize..=4);
+        let server = match NetServer::bind(net) {
+            Ok(s) => s,
+            Err(e) => {
+                report.failures.push(format!("round {round}: bind: {e}"));
+                break;
+            }
+        };
+        let listen = server.local_addr().clone();
+        let handle = server.handle();
+        let server_thread = thread::spawn(move || server.run());
+
+        let socket_lines: Vec<Result<Vec<String>, String>> = thread::scope(|scope| {
+            let handles: Vec<_> = scripts
+                .iter()
+                .map(|script| scope.spawn(|| drive_connection(&listen, script)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client"))
+                .collect()
+        });
+        handle.shutdown();
+        match server_thread.join() {
+            Ok(Ok(_summary)) => {}
+            Ok(Err(e)) => report.failures.push(format!("round {round}: server: {e}")),
+            Err(_) => report
+                .failures
+                .push(format!("round {round}: server thread panicked")),
+        }
+
+        let mut all_socket: Vec<String> = Vec::new();
+        for (ci, (script, outcome)) in scripts.iter().zip(&socket_lines).enumerate() {
+            report.connections += 1;
+            report.frames += script.len();
+            let lines = match outcome {
+                Ok(lines) => lines,
+                Err(e) => {
+                    report
+                        .failures
+                        .push(format!("round {round} conn {ci}: {e}"));
+                    continue;
+                }
+            };
+            report.responses += lines.len();
+            // Per-connection protocol contract, same as the stdio harness.
+            let mut echoed: Vec<String> = Vec::new();
+            for line in lines {
+                match Json::parse(line) {
+                    Ok(response) => {
+                        if let Some(violation) = malformed_response(&response) {
+                            report
+                                .failures
+                                .push(format!("round {round} conn {ci}: {violation}: {line}"));
+                        }
+                        echoed.push(response.get("id").cloned().unwrap_or(Json::Null).render());
+                    }
+                    Err(e) => report.failures.push(format!(
+                        "round {round} conn {ci}: unparsable response ({e}): {line}"
+                    )),
+                }
+            }
+            let mut expected = expected_id_multiset(&script.join("\n"));
+            expected.sort();
+            echoed.sort();
+            if expected != echoed {
+                report.failures.push(format!(
+                    "round {round} conn {ci}: echoed ids {echoed:?} != expected {expected:?}"
+                ));
+            }
+            all_socket.extend(lines.iter().cloned());
+        }
+
+        // Parity: the same frames, concatenated per connection, through
+        // the stdio loop must yield the identical response multiset.
+        let stdio_script: String = scripts
+            .iter()
+            .flat_map(|s| s.iter())
+            .map(|f| format!("{f}\n"))
+            .collect();
+        let mut output: Vec<u8> = Vec::new();
+        let stdio_config = ServeConfig::default();
+        match serve(
+            Cursor::new(stdio_script.into_bytes()),
+            &mut output,
+            &stdio_config,
+        ) {
+            Ok(_) => {
+                let mut stdio_lines: Vec<String> = String::from_utf8_lossy(&output)
+                    .lines()
+                    .filter(|l| !l.trim().is_empty())
+                    .map(str::to_owned)
+                    .collect();
+                let mut socket_sorted = all_socket.clone();
+                stdio_lines.sort();
+                socket_sorted.sort();
+                if stdio_lines != socket_sorted {
+                    let diff = socket_sorted
+                        .iter()
+                        .zip(&stdio_lines)
+                        .find(|(a, b)| a != b)
+                        .map(|(a, b)| format!("socket {a} vs stdio {b}"))
+                        .unwrap_or_else(|| {
+                            format!(
+                                "{} socket vs {} stdio lines",
+                                socket_sorted.len(),
+                                stdio_lines.len()
+                            )
+                        });
+                    report
+                        .failures
+                        .push(format!("round {round}: socket/stdio parity broken: {diff}"));
+                }
+            }
+            Err(e) => report
+                .failures
+                .push(format!("round {round}: stdio mirror run failed: {e}")),
+        }
+        if report.failures.len() >= 5 {
+            break;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_round_holds_both_contracts() {
+        let report = fuzz_net(&NetFuzzConfig {
+            seed: 7,
+            rounds: 2,
+            connections: 3,
+            frames_per_conn: 12,
+        });
+        assert!(report.is_ok(), "{report}");
+        assert_eq!(report.connections, 6);
+        assert!(report.responses >= report.frames);
+    }
+}

@@ -100,7 +100,7 @@ pub fn fuzz_serve(config: &ServeFuzzConfig) -> ServeFuzzReport {
         let mut script = String::new();
         let mut n_lines = 0usize;
         for frame_no in 0..config.frames_per_round {
-            let frame = random_frame(&mut rng, &mut designs, frame_no as i64);
+            let frame = random_frame(&mut rng, &mut designs, frame_no as i64, "s");
             if !frame.trim().is_empty() {
                 n_lines += 1;
             }
@@ -167,7 +167,7 @@ pub fn fuzz_serve(config: &ServeFuzzConfig) -> ServeFuzzReport {
 }
 
 /// `Some(reason)` when a response violates the protocol shape.
-fn malformed_response(response: &Json) -> Option<&'static str> {
+pub(crate) fn malformed_response(response: &Json) -> Option<&'static str> {
     let ok = response.get("ok").and_then(Json::as_bool)?;
     if !ok && response.get("error").and_then(Json::as_str).is_none() {
         return Some("\"ok\":false response without a string \"error\"");
@@ -178,7 +178,7 @@ fn malformed_response(response: &Json) -> Option<&'static str> {
 
 /// The ids the service must echo for `script`: one per non-blank line,
 /// `null` for frames that fail to parse or carry no `"id"`.
-fn expected_id_multiset(script: &str) -> Vec<String> {
+pub(crate) fn expected_id_multiset(script: &str) -> Vec<String> {
     script
         .lines()
         .filter(|l| !l.trim().is_empty())
@@ -191,8 +191,15 @@ fn expected_id_multiset(script: &str) -> Vec<String> {
 
 /// One random frame. Valid traffic and hostile input are interleaved in
 /// a single stream so the service has live sessions while being attacked.
-fn random_frame(rng: &mut StdRng, designs: &mut GraphMutator, frame_no: i64) -> String {
-    let session = format!("s{}", rng.gen_range(0u8..4));
+/// Session names take `session_prefix`, letting the socket fuzzer give
+/// each connection a disjoint session namespace.
+pub(crate) fn random_frame(
+    rng: &mut StdRng,
+    designs: &mut GraphMutator,
+    frame_no: i64,
+    session_prefix: &str,
+) -> String {
+    let session = format!("{session_prefix}{}", rng.gen_range(0u8..4));
     let id = match rng.gen_range(0u8..5) {
         0 => Json::Null,
         1 => Json::Str(format!("req-{frame_no}")),

@@ -1,0 +1,182 @@
+//! Serve-soak: a live socket server under sustained concurrent load with
+//! a shard worker killed mid-stream.
+//!
+//! Eight closed-loop clients each run an open → edits → schedule →
+//! recover → close script against a loopback [`rsched_net::NetServer`]
+//! while a scoped `serve::worker_kill` failpoint takes a shard down
+//! partway through. The contract: **every** request is answered in-band
+//! with its own id, the killed shard respawns, and journal recovery
+//! succeeds for every session afterwards.
+//!
+//! The default run is CI-light (~200 requests); `RSCHED_SOAK=1` scales to
+//! the full ~1k-request soak the `serve-soak` CI job runs. Scripts are
+//! written to `target/net-soak/` up front so a failing job can upload
+//! them as repros.
+
+use std::fs;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::thread;
+
+use rsched_engine::json::Json;
+use rsched_graph::failpoint::{self, FailAction};
+use rsched_net::{Listen, NetConfig, NetServer};
+
+const DESIGN: &str =
+    "op sync unbounded\nop alu 2\nop out 1\ndep sync alu\ndep alu out\nmax alu out 4\n";
+const CONNECTIONS: usize = 8;
+
+/// Per-connection script: one session, `edits` delay edits bracketed by
+/// schedule/stats probes, then recover + close. Every line carries a
+/// unique id `<conn>-<seq>`.
+fn script_for(conn: usize, edits: usize) -> Vec<String> {
+    let session = format!("soak{conn}");
+    let mut seq = 0usize;
+    let mut line = |body: String| {
+        seq += 1;
+        format!("{{\"id\":\"{conn}-{seq}\",{body}}}")
+    };
+    let mut script = vec![line(format!(
+        "\"op\":\"open\",\"session\":\"{session}\",\"design\":{}",
+        Json::Str(DESIGN.to_owned()).render()
+    ))];
+    for i in 0..edits {
+        script.push(line(format!(
+            "\"op\":\"edit\",\"session\":\"{session}\",\"kind\":\"set_delay\",\"vertex\":\"alu\",\"delay\":{}",
+            1 + (i % 3)
+        )));
+        if i % 8 == 4 {
+            script.push(line(format!(
+                "\"op\":\"schedule\",\"session\":\"{session}\""
+            )));
+        }
+    }
+    script.push(line(format!("\"op\":\"stats\",\"session\":\"{session}\"")));
+    script.push(line(format!(
+        "\"op\":\"recover\",\"session\":\"{session}\""
+    )));
+    script.push(line(format!("\"op\":\"close\",\"session\":\"{session}\"")));
+    script
+}
+
+fn drive(addr: &std::net::SocketAddr, script: &[String]) -> Vec<Json> {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let mut responses = Vec::with_capacity(script.len());
+    for frame in script {
+        writer.write_all(frame.as_bytes()).expect("send");
+        writer.write_all(b"\n").expect("send");
+        writer.flush().expect("flush");
+        let mut line = String::new();
+        assert!(
+            reader.read_line(&mut line).expect("recv") > 0,
+            "server closed mid-script at: {frame}"
+        );
+        responses.push(Json::parse(line.trim_end()).expect("response is json"));
+    }
+    responses
+}
+
+#[test]
+fn soak_kill_worker_mid_stream_answers_everything() {
+    // ~200 requests by default; ~1k with RSCHED_SOAK=1 (the CI job).
+    let edits = if std::env::var_os("RSCHED_SOAK").is_some() {
+        100
+    } else {
+        16
+    };
+    let scripts: Vec<Vec<String>> = (0..CONNECTIONS).map(|c| script_for(c, edits)).collect();
+
+    // Persist the scripts before running so a failure leaves repros for
+    // the CI artifact upload.
+    let repro_dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("net-soak");
+    fs::create_dir_all(&repro_dir).expect("repro dir");
+    for (c, script) in scripts.iter().enumerate() {
+        fs::write(repro_dir.join(format!("conn-{c}.jsonl")), script.join("\n")).expect("repro");
+    }
+
+    let scope = 0x006e_6574_736b_u64; // "netsk"
+    let mut config = NetConfig::new(Listen::parse("127.0.0.1:0").expect("loopback"));
+    config.engine.workers = 4;
+    config.engine.snapshot_every = 32;
+    config.engine.fault_scope = Some(scope);
+    // Kill shard workers twice mid-stream: once early, once deep into
+    // the run, to exercise respawn + journal continuity both times.
+    let kill_at = (CONNECTIONS * edits / 4) as u64;
+    let _kill_early = failpoint::arm(
+        "serve::worker_kill",
+        Some(scope),
+        FailAction::Panic,
+        kill_at,
+        Some(1),
+    );
+    let _kill_late = failpoint::arm(
+        "serve::worker_kill",
+        Some(scope),
+        FailAction::Panic,
+        kill_at * 2,
+        Some(1),
+    );
+
+    let server = NetServer::bind(config).expect("bind");
+    let Listen::Tcp(addr) = *server.local_addr() else {
+        panic!("expected tcp")
+    };
+    let handle = server.handle();
+    let server_thread = thread::spawn(move || server.run().expect("run"));
+
+    let all: Vec<Vec<Json>> = thread::scope(|s| {
+        let handles: Vec<_> = scripts
+            .iter()
+            .map(|script| s.spawn(move || drive(&addr, script)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+    handle.shutdown();
+    let summary = server_thread.join().expect("server thread");
+
+    let total: usize = scripts.iter().map(Vec::len).sum();
+    let mut answered = 0usize;
+    for (c, (script, responses)) in scripts.iter().zip(&all).enumerate() {
+        assert_eq!(responses.len(), script.len(), "conn {c} got every answer");
+        for (i, response) in responses.iter().enumerate() {
+            answered += 1;
+            assert_eq!(
+                response.get("id").and_then(Json::as_str),
+                Some(format!("{c}-{}", i + 1).as_str()),
+                "conn {c} line {i} echoes its id: {response:?}"
+            );
+            assert_eq!(
+                response.get("ok"),
+                Some(&Json::Bool(true)),
+                "conn {c} line {i} succeeded: {response:?}"
+            );
+        }
+        // The recover probe (second-to-last line) really replayed.
+        let recover = &responses[responses.len() - 2];
+        assert!(
+            recover
+                .get("edits_replayed")
+                .and_then(Json::as_i64)
+                .is_some(),
+            "conn {c} recovery replayed a journal: {recover:?}"
+        );
+    }
+    assert_eq!(answered, total);
+    assert_eq!(summary.requests, total);
+    assert_eq!(summary.sessions_opened, CONNECTIONS);
+    assert_eq!(summary.recoveries, CONNECTIONS);
+    assert!(
+        summary.shards_respawned >= 1,
+        "a killed shard respawned: {summary:?}"
+    );
+    assert_eq!(summary.errors, 0, "no request was answered with an error");
+
+    // Clean run: the repros served their purpose; drop them so CI only
+    // uploads artifacts from failing runs.
+    let _ = fs::remove_dir_all(&repro_dir);
+}
