@@ -42,7 +42,7 @@ fn journal_with_history(edits: usize, snapshot_every: usize) -> Journal {
     let graph = ConstraintGraph::from_text(DESIGN).expect("bench design parses");
     let mut session = Session::open(graph).expect("bench design opens");
     let alu = session.vertex_named("alu").expect("alu exists");
-    let mut journal = Journal::open(DESIGN.to_owned(), None);
+    let mut journal = Journal::open("bench", DESIGN.to_owned(), None);
     journal.set_snapshot_every(snapshot_every);
     for i in 0..edits {
         let delay = ExecDelay::Fixed(1 + (i % 2) as u64);

@@ -19,9 +19,10 @@
 //! rsched serve     [--stdio | --listen <ip:port|socket-path>]
 //!                  [--workers N] [--deadline-ms N] [--queue-depth N]
 //!                  [--max-ops N] [--max-edges N] [--journal-dir D]
-//!                  [--snapshot-every N] [--max-sessions N] [--max-inflight N]
+//!                  [--snapshot-every N] [--cache-capacity N]
+//!                  [--max-sessions N] [--max-inflight N]
 //!                                               JSON-lines service (stdio or socket)
-//! rsched fuzz      [--seed N] [--iters N] [--minimize] [--repro-dir D] [--faults]  oracle-refereed fuzzing
+//! rsched fuzz      [--seed N] [--iters N] [--minimize] [--repro-dir D] [--faults] [--cache]  oracle-refereed fuzzing
 //! rsched help                                  print usage
 //! ```
 //!
@@ -82,8 +83,9 @@ const USAGE: &str = "usage:
   rsched serve     [--stdio | --listen <ip:port|socket-path>]
                    [--workers N] [--deadline-ms N] [--queue-depth N]
                    [--max-ops N] [--max-edges N] [--journal-dir D]
-                   [--snapshot-every N] [--max-sessions N] [--max-inflight N]
-  rsched fuzz      [--seed N] [--iters N] [--minimize] [--repro-dir D] [--faults]
+                   [--snapshot-every N] [--cache-capacity N]
+                   [--max-sessions N] [--max-inflight N]
+  rsched fuzz      [--seed N] [--iters N] [--minimize] [--repro-dir D] [--faults] [--cache]
   rsched help";
 
 /// Executes a CLI invocation (`args` excludes the program name) and
@@ -223,6 +225,11 @@ fn parse_serve_config(flags: &[&String]) -> Result<ServeInvocation, CliError> {
             CliError::usage("--snapshot-every expects a number of edits (0 disables compaction)")
         })?;
     }
+    if let Some(v) = flag_value(flags, "--cache-capacity") {
+        config.cache_capacity = v.parse().map_err(|_| {
+            CliError::usage("--cache-capacity expects a number of entries (0 disables the cache)")
+        })?;
+    }
     let listen = flag_value(flags, "--listen")
         .map(|v| rsched_net::Listen::parse(v).map_err(CliError::usage))
         .transpose()?;
@@ -263,6 +270,7 @@ fn parse_serve_config(flags: &[&String]) -> Result<ServeInvocation, CliError> {
         "--max-edges",
         "--journal-dir",
         "--snapshot-every",
+        "--cache-capacity",
         "--listen",
         "--max-sessions",
         "--max-inflight",
@@ -305,7 +313,14 @@ fn parse_fuzz_config(flags: &[&String]) -> Result<rsched_oracle::FuzzConfig, Cli
     if let Some(v) = flag_value(flags, "--repro-dir") {
         config.repro_dir = Some(std::path::PathBuf::from(v));
     }
-    let known = ["--seed", "--iters", "--minimize", "--repro-dir", "--faults"];
+    let known = [
+        "--seed",
+        "--iters",
+        "--minimize",
+        "--repro-dir",
+        "--faults",
+        "--cache",
+    ];
     let mut expect_value = false;
     for f in flags {
         if expect_value {
@@ -313,7 +328,7 @@ fn parse_fuzz_config(flags: &[&String]) -> Result<rsched_oracle::FuzzConfig, Cli
             continue;
         }
         match f.as_str() {
-            "--minimize" | "--faults" => {}
+            "--minimize" | "--faults" | "--cache" => {}
             "--seed" | "--iters" | "--repro-dir" => expect_value = true,
             other if !known.contains(&other) => {
                 return Err(CliError::usage(format!("unknown fuzz flag '{other}'")));
@@ -333,6 +348,23 @@ fn parse_fuzz_config(flags: &[&String]) -> Result<rsched_oracle::FuzzConfig, Cli
 /// asserts recovery is bit-identical to a cold rebuild.
 fn fuzz_cmd(flags: &[&String]) -> Result<String, CliError> {
     let config = parse_fuzz_config(flags)?;
+    if has_flag(flags, "--cache") {
+        // Cache-only mode: the full iteration budget goes to the cache
+        // differential (CI's dedicated cache-fuzz job uses this).
+        let cache_report = rsched_oracle::fuzz_cache(&rsched_oracle::CacheFuzzConfig {
+            seed: config.seed,
+            iters: config.iters.max(10),
+            rounds: (config.iters / 100).clamp(1, 8),
+            repro_dir: config.repro_dir.clone(),
+            ..rsched_oracle::CacheFuzzConfig::default()
+        });
+        let rendered = format!("cache fuzz (seed {}):\n{cache_report}", config.seed);
+        return if cache_report.is_ok() {
+            Ok(rendered)
+        } else {
+            Err(CliError::failure(rendered))
+        };
+    }
     let report = rsched_oracle::fuzz(&config);
     let serve_report = rsched_oracle::fuzz_serve(&rsched_oracle::ServeFuzzConfig {
         seed: config.seed,
@@ -344,11 +376,19 @@ fn fuzz_cmd(flags: &[&String]) -> Result<String, CliError> {
         rounds: (config.iters / 50).clamp(1, 8),
         ..rsched_oracle::NetFuzzConfig::default()
     });
+    let cache_report = rsched_oracle::fuzz_cache(&rsched_oracle::CacheFuzzConfig {
+        seed: config.seed,
+        iters: (config.iters / 2).max(10),
+        rounds: (config.iters / 50).clamp(1, 4),
+        repro_dir: config.repro_dir.clone(),
+        ..rsched_oracle::CacheFuzzConfig::default()
+    });
     let mut rendered = format!(
-        "graph fuzz (seed {}):\n{report}\nserve fuzz:\n{serve_report}net fuzz:\n{net_report}",
+        "graph fuzz (seed {}):\n{report}\nserve fuzz:\n{serve_report}net fuzz:\n{net_report}cache fuzz:\n{cache_report}",
         config.seed
     );
-    let mut ok = report.is_ok() && serve_report.is_ok() && net_report.is_ok();
+    let mut ok =
+        report.is_ok() && serve_report.is_ok() && net_report.is_ok() && cache_report.is_ok();
     if has_flag(flags, "--faults") {
         let fault_report = rsched_oracle::fuzz_faults(&rsched_oracle::FaultFuzzConfig {
             seed: config.seed,
@@ -949,7 +989,13 @@ process demo (req, ack)
             ] {
                 assert!(out.contains(cmd), "'{invocation}' output misses '{cmd}'");
             }
-            for flag in ["--listen", "--stdio", "--snapshot-every", "--max-sessions"] {
+            for flag in [
+                "--listen",
+                "--stdio",
+                "--snapshot-every",
+                "--cache-capacity",
+                "--max-sessions",
+            ] {
                 assert!(out.contains(flag), "'{invocation}' output misses '{flag}'");
             }
         }
@@ -997,6 +1043,8 @@ process demo (req, ack)
             "/tmp/wal",
             "--snapshot-every",
             "64",
+            "--cache-capacity",
+            "512",
         ])
         .unwrap();
         assert_eq!(inv.config.queue_depth, 8);
@@ -1007,6 +1055,9 @@ process demo (req, ack)
             Some(std::path::Path::new("/tmp/wal"))
         );
         assert_eq!(inv.config.snapshot_every, 64);
+        assert_eq!(inv.config.cache_capacity, 512);
+        // The cache defaults to off (capacity 0).
+        assert_eq!(parse_serve(&[]).unwrap().config.cache_capacity, 0);
         // Bad values and stray flags are usage errors (exit code 2),
         // reported before any stdin read.
         assert_eq!(
@@ -1025,6 +1076,12 @@ process demo (req, ack)
         assert_eq!(run_args(&["serve", "--frob"]).unwrap_err().code, 2);
         assert_eq!(
             run_args(&["serve", "--snapshot-every", "x"])
+                .unwrap_err()
+                .code,
+            2
+        );
+        assert_eq!(
+            run_args(&["serve", "--cache-capacity", "x"])
                 .unwrap_err()
                 .code,
             2
@@ -1125,7 +1182,18 @@ process demo (req, ack)
             out.contains("socket protocol and stdio parity held"),
             "{out}"
         );
+        assert!(out.contains("cache transparency held"), "{out}");
         assert!(!out.contains("fault fuzz"), "{out}");
+    }
+
+    #[test]
+    fn fuzz_cache_only_smoke_run_is_clean() {
+        let out = run_args(&["fuzz", "--seed", "9", "--iters", "16", "--cache"]).unwrap();
+        assert!(out.contains("cache fuzz (seed 9)"), "{out}");
+        assert!(out.contains("cache transparency held"), "{out}");
+        // Cache-only mode skips every other phase.
+        assert!(!out.contains("graph fuzz"), "{out}");
+        assert!(!out.contains("net fuzz"), "{out}");
     }
 
     #[test]

@@ -177,6 +177,97 @@ impl AnchorSetFamily {
     pub fn total_cardinality(&self, graph: &ConstraintGraph) -> usize {
         graph.operation_ids().map(|v| self.cardinality(v)).sum()
     }
+
+    /// Sum of cardinalities over every vertex (no graph needed).
+    pub(crate) fn total_bits(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Rebuilds the family under a vertex relabeling: `perm[old] = new`
+    /// must be a bijection over `0..n_vertices`. The anchor roster is
+    /// remapped and re-sorted into id order, and every row moves to its
+    /// new vertex with columns re-indexed — so
+    /// `out.contains(perm(v), perm(a)) == self.contains(v, a)`.
+    ///
+    /// Used by the canonical-form schedule cache to move anchor sets
+    /// between the original and canonical index spaces.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `perm` is not a bijection of the right
+    /// length.
+    pub fn remapped(&self, perm: &[u32]) -> AnchorSetFamily {
+        debug_assert_eq!(perm.len(), self.n_vertices);
+        let mut anchors: Vec<VertexId> = self
+            .anchors
+            .iter()
+            .map(|a| VertexId::from_index(perm[a.index()] as usize))
+            .collect();
+        anchors.sort_unstable();
+        let mut anchor_index = vec![None; self.n_vertices];
+        for (i, &a) in anchors.iter().enumerate() {
+            debug_assert!(anchor_index[a.index()].is_none(), "perm must be injective");
+            anchor_index[a.index()] = Some(i as u32);
+        }
+        let mut out = AnchorSetFamily {
+            anchors,
+            anchor_index,
+            words_per_row: self.words_per_row,
+            bits: vec![0; self.words_per_row * self.n_vertices],
+            n_vertices: self.n_vertices,
+        };
+        for vi in 0..self.n_vertices {
+            let v = VertexId::from_index(vi);
+            let nv = VertexId::from_index(perm[vi] as usize);
+            for a in self.set(v) {
+                let na = VertexId::from_index(perm[a.index()] as usize);
+                out.insert(nv, na);
+            }
+        }
+        out
+    }
+
+    /// Builds a family from explicit per-vertex anchor lists, as when
+    /// reconstructing cached analyses from a journal snapshot.
+    ///
+    /// `anchors` must be strictly ascending (the id-order roster) and
+    /// every listed set member must appear in it; returns `None` when the
+    /// input violates either invariant so callers can fall back to
+    /// recomputing from the graph.
+    pub fn from_sets(
+        n_vertices: usize,
+        anchors: &[VertexId],
+        sets: &[(VertexId, Vec<VertexId>)],
+    ) -> Option<AnchorSetFamily> {
+        if !anchors.windows(2).all(|w| w[0] < w[1]) {
+            return None;
+        }
+        if anchors.iter().any(|a| a.index() >= n_vertices) {
+            return None;
+        }
+        let mut anchor_index = vec![None; n_vertices];
+        for (i, &a) in anchors.iter().enumerate() {
+            anchor_index[a.index()] = Some(i as u32);
+        }
+        let words_per_row = anchors.len().div_ceil(64).max(1);
+        let mut family = AnchorSetFamily {
+            anchors: anchors.to_vec(),
+            anchor_index,
+            words_per_row,
+            bits: vec![0; words_per_row * n_vertices],
+            n_vertices,
+        };
+        for (v, members) in sets {
+            if v.index() >= n_vertices {
+                return None;
+            }
+            for a in members {
+                family.anchor_index(*a)?;
+                family.insert(*v, *a);
+            }
+        }
+        Some(family)
+    }
 }
 
 /// The full anchor sets `A(v)` of a constraint graph (Definition 4),

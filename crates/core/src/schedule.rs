@@ -167,6 +167,76 @@ impl RelativeSchedule {
         violations
     }
 
+    /// Rebuilds the schedule under a vertex relabeling: `perm[old] = new`
+    /// must be a bijection over the vertex indices. The tracked family is
+    /// remapped via [`AnchorSetFamily::remapped`] and every tracked
+    /// offset moves with its `(vertex, anchor)` pair, so
+    /// `out.offset(perm(v), perm(a)) == self.offset(v, a)`. Untracked
+    /// slots stay zero — the same invariant the scheduler maintains — so
+    /// a remapped schedule is bit-identical to one computed natively in
+    /// the target labeling (the cache-hit contract, fuzzer-enforced).
+    pub fn remapped(&self, perm: &[u32]) -> RelativeSchedule {
+        let n_vertices = self.offsets.len() / self.n_anchors.max(1);
+        let sets = self.sets.remapped(perm);
+        let mut out = RelativeSchedule {
+            sets,
+            offsets: vec![0; self.offsets.len()],
+            n_anchors: self.n_anchors,
+            iterations: self.iterations,
+        };
+        for vi in 0..n_vertices {
+            let v = VertexId::from_index(vi);
+            let nv = VertexId::from_index(perm[vi] as usize);
+            for (a, offset) in self.offsets_of(v) {
+                let na = VertexId::from_index(perm[a.index()] as usize);
+                let ai = out.sets.anchor_index(na).expect("remapped roster anchor");
+                let slot = out.idx(nv, ai);
+                out.offsets[slot] = offset;
+            }
+        }
+        out
+    }
+
+    /// Reconstructs a schedule from a tracked family plus its explicit
+    /// `(vertex, anchor, offset)` triples — the journal-snapshot path
+    /// that lets `recover` skip the re-schedule.
+    ///
+    /// Every triple must name a tracked pair and every tracked pair must
+    /// be covered exactly once; returns `None` otherwise (callers fall
+    /// back to scheduling from scratch). Untracked slots are zero, so the
+    /// result is bit-identical to the schedule that was serialized.
+    pub fn from_offsets(
+        sets: AnchorSetFamily,
+        n_vertices: usize,
+        offsets: &[(VertexId, VertexId, i64)],
+        iterations: usize,
+    ) -> Option<RelativeSchedule> {
+        let expected = sets.total_bits();
+        if offsets.len() != expected {
+            return None;
+        }
+        let mut omega = RelativeSchedule {
+            n_anchors: sets.n_anchors(),
+            offsets: vec![0; n_vertices * sets.n_anchors()],
+            sets,
+            iterations,
+        };
+        let mut seen = vec![false; omega.offsets.len()];
+        for &(v, a, offset) in offsets {
+            if v.index() >= n_vertices || !omega.sets.contains(v, a) {
+                return None;
+            }
+            let ai = omega.sets.anchor_index(a)?;
+            let slot = omega.idx(v, ai);
+            if seen[slot] {
+                return None;
+            }
+            seen[slot] = true;
+            omega.offsets[slot] = offset;
+        }
+        Some(omega)
+    }
+
     /// Restricts the schedule to a smaller anchor-set family (typically
     /// `IR(v)`), dropping the offsets of anchors outside it.
     ///

@@ -56,14 +56,163 @@
 //! and a full disk must never take the service down. Dropping a journal
 //! syncs any remaining buffered lines.
 
+use std::collections::HashMap;
 use std::fs::File;
 use std::io::Write as _;
 use std::path::PathBuf;
 
-use rsched_graph::{ConstraintGraph, ExecDelay};
+use rsched_core::{AnchorSetFamily, RelativeSchedule};
+use rsched_graph::{ConstraintGraph, ExecDelay, VertexId};
 
 use crate::json::{object, Json};
 use crate::session::{EditOutcome, Session};
+
+/// A name-keyed serialization of a session's minimum schedule, stored
+/// inside snapshot records so recovery can skip the opening fixpoint run.
+///
+/// Everything is keyed by operation **name** (like every other journal
+/// record), so the seed survives re-parsing the design text regardless of
+/// internal id assignment. [`ScheduleSeed::instantiate`] rebuilds the
+/// exact [`RelativeSchedule`] against a freshly parsed graph; any
+/// mismatch (renamed ops, missing anchors, wrong coverage) yields `None`
+/// and the recovery path falls back to a full re-schedule — a stale or
+/// hand-edited seed can cost a warm start, never correctness, because
+/// [`Session::open_with_seed`] re-verifies the seed before installing it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleSeed {
+    /// Fixpoint iterations the original run needed (part of the schedule
+    /// value, so replayed state stays bit-identical).
+    pub iterations: usize,
+    /// Anchor roster by operation name, in anchor id order.
+    pub anchors: Vec<String>,
+    /// Per-vertex tracked offsets: `(vertex, [(anchor, offset)])`. The
+    /// key set of each row is exactly the vertex's tracked anchor set.
+    pub offsets: Vec<(String, Vec<(String, i64)>)>,
+}
+
+impl ScheduleSeed {
+    /// Captures the seed of `schedule` using `graph`'s operation names.
+    pub fn capture(graph: &ConstraintGraph, schedule: &RelativeSchedule) -> ScheduleSeed {
+        let name = |v: VertexId| graph.vertex(v).name().to_owned();
+        ScheduleSeed {
+            iterations: schedule.iterations(),
+            anchors: schedule.anchors().iter().map(|&a| name(a)).collect(),
+            offsets: graph
+                .vertex_ids()
+                .filter_map(|v| {
+                    let row: Vec<(String, i64)> =
+                        schedule.offsets_of(v).map(|(a, o)| (name(a), o)).collect();
+                    if row.is_empty() {
+                        None
+                    } else {
+                        Some((name(v), row))
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds the schedule against `graph` (freshly parsed from the
+    /// snapshot design). Returns `None` whenever any name fails to
+    /// resolve or the reconstructed family/offsets are inconsistent —
+    /// callers then fall back to a cold schedule run.
+    pub fn instantiate(&self, graph: &ConstraintGraph) -> Option<RelativeSchedule> {
+        let by_name: HashMap<&str, VertexId> = graph
+            .vertex_ids()
+            .map(|v| (graph.vertex(v).name(), v))
+            .collect();
+        // Duplicate names make resolution ambiguous (snapshots only ever
+        // record uniquely named graphs).
+        if by_name.len() != graph.n_vertices() {
+            return None;
+        }
+        let resolve = |n: &str| by_name.get(n).copied();
+        let anchors: Vec<VertexId> = self
+            .anchors
+            .iter()
+            .map(|n| resolve(n))
+            .collect::<Option<_>>()?;
+        let mut sets: Vec<(VertexId, Vec<VertexId>)> = Vec::with_capacity(self.offsets.len());
+        let mut triples: Vec<(VertexId, VertexId, i64)> = Vec::new();
+        for (vn, row) in &self.offsets {
+            let v = resolve(vn)?;
+            let mut members = Vec::with_capacity(row.len());
+            for (an, off) in row {
+                let a = resolve(an)?;
+                members.push(a);
+                triples.push((v, a, *off));
+            }
+            sets.push((v, members));
+        }
+        let family = AnchorSetFamily::from_sets(graph.n_vertices(), &anchors, &sets)?;
+        RelativeSchedule::from_offsets(family, graph.n_vertices(), &triples, self.iterations)
+    }
+
+    /// Renders the seed as the `"analysis"` value of a snapshot line.
+    fn to_json(&self) -> Json {
+        object([
+            ("iterations", Json::from(self.iterations)),
+            (
+                "anchors",
+                Json::Array(
+                    self.anchors
+                        .iter()
+                        .map(|a| Json::from(a.as_str()))
+                        .collect(),
+                ),
+            ),
+            (
+                "offsets",
+                Json::Object(
+                    self.offsets
+                        .iter()
+                        .map(|(v, row)| {
+                            (
+                                v.clone(),
+                                Json::Object(
+                                    row.iter()
+                                        .map(|(a, o)| (a.clone(), Json::Int(*o)))
+                                        .collect(),
+                                ),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses an `"analysis"` value; `None` for anything malformed (the
+    /// snapshot then replays with a cold schedule run).
+    fn from_json(json: &Json) -> Option<ScheduleSeed> {
+        let iterations = usize::try_from(json.get("iterations")?.as_i64()?).ok()?;
+        let anchors = json
+            .get("anchors")?
+            .as_array()?
+            .iter()
+            .map(|a| a.as_str().map(str::to_owned))
+            .collect::<Option<Vec<_>>>()?;
+        let Json::Object(rows) = json.get("offsets")? else {
+            return None;
+        };
+        let mut offsets = Vec::with_capacity(rows.len());
+        for (v, row) in rows {
+            let Json::Object(cells) = row else {
+                return None;
+            };
+            let mut out = Vec::with_capacity(cells.len());
+            for (a, o) in cells {
+                out.push((a.clone(), o.as_i64()?));
+            }
+            offsets.push((v.clone(), out));
+        }
+        Some(ScheduleSeed {
+            iterations,
+            anchors,
+            offsets,
+        })
+    }
+}
 
 /// One replayable session record, keyed by operation names.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -72,6 +221,10 @@ pub enum JournalOp {
     Open {
         /// The design source; replay re-parses it.
         design: String,
+        /// The serve-layer session name, written into the WAL so a
+        /// restarted process can rebuild its session table from the
+        /// journal directory alone. Empty for pre-naming WAL files.
+        session: String,
     },
     /// A compaction base: the session's full graph re-serialized. Replay
     /// treats it exactly like [`JournalOp::Open`]; the distinct variant
@@ -79,6 +232,13 @@ pub enum JournalOp {
     Snapshot {
         /// The serialized graph at the compaction point.
         design: String,
+        /// The serve-layer session name (see [`JournalOp::Open`]).
+        session: String,
+        /// The session's schedule at the compaction point, when it was
+        /// available, so recovery replays without re-running the opening
+        /// fixpoint. `None` (or a seed that fails verification) falls
+        /// back to a cold run.
+        analysis: Option<ScheduleSeed>,
     },
     /// `add_dependency(from, to)`.
     AddDep {
@@ -127,14 +287,26 @@ impl JournalOp {
     /// Renders the op as one WAL line (a JSON object).
     fn to_json(&self) -> Json {
         match self {
-            JournalOp::Open { design } => object([
+            JournalOp::Open { design, session } => object([
                 ("op", Json::from("open")),
+                ("session", Json::from(session.as_str())),
                 ("design", Json::from(design.as_str())),
             ]),
-            JournalOp::Snapshot { design } => object([
-                ("op", Json::from("snapshot")),
-                ("design", Json::from(design.as_str())),
-            ]),
+            JournalOp::Snapshot {
+                design,
+                session,
+                analysis,
+            } => {
+                let mut pairs = vec![
+                    ("op", Json::from("snapshot")),
+                    ("session", Json::from(session.as_str())),
+                    ("design", Json::from(design.as_str())),
+                ];
+                if let Some(seed) = analysis {
+                    pairs.push(("analysis", seed.to_json()));
+                }
+                object(pairs)
+            }
             JournalOp::AddDep { from, to } => object([
                 ("op", Json::from("add_dep")),
                 ("from", Json::from(from.as_str())),
@@ -170,12 +342,92 @@ impl JournalOp {
             ]),
         }
     }
+
+    /// Parses one WAL line back into a journal record — the inverse of
+    /// [`JournalOp`]'s WAL rendering, used to rebuild session tables from
+    /// a journal directory at boot. Tolerant of older line formats: a
+    /// missing `"session"` parses as an empty name (such files cannot be
+    /// auto-recovered, but still parse), and a malformed `"analysis"`
+    /// degrades to `None`.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first structural problem
+    /// (unknown op, missing field, bad value).
+    pub fn from_json(json: &Json) -> Result<JournalOp, String> {
+        let op = json
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or("journal line missing \"op\"")?;
+        let field = |key: &str| -> Result<String, String> {
+            json.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("journal op '{op}' missing \"{key}\""))
+        };
+        let value = || -> Result<u64, String> {
+            json.get("value")
+                .and_then(Json::as_i64)
+                .and_then(|v| u64::try_from(v).ok())
+                .ok_or_else(|| format!("journal op '{op}' missing a non-negative \"value\""))
+        };
+        let session = || {
+            json.get("session")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_owned()
+        };
+        match op {
+            "open" => Ok(JournalOp::Open {
+                design: field("design")?,
+                session: session(),
+            }),
+            "snapshot" => Ok(JournalOp::Snapshot {
+                design: field("design")?,
+                session: session(),
+                analysis: json.get("analysis").and_then(ScheduleSeed::from_json),
+            }),
+            "add_dep" => Ok(JournalOp::AddDep {
+                from: field("from")?,
+                to: field("to")?,
+            }),
+            "add_min" => Ok(JournalOp::AddMin {
+                from: field("from")?,
+                to: field("to")?,
+                value: value()?,
+            }),
+            "add_max" => Ok(JournalOp::AddMax {
+                from: field("from")?,
+                to: field("to")?,
+                value: value()?,
+            }),
+            "remove_edge" => Ok(JournalOp::RemoveEdge {
+                from: field("from")?,
+                to: field("to")?,
+            }),
+            "set_delay" => Ok(JournalOp::SetDelay {
+                vertex: field("vertex")?,
+                delay: match json.get("delay") {
+                    Some(Json::Str(s)) if s == "unbounded" => ExecDelay::Unbounded,
+                    Some(d) => match d.as_i64().and_then(|v| u64::try_from(v).ok()) {
+                        Some(cycles) => ExecDelay::Fixed(cycles),
+                        None => return Err("journal op 'set_delay' has a bad \"delay\"".into()),
+                    },
+                    None => return Err("journal op 'set_delay' missing \"delay\"".into()),
+                },
+            }),
+            other => Err(format!("unknown journal op '{other}'")),
+        }
+    }
 }
 
 /// The edit history of one session — a base plus the delta since; see
 /// the module docs.
 #[derive(Debug)]
 pub struct Journal {
+    /// The serve-layer session name, recorded in every base line so a
+    /// restarted process can rebuild its session table from WAL files.
+    name: String,
     /// `ops[0]` is always the base (`Open` or `Snapshot`); the rest is
     /// the delta of accepted edits since that base.
     ops: Vec<JournalOp>,
@@ -192,10 +444,12 @@ pub struct Journal {
 }
 
 impl Journal {
-    /// Starts a journal for a session opened on `design`, optionally
+    /// Starts a journal for session `name` opened on `design`, optionally
     /// mirrored to `wal_path` (truncating any previous file there).
-    pub fn open(design: String, wal_path: Option<PathBuf>) -> Journal {
+    pub fn open(name: impl Into<String>, design: String, wal_path: Option<PathBuf>) -> Journal {
+        let name = name.into();
         let mut journal = Journal {
+            name: name.clone(),
             ops: Vec::new(),
             wal: wal_path.map(|p| {
                 let file = File::create(&p).ok();
@@ -206,8 +460,46 @@ impl Journal {
             compactions: 0,
             compacted_edits: 0,
         };
-        journal.append(JournalOp::Open { design });
+        journal.append(JournalOp::Open {
+            design,
+            session: name,
+        });
         journal
+    }
+
+    /// Rebuilds a journal from already-parsed WAL records — the boot-time
+    /// recovery path. The base record supplies the session name; the WAL
+    /// file, when given, is reopened in **append** mode so the resumed
+    /// session keeps extending its existing audit trail.
+    ///
+    /// # Errors
+    ///
+    /// When `ops` does not start with an `Open`/`Snapshot` base record.
+    pub fn resume(ops: Vec<JournalOp>, wal_path: Option<PathBuf>) -> Result<Journal, String> {
+        let name = match ops.first() {
+            Some(JournalOp::Open { session, .. }) | Some(JournalOp::Snapshot { session, .. }) => {
+                session.clone()
+            }
+            _ => return Err("journal does not start with an open or snapshot".to_owned()),
+        };
+        Ok(Journal {
+            name,
+            ops,
+            wal: wal_path.map(|p| {
+                let file = std::fs::OpenOptions::new().append(true).open(&p).ok();
+                (p, file)
+            }),
+            pending: String::new(),
+            snapshot_every: 0,
+            compactions: 0,
+            compacted_edits: 0,
+        })
+    }
+
+    /// The session name this journal records (empty for WAL files written
+    /// before names were journaled).
+    pub fn session_name(&self) -> &str {
+        &self.name
     }
 
     /// Sets the compaction threshold: once the delta since the base holds
@@ -306,11 +598,21 @@ impl Journal {
             return false;
         }
         let design = session.graph().to_text();
-        self.rewrite_wal(&design);
+        let snapshot = JournalOp::Snapshot {
+            design,
+            session: self.name.clone(),
+            // Snapshot-safe implies well-posed, so the session holds a
+            // fresh schedule; journaling it lets recovery skip the
+            // fixpoint kernel entirely.
+            analysis: session
+                .schedule()
+                .map(|s| ScheduleSeed::capture(session.graph(), s)),
+        };
+        self.rewrite_wal(&snapshot);
         self.compacted_edits += self.edits();
         self.compactions += 1;
         self.ops.clear();
-        self.ops.push(JournalOp::Snapshot { design });
+        self.ops.push(snapshot);
         self.pending.clear(); // Subsumed by the snapshot line just written.
         true
     }
@@ -319,21 +621,14 @@ impl Journal {
     /// write a temp file, then rename over the old path, so a torn write
     /// can never destroy the previous (still-valid) WAL. Failures stop
     /// mirroring but never fail the compaction.
-    fn rewrite_wal(&mut self, design: &str) {
+    fn rewrite_wal(&mut self, snapshot: &JournalOp) {
         let Some((path, slot)) = &mut self.wal else {
             return;
         };
         if slot.is_none() {
             return; // Mirroring already gave up on this disk.
         }
-        let line = format!(
-            "{}\n",
-            JournalOp::Snapshot {
-                design: design.to_owned(),
-            }
-            .to_json()
-            .render()
-        );
+        let line = format!("{}\n", snapshot.to_json().render());
         let tmp = path.with_extension("wal.tmp");
         let replaced = std::fs::write(&tmp, line.as_bytes())
             .and_then(|()| std::fs::rename(&tmp, &*path))
@@ -362,14 +657,20 @@ impl Journal {
     /// if the journal was corrupted (it records accepted edits only).
     pub fn replay(&self) -> Result<Session, String> {
         let mut ops = self.ops.iter();
-        let design = match ops.next() {
-            Some(JournalOp::Open { design }) | Some(JournalOp::Snapshot { design }) => design,
+        let (design, analysis) = match ops.next() {
+            Some(JournalOp::Open { design, .. }) => (design, None),
+            Some(JournalOp::Snapshot {
+                design, analysis, ..
+            }) => (design, analysis.as_ref()),
             _ => return Err("journal does not start with an open or snapshot".to_owned()),
         };
         let graph = ConstraintGraph::from_text(design)
             .map_err(|e| format!("journal replay: bad design: {e}"))?;
-        let mut session =
-            Session::open(graph).map_err(|e| format!("journal replay: cannot open: {e}"))?;
+        // A journaled analysis that fails to instantiate (e.g. a WAL from
+        // an older format) degrades to a cold open — never an error.
+        let seed = analysis.and_then(|a| a.instantiate(&graph));
+        let mut session = Session::open_with_seed(graph, seed)
+            .map_err(|e| format!("journal replay: cannot open: {e}"))?;
         for (i, op) in ops.enumerate() {
             let vertex = |s: &Session, name: &str| {
                 s.vertex_named(name)
@@ -449,7 +750,7 @@ mod tests {
     fn replay_reproduces_the_live_session() {
         let graph = ConstraintGraph::from_text(DESIGN).unwrap();
         let mut live = Session::open(graph).unwrap();
-        let mut journal = Journal::open(DESIGN.to_owned(), None);
+        let mut journal = Journal::open("s", DESIGN.to_owned(), None);
 
         let (alu, out) = (
             live.vertex_named("alu").unwrap(),
@@ -477,7 +778,7 @@ mod tests {
 
     #[test]
     fn replay_rejects_corrupt_history() {
-        let mut journal = Journal::open(DESIGN.to_owned(), None);
+        let mut journal = Journal::open("s", DESIGN.to_owned(), None);
         journal.append(JournalOp::AddDep {
             from: "alu".into(),
             to: "nonesuch".into(),
@@ -491,7 +792,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("rsched_wal_test_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("s.wal");
-        let mut journal = Journal::open(DESIGN.to_owned(), Some(path.clone()));
+        let mut journal = Journal::open("s", DESIGN.to_owned(), Some(path.clone()));
         journal.append(JournalOp::AddMax {
             from: "alu".into(),
             to: "out".into(),
@@ -519,7 +820,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("d.wal");
         {
-            let mut journal = Journal::open(DESIGN.to_owned(), Some(path.clone()));
+            let mut journal = Journal::open("s", DESIGN.to_owned(), Some(path.clone()));
             journal.append(JournalOp::AddDep {
                 from: "sync".into(),
                 to: "out".into(),
@@ -537,7 +838,7 @@ mod tests {
         let path = dir.join("c.wal");
         let graph = ConstraintGraph::from_text(DESIGN).unwrap();
         let mut live = Session::open(graph).unwrap();
-        let mut journal = Journal::open(DESIGN.to_owned(), Some(path.clone()));
+        let mut journal = Journal::open("s", DESIGN.to_owned(), Some(path.clone()));
         journal.set_snapshot_every(2);
         let alu = live.vertex_named("alu").unwrap();
         for delay in [3u64, 1, 4, 2] {
@@ -567,10 +868,84 @@ mod tests {
     }
 
     #[test]
+    fn schedule_seed_round_trips_bit_identically() {
+        let graph = ConstraintGraph::from_text(DESIGN).unwrap();
+        let live = Session::open(graph).unwrap();
+        let omega = live.schedule().expect("well-posed design");
+        let seed = ScheduleSeed::capture(live.graph(), omega);
+        // Against the same graph re-parsed from its own text — exactly
+        // what snapshot recovery does.
+        let reparsed = ConstraintGraph::from_text(&live.graph().to_text()).unwrap();
+        let rebuilt = seed
+            .instantiate(&reparsed)
+            .expect("seed instantiates against its own design text");
+        assert_eq!(&rebuilt, omega, "seeded schedule must be bit-identical");
+        // And the seeded open is indistinguishable from a cold open.
+        let seeded = Session::open_with_seed(reparsed, Some(rebuilt)).unwrap();
+        assert_eq!(seeded.schedule(), live.schedule());
+        assert_eq!(seeded.posedness(), live.posedness());
+        assert_eq!(seeded.stats(), live.stats());
+    }
+
+    #[test]
+    fn seed_that_no_longer_matches_falls_back_to_cold_open() {
+        let graph = ConstraintGraph::from_text(DESIGN).unwrap();
+        let live = Session::open(graph).unwrap();
+        let seed = ScheduleSeed::capture(live.graph(), live.schedule().unwrap());
+        // A different design: names resolve nowhere.
+        let other = ConstraintGraph::from_text("op a 1\nop b 2\ndep a b\n").unwrap();
+        assert_eq!(seed.instantiate(&other), None);
+    }
+
+    #[test]
+    fn snapshot_lines_carry_the_analysis_and_legacy_lines_still_parse() {
+        let dir = std::env::temp_dir().join(format!("rsched_wal_seed_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("a.wal");
+        let graph = ConstraintGraph::from_text(DESIGN).unwrap();
+        let mut live = Session::open(graph).unwrap();
+        let mut journal = Journal::open("sess", DESIGN.to_owned(), Some(path.clone()));
+        journal.set_snapshot_every(1);
+        let alu = live.vertex_named("alu").unwrap();
+        assert!(live.set_delay(alu, ExecDelay::Fixed(3)).is_scheduled());
+        journal.append(JournalOp::SetDelay {
+            vertex: "alu".into(),
+            delay: ExecDelay::Fixed(3),
+        });
+        assert!(journal.maybe_compact(&live));
+        journal.sync();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let snapshot = Json::parse(text.lines().next().unwrap()).unwrap();
+        assert_eq!(snapshot.get("session").and_then(Json::as_str), Some("sess"));
+        let parsed = JournalOp::from_json(&snapshot).unwrap();
+        let JournalOp::Snapshot {
+            design, analysis, ..
+        } = parsed
+        else {
+            panic!("first line is not a snapshot: {text}");
+        };
+        let seed = analysis.expect("well-posed snapshot embeds its analysis");
+        let reparsed = ConstraintGraph::from_text(&design).unwrap();
+        assert_eq!(
+            seed.instantiate(&reparsed).as_ref(),
+            live.schedule(),
+            "journaled analysis rebuilds the live schedule"
+        );
+        // Lines from before session names / analyses were journaled must
+        // still parse (empty name, no seed).
+        let legacy = Json::parse(r#"{"op":"open","design":"op a 1\n"}"#).unwrap();
+        match JournalOp::from_json(&legacy).unwrap() {
+            JournalOp::Open { session, .. } => assert_eq!(session, ""),
+            other => panic!("legacy open parsed as {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn compaction_defers_while_ill_posed() {
         let graph = ConstraintGraph::from_text(DESIGN).unwrap();
         let mut live = Session::open(graph).unwrap();
-        let mut journal = Journal::open(DESIGN.to_owned(), None);
+        let mut journal = Journal::open("s", DESIGN.to_owned(), None);
         journal.set_snapshot_every(1);
         let alu = live.vertex_named("alu").unwrap();
         // Unbounded alu under the max constraint: ill-posed, schedule stale.
@@ -601,7 +976,7 @@ mod tests {
         let _s = failpoint::enter_scope(SCOPE);
         let graph = ConstraintGraph::from_text(DESIGN).unwrap();
         let mut live = Session::open(graph).unwrap();
-        let mut journal = Journal::open(DESIGN.to_owned(), None);
+        let mut journal = Journal::open("s", DESIGN.to_owned(), None);
         journal.set_snapshot_every(1);
         let alu = live.vertex_named("alu").unwrap();
         assert!(live.set_delay(alu, ExecDelay::Fixed(3)).is_scheduled());

@@ -32,7 +32,7 @@ pub mod json;
 pub mod service;
 pub mod session;
 
-pub use journal::{Journal, JournalOp};
+pub use journal::{Journal, JournalOp, ScheduleSeed};
 pub use service::{
     error_response, overloaded_response, serve, shard_of, Router, RouterStats, ServeConfig,
     ServeSummary, DEADLINE_ERROR,

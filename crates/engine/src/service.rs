@@ -98,7 +98,8 @@ use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use rsched_core::{schedule, ScheduleError, WellPosedness};
+use rsched_cache::{schedule_cached, CacheStats, ScheduleCache};
+use rsched_core::{ScheduleError, WellPosedness};
 use rsched_graph::{failpoint, ConstraintGraph, ExecDelay};
 
 use crate::journal::{Journal, JournalOp};
@@ -130,6 +131,10 @@ pub struct ServeConfig {
     /// Compact a session's journal into a snapshot once this many edits
     /// accumulate since the last base; `0` disables compaction.
     pub snapshot_every: usize,
+    /// Capacity of the canonical-form schedule cache shared by `open` and
+    /// `batch_schedule` across all transports; `0` (the default) disables
+    /// caching entirely, keeping every response deterministic.
+    pub cache_capacity: usize,
     /// Failpoint scope token the worker threads enter, so a fault-
     /// injection harness can target exactly this service instance.
     pub fault_scope: Option<u64>,
@@ -145,6 +150,7 @@ impl Default for ServeConfig {
             max_edges: None,
             journal_dir: None,
             snapshot_every: 256,
+            cache_capacity: 0,
             fault_scope: None,
         }
     }
@@ -227,6 +233,7 @@ struct Counters {
     quarantined: AtomicUsize,
     recoveries: AtomicUsize,
     snapshots: AtomicUsize,
+    boot_recovered: AtomicUsize,
 }
 
 impl Counters {
@@ -256,6 +263,11 @@ pub struct RouterStats {
     pub recoveries: usize,
     /// Journal compactions (snapshots taken).
     pub snapshots: usize,
+    /// Sessions rebuilt from on-disk WAL files when the router started.
+    pub boot_recovered: usize,
+    /// Canonical-form schedule cache counters (all zero when the cache is
+    /// disabled).
+    pub cache: CacheStats,
 }
 
 /// The transport-agnostic core of the scheduling service: session tables
@@ -275,18 +287,21 @@ pub struct Router {
     max_edges: Option<usize>,
     journal_dir: Option<PathBuf>,
     snapshot_every: usize,
+    cache: ScheduleCache,
 }
 
 impl Router {
     /// Builds a router with `n_slots` independent session tables
-    /// (clamped to ≥ 1), taking limits, journal, and snapshot settings
-    /// from `config`. Creates the journal directory best-effort — a
-    /// missing directory only disables the WAL mirror.
+    /// (clamped to ≥ 1), taking limits, journal, snapshot, and cache
+    /// settings from `config`. Creates the journal directory best-effort —
+    /// a missing directory only disables the WAL mirror — then rebuilds
+    /// any sessions whose WAL files survive in it from a previous process
+    /// (boot-time recovery; see [`RouterStats::boot_recovered`]).
     pub fn new(n_slots: usize, config: &ServeConfig) -> Router {
         if let Some(dir) = &config.journal_dir {
             let _ = std::fs::create_dir_all(dir);
         }
-        Router {
+        let router = Router {
             slots: (0..n_slots.max(1))
                 .map(|_| Mutex::new(SlotState::default()))
                 .collect(),
@@ -295,6 +310,95 @@ impl Router {
             max_edges: config.max_edges,
             journal_dir: config.journal_dir.clone(),
             snapshot_every: config.snapshot_every,
+            cache: ScheduleCache::new(config.cache_capacity),
+        };
+        router.recover_from_wal_dir();
+        router
+    }
+
+    /// The canonical-form schedule cache shared by every transport on
+    /// this router.
+    pub fn cache(&self) -> &ScheduleCache {
+        &self.cache
+    }
+
+    /// Boot-time recovery: scan the journal directory for `*.wal` files
+    /// left by a previous process and rebuild each session by replaying
+    /// its journal, pinning it to the same slot its name shards to.
+    ///
+    /// Failure handling is strictly best-effort — this runs before the
+    /// service accepts traffic, and a damaged WAL must never prevent
+    /// startup. A torn tail (crash mid-append) is truncated to the last
+    /// parseable line and the file is rewritten to that good prefix, so
+    /// resumed appends extend a clean journal. Files whose base line
+    /// predates session-name journaling (or fails replay) are skipped.
+    fn recover_from_wal_dir(&self) {
+        let Some(dir) = &self.journal_dir else {
+            return;
+        };
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return;
+        };
+        let mut paths: Vec<PathBuf> = entries
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|e| e == "wal"))
+            .collect();
+        paths.sort(); // Deterministic recovery order regardless of readdir.
+        for path in paths {
+            let Ok(text) = std::fs::read_to_string(&path) else {
+                continue;
+            };
+            let mut ops = Vec::new();
+            let mut good = String::new();
+            let mut torn = false;
+            for line in text.lines().filter(|l| !l.trim().is_empty()) {
+                let parsed = Json::parse(line)
+                    .ok()
+                    .and_then(|json| JournalOp::from_json(&json).ok());
+                match parsed {
+                    Some(op) => {
+                        ops.push(op);
+                        good.push_str(line);
+                        good.push('\n');
+                    }
+                    None => {
+                        torn = true;
+                        break; // Keep the good prefix only.
+                    }
+                }
+            }
+            if torn {
+                // Rewrite atomically so the resumed journal appends after
+                // the last good line, not after the torn one.
+                let tmp = path.with_extension("wal.tmp");
+                if std::fs::write(&tmp, good.as_bytes())
+                    .and_then(|()| std::fs::rename(&tmp, &path))
+                    .is_err()
+                {
+                    let _ = std::fs::remove_file(&tmp);
+                    continue;
+                }
+            }
+            let Ok(mut journal) = Journal::resume(ops, Some(path)) else {
+                continue;
+            };
+            journal.set_snapshot_every(self.snapshot_every);
+            let name = journal.session_name().to_owned();
+            if name.is_empty() {
+                continue; // Pre-name WAL format: no session to rebuild.
+            }
+            let Ok(session) = journal.replay() else {
+                continue;
+            };
+            let slot = shard_of(&name, self.slots.len());
+            let mut state = lock_recover(&self.slots[slot]);
+            state.sessions.entry(name).or_insert(SessionEntry {
+                session: Some(session),
+                journal,
+                recoveries: 0,
+            });
+            Counters::bump(&self.counters.boot_recovered);
         }
     }
 
@@ -398,6 +502,8 @@ impl Router {
             quarantined: c.quarantined.load(Ordering::Relaxed),
             recoveries: c.recoveries.load(Ordering::Relaxed),
             snapshots: c.snapshots.load(Ordering::Relaxed),
+            boot_recovered: c.boot_recovered.load(Ordering::Relaxed),
+            cache: self.cache.stats(),
         }
     }
 
@@ -468,7 +574,7 @@ impl Router {
             None => return fail(id, "missing \"op\""),
         };
         if op == "batch_schedule" {
-            return batch_schedule(id, request);
+            return batch_schedule(&self.cache, id, request);
         }
         let name = request
             .get("session")
@@ -480,20 +586,35 @@ impl Router {
                 let Some(design) = request.get("design").and_then(Json::as_str) else {
                     return fail(id, "open needs a \"design\" (graph text format)");
                 };
-                let graph = match ConstraintGraph::from_text(design) {
+                let mut graph = match ConstraintGraph::from_text(design) {
                     Ok(g) => g,
                     Err(e) => return fail(id, format!("bad design: {e}")),
                 };
-                let session = match Session::open(graph) {
+                // Cache keys are canonical forms of *polar* graphs (the
+                // space sessions live in), so polarize before probing.
+                // Session::open would do the same polarization anyway.
+                if self.cache.enabled() && !graph.is_polar() {
+                    if let Err(e) = graph.polarize() {
+                        return fail(id, format!("cannot open session: {e}"));
+                    }
+                }
+                let seed = self.cache.get(&graph);
+                let seeded = seed.is_some();
+                let session = match Session::open_with_seed(graph, seed) {
                     Ok(s) => s,
                     Err(e) => return fail(id, format!("cannot open session: {e}")),
                 };
+                if !seeded && session.posedness().is_well_posed() {
+                    if let Some(omega) = session.schedule() {
+                        self.cache.put(session.graph(), omega);
+                    }
+                }
                 Counters::bump(&self.counters.opened);
                 let wal = self
                     .journal_dir
                     .as_ref()
                     .map(|dir| dir.join(wal_file_name(&name)));
-                let mut journal = Journal::open(design.to_owned(), wal);
+                let mut journal = Journal::open(name.clone(), design.to_owned(), wal);
                 journal.set_snapshot_every(self.snapshot_every);
                 let body = [
                     ("vertices", Json::from(session.graph().n_vertices())),
@@ -586,6 +707,7 @@ impl Router {
                     ("total_edits", Json::from(entry.journal.total_edits())),
                     ("compactions", Json::from(entry.journal.compactions())),
                     ("recoveries", Json::from(entry.recoveries)),
+                    ("cache", cache_json(&self.cache.stats())),
                 ]);
                 object(pairs)
             }
@@ -758,6 +880,11 @@ impl Router {
             let session = entry.session.as_ref().expect("still live");
             if entry.journal.maybe_compact(session) {
                 Counters::bump(&self.counters.snapshots);
+            }
+            // Write-through: the post-edit graph now has a verified
+            // schedule, so a later `open` of an isomorphic design hits.
+            if let (EditOutcome::Rescheduled { .. }, Some(omega)) = (&outcome, session.schedule()) {
+                self.cache.put(session.graph(), omega);
             }
         }
         outcome_json(entry.session.as_ref().expect("still live"), id, &outcome)
@@ -971,6 +1098,21 @@ fn respond<W: Write>(out: &Mutex<CountingWriter<W>>, response: Json) -> io::Resu
     guard.inner.flush()
 }
 
+/// Renders the schedule-cache counters for the `stats` op. With the cache
+/// disabled (the default) every field is a deterministic zero, so the
+/// object is safe to include in differential-tested responses.
+fn cache_json(stats: &CacheStats) -> Json {
+    let int = |v: u64| Json::Int(i64::try_from(v).unwrap_or(i64::MAX));
+    object([
+        ("hits", int(stats.hits)),
+        ("misses", int(stats.misses)),
+        ("evictions", int(stats.evictions)),
+        ("inserts", int(stats.inserts)),
+        ("entries", int(stats.entries)),
+        ("mean_hit_nanos", int(stats.mean_hit_nanos())),
+    ])
+}
+
 /// The standard `{"id":…,"ok":false,"error":…}` response. Public so
 /// every transport shapes errors identically.
 pub fn error_response(id: Json, message: impl Into<String>) -> Json {
@@ -1080,10 +1222,11 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 
 /// Schedules each design in `"designs"` independently — no session state
 /// is created — fanning the batch across a scoped pool of `"threads"`
-/// workers. Each design runs the cold single-thread scheduler, so results
-/// are bit-identical to individual `open` requests; the response lists
+/// workers. Each design consults the canonical-form cache and otherwise
+/// runs the cold single-thread scheduler; either way results are
+/// bit-identical to individual `open` requests, and the response lists
 /// them in input order regardless of completion order.
-fn batch_schedule(id: Json, request: &Json) -> Json {
+fn batch_schedule(cache: &ScheduleCache, id: Json, request: &Json) -> Json {
     let Some(designs) = request.get("designs").and_then(Json::as_array) else {
         return fail(id, "batch_schedule needs a \"designs\" array");
     };
@@ -1107,7 +1250,7 @@ fn batch_schedule(id: Json, request: &Json) -> Json {
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(entry) = designs.get(i) else { break };
-                    if res_tx.send((i, batch_entry(entry))).is_err() {
+                    if res_tx.send((i, batch_entry(cache, entry))).is_err() {
                         break;
                     }
                 }
@@ -1125,8 +1268,10 @@ fn batch_schedule(id: Json, request: &Json) -> Json {
     ])
 }
 
-/// Parses, polarizes, and cold-schedules one `{"name", "design"}` entry.
-fn batch_entry(entry: &Json) -> Json {
+/// Parses, polarizes, and schedules one `{"name", "design"}` entry
+/// through the canonical-form cache (a cache hit is bit-identical to the
+/// cold run, so the response shape never reveals which path served it).
+fn batch_entry(cache: &ScheduleCache, entry: &Json) -> Json {
     let name = Json::from(entry.get("name").and_then(Json::as_str).unwrap_or(""));
     let bad = |name: Json, error: String| {
         object([
@@ -1147,8 +1292,8 @@ fn batch_entry(entry: &Json) -> Json {
             return bad(name, format!("bad design: {e}"));
         }
     }
-    match schedule(&graph) {
-        Ok(omega) => object([
+    match schedule_cached(cache, &graph, 1) {
+        Ok((omega, _)) => object([
             ("name", name),
             ("ok", Json::Bool(true)),
             ("verdict", Json::from("well-posed")),
@@ -1958,5 +2103,158 @@ mod tests {
         assert!(lines[0].contains("\"op\":\"snapshot\""), "{text}");
         assert_eq!(lines.len(), 2, "snapshot base + 1 delta edit");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn boot_recovery_rebuilds_sessions_across_restarts() {
+        // Kill-and-restart: run one serve process to completion with a
+        // journal directory, then start a second one over the same
+        // directory. The second process must answer for the first one's
+        // session — schedule, stats, and further edits — without any
+        // client re-open, and the rebuilt offsets must match.
+        let dir = std::env::temp_dir().join(format!("rsched_boot_recover_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = ServeConfig {
+            journal_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        };
+        let design = DESIGN.replace('\n', "\\n");
+        let run1 = vec![
+            req(1, "s", &format!(r#""op":"open","design":"{design}""#)),
+            req(
+                2,
+                "s",
+                r#""op":"edit","kind":"add_min","from":"alu","to":"out","value":3"#,
+            ),
+            req(3, "s", r#""op":"schedule""#),
+        ];
+        let (before, summary1) = run_lines(&run1, &config);
+        assert_eq!(summary1.errors, 0);
+        let offsets_before = by_id(&before, 3).get("offsets").cloned().unwrap();
+
+        // "Restart": a fresh serve over the same journal directory, with
+        // no open — every request targets the recovered session.
+        let run2 = vec![
+            req(10, "s", r#""op":"stats""#),
+            req(11, "s", r#""op":"schedule""#),
+            req(
+                12,
+                "s",
+                r#""op":"edit","kind":"add_min","from":"sync","to":"out","value":1"#,
+            ),
+        ];
+        let (after, summary2) = run_lines(&run2, &config);
+        assert_eq!(summary2.errors, 0, "recovered session must be live");
+        let stats = by_id(&after, 10);
+        assert_eq!(stats.get("quarantined"), Some(&Json::Bool(false)));
+        assert_eq!(stats.get("journal_len"), Some(&Json::Int(1)));
+        let offsets_after = by_id(&after, 11).get("offsets").cloned().unwrap();
+        assert_eq!(
+            offsets_after, offsets_before,
+            "recovered schedule diverges from the pre-restart one"
+        );
+        // The Router-level counter records the rebuild.
+        let router = Router::new(2, &config);
+        assert_eq!(router.stats().boot_recovered, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn boot_recovery_truncates_a_torn_wal_tail() {
+        // A crash mid-append leaves a half-written last line. Recovery
+        // must keep the good prefix, rewrite the file to it, and still
+        // rebuild the session.
+        let dir = std::env::temp_dir().join(format!("rsched_boot_torn_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = ServeConfig {
+            journal_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        };
+        let design = DESIGN.replace('\n', "\\n");
+        let run1 = vec![req(1, "s", &format!(r#""op":"open","design":"{design}""#))];
+        let (_, summary1) = run_lines(&run1, &config);
+        assert_eq!(summary1.errors, 0);
+        let wal = dir.join(wal_file_name("s"));
+        let mut text = std::fs::read_to_string(&wal).unwrap();
+        text.push_str("{\"op\":\"add_min\",\"fr"); // torn mid-record
+        std::fs::write(&wal, &text).unwrap();
+
+        let router = Router::new(2, &config);
+        assert_eq!(router.stats().boot_recovered, 1);
+        let rewritten = std::fs::read_to_string(&wal).unwrap();
+        assert!(
+            !rewritten.contains("\"fr"),
+            "torn tail must be truncated, got: {rewritten}"
+        );
+        let slot = shard_of("s", router.n_slots());
+        let response = router.execute(slot, Json::Int(1), &req_json("s", r#""op":"schedule""#));
+        assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Parses a request body the way `run_lines` inputs are written.
+    fn req_json(session: &str, rest: &str) -> Json {
+        Json::parse(&req(1, session, rest)).unwrap()
+    }
+
+    #[test]
+    fn open_hits_cache_for_isomorphic_designs() {
+        // Same structure, different operation names and declaration
+        // order: the second open must be served from the canonical-form
+        // cache, and its schedule must carry the *second* design's names.
+        let config = ServeConfig {
+            cache_capacity: 64,
+            workers: 1,
+            ..ServeConfig::default()
+        };
+        let design_a = DESIGN.replace('\n', "\\n");
+        let design_b = "op b_out 1\\nop b_sync unbounded\\nop b_alu 2\\ndep b_sync b_alu\\ndep b_alu b_out\\nmax b_alu b_out 4\\n";
+        let lines = vec![
+            req(1, "a", &format!(r#""op":"open","design":"{design_a}""#)),
+            req(2, "b", &format!(r#""op":"open","design":"{design_b}""#)),
+            req(3, "a", r#""op":"schedule""#),
+            req(4, "b", r#""op":"schedule""#),
+            req(5, "a", r#""op":"stats""#),
+        ];
+        let (responses, summary) = run_lines(&lines, &config);
+        assert_eq!(summary.errors, 0);
+        let cache = by_id(&responses, 5).get("cache").cloned().unwrap();
+        assert_eq!(cache.get("hits"), Some(&Json::Int(1)), "{cache:?}");
+        assert_eq!(cache.get("misses"), Some(&Json::Int(1)));
+        assert_eq!(cache.get("inserts"), Some(&Json::Int(1)));
+        let sigma = |r: &Json, v: &str, a: &str| {
+            r.get("offsets")
+                .and_then(|o| o.get(v))
+                .and_then(|row| row.get(a))
+                .and_then(Json::as_i64)
+        };
+        let a = by_id(&responses, 3);
+        let b = by_id(&responses, 4);
+        assert_eq!(
+            sigma(a, "out", "sync"),
+            sigma(b, "b_out", "b_sync"),
+            "cached schedule must be identical under the hit's own names"
+        );
+        assert!(sigma(b, "b_out", "b_sync").is_some());
+    }
+
+    #[test]
+    fn batch_schedule_responses_are_identical_with_and_without_cache() {
+        // The cache must be response-invisible: the same batch (with an
+        // internal duplicate, so the cached run takes hits) produces
+        // byte-identical results either way.
+        let design = DESIGN.replace('\n', "\\n");
+        let line = format!(
+            r#"{{"id":1,"op":"batch_schedule","designs":[{{"name":"x","design":"{design}"}},{{"name":"y","design":"{design}"}},{{"name":"z","design":"bad"}}]}}"#
+        );
+        let run = |capacity: usize| {
+            let config = ServeConfig {
+                cache_capacity: capacity,
+                ..ServeConfig::default()
+            };
+            let (responses, _) = run_lines(std::slice::from_ref(&line), &config);
+            responses[0].clone()
+        };
+        assert_eq!(run(0), run(64));
     }
 }

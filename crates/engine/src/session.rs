@@ -175,7 +175,27 @@ impl Session {
     /// forward graph); ill-posed or unfeasible graphs open fine — the
     /// verdict is reported by [`Session::posedness`] and the session can
     /// be edited toward well-posedness.
-    pub fn open(mut graph: ConstraintGraph) -> Result<Session, ScheduleError> {
+    pub fn open(graph: ConstraintGraph) -> Result<Session, ScheduleError> {
+        Session::open_with_seed(graph, None)
+    }
+
+    /// [`Session::open`] with an optional schedule seed: a minimum
+    /// schedule previously computed for this exact graph (a canonical-form
+    /// cache hit, or a journal snapshot's saved analysis).
+    ///
+    /// The seed is **verified before installation** — its tracked family
+    /// must equal the freshly computed anchor sets and its zero-profile
+    /// start times must satisfy every edge (the same feasibility
+    /// certificate the cold path computes) — and on success the session
+    /// skips only the fixpoint iteration itself. Every other analysis
+    /// (anchor sets, kernel, reachability, containment) is recomputed, so
+    /// the resulting session state is bit-identical to a cold open. A seed
+    /// that fails verification is silently discarded and the cold path
+    /// runs instead.
+    pub fn open_with_seed(
+        mut graph: ConstraintGraph,
+        seed: Option<RelativeSchedule>,
+    ) -> Result<Session, ScheduleError> {
         if !graph.is_polar() {
             graph.polarize().map_err(ScheduleError::Graph)?;
         }
@@ -211,8 +231,34 @@ impl Session {
                 );
             }
         }
+        if let Some(seed) = seed {
+            if session.try_install_seed(seed) {
+                return Ok(session);
+            }
+        }
         session.classify_and_run();
         Ok(session)
+    }
+
+    /// Installs a pre-computed minimum schedule in place of the opening
+    /// fixpoint run, if it verifies against the fresh analyses. Returns
+    /// `false` (leaving the session ready for the cold path) when the
+    /// graph is not cleanly well-posed, the seed's tracked family differs
+    /// from the computed sets, or the zero-profile certificate fails.
+    fn try_install_seed(&mut self, seed: RelativeSchedule) -> bool {
+        if !self.violations.is_empty() || seed.tracked_sets() != self.sets.family() {
+            return false;
+        }
+        let zeros = DelayProfile::zeros(&self.graph);
+        let Ok(times) = start_times(&self.graph, &seed, &zeros) else {
+            return false;
+        };
+        if !verify_start_times(&self.graph, &times, &zeros).is_empty() {
+            return false;
+        }
+        self.zero_times = Some(ZeroCertificate { times, valid: true });
+        self.accept(seed, 0);
+        true
     }
 
     /// The graph in its current (edited) state.

@@ -214,8 +214,8 @@ proptest! {
         let token = case_token();
         let wal = std::path::Path::new(env!("CARGO_TARGET_TMPDIR"))
             .join(format!("compact-{token}.wal"));
-        let mut full = Journal::open(design.clone(), None);
-        let mut compacted = Journal::open(design, Some(wal.clone()));
+        let mut full = Journal::open("s", design.clone(), None);
+        let mut compacted = Journal::open("s", design, Some(wal.clone()));
         compacted.set_snapshot_every(snapshot_every);
         let _scope = failpoint::enter_scope(token);
         for (i, spec) in edits.iter().enumerate() {
@@ -287,7 +287,7 @@ proptest! {
         .to_text();
         let graph = ConstraintGraph::from_text(&design).expect("to_text round-trips");
         let mut live = Session::open(graph).expect("random designs are structurally sound");
-        let mut journal = Journal::open(design, None);
+        let mut journal = Journal::open("s", design, None);
         assert_replay_matches(&journal, &live, 0);
         for (i, spec) in edits.iter().enumerate() {
             if let Some(op) = apply_named(spec, &mut live) {

@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod canon;
 mod dot;
 mod error;
 pub mod failpoint;
@@ -56,6 +57,7 @@ mod reduce;
 mod text;
 mod topo;
 
+pub use canon::{CanonicalForm, CanonicalKey};
 pub use dot::DotOptions;
 pub use error::GraphError;
 pub use graph::{ConstraintGraph, Edge, EdgeId, EdgeKind, ExecDelay, Vertex, VertexId, Weight};

@@ -31,22 +31,56 @@ impl ConstraintGraph {
     /// Rebuilds the graph without the redundant edges and returns how
     /// many were removed. Timing-constraint edges are preserved.
     pub fn reduce_sequencing_edges(&mut self) -> ReductionReport {
+        let (keep, report) = self.sequencing_keep_mask();
+        if report.removed > 0 {
+            self.retain_edges(&keep);
+        }
+        report
+    }
+
+    /// Flags redundant sequencing edges without mutating the graph:
+    /// `keep[edge] == false` marks an edge [`reduce_sequencing_edges`]
+    /// would drop. Canonicalization uses this directly so key derivation
+    /// never clones or rebuilds the graph.
+    ///
+    /// [`reduce_sequencing_edges`]: ConstraintGraph::reduce_sequencing_edges
+    pub(crate) fn sequencing_keep_mask(&self) -> (Vec<bool>, ReductionReport) {
         let mut report = ReductionReport::default();
-        let mut keep = vec![true; self.n_edges()];
+        // Indexed by raw EdgeId: removal tombstones leave holes, so live
+        // ids can exceed the live-edge count.
+        let mut keep = vec![true; self.n_all_edge_slots()];
+        // G_f is unchanged while edges are only flagged, so one
+        // topological order (and its position index) serves every
+        // per-edge check; it stays valid for every kept subgraph.
+        let Ok(topo) = self.forward_topological_order() else {
+            return (keep, report);
+        };
+        let order: Vec<VertexId> = topo.order().to_vec();
+        let mut pos = vec![0u32; self.n_vertices()];
+        for (i, &v) in order.iter().enumerate() {
+            pos[v.index()] = i as u32;
+        }
+        let mut dist: Vec<Option<i64>> = vec![None; self.n_vertices()];
         for (id, e) in self.edges() {
             if e.kind() != EdgeKind::Sequencing {
                 continue;
             }
             report.examined += 1;
-            if self.edge_is_implied(&keep, id.index(), e.from(), e.to(), e.weight().zeroed()) {
+            if self.edge_is_implied(
+                &keep,
+                &order,
+                &pos,
+                &mut dist,
+                id.index(),
+                e.from(),
+                e.to(),
+                e.weight().zeroed(),
+            ) {
                 keep[id.index()] = false;
                 report.removed += 1;
             }
         }
-        if report.removed > 0 {
-            self.retain_edges(&keep);
-        }
-        report
+        (keep, report)
     }
 
     /// Longest `u → v` forward path avoiding edge `skip` and every edge
@@ -54,37 +88,50 @@ impl ConstraintGraph {
     /// requires, for unbounded edges (tail is an anchor), that the
     /// surviving path starts with another unbounded edge of `u` —
     /// otherwise removing the edge could shrink `A(v)`.
+    #[allow(clippy::too_many_arguments)]
     fn edge_is_implied(
         &self,
         keep: &[bool],
+        order: &[VertexId],
+        pos: &[u32],
+        dist: &mut [Option<i64>],
         skip: usize,
         u: VertexId,
         v: VertexId,
         w: i64,
     ) -> bool {
-        let n = self.n_vertices();
+        // An alternative path needs another forward edge out of `u` and
+        // another forward edge into `v`; most edges fail this for free.
+        let viable = |id: crate::graph::EdgeId, e: &crate::graph::Edge| {
+            id.index() != skip && keep[id.index()] && e.is_forward()
+        };
+        if !self.out_edges(u).any(|(id, e)| viable(id, e))
+            || !self.in_edges(v).any(|(id, e)| viable(id, e))
+        {
+            return false;
+        }
         // dist[x] = longest forward path u -> x avoiding `skip`, where the
         // first edge out of `u` must be unbounded iff the skipped edge is
-        // (preserving anchor-set propagation).
+        // (preserving anchor-set propagation). Any such path only visits
+        // vertices topologically between `u` and `v`, so the single DP
+        // pass (G_f is acyclic) is confined to that window.
         let skip_unbounded = self
             .edge(crate::graph::EdgeId(skip as u32))
             .weight()
             .is_unbounded();
-        let mut dist: Vec<Option<i64>> = vec![None; n];
-        // Seed with u's other out-edges.
-        let mut order: Vec<VertexId> = Vec::new();
-        // Work on a topological order of the forward graph for a single
-        // pass (G_f is acyclic).
-        if let Ok(topo) = self.forward_topological_order() {
-            order.extend_from_slice(topo.order());
-        } else {
-            return false;
+        let (lo, hi) = (pos[u.index()] as usize, pos[v.index()] as usize);
+        for &x in &order[lo..=hi] {
+            dist[x.index()] = None;
         }
+        // Seed with u's other out-edges.
         for (id, e) in self.out_edges(u) {
             if id.index() == skip || !keep[id.index()] || !e.is_forward() {
                 continue;
             }
             if skip_unbounded && !e.weight().is_unbounded() {
+                continue;
+            }
+            if pos[e.to().index()] as usize > hi {
                 continue;
             }
             let cand = e.weight().zeroed();
@@ -93,13 +140,16 @@ impl ConstraintGraph {
                 *slot = Some(cand);
             }
         }
-        for &x in &order {
+        for &x in &order[lo..hi] {
             if x == u {
                 continue;
             }
             let Some(dx) = dist[x.index()] else { continue };
             for (id, e) in self.out_edges(x) {
                 if id.index() == skip || !keep[id.index()] || !e.is_forward() {
+                    continue;
+                }
+                if pos[e.to().index()] as usize > hi {
                     continue;
                 }
                 let cand = dx + e.weight().zeroed();

@@ -35,12 +35,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache_fuzz;
 pub mod fault_fuzz;
 pub mod fuzz;
 pub mod net_fuzz;
 pub mod oracle;
 pub mod serve_fuzz;
 
+pub use cache_fuzz::{fuzz_cache, CacheFuzzConfig, CacheFuzzReport};
 pub use fault_fuzz::{fuzz_faults, FaultFuzzConfig, FaultFuzzReport};
 pub use fuzz::{fuzz, Edit, FuzzConfig, FuzzFailure, FuzzReport, GraphMutator};
 pub use net_fuzz::{fuzz_net, NetFuzzConfig, NetFuzzReport};
