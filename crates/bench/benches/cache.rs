@@ -27,64 +27,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rsched_cache::{schedule_cached, ScheduleCache};
 use rsched_core::schedule_threaded;
-use rsched_graph::{ConstraintGraph, ExecDelay};
+use rsched_designs::cascade::{build_cascade as build, Cascade};
 
 fn smoke() -> bool {
     std::env::var("RSCHED_BENCH_SMOKE").is_ok_and(|v| v == "1")
-}
-
-/// One member of the cascade family: a chain of `n` ops where the last
-/// `links` pairs carry a max constraint one unit looser than the
-/// dependency between them, plus a min constraint stretching the whole
-/// chain to three times its total delay. ReadjustOffsets can only raise
-/// one cascade link per iteration, so cold scheduling costs `links + 1`
-/// kernel iterations — an expensive, structurally distinctive workload.
-#[derive(Clone, Copy)]
-struct Cascade {
-    n: usize,
-    links: usize,
-    /// Distinguishes universe members: shifts the delay pattern.
-    salt: u64,
-}
-
-/// Per-op delay: periodic but non-uniform, shifted by the design salt.
-fn delay(i: usize, salt: u64) -> u64 {
-    (i as u64 * 7 + 3 + salt * 5) % 23 + 1
-}
-
-/// Build a cascade design. `relabel == 0` uses the natural insertion
-/// order; any other value shuffles insertion order and renames every
-/// vertex, producing a structurally identical but differently labeled
-/// graph (what a cache hit must see through).
-fn build(c: Cascade, relabel: u64) -> ConstraintGraph {
-    let mut order: Vec<usize> = (0..c.n).collect();
-    if relabel > 0 {
-        let mut rng = StdRng::seed_from_u64(relabel);
-        for i in (1..order.len()).rev() {
-            let j = rng.gen_range(0..=i);
-            order.swap(i, j);
-        }
-    }
-    let mut g = ConstraintGraph::new();
-    let mut ids = vec![None; c.n];
-    for &i in &order {
-        ids[i] = Some(g.add_operation(
-            format!("o{relabel}_{i}"),
-            ExecDelay::Fixed(delay(i, c.salt)),
-        ));
-    }
-    let v = |i: usize| ids[i].unwrap();
-    for i in 0..c.n - 1 {
-        g.add_dependency(v(i), v(i + 1)).unwrap();
-    }
-    let total: u64 = (0..c.n).map(|i| delay(i, c.salt)).sum();
-    g.add_min_constraint(v(0), v(c.n - 1), total * 3).unwrap();
-    for i in (c.n - 1 - c.links)..c.n - 1 {
-        g.add_max_constraint(v(i), v(i + 1), delay(i, c.salt) + 1)
-            .unwrap();
-    }
-    g.polarize().unwrap();
-    g
 }
 
 /// Cumulative fixed-point Zipf weights over `n` ranks: `w_r = K/(r+1)`.

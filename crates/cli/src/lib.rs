@@ -19,7 +19,7 @@
 //! rsched serve     [--stdio | --listen <ip:port|socket-path>]
 //!                  [--workers N] [--deadline-ms N] [--queue-depth N]
 //!                  [--max-ops N] [--max-edges N] [--journal-dir D]
-//!                  [--snapshot-every N] [--cache-capacity N]
+//!                  [--snapshot-every N] [--cache-capacity N] [--threads N]
 //!                  [--max-sessions N] [--max-inflight N]
 //!                                               JSON-lines service (stdio or socket)
 //! rsched fuzz      [--seed N] [--iters N] [--minimize] [--repro-dir D] [--faults] [--cache]  oracle-refereed fuzzing
@@ -83,7 +83,7 @@ const USAGE: &str = "usage:
   rsched serve     [--stdio | --listen <ip:port|socket-path>]
                    [--workers N] [--deadline-ms N] [--queue-depth N]
                    [--max-ops N] [--max-edges N] [--journal-dir D]
-                   [--snapshot-every N] [--cache-capacity N]
+                   [--snapshot-every N] [--cache-capacity N] [--threads N]
                    [--max-sessions N] [--max-inflight N]
   rsched fuzz      [--seed N] [--iters N] [--minimize] [--repro-dir D] [--faults] [--cache]
   rsched help";
@@ -230,6 +230,11 @@ fn parse_serve_config(flags: &[&String]) -> Result<ServeInvocation, CliError> {
             CliError::usage("--cache-capacity expects a number of entries (0 disables the cache)")
         })?;
     }
+    if let Some(v) = flag_value(flags, "--threads") {
+        config.threads = v.parse().map_err(|_| {
+            CliError::usage("--threads expects a pool size (0 sizes to the host's cores)")
+        })?;
+    }
     let listen = flag_value(flags, "--listen")
         .map(|v| rsched_net::Listen::parse(v).map_err(CliError::usage))
         .transpose()?;
@@ -271,6 +276,7 @@ fn parse_serve_config(flags: &[&String]) -> Result<ServeInvocation, CliError> {
         "--journal-dir",
         "--snapshot-every",
         "--cache-capacity",
+        "--threads",
         "--listen",
         "--max-sessions",
         "--max-inflight",
@@ -1045,6 +1051,8 @@ process demo (req, ack)
             "64",
             "--cache-capacity",
             "512",
+            "--threads",
+            "3",
         ])
         .unwrap();
         assert_eq!(inv.config.queue_depth, 8);
@@ -1056,8 +1064,12 @@ process demo (req, ack)
         );
         assert_eq!(inv.config.snapshot_every, 64);
         assert_eq!(inv.config.cache_capacity, 512);
-        // The cache defaults to off (capacity 0).
+        assert_eq!(inv.config.threads, 3);
+        // The cache defaults to off (capacity 0) and the batch pool to
+        // auto-sizing (0 = host cores).
         assert_eq!(parse_serve(&[]).unwrap().config.cache_capacity, 0);
+        assert_eq!(parse_serve(&[]).unwrap().config.threads, 0);
+        assert_eq!(run_args(&["serve", "--threads", "x"]).unwrap_err().code, 2);
         // Bad values and stray flags are usage errors (exit code 2),
         // reported before any stdin read.
         assert_eq!(

@@ -94,6 +94,14 @@ impl AnchorSetFamily {
         self.row(v)
     }
 
+    /// The whole bitset, vertex-major with [`Self::words_per_row`]-word
+    /// rows back to back. The scheduling kernel's serial path borrows
+    /// this directly as its full-width column masks (its mask stride
+    /// equals the row stride), avoiding any mask copy.
+    pub(crate) fn all_words(&self) -> &[u64] {
+        &self.bits
+    }
+
     fn row_mut(&mut self, v: VertexId) -> &mut [u64] {
         let start = v.index() * self.words_per_row;
         &mut self.bits[start..start + self.words_per_row]

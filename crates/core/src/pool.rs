@@ -1,0 +1,412 @@
+//! Work-stealing primitives for the parallel fixpoint and batch serving.
+//!
+//! Two pieces live here, both hand-rolled on `std` atomics (the repo's
+//! shim policy: no external crates):
+//!
+//! - [`StealDeque`], a fixed-capacity Chase–Lev work-stealing deque over
+//!   `u32` task ids. The owner pushes and pops at the bottom; thieves
+//!   CAS-claim from the top. Capacity is fixed at construction — callers
+//!   bound outstanding items by the task-list length, so the unsafe
+//!   buffer-resize dance of the original algorithm is never needed and
+//!   the whole structure stays within `#![forbid(unsafe_code)]`.
+//! - [`WorkPool`], a persistent scatter-gather pool of OS threads for
+//!   coarse jobs (one cold schedule per batch-request design). The
+//!   calling thread participates in draining the queue, so a pool sized
+//!   `threads <= 1` degenerates to an inline serial loop with zero
+//!   synchronization beyond one uncontended mutex per job.
+//!
+//! The fine-grained tile executor built on [`StealDeque`] lives in
+//! `schedule.rs` next to the fixpoint it drives.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicIsize, AtomicU32, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A fixed-capacity Chase–Lev deque of `u32` task ids.
+///
+/// Single owner, many thieves. The owner calls [`push`](Self::push) and
+/// [`pop`](Self::pop); any other thread calls [`steal`](Self::steal).
+/// The caller must guarantee at most `capacity` items are outstanding at
+/// once (`push` panics on overflow in debug builds and silently wraps in
+/// release — the fixpoint executor bounds pushes by the per-phase task
+/// count, which is also the construction capacity).
+pub(crate) struct StealDeque {
+    /// Next position a thief claims. Monotonic.
+    top: AtomicIsize,
+    /// Next position the owner pushes. Monotonic while items are added.
+    bottom: AtomicIsize,
+    slots: Box<[AtomicU32]>,
+    mask: usize,
+}
+
+impl StealDeque {
+    pub(crate) fn with_capacity(capacity: usize) -> StealDeque {
+        let cap = capacity.max(1).next_power_of_two();
+        StealDeque {
+            top: AtomicIsize::new(0),
+            bottom: AtomicIsize::new(0),
+            slots: (0..cap).map(|_| AtomicU32::new(0)).collect(),
+            mask: cap - 1,
+        }
+    }
+
+    /// Owner-only: append a task at the bottom.
+    pub(crate) fn push(&self, task: u32) {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        debug_assert!(
+            (b - t) < self.slots.len() as isize,
+            "StealDeque overflow: capacity must cover the task list"
+        );
+        self.slots[b as usize & self.mask].store(task, Ordering::Relaxed);
+        // Release: a thief that observes the new bottom also observes the
+        // slot write above.
+        self.bottom.store(b + 1, Ordering::Release);
+    }
+
+    /// Owner-only: take the most recently pushed task, racing thieves for
+    /// the last one.
+    pub(crate) fn pop(&self) -> Option<u32> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        // SeqCst handshake with `steal`: publish the lowered bottom before
+        // reading top, so owner and thief cannot both claim the last item.
+        self.bottom.store(b, Ordering::SeqCst);
+        let t = self.top.load(Ordering::SeqCst);
+        if t > b {
+            // Empty: restore and bail.
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            return None;
+        }
+        let task = self.slots[b as usize & self.mask].load(Ordering::Relaxed);
+        if t == b {
+            // Last item: win it against thieves by advancing top.
+            let won = self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok();
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            return won.then_some(task);
+        }
+        Some(task)
+    }
+
+    /// Thief: claim the oldest task, or `None` when empty or when another
+    /// thief won the race (callers simply move on to the next victim).
+    pub(crate) fn steal(&self) -> Option<u32> {
+        let t = self.top.load(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::SeqCst);
+        if t >= b {
+            return None;
+        }
+        let task = self.slots[t as usize & self.mask].load(Ordering::Relaxed);
+        self.top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .ok()
+            .map(|_| task)
+    }
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolQueue {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    queue: Mutex<PoolQueue>,
+    ready: Condvar,
+}
+
+/// Countdown latch: one batch's jobs check in as they finish.
+struct Latch {
+    left: Mutex<usize>,
+    done: Condvar,
+}
+
+impl Latch {
+    fn new(n: usize) -> Arc<Latch> {
+        Arc::new(Latch {
+            left: Mutex::new(n),
+            done: Condvar::new(),
+        })
+    }
+
+    fn count_down(&self) {
+        let mut left = self.left.lock().unwrap_or_else(|e| e.into_inner());
+        *left -= 1;
+        if *left == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut left = self.left.lock().unwrap_or_else(|e| e.into_inner());
+        while *left > 0 {
+            left = self.done.wait(left).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Guard so a panicking job still checks in (the worker survives the
+/// panic; the submitter decides what a missing result means).
+struct LatchGuard(Arc<Latch>);
+
+impl Drop for LatchGuard {
+    fn drop(&mut self) {
+        self.0.count_down();
+    }
+}
+
+/// A persistent scatter-gather worker pool.
+///
+/// Sized by the number of *participating* threads: a pool of `threads`
+/// spawns `threads - 1` OS workers and the submitting thread drains the
+/// queue alongside them inside [`run`](Self::run), so `threads <= 1`
+/// means no workers at all and `run` is an inline serial loop — the
+/// degenerate case costs nothing on a single-core host. Concurrent
+/// `run` calls from different threads interleave safely: every job
+/// carries its own batch latch, and a waiting submitter only blocks
+/// after the shared queue is drained.
+///
+/// Jobs that panic are caught (the worker thread survives); the batch
+/// still completes and the submitter observes the missing side effect.
+pub struct WorkPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for WorkPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkPool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl WorkPool {
+    /// Builds a pool where `threads` threads (including each future
+    /// submitter) drain jobs; clamped to ≥ 1.
+    pub fn new(threads: usize) -> WorkPool {
+        let threads = threads.max(1);
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(PoolQueue {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+        });
+        let handles = (1..threads)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        WorkPool {
+            shared,
+            handles,
+            threads,
+        }
+    }
+
+    /// Number of participating threads the pool was sized for.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `jobs` to completion, the calling thread participating.
+    /// Returns once every job in this batch has finished (even if some
+    /// panicked).
+    pub fn run(&self, jobs: Vec<Job>) {
+        if jobs.is_empty() {
+            return;
+        }
+        if self.handles.is_empty() {
+            // Serial pool: no queue round-trip, no latch, exact
+            // submission order.
+            for job in jobs {
+                let _ = catch_unwind(AssertUnwindSafe(job));
+            }
+            return;
+        }
+        let latch = Latch::new(jobs.len());
+        {
+            let mut q = lock_queue(&self.shared);
+            for job in jobs {
+                let latch = Arc::clone(&latch);
+                q.jobs.push_back(Box::new(move || {
+                    let _guard = LatchGuard(latch);
+                    job();
+                }));
+            }
+        }
+        self.shared.ready.notify_all();
+        // Participate: drain whatever is queued (possibly other batches'
+        // jobs — still useful work), then wait for this batch's latch.
+        loop {
+            let job = {
+                let mut q = lock_queue(&self.shared);
+                q.jobs.pop_front()
+            };
+            match job {
+                Some(job) => {
+                    let _ = catch_unwind(AssertUnwindSafe(job));
+                }
+                None => break,
+            }
+        }
+        latch.wait();
+    }
+
+    /// Convenience: run one closure per index `0..n`, each receiving its
+    /// index. The closure must be cloneable into `'static` jobs.
+    pub fn run_indexed<F>(&self, n: usize, f: F)
+    where
+        F: Fn(usize) + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        self.run(
+            (0..n)
+                .map(|i| {
+                    let f = Arc::clone(&f);
+                    Box::new(move || f(i)) as Job
+                })
+                .collect(),
+        );
+    }
+}
+
+fn lock_queue(shared: &PoolShared) -> std::sync::MutexGuard<'_, PoolQueue> {
+    shared.queue.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut q = lock_queue(shared);
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    break Some(job);
+                }
+                if q.shutdown {
+                    break None;
+                }
+                q = shared.ready.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        match job {
+            Some(job) => {
+                let _ = catch_unwind(AssertUnwindSafe(job));
+            }
+            None => return,
+        }
+    }
+}
+
+impl Drop for WorkPool {
+    fn drop(&mut self) {
+        {
+            let mut q = lock_queue(&self.shared);
+            q.shutdown = true;
+        }
+        self.shared.ready.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn deque_lifo_for_owner_fifo_for_thief() {
+        let d = StealDeque::with_capacity(8);
+        d.push(1);
+        d.push(2);
+        d.push(3);
+        assert_eq!(d.steal(), Some(1));
+        assert_eq!(d.pop(), Some(3));
+        assert_eq!(d.pop(), Some(2));
+        assert_eq!(d.pop(), None);
+        assert_eq!(d.steal(), None);
+    }
+
+    /// Owner pops and four thieves steal concurrently; every pushed id is
+    /// claimed exactly once.
+    #[test]
+    fn deque_claims_each_task_once_under_contention() {
+        const N: u32 = 4096;
+        let deque = StealDeque::with_capacity(N as usize);
+        let claimed: Vec<AtomicUsize> = (0..N).map(|_| AtomicUsize::new(0)).collect();
+        let drained = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| loop {
+                    match deque.steal() {
+                        Some(t) => {
+                            claimed[t as usize].fetch_add(1, Ordering::Relaxed);
+                        }
+                        // Once the owner has drained, an empty steal is
+                        // definitive — nothing can be pushed again.
+                        None if drained.load(Ordering::SeqCst) => break,
+                        None => std::hint::spin_loop(),
+                    }
+                });
+            }
+            for t in 0..N {
+                deque.push(t);
+                if t % 3 == 0 {
+                    if let Some(got) = deque.pop() {
+                        claimed[got as usize].fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            while let Some(got) = deque.pop() {
+                claimed[got as usize].fetch_add(1, Ordering::Relaxed);
+            }
+            drained.store(true, Ordering::SeqCst);
+        });
+        for (t, c) in claimed.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "task {t} claimed once");
+        }
+    }
+
+    #[test]
+    fn pool_runs_every_job_and_serial_pool_is_inline() {
+        for threads in [1, 2, 4] {
+            let pool = WorkPool::new(threads);
+            let hits = Arc::new(AtomicUsize::new(0));
+            let h = Arc::clone(&hits);
+            pool.run_indexed(100, move |_| {
+                h.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), 100, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn pool_survives_panicking_jobs() {
+        let pool = WorkPool::new(2);
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        pool.run_indexed(8, move |i| {
+            if i == 3 {
+                panic!("injected");
+            }
+            h.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 7);
+        // The pool still works afterwards.
+        let h = Arc::clone(&hits);
+        pool.run_indexed(4, move |_| {
+            h.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 11);
+    }
+}

@@ -10,13 +10,15 @@
 //! `ReadjustOffsets` sweep over the backward edges.
 
 use std::fmt;
-use std::sync::{mpsc, Arc};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread;
 
 use rsched_graph::{ConstraintGraph, EdgeId, ScheduleKernel, VertexId};
 
 use crate::anchors::{AnchorSetFamily, AnchorSets};
 use crate::error::ScheduleError;
+use crate::pool::StealDeque;
 use crate::wellposed::{check_well_posed_with, WellPosedness};
 
 /// A relative schedule: one offset `σ_a(v)` per `(vertex, anchor)` pair
@@ -424,8 +426,24 @@ pub fn schedule_with_sets_on(
     sets: &AnchorSetFamily,
     threads: usize,
 ) -> Result<RelativeSchedule, ScheduleError> {
+    schedule_with_sets_tuned(kernel, sets, FixpointTuning::threaded(threads))
+}
+
+/// [`schedule_with_sets_on`] with explicit [`FixpointTuning`] — the
+/// entry benches and differential tests use to force the parallel
+/// executor or disable frontier compaction. Results are bit-identical
+/// across every tuning (see the kernel module comment below).
+///
+/// # Errors
+///
+/// Same conditions as [`schedule_with_sets`].
+pub fn schedule_with_sets_tuned(
+    kernel: &ScheduleKernel,
+    sets: &AnchorSetFamily,
+    tuning: FixpointTuning,
+) -> Result<RelativeSchedule, ScheduleError> {
     let omega = RelativeSchedule::new(sets.clone(), kernel.n_vertices());
-    kernel_run_from(kernel, omega, threads)
+    kernel_run_from(kernel, omega, tuning)
 }
 
 /// [`schedule`] with per-iteration snapshots (used to reproduce Fig. 10).
@@ -501,8 +519,32 @@ pub fn reschedule_on(
     warm_anchors: &[VertexId],
     threads: usize,
 ) -> Result<RelativeSchedule, ScheduleError> {
+    reschedule_tuned(
+        kernel,
+        sets,
+        prev,
+        warm_anchors,
+        FixpointTuning::threaded(threads),
+    )
+}
+
+/// [`reschedule_on`] with explicit [`FixpointTuning`] (see
+/// [`schedule_with_sets_tuned`]). Warm-seeded columns that are already
+/// at their fixpoint retire from the dirty frontier after the first
+/// round, so a mostly-warm reschedule pays O(V·dirty) per later round.
+///
+/// # Errors
+///
+/// Same conditions as [`reschedule`].
+pub fn reschedule_tuned(
+    kernel: &ScheduleKernel,
+    sets: &AnchorSetFamily,
+    prev: &RelativeSchedule,
+    warm_anchors: &[VertexId],
+    tuning: FixpointTuning,
+) -> Result<RelativeSchedule, ScheduleError> {
     let omega = seeded_omega(kernel.n_vertices(), sets, prev, warm_anchors);
-    kernel_run_from(kernel, omega, threads)
+    kernel_run_from(kernel, omega, tuning)
 }
 
 /// The pre-kernel adjacency-walking implementation of [`reschedule`],
@@ -804,13 +846,11 @@ pub fn relax_additive_on(
         for (&t, &w) in tails.iter().zip(weights) {
             grew |= relax_edge_k(omega, &anchors, t, v.index() as u32, w, true);
         }
-        let heads = kernel.backward_heads();
-        for (i, &h) in heads.iter().enumerate() {
-            if h as usize == v.index() {
-                let t = kernel.backward_tails()[i];
-                let w = kernel.backward_weights()[i];
-                grew |= relax_edge_k(omega, &anchors, t, h, w, false);
-            }
+        for &i in kernel.backward_in_edges(v.index()) {
+            let i = i as usize;
+            let t = kernel.backward_tails()[i];
+            let w = kernel.backward_weights()[i];
+            grew |= relax_edge_k(omega, &anchors, t, v.index() as u32, w, false);
         }
         if grew && !is_raised[v.index()] {
             is_raised[v.index()] = true;
@@ -997,35 +1037,190 @@ fn readjust_offsets(graph: &ConstraintGraph, omega: &mut RelativeSchedule, viola
 // per-iteration states, hence identical offsets, iteration counts and
 // error values — as linear passes over a [`ScheduleKernel`] snapshot.
 //
-// The offset matrix is partitioned into contiguous **anchor chunks**, one
-// per worker, each stored vertex-major (`chunk[v * width + j]` is column
-// `lo + j` at vertex `v` — for one worker the single chunk is exactly the
-// `RelativeSchedule` layout). Per iteration:
+// The offset matrix is partitioned into contiguous **anchor-column
+// tiles**, each stored vertex-major (`tile[v * width + j]` is column
+// `lo + j` at vertex `v` — the serial path uses one tile covering every
+// column, which is exactly the `RelativeSchedule` layout, in place).
+// Per iteration (one *round*):
 //
-// 1. per chunk: one topological forward sweep (`IncrementalOffset`) —
-//    each forward CSR row is read once and relaxes all of the chunk's
-//    columns, so the edge structure is traversed once per chunk, not
-//    once per column;
-// 2. per chunk: flag the backward edges any of its columns violate;
-// 3. joined: OR the per-chunk flags into one violation list in EdgeId
+// 1. per tile: one topological forward sweep (`IncrementalOffset`) —
+//    each forward CSR row is read once and relaxes all of the tile's
+//    *dirty* columns, so the edge structure is traversed once per tile,
+//    not once per column;
+// 2. per tile: flag the backward edges any of its dirty columns violate;
+// 3. joined: OR the per-tile flags into one violation list in EdgeId
 //    order — exactly `find_violations`' list, since it records an edge
 //    once if *any* column violates it;
-// 4. per chunk: `ReadjustOffsets` over that joint list (a non-violated
-//    column's readjustment is a no-op, as in the reference).
+// 4. per tile: `ReadjustOffsets` over that joint list (a non-violated
+//    column's readjustment is a no-op, as in the reference), recording
+//    which columns actually changed.
 //
-// Steps 1, 2 and 4 write only the chunk's own columns, so distributing
-// chunks over threads cannot change any state; step 3 is an
-// order-independent OR. That is the determinism argument for
-// `threads > 1`: every iterate equals the reference bit for bit, for any
-// thread count.
+// **Frontier compaction.** A column whose readjustment changed nothing
+// is at its global fixpoint and retires permanently: the sweep already
+// computed its complete forward closure (offsets only depend on the
+// column's own values — columns never interact), and "unchanged under
+// readjust" means no backward edge was violated in that column, since a
+// violated edge's head is below `tail + w` and readjusting it raises the
+// head. Its values never move again (only a column's own sweeps and
+// readjusts write it), so dropping it from later sweeps and scans
+// removes no state change and no violation flag — every later joint
+// list, iterate, and the iteration count are bit-identical to the
+// full-iteration kernel and to the reference. Late rounds therefore
+// cost O(V · dirty) instead of O(V · A). `FixpointTuning::
+// full_iteration` keeps every column live for differential tests.
+//
+// **Work stealing.** Multi-worker runs split the columns into ~4 tiles
+// per worker. Each round's live tiles form a task list served by a
+// shared injector cursor; workers park surplus claims in per-worker
+// Chase–Lev deques ([`StealDeque`]) and idle workers steal from busy
+// ones instead of waiting at a static chunk barrier. Steps 1, 2 and 4
+// write only a tile's own columns (each tile is executed by exactly one
+// worker per phase — a mutex hands it over), so the schedule of tiles
+// onto workers cannot change any state; step 3 is an order-independent
+// OR. That is the determinism argument: every iterate equals the
+// reference bit for bit, for any worker count and any steal order.
 // ---------------------------------------------------------------------------
+
+/// Serial fallback threshold: a parallel run must give every worker at
+/// least this many anchor columns, otherwise phase-coordination overhead
+/// dominates the per-tile work (measured on the bench designs: a 2-thread
+/// run over fig10's 2 columns paid ~25x over serial) and the run stays on
+/// the single-tile in-place path.
+pub const MIN_COLUMNS_PER_WORKER: usize = 48;
+
+/// Hardware parallelism, resolved once per process.
+/// `available_parallelism` is *not* cheap on Linux — it re-reads the
+/// cgroup cpu quota files on every call, microseconds that would land
+/// on every single-threaded `schedule()` of a small design.
+fn hardware_workers() -> usize {
+    static HW: OnceLock<usize> = OnceLock::new();
+    *HW.get_or_init(|| thread::available_parallelism().map_or(1, |p| p.get()))
+}
+
+/// Resolves the worker count the fixpoint will actually use: `requested`
+/// clamped to available hardware parallelism, then reduced so every
+/// worker owns at least [`MIN_COLUMNS_PER_WORKER`] of the `n_columns`
+/// anchor columns (small designs run serial regardless of the request).
+pub fn effective_workers(requested: usize, n_columns: usize) -> usize {
+    if requested <= 1 {
+        return 1;
+    }
+    let req = requested.min(hardware_workers());
+    if req <= 1 {
+        return 1;
+    }
+    req.min(n_columns / MIN_COLUMNS_PER_WORKER).max(1)
+}
+
+/// Tuning knobs of the kernel fixpoint. Every combination produces
+/// bit-identical schedules; the knobs only trade wall-clock and are
+/// exposed so benches and differential tests can pin a specific path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixpointTuning {
+    /// Worker threads requested; the policy ([`effective_workers`]) may
+    /// clamp this down unless `force_parallel` is set.
+    pub workers: usize,
+    /// Bypass the hardware and columns-per-worker clamps and run the
+    /// stealing executor with exactly `workers` workers — the test/bench
+    /// entry for exercising the parallel machinery on small graphs.
+    pub force_parallel: bool,
+    /// Drop quiesced columns out of later rounds (see the module
+    /// comment); `false` retains the full-iteration kernel.
+    pub compact_frontier: bool,
+}
+
+impl FixpointTuning {
+    /// The production policy: `workers` requested, heuristics on,
+    /// frontier compaction on.
+    pub fn threaded(workers: usize) -> FixpointTuning {
+        FixpointTuning {
+            workers,
+            force_parallel: false,
+            compact_frontier: true,
+        }
+    }
+
+    /// Exactly `workers` stealing workers, no fallback heuristics.
+    pub fn forced(workers: usize) -> FixpointTuning {
+        FixpointTuning {
+            workers,
+            force_parallel: true,
+            compact_frontier: true,
+        }
+    }
+
+    /// Same run with frontier compaction disabled.
+    #[must_use]
+    pub fn full_iteration(mut self) -> FixpointTuning {
+        self.compact_frontier = false;
+        self
+    }
+}
+
+impl Default for FixpointTuning {
+    fn default() -> FixpointTuning {
+        FixpointTuning::threaded(1)
+    }
+}
+
+/// Process-wide fixpoint telemetry cells (relaxed; monotonic).
+struct CounterCells {
+    runs: AtomicU64,
+    parallel_runs: AtomicU64,
+    serial_fallbacks: AtomicU64,
+    rounds: AtomicU64,
+    columns_retired: AtomicU64,
+    steals: AtomicU64,
+}
+
+static COUNTERS: CounterCells = CounterCells {
+    runs: AtomicU64::new(0),
+    parallel_runs: AtomicU64::new(0),
+    serial_fallbacks: AtomicU64::new(0),
+    rounds: AtomicU64::new(0),
+    columns_retired: AtomicU64::new(0),
+    steals: AtomicU64::new(0),
+};
+
+/// A snapshot of the process-wide kernel fixpoint counters — monotonic
+/// since process start, shared by every session and batch request, so a
+/// saturation run can watch fixpoint behavior in production (the serve
+/// `stats` op surfaces this next to the cache block).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelCounters {
+    /// Fixpoint runs driven through the kernel (serial or parallel).
+    pub runs: u64,
+    /// Runs that fanned tiles over the work-stealing executor.
+    pub parallel_runs: u64,
+    /// Multi-worker requests that fell back to the serial path
+    /// (columns-per-worker below [`MIN_COLUMNS_PER_WORKER`]).
+    pub serial_fallbacks: u64,
+    /// Fixpoint rounds (sweep + violation scan) executed.
+    pub rounds: u64,
+    /// Columns retired from the dirty frontier before their run ended.
+    pub columns_retired: u64,
+    /// Tile executions served from another worker's deque.
+    pub steals: u64,
+}
+
+/// Reads the process-wide kernel counters (relaxed snapshot).
+pub fn kernel_counters() -> KernelCounters {
+    KernelCounters {
+        runs: COUNTERS.runs.load(Ordering::Relaxed),
+        parallel_runs: COUNTERS.parallel_runs.load(Ordering::Relaxed),
+        serial_fallbacks: COUNTERS.serial_fallbacks.load(Ordering::Relaxed),
+        rounds: COUNTERS.rounds.load(Ordering::Relaxed),
+        columns_retired: COUNTERS.columns_retired.load(Ordering::Relaxed),
+        steals: COUNTERS.steals.load(Ordering::Relaxed),
+    }
+}
 
 /// Runs the iterative fixpoint over the kernel, starting from (and
 /// preserving the untracked slots of) `omega`'s offsets.
 fn kernel_run_from(
     kernel: &ScheduleKernel,
     mut omega: RelativeSchedule,
-    threads: usize,
+    tuning: FixpointTuning,
 ) -> Result<RelativeSchedule, ScheduleError> {
     let n = kernel.n_vertices();
     let n_anchors = omega.n_anchors;
@@ -1035,6 +1230,7 @@ fn kernel_run_from(
         omega.iterations = 1;
         return Ok(omega);
     }
+    COUNTERS.runs.fetch_add(1, Ordering::Relaxed);
 
     // Column index of each anchor vertex (for the σ_a(a) = 0 base case).
     let mut col_of_vertex = vec![u32::MAX; n];
@@ -1042,14 +1238,29 @@ fn kernel_run_from(
         col_of_vertex[a.index()] = ai as u32;
     }
 
-    let workers = threads.max(1).min(n_anchors);
+    let requested = tuning.workers.max(1);
+    let workers = if tuning.force_parallel {
+        requested
+    } else {
+        effective_workers(requested, n_anchors)
+    };
     if workers <= 1 {
-        // One chunk covering every column: operate on the offset matrix
-        // in place — its layout is already chunk-major.
-        let masks = chunk_masks(&omega.sets, n, 0, n_anchors);
+        if requested > 1 {
+            COUNTERS.serial_fallbacks.fetch_add(1, Ordering::Relaxed);
+        }
+        // One tile covering every column: operate on the offset matrix in
+        // place (its layout is already tile-major) with masks borrowed
+        // straight from the family's bitset rows — zero mask copies.
         let mut data = std::mem::take(&mut omega.offsets);
-        let iterations =
-            kernel_fixpoint_serial(kernel, &col_of_vertex, &masks, &mut data, n_anchors, budget);
+        let iterations = kernel_fixpoint_serial(
+            kernel,
+            &col_of_vertex,
+            omega.sets.all_words(),
+            &mut data,
+            n_anchors,
+            budget,
+            tuning.compact_frontier,
+        );
         omega.offsets = data;
         return match iterations {
             Some(iters) => {
@@ -1059,11 +1270,14 @@ fn kernel_run_from(
             None => Err(ScheduleError::Inconsistent { iterations: budget }),
         };
     }
+    COUNTERS.parallel_runs.fetch_add(1, Ordering::Relaxed);
 
-    // Chunk-major scratch: worker `c` owns columns `[lo_c, lo_c + w_c)`
-    // as an `n × w_c` vertex-major block.
-    let per = n_anchors.div_ceil(workers);
-    let mut bounds: Vec<(usize, usize)> = Vec::with_capacity(workers);
+    // Tile-major scratch: tile `t` owns columns `[lo_t, lo_t + w_t)` as
+    // an `n × w_t` vertex-major block. ~4 tiles per worker gives the
+    // stealing executor imbalance slack without drowning in mask copies.
+    let n_tiles = (workers * 4).min(n_anchors);
+    let per = n_anchors.div_ceil(n_tiles);
+    let mut bounds: Vec<(usize, usize)> = Vec::with_capacity(n_tiles);
     let mut lo = 0;
     while lo < n_anchors {
         let width = per.min(n_anchors - lo);
@@ -1088,6 +1302,8 @@ fn kernel_run_from(
         &bounds,
         &mut data,
         budget,
+        workers,
+        tuning.compact_frontier,
     );
     match iterations {
         Some(iters) => {
@@ -1135,9 +1351,38 @@ fn chunk_masks(sets: &AnchorSetFamily, n: usize, lo: usize, width: usize) -> Vec
     masks
 }
 
-/// Sequential driver over one chunk spanning every column: sweep + scan,
-/// build the violation list, readjust; `None` when the budget is
-/// exhausted.
+/// An all-ones column bitset over `width` columns (the last word trimmed
+/// to the column count).
+fn full_bits(width: usize) -> Vec<u64> {
+    let words = width.div_ceil(64).max(1);
+    let mut bits = vec![u64::MAX; words];
+    let rem = width % 64;
+    if rem != 0 {
+        bits[words - 1] = (1u64 << rem) - 1;
+    }
+    bits
+}
+
+/// Population count of a word slice.
+fn popcount(words: &[u64]) -> u64 {
+    words.iter().map(|w| u64::from(w.count_ones())).sum()
+}
+
+/// Expands a bitset into an ascending index list (reusing `out`).
+fn bits_to_list(words: &[u64], out: &mut Vec<u32>) {
+    out.clear();
+    for (k, &word) in words.iter().enumerate() {
+        let mut bits = word;
+        while bits != 0 {
+            out.push(((k << 6) | bits.trailing_zeros() as usize) as u32);
+            bits &= bits - 1;
+        }
+    }
+}
+
+/// Sequential driver over one tile spanning every column: sweep + scan,
+/// build the violation list, readjust, compact the dirty frontier;
+/// `None` when the budget is exhausted.
 fn kernel_fixpoint_serial(
     kernel: &ScheduleKernel,
     col_of_vertex: &[u32],
@@ -1145,36 +1390,277 @@ fn kernel_fixpoint_serial(
     data: &mut [i64],
     width: usize,
     budget: usize,
+    compact: bool,
 ) -> Option<usize> {
-    let n_back = kernel.n_backward_edges();
-    let mut viol = vec![false; n_back];
+    let ewords = kernel.n_backward_edges().div_ceil(64).max(1);
+    let mut dirty = full_bits(width);
+    let mut changed = vec![0u64; dirty.len()];
+    let mut viol = vec![0u64; ewords];
     let mut list: Vec<u32> = Vec::new();
     for iter in 1..=budget {
-        viol.fill(false);
-        kernel_sweep(kernel, col_of_vertex, 0, width, masks, data);
-        kernel_scan(kernel, width, masks, data, &mut viol);
-        list.clear();
-        list.extend((0..n_back as u32).filter(|&i| viol[i as usize]));
+        COUNTERS.rounds.fetch_add(1, Ordering::Relaxed);
+        viol.fill(0);
+        sweep_tile(kernel, col_of_vertex, 0, width, masks, &dirty, data);
+        scan_tile(kernel, width, masks, &dirty, data, &mut viol);
+        bits_to_list(&viol, &mut list);
         if list.is_empty() {
             return Some(iter);
         }
-        kernel_readjust(kernel, width, masks, data, &list);
+        changed.fill(0);
+        readjust_tile(kernel, width, masks, &dirty, data, &list, &mut changed);
+        if compact {
+            let before = popcount(&dirty);
+            dirty.copy_from_slice(&changed);
+            COUNTERS
+                .columns_retired
+                .fetch_add(before - popcount(&dirty), Ordering::Relaxed);
+        }
     }
     None
 }
 
-/// Phase commands broadcast to the chunk workers.
-enum ChunkCmd {
-    /// Sweep + scan the worker's chunk; report the violation flags.
-    Sweep,
-    /// Readjust the worker's chunk over the joint violation list.
-    Readjust(Arc<Vec<u32>>),
+/// One anchor-column tile: a contiguous column block with its
+/// vertex-major data block and per-round scratch. The mutex hands the
+/// tile between workers across phases — the injector/deque protocol
+/// issues each live tile exactly once per phase, and the lock acquisition
+/// is the happens-before edge carrying its state to whichever worker
+/// runs it next.
+struct TileTask<'a> {
+    /// First global column of the tile.
+    lo: usize,
+    /// Column count.
+    width: usize,
+    /// Offsets + masks + frontier scratch, locked per execution.
+    state: Mutex<TileState<'a>>,
 }
 
-/// Parallel driver: one scoped thread per anchor chunk; the main thread
-/// joins violation flags per iteration. Bit-identical to the sequential
-/// driver (see the module comment above). `data` is chunk-major with the
-/// blocks described by `bounds` laid out back to back.
+/// The mutable per-tile state (see [`TileTask`]).
+struct TileState<'a> {
+    /// Vertex-major offset block: `data[v * width + j]` is column `lo + j`.
+    data: &'a mut [i64],
+    /// Stitched per-vertex column masks ([`chunk_masks`]).
+    masks: Vec<u64>,
+    /// Live (non-quiesced) columns of this tile.
+    dirty: Vec<u64>,
+    /// Backward-edge violation flags from the tile's last sweep phase.
+    viol: Vec<u64>,
+    /// Columns the last readjust phase raised.
+    changed: Vec<u64>,
+}
+
+/// Phase commands broadcast to the crew.
+#[derive(Clone)]
+enum PhaseCmd {
+    /// Sweep + scan every live tile; leave violation flags in the tiles.
+    Sweep,
+    /// Readjust every live tile over the joint violation list.
+    Readjust(Arc<Vec<u32>>),
+    /// Tear down the worker threads.
+    Stop,
+}
+
+/// The work-stealing executor for one parallel fixpoint run.
+///
+/// Each round the driver publishes a phase (command + live-tile list)
+/// under `phase` and workers race a shared injector `cursor` for batches
+/// of tile indices; surplus claims park in the claimer's [`StealDeque`]
+/// and idle workers steal from busy ones instead of waiting at a static
+/// partition barrier. `remaining` counts unfinished tiles of the current
+/// phase and `executing` the workers inside it; the driver's
+/// [`Crew::begin`] refuses to start the next phase while either is
+/// nonzero and workers register in `executing` *under the phase lock*,
+/// so a late-waking worker can never run a stale command against a
+/// recycled cursor or deque.
+struct Crew<'t, 'a> {
+    /// All tiles of the run (indexed by the task lists).
+    tiles: &'t [TileTask<'a>],
+    /// `(epoch, command, live tile list)` of the current phase.
+    phase: Mutex<(u64, PhaseCmd, Arc<Vec<u32>>)>,
+    /// Signals a new phase.
+    start: Condvar,
+    /// Injector: next unclaimed index into the phase's task list.
+    cursor: AtomicUsize,
+    /// Tiles of the current phase not yet executed.
+    remaining: AtomicUsize,
+    /// Workers currently inside [`Crew::execute`].
+    executing: AtomicUsize,
+    /// Pairs with `done_cv` for phase-completion waits.
+    done: Mutex<()>,
+    /// Signals `remaining`/`executing` transitions to zero.
+    done_cv: Condvar,
+    /// One steal deque per worker.
+    deques: Vec<StealDeque>,
+    /// Tiles executed off another worker's deque this run.
+    steals: AtomicU64,
+}
+
+impl Crew<'_, '_> {
+    /// Publishes the next phase. Waits out any straggler still executing
+    /// the previous one before recycling the injector (see the struct
+    /// comment for why this cannot race a late joiner).
+    fn begin(&self, cmd: PhaseCmd, tasks: Arc<Vec<u32>>) {
+        loop {
+            let mut phase = self.phase.lock().unwrap_or_else(|e| e.into_inner());
+            if self.executing.load(Ordering::SeqCst) == 0 {
+                self.cursor.store(0, Ordering::SeqCst);
+                self.remaining.store(tasks.len(), Ordering::SeqCst);
+                phase.0 += 1;
+                phase.1 = cmd;
+                phase.2 = tasks;
+                drop(phase);
+                self.start.notify_all();
+                return;
+            }
+            drop(phase);
+            self.wait_done();
+        }
+    }
+
+    /// Blocks until every tile of the current phase has executed and
+    /// every worker has left [`Crew::execute`].
+    fn wait_done(&self) {
+        let mut guard = self.done.lock().unwrap_or_else(|e| e.into_inner());
+        while self.remaining.load(Ordering::SeqCst) > 0 || self.executing.load(Ordering::SeqCst) > 0
+        {
+            guard = self.done_cv.wait(guard).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn signal_done(&self) {
+        let _guard = self.done.lock().unwrap_or_else(|e| e.into_inner());
+        self.done_cv.notify_all();
+    }
+
+    /// Claims and executes tiles until neither the injector nor any deque
+    /// has work left. The caller must have incremented `executing`
+    /// beforehand (workers do so under the phase lock); this method
+    /// releases it.
+    fn execute(
+        &self,
+        kernel: &ScheduleKernel,
+        col_of_vertex: &[u32],
+        me: usize,
+        tasks: &[u32],
+        cmd: &PhaseCmd,
+    ) {
+        let n = tasks.len();
+        let grab = (n / (self.deques.len() * 4)).clamp(1, 8);
+        loop {
+            let start = self.cursor.fetch_add(grab, Ordering::SeqCst);
+            if start < n {
+                let end = (start + grab).min(n);
+                for &t in &tasks[start + 1..end] {
+                    self.deques[me].push(t);
+                }
+                self.run_tile(kernel, col_of_vertex, tasks[start] as usize, cmd);
+                while let Some(t) = self.deques[me].pop() {
+                    self.run_tile(kernel, col_of_vertex, t as usize, cmd);
+                }
+                continue;
+            }
+            // Injector drained: sweep the other workers' deques.
+            let mut stole = false;
+            for (victim, deque) in self.deques.iter().enumerate() {
+                if victim == me {
+                    continue;
+                }
+                while let Some(t) = deque.steal() {
+                    stole = true;
+                    self.steals.fetch_add(1, Ordering::Relaxed);
+                    self.run_tile(kernel, col_of_vertex, t as usize, cmd);
+                }
+            }
+            if !stole {
+                break;
+            }
+        }
+        if self.executing.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.signal_done();
+        }
+    }
+
+    /// Runs one phase command on one tile, then retires it from
+    /// `remaining`.
+    fn run_tile(&self, kernel: &ScheduleKernel, col_of_vertex: &[u32], t: usize, cmd: &PhaseCmd) {
+        let tile = &self.tiles[t];
+        {
+            let mut st = tile.state.lock().unwrap_or_else(|e| e.into_inner());
+            let st = &mut *st;
+            match cmd {
+                PhaseCmd::Sweep => {
+                    st.viol.fill(0);
+                    sweep_tile(
+                        kernel,
+                        col_of_vertex,
+                        tile.lo,
+                        tile.width,
+                        &st.masks,
+                        &st.dirty,
+                        st.data,
+                    );
+                    scan_tile(
+                        kernel,
+                        tile.width,
+                        &st.masks,
+                        &st.dirty,
+                        st.data,
+                        &mut st.viol,
+                    );
+                }
+                PhaseCmd::Readjust(list) => {
+                    st.changed.fill(0);
+                    readjust_tile(
+                        kernel,
+                        tile.width,
+                        &st.masks,
+                        &st.dirty,
+                        st.data,
+                        list,
+                        &mut st.changed,
+                    );
+                }
+                PhaseCmd::Stop => {}
+            }
+        }
+        if self.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.signal_done();
+        }
+    }
+}
+
+/// Worker-thread loop: wait for a new phase epoch, register in
+/// `executing` under the phase lock (so [`Crew::begin`] can exclude
+/// stragglers), execute it, repeat until [`PhaseCmd::Stop`].
+fn crew_worker(crew: &Crew<'_, '_>, kernel: &ScheduleKernel, col_of_vertex: &[u32], me: usize) {
+    let mut seen = 0u64;
+    loop {
+        let (cmd, tasks) = {
+            let mut phase = crew.phase.lock().unwrap_or_else(|e| e.into_inner());
+            while phase.0 == seen {
+                phase = crew.start.wait(phase).unwrap_or_else(|e| e.into_inner());
+            }
+            seen = phase.0;
+            let cmd = phase.1.clone();
+            let tasks = Arc::clone(&phase.2);
+            if !matches!(cmd, PhaseCmd::Stop) {
+                crew.executing.fetch_add(1, Ordering::SeqCst);
+            }
+            (cmd, tasks)
+        };
+        if matches!(cmd, PhaseCmd::Stop) {
+            return;
+        }
+        crew.execute(kernel, col_of_vertex, me, &tasks, &cmd);
+    }
+}
+
+/// Parallel driver: `workers` stealing workers (the caller is one of
+/// them) over ~4 tiles per worker; the driver joins violation flags and
+/// compacts each tile's frontier between phases. Bit-identical to the
+/// sequential driver (see the module comment above). `data` is
+/// tile-major with the blocks described by `bounds` laid out back to
+/// back.
+#[allow(clippy::too_many_arguments)]
 fn kernel_fixpoint_parallel(
     kernel: &ScheduleKernel,
     sets: &AnchorSetFamily,
@@ -1182,70 +1668,122 @@ fn kernel_fixpoint_parallel(
     bounds: &[(usize, usize)],
     data: &mut [i64],
     budget: usize,
+    workers: usize,
+    compact: bool,
 ) -> Option<usize> {
     let n = kernel.n_vertices();
-    let n_back = kernel.n_backward_edges();
+    let ewords = kernel.n_backward_edges().div_ceil(64).max(1);
+    let n_tiles = bounds.len();
+
+    let mut tiles: Vec<TileTask<'_>> = Vec::with_capacity(n_tiles);
+    let mut rest = data;
+    for &(lo, width) in bounds {
+        let (block, tail) = rest.split_at_mut(width * n);
+        rest = tail;
+        tiles.push(TileTask {
+            lo,
+            width,
+            state: Mutex::new(TileState {
+                data: block,
+                masks: chunk_masks(sets, n, lo, width),
+                dirty: full_bits(width),
+                viol: vec![0u64; ewords],
+                changed: vec![0u64; width.div_ceil(64).max(1)],
+            }),
+        });
+    }
+
+    let crew = Crew {
+        tiles: &tiles,
+        phase: Mutex::new((0, PhaseCmd::Stop, Arc::new(Vec::new()))),
+        start: Condvar::new(),
+        cursor: AtomicUsize::new(0),
+        remaining: AtomicUsize::new(0),
+        executing: AtomicUsize::new(0),
+        done: Mutex::new(()),
+        done_cv: Condvar::new(),
+        deques: (0..workers)
+            .map(|_| StealDeque::with_capacity(n_tiles.max(1)))
+            .collect(),
+        steals: AtomicU64::new(0),
+    };
+
     let mut result: Option<usize> = None;
     thread::scope(|s| {
-        let mut cmd_txs = Vec::new();
-        let mut res_rxs = Vec::new();
-        let mut data_rest = data;
-        for &(lo, width) in bounds {
-            let (chunk, rest) = data_rest.split_at_mut(width * n);
-            data_rest = rest;
-            let (cmd_tx, cmd_rx) = mpsc::channel::<ChunkCmd>();
-            let (res_tx, res_rx) = mpsc::channel::<Vec<bool>>();
-            cmd_txs.push(cmd_tx);
-            res_rxs.push(res_rx);
-            s.spawn(move || {
-                let chunk = chunk;
-                let masks = chunk_masks(sets, n, lo, width);
-                let mut viol = vec![false; n_back];
-                for cmd in cmd_rx {
-                    match cmd {
-                        ChunkCmd::Sweep => {
-                            viol.fill(false);
-                            kernel_sweep(kernel, col_of_vertex, lo, width, &masks, chunk);
-                            kernel_scan(kernel, width, &masks, chunk, &mut viol);
-                            if res_tx.send(viol.clone()).is_err() {
-                                break;
-                            }
-                        }
-                        ChunkCmd::Readjust(list) => {
-                            kernel_readjust(kernel, width, &masks, chunk, &list);
-                        }
-                    }
-                }
-            });
+        for me in 1..workers {
+            let crew = &crew;
+            s.spawn(move || crew_worker(crew, kernel, col_of_vertex, me));
         }
+        let mut live: Vec<u32> = (0..n_tiles as u32).collect();
+        let mut joint = vec![0u64; ewords];
+        let mut list: Vec<u32> = Vec::new();
         for iter in 1..=budget {
-            for tx in &cmd_txs {
-                tx.send(ChunkCmd::Sweep).expect("chunk worker alive");
-            }
-            let mut joint = vec![false; n_back];
-            for rx in &res_rxs {
-                let flags = rx.recv().expect("chunk worker reports");
-                for (j, b) in flags.into_iter().enumerate() {
-                    joint[j] |= b;
+            COUNTERS.rounds.fetch_add(1, Ordering::Relaxed);
+            let tasks = Arc::new(live.clone());
+            crew.begin(PhaseCmd::Sweep, Arc::clone(&tasks));
+            crew.executing.fetch_add(1, Ordering::SeqCst);
+            crew.execute(kernel, col_of_vertex, 0, &tasks, &PhaseCmd::Sweep);
+            crew.wait_done();
+
+            // Joint violation list: OR of the live tiles' flags, in
+            // EdgeId order — exactly `find_violations`' list.
+            joint.fill(0);
+            for &t in &live {
+                let st = crew.tiles[t as usize]
+                    .state
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner());
+                for (k, word) in st.viol.iter().enumerate() {
+                    joint[k] |= *word;
                 }
             }
-            let list: Vec<u32> = (0..n_back as u32).filter(|&i| joint[i as usize]).collect();
+            bits_to_list(&joint, &mut list);
             if list.is_empty() {
                 result = Some(iter);
                 break;
             }
-            let list = Arc::new(list);
-            for tx in &cmd_txs {
-                tx.send(ChunkCmd::Readjust(Arc::clone(&list)))
-                    .expect("chunk worker alive");
+
+            let shared = Arc::new(list.clone());
+            let cmd = PhaseCmd::Readjust(shared);
+            crew.begin(cmd.clone(), Arc::clone(&tasks));
+            crew.executing.fetch_add(1, Ordering::SeqCst);
+            crew.execute(kernel, col_of_vertex, 0, &tasks, &cmd);
+            crew.wait_done();
+
+            if compact {
+                // A violated edge implies its column changed, so a round
+                // that continues always leaves at least one tile live.
+                let mut next: Vec<u32> = Vec::with_capacity(live.len());
+                let mut retired = 0u64;
+                for &t in &live {
+                    let mut st = crew.tiles[t as usize]
+                        .state
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner());
+                    let st = &mut *st;
+                    let before = popcount(&st.dirty);
+                    st.dirty.copy_from_slice(&st.changed);
+                    let after = popcount(&st.dirty);
+                    retired += before - after;
+                    if after > 0 {
+                        next.push(t);
+                    }
+                }
+                COUNTERS
+                    .columns_retired
+                    .fetch_add(retired, Ordering::Relaxed);
+                live = next;
             }
         }
-        drop(cmd_txs);
+        crew.begin(PhaseCmd::Stop, Arc::new(Vec::new()));
     });
+    COUNTERS
+        .steals
+        .fetch_add(crew.steals.load(Ordering::Relaxed), Ordering::Relaxed);
     result
 }
 
-/// Disjoint (tail, head) row views into a vertex-major chunk. Callers
+/// Disjoint (tail, head) row views into a vertex-major tile. Callers
 /// pass rows of distinct vertices (forward edges cannot self-loop — the
 /// kernel's topological order exists).
 fn two_rows(data: &mut [i64], trow: usize, hrow: usize, width: usize) -> (&[i64], &mut [i64]) {
@@ -1258,20 +1796,52 @@ fn two_rows(data: &mut [i64], trow: usize, hrow: usize, width: usize) -> (&[i64]
     }
 }
 
-/// `IncrementalOffset` for one chunk: a topological longest-path sweep
-/// over the forward CSR, relaxing all of the chunk's columns per edge.
-/// Columns tracked by both endpoints come from the intersection of the
-/// endpoint mask rows, so sparse anchor sets (the common case — most
-/// vertices track a handful of the anchors) cost one word-AND per 64
-/// columns plus one relaxation per *live* column. `lo` is the chunk's
-/// first global column; `col_of_vertex` maps an anchor vertex to its
-/// global column for the `σ_a(a) = 0` base case.
-fn kernel_sweep(
+/// Relaxes `head[j] = max(head[j], tail[j] + w)` for every set bit of
+/// `bits` (bit `b` of word `k` is column `64k + b`).
+#[inline(always)]
+fn relax_word(tail: &[i64], head: &mut [i64], k: usize, mut bits: u64, w: i64) {
+    while bits != 0 {
+        let j = (k << 6) | bits.trailing_zeros() as usize;
+        bits &= bits - 1;
+        let cand = tail[j] + w;
+        if cand > head[j] {
+            head[j] = cand;
+        }
+    }
+}
+
+/// True when any set bit of `bits` names a column violating
+/// `head >= tail + w`.
+#[inline(always)]
+fn violated_word(data: &[i64], trow: usize, hrow: usize, k: usize, mut bits: u64, w: i64) -> bool {
+    while bits != 0 {
+        let j = (k << 6) | bits.trailing_zeros() as usize;
+        bits &= bits - 1;
+        if data[hrow + j] < data[trow + j] + w {
+            return true;
+        }
+    }
+    false
+}
+
+/// `IncrementalOffset` for one tile: a topological longest-path sweep
+/// over the forward CSR, relaxing all of the tile's dirty columns per
+/// edge. Columns tracked by both endpoints come from the intersection of
+/// the endpoint mask rows ANDed against the dirty frontier, so sparse
+/// anchor sets and quiesced columns cost one word-AND per 64 columns.
+/// The mask words are consumed in groups of four with a combined
+/// emptiness test — on x86-64 the compiler turns the group loads and
+/// ANDs into 256-bit lanes, and fully-quiesced word groups (the common
+/// late-round case) cost one branch. `lo` is the tile's first global
+/// column; `col_of_vertex` maps an anchor vertex to its global column
+/// for the `σ_a(a) = 0` base case.
+fn sweep_tile(
     kernel: &ScheduleKernel,
     col_of_vertex: &[u32],
     lo: usize,
     width: usize,
     masks: &[u64],
+    dirty: &[u64],
     data: &mut [i64],
 ) {
     let words = width.div_ceil(64).max(1);
@@ -1284,30 +1854,39 @@ fn kernel_sweep(
             let ti = t as usize;
             let trow = ti * width;
             {
-                // For every column tracked by both tail and head: relax.
+                // For every dirty column tracked by both tail and head:
+                // relax.
                 let (tail, head) = two_rows(data, trow, hrow, width);
                 let tmask = &masks[ti * words..(ti + 1) * words];
-                for k in 0..words {
-                    let mut bits = tmask[k] & hmask[k];
-                    while bits != 0 {
-                        let j = (k << 6) | bits.trailing_zeros() as usize;
-                        bits &= bits - 1;
-                        let cand = tail[j] + w;
-                        if cand > head[j] {
-                            head[j] = cand;
-                        }
+                let mut k = 0;
+                while k + 4 <= words {
+                    let b0 = tmask[k] & hmask[k] & dirty[k];
+                    let b1 = tmask[k + 1] & hmask[k + 1] & dirty[k + 1];
+                    let b2 = tmask[k + 2] & hmask[k + 2] & dirty[k + 2];
+                    let b3 = tmask[k + 3] & hmask[k + 3] & dirty[k + 3];
+                    if b0 | b1 | b2 | b3 != 0 {
+                        relax_word(tail, head, k, b0, w);
+                        relax_word(tail, head, k + 1, b1, w);
+                        relax_word(tail, head, k + 2, b2, w);
+                        relax_word(tail, head, k + 3, b3, w);
                     }
+                    k += 4;
+                }
+                while k < words {
+                    relax_word(tail, head, k, tmask[k] & hmask[k] & dirty[k], w);
+                    k += 1;
                 }
             }
             // Base case σ_a(a) = 0 (Definition 3 normalization): when the
-            // tail is itself an anchor whose column lies in this chunk and
-            // is tracked at v, the edge contributes `0 + w`. This is what
-            // carries a minimum constraint sourced at an anchor (e.g. the
-            // source) into its successor's offset; for unbounded edges
-            // (w = 0) it is a no-op.
+            // tail is itself an anchor whose column lies in this tile, is
+            // still dirty and is tracked at v, the edge contributes
+            // `0 + w`. This is what carries a minimum constraint sourced
+            // at an anchor (e.g. the source) into its successor's offset;
+            // for unbounded edges (w = 0) it is a no-op.
             let a = col_of_vertex[ti] as usize;
             let j = a.wrapping_sub(lo);
-            if j < width && hmask[j >> 6] >> (j & 63) & 1 != 0 {
+            if j < width && dirty[j >> 6] >> (j & 63) & 1 != 0 && hmask[j >> 6] >> (j & 63) & 1 != 0
+            {
                 let slot = &mut data[hrow + j];
                 if w > *slot {
                     *slot = w;
@@ -1317,51 +1896,71 @@ fn kernel_sweep(
     }
 }
 
-/// Flags (ORs into `viol`) the backward edges any of this chunk's columns
-/// violate.
-fn kernel_scan(
+/// Flags (sets bits in `viol`, indexed by backward EdgeId) the backward
+/// edges any of this tile's dirty columns violate. Same four-word group
+/// walk as [`sweep_tile`]; a quiesced column cannot violate (its
+/// readjustment was a no-op), so the dirty AND drops no flags.
+fn scan_tile(
     kernel: &ScheduleKernel,
     width: usize,
     masks: &[u64],
+    dirty: &[u64],
     data: &[i64],
-    viol: &mut [bool],
+    viol: &mut [u64],
 ) {
     let words = width.div_ceil(64).max(1);
     let tails = kernel.backward_tails();
     let heads = kernel.backward_heads();
     let weights = kernel.backward_weights();
-    for (i, flag) in viol.iter_mut().enumerate() {
-        if *flag {
-            continue;
-        }
+    'edges: for i in 0..tails.len() {
         let ti = tails[i] as usize;
         let hi = heads[i] as usize;
         let trow = ti * width;
         let hrow = hi * width;
+        let toff = ti * words;
+        let hoff = hi * words;
         let w = weights[i];
-        'cols: for k in 0..words {
-            let mut bits = masks[ti * words + k] & masks[hi * words + k];
-            while bits != 0 {
-                let j = (k << 6) | bits.trailing_zeros() as usize;
-                bits &= bits - 1;
-                if data[hrow + j] < data[trow + j] + w {
-                    *flag = true;
-                    break 'cols;
+        let mut k = 0;
+        while k + 4 <= words {
+            let b0 = masks[toff + k] & masks[hoff + k] & dirty[k];
+            let b1 = masks[toff + k + 1] & masks[hoff + k + 1] & dirty[k + 1];
+            let b2 = masks[toff + k + 2] & masks[hoff + k + 2] & dirty[k + 2];
+            let b3 = masks[toff + k + 3] & masks[hoff + k + 3] & dirty[k + 3];
+            if b0 | b1 | b2 | b3 != 0 {
+                for (kk, bits) in [(k, b0), (k + 1, b1), (k + 2, b2), (k + 3, b3)] {
+                    if violated_word(data, trow, hrow, kk, bits, w) {
+                        viol[i >> 6] |= 1 << (i & 63);
+                        continue 'edges;
+                    }
                 }
             }
+            k += 4;
+        }
+        while k < words {
+            let bits = masks[toff + k] & masks[hoff + k] & dirty[k];
+            if violated_word(data, trow, hrow, k, bits, w) {
+                viol[i >> 6] |= 1 << (i & 63);
+                continue 'edges;
+            }
+            k += 1;
         }
     }
 }
 
-/// `ReadjustOffsets` for one chunk over the joint violation list (a
+/// `ReadjustOffsets` for one tile over the joint violation list (a
 /// non-violated column's readjustment is a no-op, exactly as in the
-/// interleaved reference).
-fn kernel_readjust(
+/// interleaved reference; retired columns are skipped via the dirty AND
+/// on the same grounds). Columns actually raised are recorded in
+/// `changed` — the next round's dirty frontier.
+#[allow(clippy::too_many_arguments)]
+fn readjust_tile(
     kernel: &ScheduleKernel,
     width: usize,
     masks: &[u64],
+    dirty: &[u64],
     data: &mut [i64],
     list: &[u32],
+    changed: &mut [u64],
 ) {
     let words = width.div_ceil(64).max(1);
     let tails = kernel.backward_tails();
@@ -1375,13 +1974,14 @@ fn kernel_readjust(
         let hrow = hi * width;
         let w = weights[i];
         for k in 0..words {
-            let mut bits = masks[ti * words + k] & masks[hi * words + k];
+            let mut bits = masks[ti * words + k] & masks[hi * words + k] & dirty[k];
             while bits != 0 {
                 let j = (k << 6) | bits.trailing_zeros() as usize;
                 bits &= bits - 1;
                 let required = data[trow + j] + w;
                 if data[hrow + j] < required {
                     data[hrow + j] = required;
+                    changed[k] |= 1 << (j & 63);
                 }
             }
         }

@@ -18,8 +18,10 @@
 use proptest::prelude::*;
 
 use rsched_core::{
-    relax_additive, relax_additive_on, reschedule, reschedule_on, reschedule_reference, schedule,
-    schedule_reference, schedule_threaded, schedule_with_sets, AnchorSets,
+    effective_workers, kernel_counters, relax_additive, relax_additive_on, reschedule,
+    reschedule_on, reschedule_reference, schedule, schedule_reference, schedule_threaded,
+    schedule_with_sets, schedule_with_sets_tuned, AnchorSets, FixpointTuning,
+    MIN_COLUMNS_PER_WORKER,
 };
 use rsched_graph::{ConstraintGraph, ExecDelay, ScheduleKernel, VertexId};
 
@@ -92,6 +94,74 @@ fn build(spec: &GraphSpec) -> (ConstraintGraph, Vec<VertexId>) {
     g.polarize()
         .expect("polarize cannot fail on fresh operations");
     (g, vs)
+}
+
+/// A dependency chain whose last `links` pairs carry a max constraint one
+/// unit looser than the dependency, plus a min constraint stretching the
+/// chain to three times its total delay: readjustment can only raise one
+/// link per round, so the fixpoint needs exactly `links + 1` iterations.
+/// (Mirror of `rsched_designs::cascade`, inlined here because designs
+/// depends on core and the tests cannot close that cycle.)
+fn build_cascade(n: usize, links: usize, salt: u64) -> ConstraintGraph {
+    let delay = |i: usize| (i as u64 * 7 + 3 + salt * 5) % 23 + 1;
+    let mut g = ConstraintGraph::new();
+    let vs: Vec<VertexId> = (0..n)
+        .map(|i| g.add_operation(format!("c{i}"), ExecDelay::Fixed(delay(i))))
+        .collect();
+    for i in 0..n - 1 {
+        g.add_dependency(vs[i], vs[i + 1]).unwrap();
+    }
+    let total: u64 = (0..n).map(delay).sum();
+    g.add_min_constraint(vs[0], vs[n - 1], total * 3).unwrap();
+    for i in (n - 1 - links)..n - 1 {
+        g.add_max_constraint(vs[i], vs[i + 1], delay(i) + 1)
+            .unwrap();
+    }
+    g.polarize().unwrap();
+    g
+}
+
+/// The forced-tuning matrix: exactly `w` stealing workers for
+/// `w ∈ {1, 2, 4, 8}` (no hardware or column-count fallback), crossed
+/// with frontier compaction on and off. Every cell must reproduce
+/// `reference` bit for bit — offsets, anchor sets, iteration counts, and
+/// error variants alike.
+fn assert_tuning_matrix(
+    g: &ConstraintGraph,
+    reference: &Result<rsched_core::RelativeSchedule, rsched_core::ScheduleError>,
+) {
+    let Ok(sets) = AnchorSets::compute(g) else {
+        // Structural errors surface before the fixpoint entry points
+        // exercised here; the plain kernel/reference differential
+        // already pins that parity.
+        return;
+    };
+    // The matrix is pinned to the same pipeline level (post anchor-set
+    // computation), so fixpoint-detected errors — unfeasibility budgets
+    // and their witnesses — must also agree cell by cell. Upstream
+    // structural errors (ill-posedness) are the reference's business:
+    // where it errors before the fixpoint, only the Ok case is skipped.
+    let baseline = schedule_with_sets(g, sets.family());
+    if reference.is_ok() {
+        assert_eq!(&baseline, reference, "kernel baseline diverged");
+    }
+    let kernel = ScheduleKernel::build(g).expect("forward subgraph stays acyclic");
+    for workers in [1usize, 2, 4, 8] {
+        for full in [false, true] {
+            let mut tuning = FixpointTuning::forced(workers);
+            if full {
+                tuning = tuning.full_iteration();
+            }
+            let tuned = schedule_with_sets_tuned(&kernel, sets.family(), tuning);
+            assert_eq!(
+                &tuned, &baseline,
+                "forced workers={workers} full_iteration={full} diverged"
+            );
+            if let (Ok(t), Ok(b)) = (&tuned, &baseline) {
+                assert_eq!(t.iterations(), b.iterations());
+            }
+        }
+    }
 }
 
 proptest! {
@@ -183,4 +253,79 @@ proptest! {
             prop_assert_eq!(&kerneled, &walked);
         }
     }
+
+    /// The work-stealing fixpoint across the full tuning matrix — forced
+    /// worker counts {1, 2, 4, 8} × frontier compaction {on, off} — is
+    /// bit-identical to the reference on arbitrary designs, and the
+    /// reference itself passes the independent oracle.
+    #[test]
+    fn forced_workers_and_compaction_match_reference(spec in graph_spec(20)) {
+        let (g, _) = build(&spec);
+        let reference = schedule_reference(&g);
+        let report = rsched_oracle::check_result(&g, &reference);
+        prop_assert!(report.is_ok(), "oracle disagrees with the reference:\n{}", report);
+        assert_tuning_matrix(&g, &reference);
+    }
+
+    /// Cascade designs force `links + 1` readjust rounds (readjustment can
+    /// only raise one link per round), so frontier compaction actually
+    /// retires columns across surviving rounds instead of degenerating to
+    /// the one-round case. The whole tuning matrix must still agree with
+    /// the reference bit for bit, at the full iteration count.
+    #[test]
+    fn cascade_multi_round_matches_reference(
+        n in 10usize..40,
+        links in 2usize..8,
+        salt in 0u64..64,
+    ) {
+        let g = build_cascade(n, links, salt);
+        let reference = schedule_reference(&g);
+        let omega = reference.as_ref().expect("cascades are feasible");
+        prop_assert_eq!(omega.iterations(), links + 1);
+        let report = rsched_oracle::check_result(&g, &reference);
+        prop_assert!(report.is_ok(), "oracle disagrees with the reference:\n{}", report);
+        assert_tuning_matrix(&g, &reference);
+    }
+}
+
+/// The fallback policy: below [`MIN_COLUMNS_PER_WORKER`] anchor columns
+/// per worker the crew is not worth waking, and a small design must take
+/// the serial path even when threads were requested.
+#[test]
+fn small_designs_fall_back_to_serial() {
+    // Policy function: too few columns clamps any request down to 1.
+    assert_eq!(effective_workers(8, MIN_COLUMNS_PER_WORKER - 1), 1);
+    assert_eq!(effective_workers(2, 4), 1);
+    assert_eq!(effective_workers(1, 10 * MIN_COLUMNS_PER_WORKER), 1);
+    // Two workers only once each has MIN_COLUMNS_PER_WORKER columns to
+    // itself (hardware permitting — a single-core host still clamps to 1).
+    let two = effective_workers(2, 2 * MIN_COLUMNS_PER_WORKER);
+    assert!(two == 1 || two == 2);
+    assert_eq!(effective_workers(8, 2 * MIN_COLUMNS_PER_WORKER - 1), 1);
+
+    // End to end: a 6-op cascade has far fewer anchor columns than the
+    // threshold, so an 8-thread request must fall back — observable as a
+    // serial_fallbacks bump and bit-identical output. Counters are
+    // process-global and monotonic, so deltas are `>=` even with other
+    // tests running concurrently.
+    let g = build_cascade(6, 2, 1);
+    let before = kernel_counters();
+    let fanned = schedule_threaded(&g, 8);
+    let after = kernel_counters();
+    assert_eq!(&fanned, &schedule_threaded(&g, 1));
+    assert!(after.runs > before.runs);
+    assert!(
+        after.serial_fallbacks > before.serial_fallbacks,
+        "8-thread request on a tiny design must take the serial path \
+         (before {before:?}, after {after:?})"
+    );
+
+    // Forcing bypasses the policy: the same design through the crew path
+    // bumps parallel_runs and still produces the same bits.
+    let sets = AnchorSets::compute(&g).expect("cascade is well-posed");
+    let kernel = ScheduleKernel::build(&g).expect("forward subgraph stays acyclic");
+    let forced = schedule_with_sets_tuned(&kernel, sets.family(), FixpointTuning::forced(2));
+    assert_eq!(&forced, &fanned);
+    let end = kernel_counters();
+    assert!(end.parallel_runs > after.parallel_runs);
 }

@@ -1,0 +1,110 @@
+//! The *cascade* family: chain designs engineered to need many kernel
+//! iterations.
+//!
+//! A cascade is a dependency chain of `n` operations whose last `links`
+//! pairs carry a max constraint one unit looser than the dependency
+//! between them, plus a min constraint stretching the whole chain to
+//! three times its total delay. `ReadjustOffsets` can only raise one
+//! cascade link per iteration, so a cold schedule pays `links + 1`
+//! kernel iterations — the worst case `|E_b| + 1` bound rather than the
+//! common one-pass convergence. That makes the family the workload of
+//! choice wherever multi-round fixpoint behaviour matters: the schedule
+//! cache bench (an expensive, structurally distinctive cold path) and
+//! the frontier-compaction differential tests (several readjust rounds,
+//! each retiring columns).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rsched_graph::{ConstraintGraph, ExecDelay};
+
+/// One member of the cascade family.
+#[derive(Debug, Clone, Copy)]
+pub struct Cascade {
+    /// Operations in the dependency chain.
+    pub n: usize,
+    /// Trailing chain pairs that carry a tight max constraint; cold
+    /// scheduling costs `links + 1` kernel iterations.
+    pub links: usize,
+    /// Distinguishes universe members: shifts the delay pattern.
+    pub salt: u64,
+}
+
+/// Per-op delay: periodic but non-uniform, shifted by the design salt.
+pub fn cascade_delay(i: usize, salt: u64) -> u64 {
+    (i as u64 * 7 + 3 + salt * 5) % 23 + 1
+}
+
+/// Build a cascade design. `relabel == 0` uses the natural insertion
+/// order; any other value shuffles insertion order and renames every
+/// vertex, producing a structurally identical but differently labeled
+/// graph (what a cache hit must see through).
+///
+/// # Panics
+///
+/// Panics if `c.links >= c.n` (the max constraints would run off the
+/// front of the chain) or `c.n < 2`.
+pub fn build_cascade(c: Cascade, relabel: u64) -> ConstraintGraph {
+    assert!(c.n >= 2, "a cascade needs a chain");
+    assert!(c.links < c.n, "links must fit inside the chain");
+    let mut order: Vec<usize> = (0..c.n).collect();
+    if relabel > 0 {
+        let mut rng = StdRng::seed_from_u64(relabel);
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+    }
+    let mut g = ConstraintGraph::new();
+    let mut ids = vec![None; c.n];
+    for &i in &order {
+        ids[i] = Some(g.add_operation(
+            format!("o{relabel}_{i}"),
+            ExecDelay::Fixed(cascade_delay(i, c.salt)),
+        ));
+    }
+    let v = |i: usize| ids[i].unwrap();
+    for i in 0..c.n - 1 {
+        g.add_dependency(v(i), v(i + 1)).unwrap();
+    }
+    let total: u64 = (0..c.n).map(|i| cascade_delay(i, c.salt)).sum();
+    g.add_min_constraint(v(0), v(c.n - 1), total * 3).unwrap();
+    for i in (c.n - 1 - c.links)..c.n - 1 {
+        g.add_max_constraint(v(i), v(i + 1), cascade_delay(i, c.salt) + 1)
+            .unwrap();
+    }
+    g.polarize().unwrap();
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cascade_needs_links_plus_one_iterations() {
+        for links in [2usize, 5] {
+            let g = build_cascade(
+                Cascade {
+                    n: 24,
+                    links,
+                    salt: 3,
+                },
+                0,
+            );
+            let omega = rsched_core::schedule(&g).expect("cascades are feasible");
+            assert_eq!(omega.iterations(), links + 1);
+        }
+    }
+
+    #[test]
+    fn relabel_preserves_structure() {
+        let c = Cascade {
+            n: 16,
+            links: 4,
+            salt: 1,
+        };
+        let a = rsched_core::schedule(&build_cascade(c, 0)).expect("feasible");
+        let b = rsched_core::schedule(&build_cascade(c, 9)).expect("feasible");
+        assert_eq!(a.iterations(), b.iterations());
+    }
+}

@@ -13,7 +13,10 @@
 //!   totals then emerge from the reconstruction (see EXPERIMENTS.md for
 //!   paper-vs-measured);
 //! * [`random`] — seeded random constraint graphs and hierarchical designs
-//!   for scaling benchmarks and property tests.
+//!   for scaling benchmarks and property tests;
+//! * [`cascade`] — chain designs with tight trailing max constraints that
+//!   force the worst-case `links + 1` kernel iterations, for cache and
+//!   multi-round fixpoint workloads.
 //!
 //! The verbatim Fig. 13 gcd HardwareC source ships as
 //! [`GCD_HARDWAREC`] and compiles through `rsched-hdl` (see
@@ -23,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod benchmarks;
+pub mod cascade;
 pub mod paper;
 pub mod random;
 

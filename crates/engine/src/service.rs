@@ -94,12 +94,12 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
 
 use rsched_cache::{schedule_cached, CacheStats, ScheduleCache};
-use rsched_core::{ScheduleError, WellPosedness};
+use rsched_core::{KernelCounters, ScheduleError, WellPosedness, WorkPool};
 use rsched_graph::{failpoint, ConstraintGraph, ExecDelay};
 
 use crate::journal::{Journal, JournalOp};
@@ -138,6 +138,12 @@ pub struct ServeConfig {
     /// Failpoint scope token the worker threads enter, so a fault-
     /// injection harness can target exactly this service instance.
     pub fault_scope: Option<u64>,
+    /// Threads of the router's shared work-stealing pool, through which
+    /// `batch_schedule` fans its designs (one pool per [`Router`],
+    /// shared by every transport and request). `0` (the default) sizes
+    /// the pool to the host's available parallelism; any value counts
+    /// the submitting thread, so `1` means a no-worker inline pool.
+    pub threads: usize,
 }
 
 impl Default for ServeConfig {
@@ -152,6 +158,7 @@ impl Default for ServeConfig {
             snapshot_every: 256,
             cache_capacity: 0,
             fault_scope: None,
+            threads: 0,
         }
     }
 }
@@ -287,7 +294,8 @@ pub struct Router {
     max_edges: Option<usize>,
     journal_dir: Option<PathBuf>,
     snapshot_every: usize,
-    cache: ScheduleCache,
+    cache: Arc<ScheduleCache>,
+    pool: WorkPool,
 }
 
 impl Router {
@@ -310,7 +318,12 @@ impl Router {
             max_edges: config.max_edges,
             journal_dir: config.journal_dir.clone(),
             snapshot_every: config.snapshot_every,
-            cache: ScheduleCache::new(config.cache_capacity),
+            cache: Arc::new(ScheduleCache::new(config.cache_capacity)),
+            pool: WorkPool::new(if config.threads == 0 {
+                thread::available_parallelism().map_or(1, |p| p.get())
+            } else {
+                config.threads
+            }),
         };
         router.recover_from_wal_dir();
         router
@@ -574,7 +587,7 @@ impl Router {
             None => return fail(id, "missing \"op\""),
         };
         if op == "batch_schedule" {
-            return batch_schedule(&self.cache, id, request);
+            return batch_schedule(&self.cache, &self.pool, id, request);
         }
         let name = request
             .get("session")
@@ -708,6 +721,7 @@ impl Router {
                     ("compactions", Json::from(entry.journal.compactions())),
                     ("recoveries", Json::from(entry.recoveries)),
                     ("cache", cache_json(&self.cache.stats())),
+                    ("kernel", kernel_json(&rsched_core::kernel_counters())),
                 ]);
                 object(pairs)
             }
@@ -1113,6 +1127,21 @@ fn cache_json(stats: &CacheStats) -> Json {
     ])
 }
 
+/// The `"kernel"` block of the `stats` op: process-wide fixpoint
+/// counters (runs, frontier retirements, steals — see
+/// [`KernelCounters`]), monotonic across every session and transport.
+fn kernel_json(counters: &KernelCounters) -> Json {
+    let int = |v: u64| Json::Int(i64::try_from(v).unwrap_or(i64::MAX));
+    object([
+        ("runs", int(counters.runs)),
+        ("parallel_runs", int(counters.parallel_runs)),
+        ("serial_fallbacks", int(counters.serial_fallbacks)),
+        ("rounds", int(counters.rounds)),
+        ("columns_retired", int(counters.columns_retired)),
+        ("steals", int(counters.steals)),
+    ])
+}
+
 /// The standard `{"id":…,"ok":false,"error":…}` response. Public so
 /// every transport shapes errors identically.
 pub fn error_response(id: Json, message: impl Into<String>) -> Json {
@@ -1221,46 +1250,50 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 }
 
 /// Schedules each design in `"designs"` independently — no session state
-/// is created — fanning the batch across a scoped pool of `"threads"`
-/// workers. Each design consults the canonical-form cache and otherwise
-/// runs the cold single-thread scheduler; either way results are
-/// bit-identical to individual `open` requests, and the response lists
-/// them in input order regardless of completion order.
-fn batch_schedule(cache: &ScheduleCache, id: Json, request: &Json) -> Json {
+/// is created — fanning the batch across the router's shared
+/// [`WorkPool`] (the request's legacy `"threads"` field is accepted but
+/// no longer spawns anything: pool size is a deployment decision, set
+/// once via [`ServeConfig::threads`]). Each design consults the
+/// canonical-form cache and otherwise runs the cold single-thread
+/// scheduler; either way results are bit-identical to individual `open`
+/// requests, and the response lists them in input order regardless of
+/// completion order.
+fn batch_schedule(cache: &Arc<ScheduleCache>, pool: &WorkPool, id: Json, request: &Json) -> Json {
     let Some(designs) = request.get("designs").and_then(Json::as_array) else {
         return fail(id, "batch_schedule needs a \"designs\" array");
     };
-    let threads = request
-        .get("threads")
-        .and_then(Json::as_i64)
-        .map_or(1, |t| t.max(1) as usize)
-        .min(designs.len().max(1));
-    // Inner pool threads are fresh OS threads: propagate the failpoint
-    // scope so injected faults reach the fan-out workers too.
+    // Pool workers are long-lived OS threads without the request
+    // handler's ambient failpoint scope: propagate it per job so injected
+    // faults reach the fan-out work too.
     let fault_scope = failpoint::current_scope();
-    let mut results = vec![Json::Null; designs.len()];
-    let next = AtomicUsize::new(0);
     let (res_tx, res_rx) = mpsc::channel::<(usize, Json)>();
-    thread::scope(|scope| {
-        for _ in 0..threads {
+    let jobs = designs
+        .iter()
+        .cloned()
+        .enumerate()
+        .map(|(i, entry)| {
+            let cache = Arc::clone(cache);
             let res_tx = res_tx.clone();
-            let next = &next;
-            scope.spawn(move || {
+            Box::new(move || {
                 let _scope = fault_scope.map(failpoint::enter_scope);
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(entry) = designs.get(i) else { break };
-                    if res_tx.send((i, batch_entry(cache, entry))).is_err() {
-                        break;
-                    }
-                }
-            });
-        }
-        drop(res_tx);
-        for (i, result) in res_rx {
-            results[i] = result;
-        }
-    });
+                let _ = res_tx.send((i, batch_entry(&cache, &entry)));
+            }) as Box<dyn FnOnce() + Send + 'static>
+        })
+        .collect();
+    drop(res_tx);
+    pool.run(jobs);
+    let mut results = vec![Json::Null; designs.len()];
+    let mut filled = vec![false; designs.len()];
+    for (i, result) in res_rx {
+        results[i] = result;
+        filled[i] = true;
+    }
+    if let Some(i) = filled.iter().position(|f| !f) {
+        // The pool caught a panic before the job could report. Re-raise
+        // so the request-level quarantine answers in-band, exactly as
+        // the scoped-thread fan-out used to.
+        panic!("batch_schedule design {i} panicked before reporting");
+    }
     object([
         ("id", id),
         ("ok", Json::Bool(true)),

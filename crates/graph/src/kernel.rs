@@ -56,6 +56,13 @@ pub struct ScheduleKernel {
     back_head: Vec<u32>,
     /// Zeroed weights parallel to `back_id`.
     back_weight: Vec<i64>,
+    /// CSR row offsets into `bin_idx`, one row per head vertex; length
+    /// `n_vertices + 1`.
+    bin_off: Vec<u32>,
+    /// Positions into the `back_*` arrays of the backward edges whose
+    /// head is the row's vertex, ascending within each row (live
+    /// [`EdgeId`] order).
+    bin_idx: Vec<u32>,
     /// CSR row offsets into the `out_*` arrays, one row per tail vertex;
     /// length `n_vertices + 1`.
     out_off: Vec<u32>,
@@ -131,6 +138,25 @@ impl ScheduleKernel {
             back_weight.push(e.weight().zeroed());
         }
 
+        // Backward in-edge CSR (group the `back_*` positions by head).
+        // Two counting passes keep each row ascending — i.e. live EdgeId
+        // order, which warm-seeding relies on for deterministic
+        // discovery order.
+        let mut bin_off = vec![0u32; n + 1];
+        for &h in &back_head {
+            bin_off[h as usize + 1] += 1;
+        }
+        for v in 0..n {
+            bin_off[v + 1] += bin_off[v];
+        }
+        let mut bin_idx = vec![0u32; back_head.len()];
+        let mut bin_next = bin_off.clone();
+        for (i, &h) in back_head.iter().enumerate() {
+            let slot = &mut bin_next[h as usize];
+            bin_idx[*slot as usize] = i as u32;
+            *slot += 1;
+        }
+
         let n_all_edges = graph.n_all_edge_slots();
         let mut edge_from = vec![0u32; n_all_edges];
         let mut edge_to = vec![0u32; n_all_edges];
@@ -160,6 +186,8 @@ impl ScheduleKernel {
             back_tail,
             back_head,
             back_weight,
+            bin_off,
+            bin_idx,
             out_off,
             out_head,
             out_weight,
@@ -217,6 +245,16 @@ impl ScheduleKernel {
     /// [`ScheduleKernel::backward_ids`].
     pub fn backward_weights(&self) -> &[i64] {
         &self.back_weight
+    }
+
+    /// Positions (into the `backward_*` slices) of the backward edges
+    /// whose *head* is vertex index `v`, in ascending live [`EdgeId`]
+    /// order. Lets per-vertex consumers (e.g. additive warm-relaxation
+    /// seeding) skip the full backward scan.
+    pub fn backward_in_edges(&self, v: usize) -> &[u32] {
+        let lo = self.bin_off[v] as usize;
+        let hi = self.bin_off[v + 1] as usize;
+        &self.bin_idx[lo..hi]
     }
 
     /// All out-edges of vertex index `v` as parallel

@@ -442,7 +442,9 @@ fn shuffle<T>(rng: &mut StdRng, items: &mut [T]) {
     }
 }
 
-/// Removes the `"cache"` member (global, latency-bearing counters) from a
+/// Removes the `"cache"` and `"kernel"` members (global, latency- and
+/// history-bearing counters — the kernel block is process-wide, so it
+/// counts work done by *previous* runs in the same process) from a
 /// `stats` response so the cold/cached differential compares everything
 /// else byte-for-byte.
 fn strip_cache(response: &Json) -> Json {
@@ -450,7 +452,7 @@ fn strip_cache(response: &Json) -> Json {
         Json::Object(pairs) => Json::Object(
             pairs
                 .iter()
-                .filter(|(k, _)| k != "cache")
+                .filter(|(k, _)| k != "cache" && k != "kernel")
                 .cloned()
                 .collect(),
         ),
