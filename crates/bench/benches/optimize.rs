@@ -1,0 +1,185 @@
+//! Design-space exploration over the paper's Table III/IV benchmarks.
+//!
+//! For each selected benchmark design the feedback-guided optimize loop
+//! runs at several resource budgets; every accepted round is
+//! oracle-refereed (the paper's theorems re-proven from the edited graph
+//! alone), and the explored latency-vs-control-cost points are folded
+//! into a Pareto front. A custom `main` exports the fronts to
+//! `BENCH_optimize.json` and asserts that the exploration produced at
+//! least two distinct Pareto points across the suite.
+
+use criterion::{BenchmarkId, Criterion, SummaryWriter};
+
+use rsched_engine::{OptimizeConfig, Optimizer, Session};
+use rsched_graph::ConstraintGraph;
+use rsched_oracle::verify;
+
+/// The Table III/IV designs the exploration sweeps.
+const DESIGNS: [&str; 3] = ["gcd", "frisc", "DCT phase A"];
+const BUDGETS: [usize; 3] = [1, 2, 3];
+
+fn smoke() -> bool {
+    std::env::var("RSCHED_BENCH_SMOKE").is_ok_and(|v| v == "1")
+}
+
+/// Picks the richest schedulable graph of a benchmark's hierarchy: the
+/// one with the most operations that opens as a warm session.
+fn exploration_graph(design: &str) -> ConstraintGraph {
+    let scheduled = rsched_bench::schedule_benchmark(design);
+    scheduled
+        .graph_schedules()
+        .iter()
+        .filter(|gs| Session::open(gs.lowered.graph.clone()).is_ok_and(|s| s.schedule().is_some()))
+        .max_by_key(|gs| gs.lowered.graph.operation_ids().count())
+        .unwrap_or_else(|| panic!("benchmark '{design}' has no schedulable graph"))
+        .lowered
+        .graph
+        .clone()
+}
+
+/// One budget's exploration outcome.
+struct Exploration {
+    accepted: usize,
+    refereed: usize,
+    explored: Vec<(u64, u64)>,
+}
+
+/// Runs the optimize loop at one budget, oracle-refereeing every
+/// accepted round, and returns the explored (latency, control) points.
+fn explore(graph: &ConstraintGraph, budget: usize, max_rounds: usize) -> Exploration {
+    let session = Session::open(graph.clone()).expect("benchmark graph opens");
+    let config = OptimizeConfig {
+        budget,
+        slack_threshold: 1,
+        max_rounds,
+        ..OptimizeConfig::default()
+    };
+    let mut optimizer = Optimizer::new(session, config).expect("benchmark graph is scheduled");
+    let mut refereed = 0usize;
+    while let Some(round) = optimizer.step().expect("benchmark rounds never fail") {
+        if !round.accepted {
+            continue;
+        }
+        let s = optimizer.session();
+        let omega = s.schedule().expect("accepted round is scheduled");
+        let report = verify(s.graph(), omega);
+        assert!(report.is_ok(), "oracle refuted an accepted round: {report}");
+        refereed += 1;
+    }
+    let report = optimizer.report();
+    Exploration {
+        accepted: report.accepted_rounds,
+        refereed,
+        explored: report.explored_points(),
+    }
+}
+
+/// Non-dominated (minimize latency, minimize control) subset of a point
+/// cloud, deduplicated and sorted.
+fn pareto(points: &[(u64, u64)]) -> Vec<(u64, u64)> {
+    let mut front: Vec<(u64, u64)> = Vec::new();
+    for &(l, c) in points {
+        if points
+            .iter()
+            .any(|&(ol, oc)| (ol <= l && oc < c) || (ol < l && oc <= c))
+        {
+            continue;
+        }
+        if !front.contains(&(l, c)) {
+            front.push((l, c));
+        }
+    }
+    front.sort_unstable();
+    front
+}
+
+fn main() {
+    let smoke = smoke();
+    let (samples, warm_ms, measure_ms, max_rounds) = if smoke {
+        (2, 5, 20, 4)
+    } else {
+        (10, 100, 400, 8)
+    };
+    let mut criterion = Criterion::default()
+        .sample_size(samples)
+        .warm_up_time(std::time::Duration::from_millis(warm_ms))
+        .measurement_time(std::time::Duration::from_millis(measure_ms));
+
+    let mut writer = SummaryWriter::new("optimize").threads(1);
+    let mut suite_points: Vec<(u64, u64)> = Vec::new();
+    let mut total_accepted = 0usize;
+    let mut total_refereed = 0usize;
+
+    let mut group = criterion.benchmark_group("optimize");
+    for design in DESIGNS {
+        let graph = exploration_graph(design);
+        let slug = design.replace(' ', "_");
+
+        // Wall-clock reference: one full exploration at the unit budget.
+        group.bench_with_input(BenchmarkId::new("loop", &slug), &graph, |b, g| {
+            b.iter(|| explore(g, 1, max_rounds).accepted)
+        });
+
+        // The front itself: sweep the budgets, union the explored
+        // points, keep the non-dominated subset.
+        let mut explored: Vec<(u64, u64)> = Vec::new();
+        for budget in BUDGETS {
+            let run = explore(&graph, budget, max_rounds);
+            assert_eq!(
+                run.accepted, run.refereed,
+                "{design}: every accepted round must be oracle-refereed"
+            );
+            total_accepted += run.accepted;
+            total_refereed += run.refereed;
+            explored.extend(run.explored);
+        }
+        let front = pareto(&explored);
+        println!(
+            "{design}: {} explored point(s), pareto front {:?}",
+            explored.len(),
+            front
+        );
+        writer = writer
+            .int(format!("{slug}_explored"), explored.len() as i64)
+            .int(format!("{slug}_pareto_points"), front.len() as i64);
+        for (i, (latency, control)) in front.iter().enumerate() {
+            writer = writer
+                .int(format!("{slug}_pareto{i}_latency"), *latency as i64)
+                .int(format!("{slug}_pareto{i}_control"), *control as i64);
+        }
+        suite_points.extend(front);
+    }
+    group.finish();
+
+    let suite_front = pareto(&suite_points);
+    let mut distinct = suite_points.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+    println!(
+        "suite: {} accepted round(s), all oracle-refereed; {} distinct pareto point(s) \
+         across {} design(s) (summary: BENCH_optimize.json)",
+        total_accepted,
+        distinct.len(),
+        DESIGNS.len()
+    );
+
+    let results = criterion.take_results();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_optimize.json");
+    writer
+        .int("designs", DESIGNS.len() as i64)
+        .int("budgets", BUDGETS.len() as i64)
+        .int("accepted_rounds", total_accepted as i64)
+        .int("refereed_rounds", total_refereed as i64)
+        .int("distinct_pareto_points", distinct.len() as i64)
+        .int("suite_front", suite_front.len() as i64)
+        .int("smoke", i64::from(smoke))
+        .write(path, &results)
+        .expect("write BENCH_optimize.json");
+
+    assert!(
+        distinct.len() >= 2,
+        "the exploration must record at least two distinct Pareto points \
+         (got {:?})",
+        distinct
+    );
+}

@@ -46,8 +46,10 @@
 #![warn(missing_docs)]
 
 mod list_schedule;
+mod region;
 
 pub use list_schedule::{list_schedule, ListSchedule};
+pub use region::{serialize_region, RegionPlan};
 
 use std::collections::HashMap;
 use std::error::Error;

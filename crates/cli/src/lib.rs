@@ -72,6 +72,8 @@ const USAGE: &str = "usage:
   rsched check     <graph.rsg>
   rsched schedule  <graph.rsg> [--ir] [--trace] [--threads N]
   rsched slack     <graph.rsg>
+  rsched optimize  <graph.rsg> [--max-rounds N] [--slack-threshold N]
+                   [--budget N] [--style counter|shift] [--max-edges N]
   rsched explain   <graph.rsg>
   rsched control   <graph.rsg> [--style counter|shift] [--ir]
   rsched fsm       <graph.rsg>
@@ -85,7 +87,7 @@ const USAGE: &str = "usage:
                    [--max-ops N] [--max-edges N] [--journal-dir D]
                    [--snapshot-every N] [--cache-capacity N] [--threads N]
                    [--max-sessions N] [--max-inflight N]
-  rsched fuzz      [--seed N] [--iters N] [--minimize] [--repro-dir D] [--faults] [--cache]
+  rsched fuzz      [--seed N] [--iters N] [--minimize] [--repro-dir D] [--faults] [--cache] [--optimize]
   rsched help";
 
 /// Executes a CLI invocation (`args` excludes the program name) and
@@ -140,6 +142,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "check"
             | "schedule"
             | "slack"
+            | "optimize"
             | "explain"
             | "control"
             | "fsm"
@@ -161,6 +164,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "check" => check_cmd(&source),
         "schedule" => schedule_cmd(&source, &flags),
         "slack" => slack_cmd(&source),
+        "optimize" => optimize_cmd(&source, &flags),
         "explain" => explain_cmd(&source),
         "control" => control_cmd(&source, &flags),
         "fsm" => fsm_cmd(&source),
@@ -326,6 +330,7 @@ fn parse_fuzz_config(flags: &[&String]) -> Result<rsched_oracle::FuzzConfig, Cli
         "--repro-dir",
         "--faults",
         "--cache",
+        "--optimize",
     ];
     let mut expect_value = false;
     for f in flags {
@@ -334,7 +339,7 @@ fn parse_fuzz_config(flags: &[&String]) -> Result<rsched_oracle::FuzzConfig, Cli
             continue;
         }
         match f.as_str() {
-            "--minimize" | "--faults" | "--cache" => {}
+            "--minimize" | "--faults" | "--cache" | "--optimize" => {}
             "--seed" | "--iters" | "--repro-dir" => expect_value = true,
             other if !known.contains(&other) => {
                 return Err(CliError::usage(format!("unknown fuzz flag '{other}'")));
@@ -366,6 +371,23 @@ fn fuzz_cmd(flags: &[&String]) -> Result<String, CliError> {
         });
         let rendered = format!("cache fuzz (seed {}):\n{cache_report}", config.seed);
         return if cache_report.is_ok() {
+            Ok(rendered)
+        } else {
+            Err(CliError::failure(rendered))
+        };
+    }
+    if has_flag(flags, "--optimize") {
+        // Optimize-only mode: the full iteration budget drives random
+        // budgets/thresholds through the optimize loop (CI's dedicated
+        // optimize-smoke job uses this).
+        let optimize_report = rsched_oracle::fuzz_optimize(&rsched_oracle::OptimizeFuzzConfig {
+            seed: config.seed,
+            iters: config.iters.max(10),
+            repro_dir: config.repro_dir.clone(),
+            ..rsched_oracle::OptimizeFuzzConfig::default()
+        });
+        let rendered = format!("optimize fuzz (seed {}):\n{optimize_report}", config.seed);
+        return if optimize_report.is_ok() {
             Ok(rendered)
         } else {
             Err(CliError::failure(rendered))
@@ -571,6 +593,119 @@ fn slack_cmd(source: &str) -> Result<String, CliError> {
             marker
         );
     }
+    Ok(out)
+}
+
+/// `rsched optimize` — the feedback-guided scheduler ⇄ binding loop
+/// (DESIGN.md §15). Every accepted round is oracle-refereed before the
+/// next one runs: the CLI is the referee the engine cannot be (the
+/// oracle depends on the engine).
+fn optimize_cmd(source: &str, flags: &[&String]) -> Result<String, CliError> {
+    let g = load_graph(source)?;
+    let num = |name: &str, default: i64| -> Result<i64, CliError> {
+        flag_value(flags, name)
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| CliError::usage(format!("{name} expects a number")))
+            })
+            .transpose()
+            .map(|v| v.unwrap_or(default))
+    };
+    let style = match flag_value(flags, "--style") {
+        None | Some("counter") => rsched_engine::optimize::ControlStyle::Counter,
+        Some("shift") => rsched_engine::optimize::ControlStyle::ShiftRegister,
+        Some(other) => {
+            return Err(CliError::usage(format!(
+                "unknown style '{other}' (expected counter|shift)"
+            )))
+        }
+    };
+    let max_rounds = num("--max-rounds", 8)?;
+    let slack_threshold = num("--slack-threshold", 0)?;
+    let budget = num("--budget", 1)?;
+    if max_rounds < 1 || budget < 1 || slack_threshold < 0 {
+        return Err(CliError::usage(
+            "--max-rounds and --budget must be >= 1, --slack-threshold >= 0",
+        ));
+    }
+    let max_edges = flag_value(flags, "--max-edges")
+        .map(|v| {
+            v.parse::<usize>()
+                .map_err(|_| CliError::usage("--max-edges expects a number"))
+        })
+        .transpose()?;
+    let config = rsched_engine::OptimizeConfig {
+        max_rounds: max_rounds as usize,
+        slack_threshold,
+        budget: budget as usize,
+        style,
+        max_edges,
+        ..rsched_engine::OptimizeConfig::default()
+    };
+
+    let session = rsched_engine::Session::open(g).map_err(CliError::failure)?;
+    let mut optimizer =
+        rsched_engine::Optimizer::new(session, config.clone()).map_err(CliError::failure)?;
+    let mut out = String::new();
+    loop {
+        let round = match optimizer.step() {
+            Ok(Some(r)) => r.clone(),
+            Ok(None) => break,
+            Err(e) => return Err(CliError::failure(e)),
+        };
+        let _ = writeln!(
+            out,
+            "round {}: region {} op(s), {} edge(s) {}; {} -> {}",
+            round.round,
+            round.region_ops,
+            round.applied_edges.len(),
+            if round.accepted {
+                "accepted"
+            } else {
+                "reverted"
+            },
+            round.before,
+            round.after,
+        );
+        if round.accepted {
+            // Referee the accepted state before taking another step.
+            let s = optimizer.session();
+            let omega = s.schedule().expect("accepted round is scheduled");
+            let report = rsched_oracle::verify(s.graph(), omega);
+            if let Some((label, witness)) = report.first_violation() {
+                return Err(CliError::failure(format!(
+                    "oracle refuted accepted round {}: {label}: {witness}",
+                    round.round
+                )));
+            }
+            let _ = writeln!(out, "  oracle: accepted state re-proven");
+        }
+    }
+    let report = optimizer.report();
+    let _ = writeln!(
+        out,
+        "optimize: {} round(s), {} accepted, {}",
+        report.rounds.len(),
+        report.accepted_rounds,
+        if report.edge_budget_exhausted {
+            "stopped at --max-edges"
+        } else if report.converged {
+            "converged"
+        } else {
+            "stopped at --max-rounds"
+        }
+    );
+    let points = |label: &str, pts: &[(u64, u64)], o: &mut String| {
+        let rendered: Vec<String> = pts.iter().map(|(l, c)| format!("({l}, {c})")).collect();
+        let _ = writeln!(o, "{label}: {}", rendered.join(" "));
+    };
+    points(
+        "explored (latency, control)",
+        &report.explored_points(),
+        &mut out,
+    );
+    points("pareto", &report.pareto_points(), &mut out);
+    let _ = writeln!(out, "final: {}", report.final_objective);
     Ok(out)
 }
 
@@ -990,8 +1125,8 @@ process demo (req, ack)
         for invocation in ["help", "--help", "-h"] {
             let out = run_args(&[invocation]).unwrap();
             for cmd in [
-                "check", "schedule", "slack", "explain", "control", "fsm", "simulate", "reduce",
-                "verilog", "dot", "compile", "serve", "fuzz", "help",
+                "check", "schedule", "slack", "optimize", "explain", "control", "fsm", "simulate",
+                "reduce", "verilog", "dot", "compile", "serve", "fuzz", "help",
             ] {
                 assert!(out.contains(cmd), "'{invocation}' output misses '{cmd}'");
             }
@@ -1213,6 +1348,52 @@ process demo (req, ack)
         let out = run_args(&["fuzz", "--seed", "11", "--iters", "32", "--faults"]).unwrap();
         assert!(out.contains("fault fuzz"), "{out}");
         assert!(out.contains("fault-tolerance contract held"), "{out}");
+    }
+
+    #[test]
+    fn optimize_serializes_fan_and_referees_rounds() {
+        // Four concurrent 2-cycle ops: a unit budget forces serialization.
+        let p = write_temp("optimize_fan", "op a 2\nop b 2\nop c 2\nop d 2\n");
+        let out = run_args(&["optimize", p.to_str().unwrap(), "--budget", "1"]).unwrap();
+        assert!(out.contains("accepted"), "{out}");
+        assert!(out.contains("oracle: accepted state re-proven"), "{out}");
+        assert!(out.contains("pressure 0"), "{out}");
+        assert!(out.contains("converged"), "{out}");
+        assert!(out.contains("pareto:"), "{out}");
+        // A budget wide enough for the whole fan converges untouched.
+        let out = run_args(&["optimize", p.to_str().unwrap(), "--budget", "4"]).unwrap();
+        assert!(out.contains("0 accepted"), "{out}");
+    }
+
+    #[test]
+    fn optimize_rejects_bad_flags() {
+        let p = write_temp("optimize_flags", "op a 2\nop b 2\n");
+        let path = p.to_str().unwrap();
+        assert_eq!(
+            run_args(&["optimize", path, "--budget", "0"])
+                .unwrap_err()
+                .code,
+            2
+        );
+        assert_eq!(
+            run_args(&["optimize", path, "--style", "gray"])
+                .unwrap_err()
+                .code,
+            2
+        );
+        assert_eq!(
+            run_args(&["optimize", path, "--max-rounds", "zero"])
+                .unwrap_err()
+                .code,
+            2
+        );
+    }
+
+    #[test]
+    fn fuzz_optimize_smoke_run_is_clean() {
+        let out = run_args(&["fuzz", "--seed", "11", "--iters", "24", "--optimize"]).unwrap();
+        assert!(out.contains("optimize fuzz"), "{out}");
+        assert!(out.contains("optimize contract held"), "{out}");
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! Contract tests for the §VI control cost model (`cost.rs`):
+//!
+//! * scoring is **stable across relabelings** — renaming vertices and
+//!   permuting insertion order changes `VertexId`s and name tables but
+//!   never the reported hardware cost;
+//! * the model **agrees on the paper's worked examples** — exact pinned
+//!   costs for Fig. 2/Table II, Fig. 10, and the Fig. 12
+//!   control-generation example, in both implementation styles;
+//! * restricting to the irredundant anchors (§VI) never raises the cost.
+
+use rsched_core::{schedule, IrredundantAnchors, RelativeSchedule};
+use rsched_ctrl::{generate, ControlCost, ControlStyle};
+use rsched_designs::paper;
+use rsched_graph::{ConstraintGraph, ExecDelay};
+
+const STYLES: [ControlStyle; 2] = [ControlStyle::Counter, ControlStyle::ShiftRegister];
+
+/// Schedules `g` and restricts to the irredundant anchor sets, the input
+/// the paper's control generation expects.
+fn reduced_schedule(g: &ConstraintGraph) -> RelativeSchedule {
+    let omega = schedule(g).expect("paper figure schedules");
+    let anchors = IrredundantAnchors::analyze(g).expect("paper figure analyzes");
+    omega.restrict(anchors.irredundant.family())
+}
+
+fn cost_of(g: &ConstraintGraph, style: ControlStyle) -> ControlCost {
+    generate(g, &reduced_schedule(g), style).cost()
+}
+
+/// Fig. 2 rebuilt with fresh names and a permuted insertion order: `a`
+/// is added last instead of first, and the fixed ops arrive reversed.
+fn fig2_relabeled() -> ConstraintGraph {
+    let mut g = ConstraintGraph::new();
+    let w4 = g.add_operation("w4", ExecDelay::Fixed(1));
+    let w3 = g.add_operation("w3", ExecDelay::Fixed(5));
+    let w2 = g.add_operation("w2", ExecDelay::Fixed(1));
+    let w1 = g.add_operation("w1", ExecDelay::Fixed(2));
+    let sync = g.add_operation("sync", ExecDelay::Unbounded);
+    let s = g.source();
+    g.add_dependency(s, sync).expect("fresh graph");
+    g.add_dependency(s, w1).expect("fresh graph");
+    g.add_dependency(w1, w2).expect("fresh graph");
+    g.add_dependency(sync, w3).expect("fresh graph");
+    g.add_dependency(w2, w4).expect("fresh graph");
+    g.add_dependency(w3, w4).expect("fresh graph");
+    g.add_min_constraint(s, w3, 3).expect("valid constraint");
+    g.add_max_constraint(w1, w2, 5).expect("valid constraint");
+    g.polarize().expect("polar");
+    g
+}
+
+/// Fig. 12 rebuilt with the operation first and the anchors swapped.
+fn fig12_relabeled() -> ConstraintGraph {
+    let mut g = ConstraintGraph::new();
+    let op = g.add_operation("op", ExecDelay::Fixed(1));
+    let north = g.add_operation("north", ExecDelay::Unbounded);
+    let south = g.add_operation("south", ExecDelay::Unbounded);
+    g.add_min_constraint(south, op, 3)
+        .expect("valid constraint");
+    g.add_min_constraint(north, op, 2)
+        .expect("valid constraint");
+    g.polarize().expect("polar");
+    g
+}
+
+#[test]
+fn cost_is_stable_across_relabelings() {
+    let (fig2, _, _) = paper::fig2();
+    let (fig12, _, _) = paper::fig12();
+    for style in STYLES {
+        assert_eq!(
+            cost_of(&fig2, style),
+            cost_of(&fig2_relabeled(), style),
+            "fig2 cost drifted under relabeling ({style:?})"
+        );
+        assert_eq!(
+            cost_of(&fig12, style),
+            cost_of(&fig12_relabeled(), style),
+            "fig12 cost drifted under relabeling ({style:?})"
+        );
+    }
+}
+
+/// Fig. 12 in the shift-register style, fully hand-derivable: after the
+/// irredundant restriction `v` keeps both anchors with `σ_a(v) = 2` and
+/// `σ_b(v) = 3`, so the sink taps stages 3 and 4 and the two shift
+/// registers hold `3 + 4 = 7` flip-flops total; `v` and the sink each
+/// AND two taps.
+#[test]
+fn fig12_shift_register_cost_matches_hand_derivation() {
+    let (g, _, _) = paper::fig12();
+    let c = cost_of(&g, ControlStyle::ShiftRegister);
+    assert_eq!(
+        c,
+        ControlCost {
+            register_bits: 7,
+            comparators: 0,
+            comparator_bits: 0,
+            and_inputs: 4,
+        }
+    );
+    assert_eq!(c.total_estimate(), 45);
+}
+
+/// Fig. 12 in the counter style: 3-bit counters for `a` (σ_max = 3) and
+/// `b` (σ_max = 4) plus the 1-bit source counter; six comparators (one
+/// per enable term) over 13 magnitude bits.
+#[test]
+fn fig12_counter_cost_matches_hand_derivation() {
+    let (g, _, _) = paper::fig12();
+    let c = cost_of(&g, ControlStyle::Counter);
+    assert_eq!(
+        c,
+        ControlCost {
+            register_bits: 7,
+            comparators: 6,
+            comparator_bits: 13,
+            and_inputs: 4,
+        }
+    );
+    assert_eq!(c.total_estimate(), 71);
+}
+
+/// Fig. 2 / Table II pinned in both styles. The shift-register tally is
+/// the Table II column sums: `σ_source^max = 9` (sink) plus
+/// `σ_a^max = 6` (sink, via `σ_a(v4) = 5` and `δ(v4) = 1`).
+#[test]
+fn fig2_costs_match_table2() {
+    let (g, _, _) = paper::fig2();
+    let counter = cost_of(&g, ControlStyle::Counter);
+    assert_eq!(
+        counter,
+        ControlCost {
+            register_bits: 7,
+            comparators: 9,
+            comparator_bits: 22,
+            and_inputs: 6,
+        }
+    );
+    assert_eq!(counter.total_estimate(), 91);
+    let shift = cost_of(&g, ControlStyle::ShiftRegister);
+    assert_eq!(
+        shift,
+        ControlCost {
+            register_bits: 15,
+            comparators: 0,
+            comparator_bits: 0,
+            and_inputs: 6,
+        }
+    );
+    assert_eq!(shift.total_estimate(), 95);
+}
+
+/// Fig. 10 pinned in both styles (offsets cross-checked cell for cell
+/// against the paper's table by the `rsched-core` fig10 tests).
+#[test]
+fn fig10_costs_are_pinned() {
+    let (g, _, _) = paper::fig10();
+    assert_eq!(cost_of(&g, ControlStyle::Counter).total_estimate(), 101);
+    assert_eq!(
+        cost_of(&g, ControlStyle::ShiftRegister).total_estimate(),
+        111
+    );
+}
+
+/// §VI: dropping redundant anchors can only shed hardware. The reduced
+/// control never costs more than tracking the full anchor sets.
+#[test]
+fn irredundant_restriction_never_raises_cost() {
+    for (name, g) in [
+        ("fig2", paper::fig2().0),
+        ("fig4", paper::fig4().0),
+        ("fig8a", paper::fig8(3).0),
+        ("fig8b", paper::fig8(0).0),
+        ("fig10", paper::fig10().0),
+        ("fig12", paper::fig12().0),
+    ] {
+        let omega = schedule(&g).expect("paper figure schedules");
+        let reduced = reduced_schedule(&g);
+        for style in STYLES {
+            let full = generate(&g, &omega, style).cost().total_estimate();
+            let restricted = generate(&g, &reduced, style).cost().total_estimate();
+            assert!(
+                restricted <= full,
+                "{name} ({style:?}): restriction raised cost {full} -> {restricted}"
+            );
+        }
+    }
+}

@@ -29,10 +29,14 @@
 
 pub mod journal;
 pub mod json;
+pub mod optimize;
 pub mod service;
 pub mod session;
 
 pub use journal::{Journal, JournalOp, ScheduleSeed};
+pub use optimize::{
+    Objective, OptimizeConfig, OptimizeError, OptimizeReport, Optimizer, RoundReport,
+};
 pub use service::{
     error_response, overloaded_response, serve, shard_of, Router, RouterStats, ServeConfig,
     ServeSummary, DEADLINE_ERROR,

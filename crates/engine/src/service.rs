@@ -104,6 +104,7 @@ use rsched_graph::{failpoint, ConstraintGraph, ExecDelay};
 
 use crate::journal::{Journal, JournalOp};
 use crate::json::{object, Json};
+use crate::optimize::{Objective, OptimizeConfig, Optimizer, RoundReport};
 use crate::session::{EditOutcome, Session};
 
 /// Tuning knobs for [`serve`] (and, via [`Router`], the socket server).
@@ -207,7 +208,7 @@ struct Job {
 
 /// Every op the protocol understands; anything else is rejected at
 /// intake with the request id echoed.
-const KNOWN_OPS: [&str; 7] = [
+const KNOWN_OPS: [&str; 8] = [
     "open",
     "edit",
     "schedule",
@@ -215,6 +216,7 @@ const KNOWN_OPS: [&str; 7] = [
     "recover",
     "close",
     "batch_schedule",
+    "optimize",
 ];
 
 /// One session as the service tracks it: the live engine state (absent
@@ -652,6 +654,9 @@ impl Router {
                 object(pairs)
             }
             "edit" => with_live(state, &name, id, |id, entry| self.edit(entry, id, request)),
+            "optimize" => with_live(state, &name, id, |id, entry| {
+                self.optimize(entry, id, request)
+            }),
             "schedule" => with_live(state, &name, id, |id, entry| {
                 let s = entry.session.as_ref().expect("with_live verified");
                 let mut pairs = vec![
@@ -902,6 +907,139 @@ impl Router {
             }
         }
         outcome_json(entry.session.as_ref().expect("still live"), id, &outcome)
+    }
+
+    /// Runs the feedback-guided optimize loop on a live session
+    /// (DESIGN.md §15). The loop executes on a *clone*: a panic mid-round
+    /// unwinds to [`Router::execute`], which quarantines the untouched
+    /// original — nothing half-optimized ever becomes visible. On
+    /// success, accepted rounds' serialization edges are journaled as
+    /// ordinary `add_dep` edits (reverted rounds net out and are not
+    /// journaled), so recovery replays the whole exploration; the
+    /// router's `--max-edges` quota caps the growth.
+    fn optimize(&self, entry: &mut SessionEntry, id: Json, request: &Json) -> Json {
+        let param = |key: &str, default: i64, lo: i64, hi: i64| -> Result<i64, String> {
+            match request.get(key) {
+                None => Ok(default),
+                Some(v) => match v.as_i64() {
+                    Some(n) if (lo..=hi).contains(&n) => Ok(n),
+                    Some(n) => Err(format!("\"{key}\" must be in {lo}..={hi}, got {n}")),
+                    None => Err(format!("\"{key}\" must be a number")),
+                },
+            }
+        };
+        let (max_rounds, slack_threshold, budget) = match (
+            param("max_rounds", 8, 1, 64),
+            param("slack_threshold", 0, 0, 4096),
+            param("budget", 1, 1, 4096),
+        ) {
+            (Ok(r), Ok(s), Ok(b)) => (r as usize, s, b as usize),
+            (Err(e), ..) | (_, Err(e), _) | (.., Err(e)) => return fail(id, e),
+        };
+        let style = match request.get("style").and_then(Json::as_str) {
+            None | Some("counter") => rsched_ctrl::ControlStyle::Counter,
+            Some("shift") => rsched_ctrl::ControlStyle::ShiftRegister,
+            Some(other) => {
+                return fail(id, format!("unknown style '{other}' (counter|shift)"));
+            }
+        };
+        let config = OptimizeConfig {
+            max_rounds,
+            slack_threshold,
+            budget,
+            style,
+            max_edges: self.max_edges,
+            ..OptimizeConfig::default()
+        };
+        let session = entry
+            .session
+            .as_ref()
+            .expect("caller verified live session");
+        let mut optimizer = match Optimizer::new(session.clone(), config) {
+            Ok(o) => o,
+            Err(e) => return fail(id, format!("optimize failed: {e}")),
+        };
+        if let Err(e) = optimizer.run() {
+            return fail(id, format!("optimize failed: {e}"));
+        }
+        let report = optimizer.report();
+        let optimized = optimizer.into_session();
+
+        let mut edges_added = 0usize;
+        for round in report.rounds.iter().filter(|r| r.accepted) {
+            for (from, to) in &round.applied_edges {
+                entry.journal.append(JournalOp::AddDep {
+                    from: from.clone(),
+                    to: to.clone(),
+                });
+                edges_added += 1;
+            }
+        }
+        entry.session = Some(optimized);
+        let session = entry.session.as_ref().expect("just set");
+        if edges_added > 0 {
+            if entry.journal.maybe_compact(session) {
+                Counters::bump(&self.counters.snapshots);
+            }
+            if let Some(omega) = session.schedule() {
+                self.cache.put(session.graph(), omega);
+            }
+        }
+
+        let objective_json = |o: &Objective| {
+            Json::Object(vec![
+                ("latency".to_owned(), Json::Int(o.latency as i64)),
+                ("control".to_owned(), Json::Int(o.control as i64)),
+                ("pressure".to_owned(), Json::Int(o.pressure as i64)),
+            ])
+        };
+        let round_json = |r: &RoundReport| {
+            Json::Object(vec![
+                ("round".to_owned(), Json::from(r.round)),
+                ("region_ops".to_owned(), Json::from(r.region_ops)),
+                ("proposed_edges".to_owned(), Json::from(r.proposed_edges)),
+                ("accepted".to_owned(), Json::Bool(r.accepted)),
+                (
+                    "edges".to_owned(),
+                    Json::Array(
+                        r.applied_edges
+                            .iter()
+                            .map(|(f, t)| Json::Str(format!("{f}->{t}")))
+                            .collect(),
+                    ),
+                ),
+                ("objective".to_owned(), objective_json(&r.after)),
+            ])
+        };
+        object([
+            ("id", id),
+            ("ok", Json::Bool(true)),
+            ("rounds", Json::from(report.rounds.len())),
+            ("accepted_rounds", Json::from(report.accepted_rounds)),
+            ("converged", Json::Bool(report.converged)),
+            (
+                "edge_budget_exhausted",
+                Json::Bool(report.edge_budget_exhausted),
+            ),
+            ("edges_added", Json::from(edges_added)),
+            ("initial", objective_json(&report.initial)),
+            ("final", objective_json(&report.final_objective)),
+            (
+                "pareto",
+                Json::Array(
+                    report
+                        .pareto_points()
+                        .iter()
+                        .map(|&(l, c)| Json::Array(vec![Json::Int(l as i64), Json::Int(c as i64)]))
+                        .collect(),
+                ),
+            ),
+            (
+                "round_log",
+                Json::Array(report.rounds.iter().map(round_json).collect()),
+            ),
+            ("verdict", verdict_json(session)),
+        ])
     }
 }
 
@@ -1555,6 +1693,76 @@ mod tests {
         // After close, the session is gone.
         assert_eq!(by_id(&responses, 6).get("ok"), Some(&Json::Bool(false)));
         assert_eq!(summary.errors, 1);
+    }
+
+    /// Four concurrent 2-cycle ops: under a unit budget the optimize
+    /// loop must serialize them (pressure 0 at the end).
+    const FAN_DESIGN: &str = "op a 2\nop b 2\nop c 2\nop d 2\n";
+
+    #[test]
+    fn optimize_round_trip_journals_accepted_edits() {
+        let design = FAN_DESIGN.replace('\n', "\\n");
+        let lines = vec![
+            req(1, "s", &format!(r#""op":"open","design":"{design}""#)),
+            req(2, "s", r#""op":"optimize","budget":1"#),
+            req(3, "s", r#""op":"schedule""#),
+            req(4, "s", r#""op":"stats""#),
+            req(5, "s", r#""op":"recover""#),
+            req(6, "s", r#""op":"schedule""#),
+        ];
+        let (responses, summary) = run_lines(&lines, &ServeConfig::default());
+        assert_eq!(summary.errors, 0);
+        let opt = by_id(&responses, 2);
+        assert_eq!(opt.get("ok"), Some(&Json::Bool(true)));
+        assert!(opt.get("accepted_rounds").and_then(Json::as_i64) >= Some(1));
+        let edges_added = opt.get("edges_added").and_then(Json::as_i64).unwrap();
+        assert!(edges_added >= 1, "unit budget must serialize the fan");
+        assert_eq!(
+            opt.get("final").and_then(|o| o.get("pressure")),
+            Some(&Json::Int(0)),
+            "accepted state must fit the budget"
+        );
+        assert_eq!(opt.get("converged"), Some(&Json::Bool(true)));
+        assert_eq!(opt.get("verdict"), Some(&Json::from("well-posed")));
+        // Accepted edges journal as ordinary edits...
+        let stats = by_id(&responses, 4);
+        assert_eq!(stats.get("journal_len"), Some(&Json::Int(edges_added)));
+        // ...so recovery replays the exploration: the replayed session's
+        // schedule is identical to the live optimized one.
+        let recover = by_id(&responses, 5);
+        assert_eq!(recover.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(recover.get("edits_replayed"), Some(&Json::Int(edges_added)));
+        assert_eq!(
+            by_id(&responses, 6).get("offsets"),
+            by_id(&responses, 3).get("offsets"),
+            "recovered schedule must match the optimized one"
+        );
+    }
+
+    #[test]
+    fn optimize_respects_edge_quota_and_validates_params() {
+        let design = FAN_DESIGN.replace('\n', "\\n");
+        let lines = vec![
+            req(1, "s", &format!(r#""op":"open","design":"{design}""#)),
+            req(2, "s", r#""op":"optimize","budget":0"#),
+            req(3, "s", r#""op":"optimize","max_rounds":1000"#),
+            req(4, "s", r#""op":"optimize","style":"thermometer""#),
+            req(5, "s", r#""op":"optimize","budget":1"#),
+        ];
+        let config = ServeConfig {
+            // Zero headroom: the loop must stop before adding any edge.
+            max_edges: Some(0),
+            ..ServeConfig::default()
+        };
+        let (responses, _) = run_lines(&lines, &config);
+        for id in 2..=4 {
+            assert_eq!(by_id(&responses, id).get("ok"), Some(&Json::Bool(false)));
+        }
+        let opt = by_id(&responses, 5);
+        assert_eq!(opt.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(opt.get("edge_budget_exhausted"), Some(&Json::Bool(true)));
+        assert_eq!(opt.get("edges_added"), Some(&Json::Int(0)));
+        assert_eq!(opt.get("accepted_rounds"), Some(&Json::Int(0)));
     }
 
     #[test]

@@ -574,7 +574,7 @@ fn shrink(config: &FuzzConfig, graph: &ConstraintGraph) -> ConstraintGraph {
 
 /// Writes one replayable repro file; IO errors are swallowed into the
 /// returned path (fuzzing must not die on a full disk).
-fn write_repro(
+pub(crate) fn write_repro(
     dir: &Path,
     seed: u64,
     case: usize,

@@ -39,6 +39,7 @@ pub mod cache_fuzz;
 pub mod fault_fuzz;
 pub mod fuzz;
 pub mod net_fuzz;
+pub mod optimize_fuzz;
 pub mod oracle;
 pub mod serve_fuzz;
 
@@ -46,6 +47,7 @@ pub use cache_fuzz::{fuzz_cache, CacheFuzzConfig, CacheFuzzReport};
 pub use fault_fuzz::{fuzz_faults, FaultFuzzConfig, FaultFuzzReport};
 pub use fuzz::{fuzz, Edit, FuzzConfig, FuzzFailure, FuzzReport, GraphMutator};
 pub use net_fuzz::{fuzz_net, NetFuzzConfig, NetFuzzReport};
+pub use optimize_fuzz::{fuzz_optimize, OptimizeFuzzConfig, OptimizeFuzzReport};
 pub use oracle::{
     anchor_roster, anchor_set_masks, check_result, positive_cycle, verify, Check, OffsetBound,
     OracleReport, Witness,

@@ -1,0 +1,339 @@
+//! Fuzz phase for the feedback-guided optimize loop.
+//!
+//! Drives random budgets, slack thresholds and control styles through
+//! [`GraphMutator`] designs and asserts the optimize contract on every
+//! case:
+//!
+//! * **termination** — the loop stops within its round cap;
+//! * **monotonicity** — the scalarized objective never worsens across
+//!   accepted rounds;
+//! * **refereeing** — after every accepted round the oracle re-proves
+//!   the paper's theorems on the re-serialized graph;
+//! * **transparency** — the final warm-path schedule is bit-identical
+//!   to a cold schedule of the final edited graph.
+//!
+//! Violations are written as replayable `.sched` repros, like the other
+//! fuzz phases.
+
+use std::fmt;
+use std::path::PathBuf;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rsched_core::schedule;
+use rsched_engine::optimize::ControlStyle;
+use rsched_engine::{OptimizeConfig, Optimizer, Session};
+
+use crate::fuzz::{write_repro, FuzzFailure, GraphMutator};
+use crate::oracle::verify;
+
+/// Tuning for [`fuzz_optimize`].
+#[derive(Debug, Clone)]
+pub struct OptimizeFuzzConfig {
+    /// Master seed; each case derives its own generator.
+    pub seed: u64,
+    /// Cases to run.
+    pub iters: usize,
+    /// Ops per generated graph.
+    pub max_ops: usize,
+    /// Where to write `.sched` repros for failing cases.
+    pub repro_dir: Option<PathBuf>,
+}
+
+impl Default for OptimizeFuzzConfig {
+    fn default() -> Self {
+        OptimizeFuzzConfig {
+            seed: 0,
+            iters: 50,
+            max_ops: 12,
+            repro_dir: None,
+        }
+    }
+}
+
+/// Outcome of a [`fuzz_optimize`] run.
+#[derive(Debug, Clone, Default)]
+pub struct OptimizeFuzzReport {
+    /// Cases executed (including skips).
+    pub cases: usize,
+    /// Cases skipped because the grown graph was not well-posed.
+    pub skipped: usize,
+    /// Rounds executed across all cases.
+    pub rounds: usize,
+    /// Rounds accepted (each one oracle-refereed).
+    pub accepted: usize,
+    /// Serialization edges kept across all cases.
+    pub edges_added: usize,
+    /// Every contract violation, in discovery order.
+    pub failures: Vec<FuzzFailure>,
+}
+
+impl OptimizeFuzzReport {
+    /// `true` when every case upheld the optimize contract.
+    pub fn is_ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+impl fmt::Display for OptimizeFuzzReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} case(s) ({} skipped), {} round(s), {} accepted, {} edge(s) kept",
+            self.cases, self.skipped, self.rounds, self.accepted, self.edges_added
+        )?;
+        if self.failures.is_empty() {
+            writeln!(
+                f,
+                "optimize contract held: monotone objective, every accepted round \
+                 oracle-refereed, final schedule bit-identical to cold"
+            )?;
+        } else {
+            writeln!(f, "{} FAILURE(S):", self.failures.len())?;
+            for fail in &self.failures {
+                writeln!(
+                    f,
+                    "  case {} round {} [{}]: {}",
+                    fail.case,
+                    fail.step,
+                    fail.phase,
+                    fail.detail.lines().next().unwrap_or_default()
+                )?;
+                if let Some(p) = &fail.repro_path {
+                    writeln!(f, "    repro: {}", p.display())?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Records one violation with a replayable repro of the *current* graph.
+fn record(
+    config: &OptimizeFuzzConfig,
+    report: &mut OptimizeFuzzReport,
+    case: usize,
+    round: usize,
+    phase: &str,
+    detail: String,
+    graph_text: String,
+) {
+    let repro_path = config.repro_dir.as_ref().map(|dir| {
+        write_repro(
+            dir,
+            config.seed,
+            case,
+            round,
+            &format!("optimize_{phase}"),
+            &detail,
+            &graph_text,
+        )
+    });
+    report.failures.push(FuzzFailure {
+        case,
+        step: round,
+        phase: phase.to_owned(),
+        detail,
+        graph_text,
+        repro_path,
+    });
+}
+
+/// Runs the optimize-loop fuzzer. Fully deterministic for a given config.
+pub fn fuzz_optimize(config: &OptimizeFuzzConfig) -> OptimizeFuzzReport {
+    let mut report = OptimizeFuzzReport::default();
+    for case in 0..config.iters {
+        report.cases += 1;
+        let case_seed = config
+            .seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(case as u64);
+        let mut mutator = GraphMutator::new(case_seed);
+        let graph = mutator.grow(config.max_ops);
+        let mut rng = StdRng::seed_from_u64(case_seed ^ 0x0f71);
+        let opt_config = OptimizeConfig {
+            max_rounds: rng.gen_range(1usize..=6),
+            slack_threshold: rng.gen_range(0i64..=2),
+            budget: rng.gen_range(1usize..=3),
+            style: if rng.gen_bool(0.5) {
+                ControlStyle::Counter
+            } else {
+                ControlStyle::ShiftRegister
+            },
+            ..OptimizeConfig::default()
+        };
+
+        let session = match Session::open(graph.clone()) {
+            Ok(s) => s,
+            Err(_) => {
+                report.skipped += 1;
+                continue;
+            }
+        };
+        if session.schedule().is_none() {
+            // Ill-posed or unfeasible: optimize has nothing to do.
+            report.skipped += 1;
+            continue;
+        }
+        let mut optimizer = match Optimizer::new(session, opt_config.clone()) {
+            Ok(o) => o,
+            Err(e) => {
+                record(
+                    config,
+                    &mut report,
+                    case,
+                    0,
+                    "setup",
+                    format!("Optimizer::new failed on a scheduled session: {e}"),
+                    graph.to_text(),
+                );
+                continue;
+            }
+        };
+
+        let mut last_scalar = optimizer.initial().scalar(&opt_config);
+        let mut failed = false;
+        loop {
+            if optimizer.rounds().len() > opt_config.max_rounds {
+                record(
+                    config,
+                    &mut report,
+                    case,
+                    optimizer.rounds().len(),
+                    "termination",
+                    format!(
+                        "loop ran {} rounds, cap was {}",
+                        optimizer.rounds().len(),
+                        opt_config.max_rounds
+                    ),
+                    optimizer.session().graph().to_text(),
+                );
+                failed = true;
+                break;
+            }
+            let round = match optimizer.step() {
+                Ok(Some(r)) => r.clone(),
+                Ok(None) => break,
+                Err(e) => {
+                    record(
+                        config,
+                        &mut report,
+                        case,
+                        optimizer.rounds().len(),
+                        "step",
+                        format!("step failed: {e}"),
+                        optimizer.session().graph().to_text(),
+                    );
+                    failed = true;
+                    break;
+                }
+            };
+            report.rounds += 1;
+            if !round.accepted {
+                continue;
+            }
+            report.accepted += 1;
+            report.edges_added += round.applied_edges.len();
+            let scalar = round.after.scalar(&opt_config);
+            if scalar > last_scalar {
+                record(
+                    config,
+                    &mut report,
+                    case,
+                    round.round,
+                    "monotonicity",
+                    format!(
+                        "accepted round worsened the objective: {} -> {scalar}",
+                        last_scalar
+                    ),
+                    optimizer.session().graph().to_text(),
+                );
+                failed = true;
+                break;
+            }
+            last_scalar = scalar;
+            // Referee: re-prove every theorem on the re-serialized graph.
+            let s = optimizer.session();
+            let omega = s.schedule().expect("accepted round is scheduled");
+            let oracle = verify(s.graph(), omega);
+            if let Some((label, witness)) = oracle.first_violation() {
+                record(
+                    config,
+                    &mut report,
+                    case,
+                    round.round,
+                    "oracle",
+                    format!("oracle refuted accepted round: {label}: {witness}"),
+                    s.graph().to_text(),
+                );
+                failed = true;
+                break;
+            }
+        }
+        if failed {
+            continue;
+        }
+
+        // Transparency: the warm-path result of the whole exploration is
+        // bit-identical to a cold schedule of the final graph.
+        let s = optimizer.session();
+        let warm = s.schedule().expect("final state is scheduled");
+        match schedule(s.graph()) {
+            Ok(cold) if cold == *warm => {}
+            Ok(_) => record(
+                config,
+                &mut report,
+                case,
+                optimizer.rounds().len(),
+                "differential",
+                "final warm schedule differs from cold schedule of final graph".to_owned(),
+                s.graph().to_text(),
+            ),
+            Err(e) => record(
+                config,
+                &mut report,
+                case,
+                optimizer.rounds().len(),
+                "differential",
+                format!("final graph no longer schedules cold: {e}"),
+                s.graph().to_text(),
+            ),
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_is_clean() {
+        let report = fuzz_optimize(&OptimizeFuzzConfig {
+            seed: 42,
+            iters: 40,
+            ..OptimizeFuzzConfig::default()
+        });
+        assert!(report.is_ok(), "{report}");
+        assert_eq!(report.cases, 40);
+        assert!(
+            report.rounds > 0,
+            "expected at least one optimize round across 40 cases"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let config = OptimizeFuzzConfig {
+            seed: 7,
+            iters: 15,
+            ..OptimizeFuzzConfig::default()
+        };
+        let a = fuzz_optimize(&config);
+        let b = fuzz_optimize(&config);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.accepted, b.accepted);
+        assert_eq!(a.edges_added, b.edges_added);
+        assert_eq!(a.skipped, b.skipped);
+    }
+}

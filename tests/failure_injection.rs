@@ -284,3 +284,139 @@ fn serve_panic_leaves_sibling_sessions_untouched() {
     assert_eq!(summary.quarantined, 1);
     assert_eq!(summary.recoveries, 3);
 }
+
+/// A panic inside one session's `optimize` round must quarantine only
+/// that session, journal nothing for it, and leave sibling optimize
+/// explorations and their journals fully intact.
+#[test]
+fn optimize_panic_leaves_sibling_sessions_untouched() {
+    const SCOPE: u64 = 0x0917;
+    // Four concurrent two-cycle ops: under the default unit budget the
+    // optimize loop serializes them, so siblings have real accepted
+    // rounds (and journaled edges) to protect.
+    let design = "op a 2\\nop b 2\\nop c 2\\nop d 2\\n";
+    // The `session::optimize` failpoint fires at the top of every
+    // optimize round; the first round to reach it — exactly one of the
+    // three racing sessions — panics.
+    let _guard = failpoint::arm(
+        "session::optimize",
+        Some(SCOPE),
+        FailAction::Panic,
+        0,
+        Some(1),
+    );
+    let sessions = ["a", "b", "c"];
+    let mut lines = Vec::new();
+    let mut id = 0i64;
+    for phase in [
+        format!(r#""op":"open","design":"{design}""#),
+        r#""op":"optimize","budget":1"#.to_owned(),
+        r#""op":"schedule""#.to_owned(),
+        r#""op":"recover""#.to_owned(),
+        r#""op":"schedule""#.to_owned(),
+    ] {
+        for s in sessions {
+            id += 1;
+            lines.push(format!(r#"{{"id":{id},"session":"{s}",{phase}}}"#));
+        }
+    }
+    let opens = lines[..3].join("\n") + "\n";
+    let rest = lines[3..].join("\n") + "\n";
+    let paced = PacedReader {
+        chunks: vec![(0, opens.into_bytes()), (150, rest.into_bytes())],
+        next: 0,
+    };
+    let mut output = Vec::new();
+    let summary = serve(
+        std::io::BufReader::new(paced),
+        &mut output,
+        &ServeConfig {
+            workers: 3,
+            fault_scope: Some(SCOPE),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("an optimize panic must not abort serve");
+
+    let responses: Vec<Json> = String::from_utf8(output)
+        .unwrap()
+        .lines()
+        .map(|l| Json::parse(l).expect("every response line parses"))
+        .collect();
+    assert_eq!(responses.len(), 15, "every request is answered");
+    let by_id = |id: i64| {
+        responses
+            .iter()
+            .find(|r| r.get("id") == Some(&Json::Int(id)))
+            .unwrap_or_else(|| panic!("response {id} missing"))
+    };
+
+    // Exactly one optimize (ids 4-6) absorbed the injected panic and
+    // quarantined its session.
+    let panicked: Vec<&Json> = (4..=6)
+        .map(by_id)
+        .filter(|r| {
+            r.get("error")
+                .and_then(Json::as_str)
+                .is_some_and(|e| e.starts_with("worker_panic:"))
+        })
+        .collect();
+    assert_eq!(panicked.len(), 1, "exactly one optimize absorbs the fault");
+    assert_eq!(panicked[0].get("quarantined"), Some(&Json::Bool(true)));
+    let victim = panicked[0]
+        .get("session")
+        .and_then(Json::as_str)
+        .expect("panic response names the poisoned session")
+        .to_owned();
+
+    for (offset, s) in sessions.iter().enumerate() {
+        let optimize = by_id(4 + offset as i64);
+        let first = by_id(7 + offset as i64);
+        let recover = by_id(10 + offset as i64);
+        let second = by_id(13 + offset as i64);
+        assert_eq!(recover.get("ok"), Some(&Json::Bool(true)), "{s}");
+        if *s == victim {
+            // The panic struck before anything was journaled or
+            // committed, so recovery replays zero edits and the cold
+            // re-schedule shows the untouched all-parallel design.
+            assert!(first
+                .get("error")
+                .and_then(Json::as_str)
+                .is_some_and(|e| e.contains("quarantined")));
+            assert_eq!(recover.get("was_quarantined"), Some(&Json::Bool(true)));
+            assert_eq!(recover.get("edits_replayed"), Some(&Json::Int(0)));
+            let offsets = second.get("offsets").expect("victim reschedules");
+            for v in ["a", "b", "c", "d"] {
+                assert_eq!(
+                    offsets.get(v).and_then(|row| row.get("source")),
+                    Some(&Json::Int(0)),
+                    "victim {s} op {v} must be back to the pre-optimize state"
+                );
+            }
+        } else {
+            // Siblings complete their exploration: rounds accepted,
+            // serialization edges journaled, replay bit-exact.
+            assert_eq!(optimize.get("ok"), Some(&Json::Bool(true)), "{s}");
+            let edges_added = optimize
+                .get("edges_added")
+                .and_then(Json::as_i64)
+                .expect("sibling optimize reports edges");
+            assert!(edges_added >= 1, "sibling {s} kept no edges");
+            assert_eq!(recover.get("was_quarantined"), Some(&Json::Bool(false)));
+            assert_eq!(
+                recover.get("edits_replayed"),
+                Some(&Json::Int(edges_added)),
+                "sibling {s} journal must replay the optimize edits"
+            );
+            assert_eq!(
+                first.get("offsets"),
+                second.get("offsets"),
+                "sibling {s} offsets must survive recovery bit-exactly"
+            );
+        }
+    }
+    assert_eq!(summary.requests, 15);
+    assert_eq!(summary.panics, 1);
+    assert_eq!(summary.quarantined, 1);
+    assert_eq!(summary.recoveries, 3);
+}
