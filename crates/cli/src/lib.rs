@@ -21,8 +21,10 @@
 //!                  [--max-ops N] [--max-edges N] [--journal-dir D]
 //!                  [--snapshot-every N] [--cache-capacity N] [--threads N]
 //!                  [--max-sessions N] [--max-inflight N]
+//!                  [--idle-timeout-ms N] [--read-deadline-ms N]
+//!                  [--drain-timeout-ms N]
 //!                                               JSON-lines service (stdio or socket)
-//! rsched fuzz      [--seed N] [--iters N] [--minimize] [--repro-dir D] [--faults] [--cache]  oracle-refereed fuzzing
+//! rsched fuzz      [--seed N] [--iters N] [--minimize] [--repro-dir D] [--faults] [--cache] [--chaos]  oracle-refereed fuzzing
 //! rsched help                                  print usage
 //! ```
 //!
@@ -87,7 +89,9 @@ const USAGE: &str = "usage:
                    [--max-ops N] [--max-edges N] [--journal-dir D]
                    [--snapshot-every N] [--cache-capacity N] [--threads N]
                    [--max-sessions N] [--max-inflight N]
-  rsched fuzz      [--seed N] [--iters N] [--minimize] [--repro-dir D] [--faults] [--cache] [--optimize]
+                   [--idle-timeout-ms N] [--read-deadline-ms N]
+                   [--drain-timeout-ms N]
+  rsched fuzz      [--seed N] [--iters N] [--minimize] [--repro-dir D] [--faults] [--cache] [--optimize] [--chaos]
   rsched help";
 
 /// Executes a CLI invocation (`args` excludes the program name) and
@@ -113,7 +117,13 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     net.engine = invocation.config;
                     net.max_sessions_per_conn = invocation.max_sessions;
                     net.max_inflight_per_conn = invocation.max_inflight;
-                    let server = rsched_net::NetServer::bind(net).map_err(CliError::failure)?;
+                    net.idle_timeout = invocation.idle_timeout;
+                    net.read_deadline = invocation.read_deadline;
+                    net.drain_timeout = invocation.drain_timeout;
+                    let mut server = rsched_net::NetServer::bind(net).map_err(CliError::failure)?;
+                    // SIGTERM starts a graceful drain: stop accepting,
+                    // answer in-flight requests, flush, then exit.
+                    server.install_sigterm_drain();
                     // Banner on stdout before blocking, so scripts can
                     // scrape the resolved address (port 0 binds).
                     println!("listening on {}", server.local_addr());
@@ -186,6 +196,9 @@ struct ServeInvocation {
     listen: Option<rsched_net::Listen>,
     max_sessions: Option<usize>,
     max_inflight: Option<usize>,
+    idle_timeout: Option<std::time::Duration>,
+    read_deadline: Option<std::time::Duration>,
+    drain_timeout: Option<std::time::Duration>,
 }
 
 fn parse_serve_config(flags: &[&String]) -> Result<ServeInvocation, CliError> {
@@ -257,6 +270,18 @@ fn parse_serve_config(flags: &[&String]) -> Result<ServeInvocation, CliError> {
     };
     let max_sessions = quota("--max-sessions")?;
     let max_inflight = quota("--max-inflight")?;
+    let timeout = |name: &str| -> Result<Option<std::time::Duration>, CliError> {
+        flag_value(flags, name)
+            .map(|v| {
+                v.parse::<u64>()
+                    .map(std::time::Duration::from_millis)
+                    .map_err(|_| CliError::usage(format!("{name} expects milliseconds")))
+            })
+            .transpose()
+    };
+    let idle_timeout = timeout("--idle-timeout-ms")?;
+    let read_deadline = timeout("--read-deadline-ms")?;
+    let drain_timeout = timeout("--drain-timeout-ms")?;
     if listen.is_none() {
         if max_sessions.is_some() {
             return Err(CliError::usage(
@@ -267,6 +292,17 @@ fn parse_serve_config(flags: &[&String]) -> Result<ServeInvocation, CliError> {
             return Err(CliError::usage(
                 "--max-inflight requires --listen (it is a per-connection quota)",
             ));
+        }
+        for (flag, value) in [
+            ("--idle-timeout-ms", &idle_timeout),
+            ("--read-deadline-ms", &read_deadline),
+            ("--drain-timeout-ms", &drain_timeout),
+        ] {
+            if value.is_some() {
+                return Err(CliError::usage(format!(
+                    "{flag} requires --listen (it is a connection-lifecycle setting)"
+                )));
+            }
         }
     }
     // `--journal-dir` takes an arbitrary path, so stray detection walks
@@ -284,6 +320,9 @@ fn parse_serve_config(flags: &[&String]) -> Result<ServeInvocation, CliError> {
         "--listen",
         "--max-sessions",
         "--max-inflight",
+        "--idle-timeout-ms",
+        "--read-deadline-ms",
+        "--drain-timeout-ms",
     ];
     let mut expect_value = false;
     for f in flags {
@@ -302,6 +341,9 @@ fn parse_serve_config(flags: &[&String]) -> Result<ServeInvocation, CliError> {
         listen,
         max_sessions,
         max_inflight,
+        idle_timeout,
+        read_deadline,
+        drain_timeout,
     })
 }
 
@@ -331,6 +373,7 @@ fn parse_fuzz_config(flags: &[&String]) -> Result<rsched_oracle::FuzzConfig, Cli
         "--faults",
         "--cache",
         "--optimize",
+        "--chaos",
     ];
     let mut expect_value = false;
     for f in flags {
@@ -339,7 +382,7 @@ fn parse_fuzz_config(flags: &[&String]) -> Result<rsched_oracle::FuzzConfig, Cli
             continue;
         }
         match f.as_str() {
-            "--minimize" | "--faults" | "--cache" | "--optimize" => {}
+            "--minimize" | "--faults" | "--cache" | "--optimize" | "--chaos" => {}
             "--seed" | "--iters" | "--repro-dir" => expect_value = true,
             other if !known.contains(&other) => {
                 return Err(CliError::usage(format!("unknown fuzz flag '{other}'")));
@@ -356,7 +399,9 @@ fn parse_fuzz_config(flags: &[&String]) -> Result<rsched_oracle::FuzzConfig, Cli
 /// the full report (with repro paths when `--repro-dir` is set). With
 /// `--faults`, additionally interleaves deterministic failpoint faults
 /// (panics, worker kills, stalls, injected errors) with edit scripts and
-/// asserts recovery is bit-identical to a cold rebuild.
+/// asserts recovery is bit-identical to a cold rebuild. With `--chaos`,
+/// runs only socket-level fault injection (torn writes, RST aborts,
+/// half-closes, hostile bytes, slow-loris) against the live server.
 fn fuzz_cmd(flags: &[&String]) -> Result<String, CliError> {
     let config = parse_fuzz_config(flags)?;
     if has_flag(flags, "--cache") {
@@ -373,6 +418,36 @@ fn fuzz_cmd(flags: &[&String]) -> Result<String, CliError> {
         return if cache_report.is_ok() {
             Ok(rendered)
         } else {
+            Err(CliError::failure(rendered))
+        };
+    }
+    if has_flag(flags, "--chaos") {
+        // Chaos-only mode: socket-level fault injection against the live
+        // server (CI's chaos-smoke job uses this). One "iter" is one
+        // hostile connection; each round also boots an undisturbed
+        // control server for the sibling bit-identity check.
+        let chaos_config = rsched_oracle::ChaosFuzzConfig {
+            seed: config.seed,
+            rounds: (config.iters / 25).clamp(1, 16),
+            chaos_conns: 6,
+            ..rsched_oracle::ChaosFuzzConfig::default()
+        };
+        let chaos_report = rsched_oracle::fuzz_chaos(&chaos_config);
+        let rendered = format!("chaos fuzz (seed {}):\n{chaos_report}", config.seed);
+        return if chaos_report.is_ok() {
+            Ok(rendered)
+        } else {
+            // Chaos rounds replay from the seed alone; persist the report
+            // plus the exact replay command so the CI artifact is
+            // self-describing.
+            if let Some(dir) = &config.repro_dir {
+                let _ = std::fs::create_dir_all(dir);
+                let body = format!(
+                    "{rendered}\nreplay: rsched fuzz --chaos --seed {} --iters {}\n",
+                    config.seed, config.iters
+                );
+                let _ = std::fs::write(dir.join("chaos-failures.txt"), body);
+            }
             Err(CliError::failure(rendered))
         };
     }
@@ -1289,6 +1364,59 @@ process demo (req, ack)
     }
 
     #[test]
+    fn serve_lifecycle_flag_parsing() {
+        let inv = parse_serve(&[
+            "--listen",
+            "127.0.0.1:0",
+            "--idle-timeout-ms",
+            "30000",
+            "--read-deadline-ms",
+            "5000",
+            "--drain-timeout-ms",
+            "2000",
+        ])
+        .unwrap();
+        assert_eq!(
+            inv.idle_timeout,
+            Some(std::time::Duration::from_millis(30000))
+        );
+        assert_eq!(
+            inv.read_deadline,
+            Some(std::time::Duration::from_millis(5000))
+        );
+        assert_eq!(
+            inv.drain_timeout,
+            Some(std::time::Duration::from_millis(2000))
+        );
+        // All three default to off.
+        let inv = parse_serve(&["--listen", "127.0.0.1:0"]).unwrap();
+        assert_eq!(inv.idle_timeout, None);
+        assert_eq!(inv.read_deadline, None);
+        assert_eq!(inv.drain_timeout, None);
+        // Lifecycle settings are socket-only and must be numeric.
+        for flag in [
+            "--idle-timeout-ms",
+            "--read-deadline-ms",
+            "--drain-timeout-ms",
+        ] {
+            let err = parse_serve(&[flag, "100"]).unwrap_err();
+            assert_eq!(err.code, 2);
+            assert!(
+                err.message.contains(&format!("{flag} requires --listen")),
+                "{}",
+                err.message
+            );
+            let err = parse_serve(&["--listen", "127.0.0.1:0", flag, "x"]).unwrap_err();
+            assert_eq!(err.code, 2);
+            assert!(
+                err.message.contains("expects milliseconds"),
+                "{}",
+                err.message
+            );
+        }
+    }
+
+    #[test]
     fn fuzz_flag_parsing() {
         let args = [
             "--seed".to_string(),
@@ -1339,6 +1467,16 @@ process demo (req, ack)
         assert!(out.contains("cache fuzz (seed 9)"), "{out}");
         assert!(out.contains("cache transparency held"), "{out}");
         // Cache-only mode skips every other phase.
+        assert!(!out.contains("graph fuzz"), "{out}");
+        assert!(!out.contains("net fuzz"), "{out}");
+    }
+
+    #[test]
+    fn fuzz_chaos_only_smoke_run_is_clean() {
+        let out = run_args(&["fuzz", "--seed", "13", "--iters", "25", "--chaos"]).unwrap();
+        assert!(out.contains("chaos fuzz (seed 13)"), "{out}");
+        assert!(out.contains("server survived every fault"), "{out}");
+        // Chaos-only mode skips every other phase.
         assert!(!out.contains("graph fuzz"), "{out}");
         assert!(!out.contains("net fuzz"), "{out}");
     }

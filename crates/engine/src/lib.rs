@@ -39,6 +39,6 @@ pub use optimize::{
 };
 pub use service::{
     error_response, overloaded_response, serve, shard_of, Router, RouterStats, ServeConfig,
-    ServeSummary, DEADLINE_ERROR,
+    ServeSummary, DEADLINE_ERROR, MALFORMED_UTF8_ERROR,
 };
 pub use session::{EditOutcome, Session, SessionStats};

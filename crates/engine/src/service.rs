@@ -195,6 +195,12 @@ const RETRY_AFTER_MS: i64 = 25;
 /// still queued. Public so every transport answers with the same string.
 pub const DEADLINE_ERROR: &str = "deadline exceeded before execution";
 
+/// The in-band error for a frame that is not valid UTF-8 (binary junk,
+/// NUL bytes, truncated multi-byte sequences). Public so the stdio loop
+/// and the socket server answer hostile bytes identically — the frame
+/// is rejected, the connection lives on.
+pub const MALFORMED_UTF8_ERROR: &str = "malformed request: frame is not valid UTF-8";
+
 /// Respawn attempts per worker slot at EOF before the dispatcher drains
 /// the queue inline (where `serve::worker_kill` is never evaluated).
 const MAX_RESPAWNS_AT_EOF: usize = 4;
@@ -208,7 +214,7 @@ struct Job {
 
 /// Every op the protocol understands; anything else is rejected at
 /// intake with the request id echoed.
-const KNOWN_OPS: [&str; 8] = [
+const KNOWN_OPS: [&str; 9] = [
     "open",
     "edit",
     "schedule",
@@ -217,6 +223,7 @@ const KNOWN_OPS: [&str; 8] = [
     "close",
     "batch_schedule",
     "optimize",
+    "health",
 ];
 
 /// One session as the service tracks it: the live engine state (absent
@@ -438,7 +445,8 @@ impl Router {
         if let Some(error) = self.resource_violation(request, op) {
             return Err(fail(id.clone(), error));
         }
-        if op == "batch_schedule" {
+        if op == "batch_schedule" || op == "health" {
+            // Sessionless ops spread by request id.
             Ok(shard_of(&id.render(), self.slots.len()))
         } else {
             let Some(session) = request.get("session").and_then(Json::as_str) else {
@@ -506,6 +514,31 @@ impl Router {
         for entry in state.sessions.values_mut() {
             entry.journal.sync();
         }
+    }
+
+    /// The `health` op's response: shard count plus the router's
+    /// monotonic liveness counters, readable at any time without
+    /// touching a session table. Transports may extend the object with
+    /// their own block (the socket server adds `"net"`: connection
+    /// counts, eviction counters, drain state).
+    pub fn health_json(&self, id: Json) -> Json {
+        let s = self.stats();
+        object([
+            ("id", id),
+            ("ok", Json::Bool(true)),
+            (
+                "health",
+                object([
+                    ("shards", Json::from(self.n_slots())),
+                    ("sessions_opened", Json::from(s.sessions_opened)),
+                    ("panics", Json::from(s.panics)),
+                    ("quarantined", Json::from(s.quarantined)),
+                    ("recoveries", Json::from(s.recoveries)),
+                    ("snapshots", Json::from(s.snapshots)),
+                    ("boot_recovered", Json::from(s.boot_recovered)),
+                ]),
+            ),
+        ])
     }
 
     /// A snapshot of the router's monotonic counters.
@@ -590,6 +623,9 @@ impl Router {
         };
         if op == "batch_schedule" {
             return batch_schedule(&self.cache, &self.pool, id, request);
+        }
+        if op == "health" {
+            return self.health_json(id);
         }
         let name = request
             .get("session")
@@ -1097,12 +1133,31 @@ where
             .map(|slot| Some(scope.spawn(move || worker(slot, shared))))
             .collect();
 
-        for line in input.lines() {
-            let line = line?;
+        // Byte-level framing rather than `lines()`: a frame of binary
+        // junk (invalid UTF-8) is a hostile *request*, not a transport
+        // failure — it is answered in-band and the stream continues,
+        // matching the socket server. `\r\n` line ends stay accepted.
+        let mut input = input;
+        let mut raw = Vec::new();
+        loop {
+            raw.clear();
+            if input.read_until(b'\n', &mut raw)? == 0 {
+                break; // EOF.
+            }
+            if raw.last() == Some(&b'\n') {
+                raw.pop();
+            }
+            if raw.last() == Some(&b'\r') {
+                raw.pop();
+            }
+            let Ok(line) = std::str::from_utf8(&raw) else {
+                respond(&shared.out, fail(Json::Null, MALFORMED_UTF8_ERROR))?;
+                continue;
+            };
             if line.trim().is_empty() {
                 continue;
             }
-            let request = match Json::parse(&line) {
+            let request = match Json::parse(line) {
                 Ok(v) => v,
                 Err(e) => {
                     respond(

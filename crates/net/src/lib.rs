@@ -13,22 +13,43 @@
 //! # Architecture
 //!
 //! ```text
-//!  clients ──► accept loop ──► reader thread per connection
-//!                                 │  parse / route / quotas
-//!                                 ▼
-//!                     shard queues (bounded sync_channel)
-//!                         │ shard_of(session) % shards
-//!                         ▼
+//!              ┌────────────────────────────────────────────┐
+//!  clients ──► │ event loop (one thread): epoll readiness,  │
+//!              │ accept, per-conn state machines — bounded  │
+//!              │ read buf (parse / route / quotas) and      │
+//!              │ bounded write buf (backpressure)           │
+//!              └──────────────┬─────────────▲───────────────┘
+//!                             │ shard queues│ completion queue
+//!                             │ (bounded)   │ + wake pipe
+//!                             ▼             │
 //!              shard worker threads (supervised, respawn on kill)
-//!                  Router::execute ──► connection writer (locked)
+//!                  Router::execute ──► (token, response)
 //! ```
+//!
+//! Connections are *not* threads: every socket is non-blocking and
+//! multiplexed by a single epoll event loop (raw syscall bindings in
+//! the crate's one `unsafe` module, `poll`), so thousands of idle
+//! clients cost a few hundred bytes each instead of a stack. The event
+//! loop owns every socket; shard workers hand finished responses back
+//! through a completion queue and a wake pipe.
 //!
 //! - **Sharding.** Each session is pinned to one shard by
 //!   [`rsched_engine::shard_of`] of its name — the identical consistent
 //!   hash the stdio loop uses — so a session's ops execute in dispatch
 //!   order on one thread with no global lock, even when several
-//!   connections touch the same session. Responses are written back to
-//!   the *originating* connection under a per-connection writer lock.
+//!   connections touch the same session. Responses are appended to the
+//!   *originating* connection's write buffer by the event loop, so
+//!   concurrent shards never interleave bytes.
+//! - **Connection lifecycle.** A partial frame must complete within
+//!   [`NetConfig::read_deadline`] (slow-loris eviction), a silent
+//!   connection is evicted after [`NetConfig::idle_timeout`], and a
+//!   client that stops reading is evicted when its write buffer passes
+//!   [`NetConfig::write_buf_cap`] (slow-consumer eviction). A frame
+//!   longer than [`NetConfig::max_frame_bytes`] is answered with an
+//!   in-band error and skipped. Graceful drain
+//!   ([`ShutdownHandle::shutdown`] or SIGTERM under the CLI): stop
+//!   accepting, finish in-flight requests, flush, tell idle clients
+//!   `going_away`, hard cutoff at [`NetConfig::drain_timeout`].
 //! - **Fault tolerance.** Shard workers run under a supervisor that
 //!   respawns them when an injected `serve::worker_kill` (or an organic
 //!   bug outside the per-request catch) takes one down; queued jobs and
@@ -51,18 +72,26 @@
 //!
 //! [`NetServer::bind`] binds the listener (use port `0` to let the OS
 //! pick), [`NetServer::run`] serves until [`ShutdownHandle::shutdown`]
-//! is called *and* every client connection has reached EOF, then returns
-//! a [`NetSummary`]. The stdio loop remains available as `rsched serve
-//! --stdio` for pipelines and backward compatibility.
+//! is called (idempotent; under the CLI, SIGTERM triggers it too), then
+//! drains — in-flight requests are answered and flushed, idle clients
+//! get an in-band `going_away`, stragglers are cut off at
+//! [`NetConfig::drain_timeout`] — and returns a [`NetSummary`]. The
+//! stdio loop remains available as `rsched serve --stdio` for pipelines
+//! and backward compatibility.
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the `poll` module is the workspace's single
+// carve-out for the raw epoll/pipe bindings; everything else stays
+// unsafe-free and the compiler enforces it.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt;
 use std::path::PathBuf;
+use std::time::Duration;
 
 use rsched_engine::ServeConfig;
 
+pub mod poll;
 mod server;
 
 pub use server::{NetServer, ShutdownHandle};
@@ -121,17 +150,51 @@ pub struct NetConfig {
     /// Most requests one connection may have in flight (dispatched but
     /// not yet answered). `None` = unlimited.
     pub max_inflight_per_conn: Option<usize>,
+    /// Evict a connection with no in-flight requests and no partial
+    /// frame after this much silence. `None` = never.
+    pub idle_timeout: Option<Duration>,
+    /// A started frame (bytes received, no `\n` yet) must complete
+    /// within this window or the connection is evicted — the
+    /// slow-loris defense. `None` = no deadline.
+    pub read_deadline: Option<Duration>,
+    /// Hard cutoff for graceful drain: connections still open this long
+    /// after [`ShutdownHandle::shutdown`] are force-closed. `None` =
+    /// wait for every client (the pre-drain behavior, and what tests
+    /// that orchestrate their own clients want).
+    pub drain_timeout: Option<Duration>,
+    /// Longest request frame accepted. A line that exceeds this before
+    /// its `\n` arrives is answered with an in-band error and the rest
+    /// of the oversize line is discarded; the connection lives on.
+    pub max_frame_bytes: usize,
+    /// Evict a connection (slow consumer) when its pending write buffer
+    /// exceeds this many bytes. Reads pause (backpressure) at half this
+    /// cap, so only a client that stops draining responses while the
+    /// server still owes it bytes can hit the limit.
+    pub write_buf_cap: usize,
 }
 
+/// Default [`NetConfig::max_frame_bytes`]: far above any legitimate
+/// design frame, far below memory-exhaustion territory.
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// Default [`NetConfig::write_buf_cap`]: a client that lets 4 MiB of
+/// answers pile up unread is not consuming them.
+pub const DEFAULT_WRITE_BUF_CAP: usize = 4 << 20;
+
 impl NetConfig {
-    /// A config listening on `listen` with stdio-default engine settings
-    /// and no per-connection quotas.
+    /// A config listening on `listen` with stdio-default engine
+    /// settings, no per-connection quotas, and no timeouts.
     pub fn new(listen: Listen) -> NetConfig {
         NetConfig {
             listen,
             engine: ServeConfig::default(),
             max_sessions_per_conn: None,
             max_inflight_per_conn: None,
+            idle_timeout: None,
+            read_deadline: None,
+            drain_timeout: None,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            write_buf_cap: DEFAULT_WRITE_BUF_CAP,
         }
     }
 }
@@ -165,6 +228,23 @@ pub struct NetSummary {
     /// Connections answered-and-dropped or panicked by the `net::accept`
     /// failpoint.
     pub accept_faults: usize,
+    /// Connections evicted by [`NetConfig::idle_timeout`].
+    pub evicted_idle: usize,
+    /// Connections evicted by [`NetConfig::read_deadline`] (slow-loris:
+    /// a partial frame that never completed).
+    pub evicted_deadline: usize,
+    /// Connections evicted as slow consumers
+    /// ([`NetConfig::write_buf_cap`] exceeded).
+    pub evicted_slow: usize,
+    /// Frames rejected in-band for exceeding
+    /// [`NetConfig::max_frame_bytes`].
+    pub oversize_frames: usize,
+    /// `going_away` notices sent to idle connections during drain (not
+    /// counted in [`NetSummary::requests`] — they answer no request).
+    pub going_away_sent: usize,
+    /// Connections force-closed at the [`NetConfig::drain_timeout`]
+    /// hard cutoff.
+    pub drain_cutoffs: usize,
 }
 
 #[cfg(test)]

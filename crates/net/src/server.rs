@@ -1,9 +1,36 @@
-//! The socket listener, connection readers, and supervised shard
-//! workers; see the crate docs for the architecture.
+//! The readiness-driven connection runtime: one epoll event loop owning
+//! every socket, plus supervised shard workers; see the crate docs for
+//! the architecture.
+//!
+//! # Connection lifecycle
+//!
+//! ```text
+//!            accept
+//!              │ (net::accept fault: answer in-band, drop)
+//!              ▼
+//!   ┌──► READING ──────────────────────────────┐
+//!   │      │ frame complete: parse/route/quota │ write_buf ≥ cap/2:
+//!   │      │ → dispatch to shard               │ pause reads
+//!   │      ▼                                   ▼ (backpressure)
+//!   │   INFLIGHT ◄── completion queue ──── PAUSED
+//!   │      │ response appended, flushed        │ write_buf drained:
+//!   └──────┘                                   ▼ resume reads
+//!                                      write_buf > cap: EVICTED (slow consumer)
+//!   partial frame older than --read-deadline:  EVICTED (slow loris)
+//!   silent longer than --idle-timeout:         EVICTED (idle)
+//!   shutdown/SIGTERM: DRAINING — answer in-flight, flush, `going_away`,
+//!   close; stragglers force-closed at --drain-timeout
+//! ```
+//!
+//! Every transition runs on the event-loop thread; shard workers only
+//! ever see `(token, request)` pairs and hand `(token, response)` pairs
+//! back through the completion queue, so no socket is ever touched from
+//! two threads.
 
 use std::collections::HashSet;
-use std::io::{self, BufRead, BufReader, Read, Write};
+use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::os::fd::{AsRawFd, RawFd};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -12,24 +39,51 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use rsched_engine::json::Json;
-use rsched_engine::{error_response, overloaded_response, Router, DEADLINE_ERROR};
+use rsched_engine::json::{object, Json};
+use rsched_engine::{
+    error_response, overloaded_response, Router, DEADLINE_ERROR, MALFORMED_UTF8_ERROR,
+};
 use rsched_graph::failpoint;
 
+use crate::poll::{self, Event, Interest, Poller, WakePipe};
 use crate::{Listen, NetConfig, NetSummary};
 
-/// One accepted client stream, TCP or unix — the two are identical from
-/// the framing up.
+/// The in-band notice sent to every connection during graceful drain.
+pub const GOING_AWAY_ERROR: &str = "going_away: server draining";
+
+/// Poll-wait granularity when deadlines are armed (idle/read timeouts
+/// configured, or a drain in progress). Expiry checks are O(live
+/// connections) at this cadence, which is noise even at 10k.
+const TICK: Duration = Duration::from_millis(25);
+
+/// Event-loop tokens: connections use `(generation << 32) | slab index`,
+/// so the two specials live where no connection token can.
+const TOKEN_LISTENER: u64 = u64::MAX;
+const TOKEN_WAKE: u64 = u64::MAX - 1;
+
+fn conn_token(index: usize, generation: u32) -> u64 {
+    (u64::from(generation) << 32) | index as u64
+}
+
+/// One accepted client stream, TCP or unix — identical from the framing
+/// up.
 enum Stream {
     Tcp(TcpStream),
     Unix(UnixStream),
 }
 
 impl Stream {
-    fn try_clone(&self) -> io::Result<Stream> {
+    fn fd(&self) -> RawFd {
         match self {
-            Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
-            Stream::Unix(s) => s.try_clone().map(Stream::Unix),
+            Stream::Tcp(s) => s.as_raw_fd(),
+            Stream::Unix(s) => s.as_raw_fd(),
+        }
+    }
+
+    fn set_nonblocking(&self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_nonblocking(true),
+            Stream::Unix(s) => s.set_nonblocking(true),
         }
     }
 }
@@ -64,6 +118,20 @@ enum Listener {
 }
 
 impl Listener {
+    fn fd(&self) -> RawFd {
+        match self {
+            Listener::Tcp(l) => l.as_raw_fd(),
+            Listener::Unix(l) => l.as_raw_fd(),
+        }
+    }
+
+    fn set_nonblocking(&self) -> io::Result<()> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(true),
+            Listener::Unix(l) => l.set_nonblocking(true),
+        }
+    }
+
     fn accept(&self) -> io::Result<Stream> {
         match self {
             Listener::Tcp(l) => l.accept().map(|(s, _)| {
@@ -77,25 +145,52 @@ impl Listener {
     }
 }
 
-/// Per-connection state shared between its reader thread and the shard
-/// workers answering its requests.
+/// One connection's state machine, owned exclusively by the event loop.
 struct Conn {
-    /// Writer half; every response line is written and flushed under
-    /// this lock so concurrent shards never interleave bytes.
-    writer: Mutex<Stream>,
+    stream: Stream,
+    /// Generation-tagged identity; completions carry it so a response
+    /// for a dead connection can never reach a slab-slot reuser.
+    token: u64,
+    /// Bytes of the current partial frame (no `\n` seen yet).
+    read_buf: Vec<u8>,
+    /// Skipping the tail of an oversize frame until its `\n`.
+    discarding: bool,
+    /// Pending response bytes; `written` is the already-sent prefix.
+    write_buf: Vec<u8>,
+    written: usize,
     /// Requests dispatched to a shard but not yet answered.
-    inflight: AtomicUsize,
+    inflight: usize,
+    /// Sessions held against `max_sessions_per_conn`; freed as one unit
+    /// when the connection dies, however it dies.
+    held: HashSet<String>,
+    /// Last byte received — the idle-timeout clock.
+    last_activity: Instant,
+    /// When the current partial frame started — the read-deadline clock.
+    partial_since: Option<Instant>,
+    /// Peer sent EOF (orderly close or half-close); in-flight requests
+    /// are still answered and flushed before the socket drops.
+    read_closed: bool,
+    /// `going_away` already queued (drain is per-connection one-shot).
+    notified_going_away: bool,
+    /// Interest currently registered with the poller.
+    interest: Interest,
+}
+
+impl Conn {
+    fn pending(&self) -> usize {
+        self.write_buf.len() - self.written
+    }
 }
 
 struct ShardJob {
+    token: u64,
     id: Json,
     request: Json,
     accepted: Instant,
     deadline: Option<Duration>,
-    conn: Arc<Conn>,
 }
 
-/// Everything shard workers and connection readers share; outlives any
+/// Everything shard workers and the event loop share; outlives any
 /// individual worker thread (they are respawned on kill).
 struct NetShared {
     router: Router,
@@ -103,13 +198,11 @@ struct NetShared {
     /// a shard death and drain through its replacement.
     receivers: Vec<Mutex<Receiver<ShardJob>>>,
     fault_scope: Option<u64>,
-    responses: AtomicUsize,
-    errors: AtomicUsize,
-    shed: AtomicUsize,
-    quota_rejections: AtomicUsize,
+    /// Finished `(token, response)` pairs on their way back to the event
+    /// loop, which owns all sockets.
+    completions: Mutex<Vec<(u64, Json)>>,
+    waker: poll::Waker,
     respawned: AtomicUsize,
-    accept_faults: AtomicUsize,
-    connections: AtomicUsize,
 }
 
 /// See `rsched_engine::service`: poisoning here only ever means a panic
@@ -118,23 +211,23 @@ fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-/// Asks a running [`NetServer`] to stop accepting connections.
+/// Asks a running [`NetServer`] to drain and stop. Idempotent: the flag
+/// is sticky and the wake pipe tolerates any number of nudges, including
+/// after the listener (or the whole server) is gone.
 #[derive(Clone)]
 pub struct ShutdownHandle {
     flag: Arc<AtomicBool>,
-    target: Listen,
+    wake: Arc<WakePipe>,
 }
 
 impl ShutdownHandle {
-    /// Signals shutdown and nudges the accept loop awake with a throwaway
-    /// connection. [`NetServer::run`] still drains every connected
-    /// client to EOF before returning.
+    /// Signals graceful drain: stop accepting, answer in-flight
+    /// requests, flush, notify idle clients with `going_away`, force the
+    /// stragglers at the drain timeout. Safe to call from any thread,
+    /// any number of times.
     pub fn shutdown(&self) {
         self.flag.store(true, Ordering::Release);
-        match &self.target {
-            Listen::Tcp(addr) => drop(TcpStream::connect(addr)),
-            Listen::Unix(path) => drop(UnixStream::connect(path)),
-        }
+        self.wake.waker().wake();
     }
 }
 
@@ -144,6 +237,8 @@ pub struct NetServer {
     resolved: Listen,
     config: NetConfig,
     shutdown: Arc<AtomicBool>,
+    wake: Arc<WakePipe>,
+    sigterm: bool,
 }
 
 impl NetServer {
@@ -153,7 +248,8 @@ impl NetServer {
     ///
     /// # Errors
     ///
-    /// Any bind failure (port in use, bad permissions, …).
+    /// Any bind failure (port in use, bad permissions, …) or wake-pipe
+    /// creation failure (fd exhaustion).
     pub fn bind(config: NetConfig) -> io::Result<NetServer> {
         let (listener, resolved) = match &config.listen {
             Listen::Tcp(addr) => {
@@ -175,6 +271,8 @@ impl NetServer {
             resolved,
             config,
             shutdown: Arc::new(AtomicBool::new(false)),
+            wake: Arc::new(WakePipe::new()?),
+            sigterm: false,
         })
     }
 
@@ -184,25 +282,44 @@ impl NetServer {
         &self.resolved
     }
 
-    /// A handle that can stop this server from another thread.
+    /// A handle that can drain-and-stop this server from another thread.
     pub fn handle(&self) -> ShutdownHandle {
         ShutdownHandle {
             flag: Arc::clone(&self.shutdown),
-            target: self.resolved.clone(),
+            wake: Arc::clone(&self.wake),
         }
     }
 
-    /// Serves until [`ShutdownHandle::shutdown`] is called, then drains:
-    /// every already-accepted connection is read to EOF and every
-    /// dispatched request answered before the summary is returned.
+    /// Routes SIGTERM to graceful drain, exactly as if
+    /// [`ShutdownHandle::shutdown`] had been called. Installs a
+    /// process-global handler — meant for the CLI's one-server-per-
+    /// process deployment, not for embedding.
+    pub fn install_sigterm_drain(&mut self) {
+        poll::install_sigterm_drain(&self.wake.waker());
+        self.sigterm = true;
+    }
+
+    /// Serves until [`ShutdownHandle::shutdown`] (or SIGTERM, when
+    /// [`NetServer::install_sigterm_drain`] was called), then drains and
+    /// returns the summary.
     ///
     /// # Errors
     ///
-    /// Only listener I/O errors are fatal; per-connection and per-request
-    /// failures are answered in-band or drop just that connection.
+    /// Only listener/poller I/O errors are fatal; per-connection and
+    /// per-request failures are answered in-band or drop just that
+    /// connection.
     pub fn run(self) -> io::Result<NetSummary> {
-        let n_shards = self.config.engine.workers.max(1);
-        let queue_depth = self.config.engine.queue_depth.max(1);
+        let NetServer {
+            listener,
+            resolved,
+            config,
+            shutdown,
+            wake,
+            sigterm,
+        } = self;
+        listener.set_nonblocking()?;
+        let n_shards = config.engine.workers.max(1);
+        let queue_depth = config.engine.queue_depth.max(1);
         let mut senders: Vec<SyncSender<ShardJob>> = Vec::with_capacity(n_shards);
         let mut receivers: Vec<Mutex<Receiver<ShardJob>>> = Vec::with_capacity(n_shards);
         for _ in 0..n_shards {
@@ -211,228 +328,820 @@ impl NetServer {
             receivers.push(Mutex::new(rx));
         }
         let shared = NetShared {
-            router: Router::new(n_shards, &self.config.engine),
+            router: Router::new(n_shards, &config.engine),
             receivers,
-            fault_scope: self.config.engine.fault_scope,
-            responses: AtomicUsize::new(0),
-            errors: AtomicUsize::new(0),
-            shed: AtomicUsize::new(0),
-            quota_rejections: AtomicUsize::new(0),
+            fault_scope: config.engine.fault_scope,
+            completions: Mutex::new(Vec::new()),
+            waker: wake.waker(),
             respawned: AtomicUsize::new(0),
-            accept_faults: AtomicUsize::new(0),
-            connections: AtomicUsize::new(0),
         };
         let shared = &shared;
 
-        thread::scope(|scope| -> io::Result<()> {
+        let counters = thread::scope(|scope| -> io::Result<LoopCounters> {
             for slot in 0..n_shards {
                 scope.spawn(move || supervise_shard(slot, shared));
             }
-            // The accept thread enters the fault scope so `net::accept`
-            // can be targeted at exactly this server instance.
+            // The event-loop thread enters the fault scope so
+            // `net::accept` can target exactly this server instance.
             let _scope_guard = shared.fault_scope.map(failpoint::enter_scope);
-            let mut conn_handles = Vec::new();
-            loop {
-                let stream = match self.listener.accept() {
-                    Ok(s) => s,
-                    Err(e) => {
-                        if self.shutdown.load(Ordering::Acquire) {
-                            break;
-                        }
-                        return Err(e);
-                    }
-                };
-                if self.shutdown.load(Ordering::Acquire) {
-                    break; // The shutdown handle's wake-up connection.
-                }
-                shared.connections.fetch_add(1, Ordering::Relaxed);
-                // Accept fault site, isolated so an injected panic (or an
-                // organic bug in connection setup) never kills the
-                // listener: the connection is dropped, accepting goes on.
-                match catch_unwind(AssertUnwindSafe(|| failpoint!("net::accept"))) {
-                    Ok(None) => {}
-                    Ok(Some(msg)) => {
-                        shared.accept_faults.fetch_add(1, Ordering::Relaxed);
-                        let mut stream = stream;
-                        let line = error_response(Json::Null, format!("injected fault: {msg}"));
-                        let _ = stream.write_all(format!("{}\n", line.render()).as_bytes());
-                        continue; // Answered in-band, then dropped.
-                    }
-                    Err(_) => {
-                        shared.accept_faults.fetch_add(1, Ordering::Relaxed);
-                        continue;
-                    }
-                }
-                let Ok(read_half) = stream.try_clone() else {
-                    continue; // Connection already unusable.
-                };
-                let conn = Arc::new(Conn {
-                    writer: Mutex::new(stream),
-                    inflight: AtomicUsize::new(0),
-                });
-                let senders = senders.clone();
-                let config = &self.config;
-                conn_handles.push(
-                    scope.spawn(move || read_connection(read_half, conn, senders, shared, config)),
-                );
-            }
-            // Drain: connected clients run to EOF, then the queues close
-            // (every sender clone dropped) and the shards exit.
-            for handle in conn_handles {
-                let _ = handle.join();
-            }
-            drop(senders);
-            Ok(())
+            let mut el = EventLoop::new(
+                listener, senders, shared, &config, &shutdown, &wake, sigterm,
+            )?;
+            el.run_loop()?;
+            Ok(el.c)
+            // `el` drops here: its senders close the shard queues, the
+            // workers drain what's left (responses to now-dead tokens are
+            // discarded), group-commit their journals, and exit; the
+            // scope joins them before the summary is read.
         })?;
 
-        if let Listen::Unix(path) = &self.resolved {
+        if let Listen::Unix(path) = &resolved {
             let _ = std::fs::remove_file(path);
         }
         let router_stats = shared.router.stats();
         Ok(NetSummary {
-            connections: shared.connections.load(Ordering::Relaxed),
-            requests: shared.responses.load(Ordering::Relaxed),
-            errors: shared.errors.load(Ordering::Relaxed),
+            connections: counters.connections,
+            requests: counters.responses,
+            errors: counters.errors,
             sessions_opened: router_stats.sessions_opened,
             panics: router_stats.panics,
             quarantined: router_stats.quarantined,
             recoveries: router_stats.recoveries,
             snapshots: router_stats.snapshots,
-            shed: shared.shed.load(Ordering::Relaxed),
-            quota_rejections: shared.quota_rejections.load(Ordering::Relaxed),
+            shed: counters.shed,
+            quota_rejections: counters.quota_rejections,
             shards_respawned: shared.respawned.load(Ordering::Relaxed),
-            accept_faults: shared.accept_faults.load(Ordering::Relaxed),
+            accept_faults: counters.accept_faults,
+            evicted_idle: counters.evicted_idle,
+            evicted_deadline: counters.evicted_deadline,
+            evicted_slow: counters.evicted_slow,
+            oversize_frames: counters.oversize_frames,
+            going_away_sent: counters.going_away_sent,
+            drain_cutoffs: counters.drain_cutoffs,
         })
     }
 }
 
-/// Writes one response line to its connection, counting it. Write errors
-/// only mean the client went away; the server never cares.
-fn write_response(shared: &NetShared, conn: &Conn, response: Json) {
-    shared.responses.fetch_add(1, Ordering::Relaxed);
-    if response.get("ok").and_then(Json::as_bool) == Some(false) {
-        shared.errors.fetch_add(1, Ordering::Relaxed);
-    }
-    let mut writer = lock_recover(&conn.writer);
-    let mut line = response.render();
-    line.push('\n'); // One write: the line must leave as a single segment.
-    let _ = writer.write_all(line.as_bytes());
-    let _ = writer.flush();
+/// Counters the event loop owns exclusively — single-threaded, so plain
+/// integers instead of atomics.
+#[derive(Clone, Copy, Default)]
+struct LoopCounters {
+    connections: usize,
+    responses: usize,
+    errors: usize,
+    shed: usize,
+    quota_rejections: usize,
+    accept_faults: usize,
+    evicted_idle: usize,
+    evicted_deadline: usize,
+    evicted_slow: usize,
+    oversize_frames: usize,
+    going_away_sent: usize,
+    drain_cutoffs: usize,
 }
 
-/// One connection's intake loop: parse, validate/route, enforce
-/// per-connection quotas, dispatch to the session's shard. Runs until
-/// client EOF (or a transport error), which ends the connection.
-fn read_connection(
-    stream: Stream,
-    conn: Arc<Conn>,
+enum ReadStep {
+    Data(usize),
+    Eof,
+    Blocked,
+    Dead,
+}
+
+enum FlushStep {
+    Ok,
+    Dead,
+    SlowConsumer,
+}
+
+struct EventLoop<'a> {
+    poller: Poller,
+    wake: &'a WakePipe,
+    /// `None` once drain has closed it.
+    listener: Option<Listener>,
     senders: Vec<SyncSender<ShardJob>>,
-    shared: &NetShared,
-    config: &NetConfig,
-) {
-    // Sessions this connection holds against `max_sessions_per_conn`,
-    // accounted at dispatch: an `open` claims the slot (even if the
-    // design later fails to parse — admission control is deliberately
-    // pessimistic), a `close` frees it.
-    let mut held: HashSet<String> = HashSet::new();
-    for line in BufReader::new(stream).lines() {
-        let Ok(line) = line else { return };
-        if line.trim().is_empty() {
-            continue;
+    shared: &'a NetShared,
+    config: &'a NetConfig,
+    shutdown: &'a AtomicBool,
+    sigterm: bool,
+    /// Connection slab + free list; `gens[i]` advances on every reuse of
+    /// slot `i` so stale tokens can never resolve.
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    gens: Vec<u32>,
+    live: usize,
+    /// Reused read scratch (taken/restored around reads to satisfy the
+    /// borrow checker without reallocating 64 KiB per event).
+    scratch: Vec<u8>,
+    draining: bool,
+    drain_deadline: Option<Instant>,
+    fatal: Option<io::Error>,
+    c: LoopCounters,
+}
+
+impl<'a> EventLoop<'a> {
+    fn new(
+        listener: Listener,
+        senders: Vec<SyncSender<ShardJob>>,
+        shared: &'a NetShared,
+        config: &'a NetConfig,
+        shutdown: &'a AtomicBool,
+        wake: &'a WakePipe,
+        sigterm: bool,
+    ) -> io::Result<EventLoop<'a>> {
+        let poller = Poller::new()?;
+        let read_only = Interest {
+            readable: true,
+            writable: false,
+        };
+        poller.add(listener.fd(), TOKEN_LISTENER, read_only)?;
+        poller.add(wake.read_fd(), TOKEN_WAKE, read_only)?;
+        Ok(EventLoop {
+            poller,
+            wake,
+            listener: Some(listener),
+            senders,
+            shared,
+            config,
+            shutdown,
+            sigterm,
+            conns: Vec::new(),
+            free: Vec::new(),
+            gens: Vec::new(),
+            live: 0,
+            scratch: vec![0u8; 64 * 1024],
+            draining: false,
+            drain_deadline: None,
+            fatal: None,
+            c: LoopCounters::default(),
+        })
+    }
+
+    fn run_loop(&mut self) -> io::Result<()> {
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            if self.shutdown.load(Ordering::Acquire) || (self.sigterm && poll::sigterm_pending()) {
+                self.begin_drain();
+            }
+            if self.draining && self.live == 0 {
+                return Ok(());
+            }
+            events.clear();
+            self.poller.wait(&mut events, self.next_timeout())?;
+            for ev in &events {
+                match ev.token {
+                    TOKEN_WAKE => self.wake.drain(),
+                    TOKEN_LISTENER => self.accept_ready(),
+                    _ => self.conn_event(*ev),
+                }
+            }
+            if let Some(e) = self.fatal.take() {
+                return Err(e);
+            }
+            self.handle_completions();
+            self.expire(Instant::now());
         }
-        let request = match Json::parse(&line) {
+    }
+
+    /// Sleep forever when nothing is deadline-bound; tick when idle or
+    /// read deadlines are armed or a drain cutoff is approaching.
+    fn next_timeout(&self) -> Option<Duration> {
+        if self.draining {
+            return Some(match self.drain_deadline {
+                Some(dl) => dl.saturating_duration_since(Instant::now()).min(TICK),
+                None => TICK,
+            });
+        }
+        if self.config.idle_timeout.is_some() || self.config.read_deadline.is_some() {
+            Some(TICK)
+        } else {
+            None
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            let mut stream = match listener.accept() {
+                Ok(s) => s,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // The peer aborted between SYN and accept — its problem,
+                // not the listener's.
+                Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => continue,
+                Err(e) => {
+                    self.fatal = Some(e);
+                    return;
+                }
+            };
+            self.c.connections += 1;
+            // Accept fault site, isolated so an injected panic (or an
+            // organic bug in connection setup) never kills the listener:
+            // the connection is dropped, accepting goes on.
+            match catch_unwind(AssertUnwindSafe(|| failpoint!("net::accept"))) {
+                Ok(None) => {}
+                Ok(Some(msg)) => {
+                    self.c.accept_faults += 1;
+                    let line = error_response(Json::Null, format!("injected fault: {msg}"));
+                    // Still blocking (nonblocking is set below), so the
+                    // one-line answer lands before the drop.
+                    let _ = stream.write_all(format!("{}\n", line.render()).as_bytes());
+                    continue; // Answered in-band, then dropped.
+                }
+                Err(_) => {
+                    self.c.accept_faults += 1;
+                    continue;
+                }
+            }
+            if stream.set_nonblocking().is_err() {
+                continue; // Connection already unusable.
+            }
+            let idx = self.free.pop().unwrap_or_else(|| {
+                self.conns.push(None);
+                self.gens.push(0);
+                self.conns.len() - 1
+            });
+            let token = conn_token(idx, self.gens[idx]);
+            let interest = Interest {
+                readable: true,
+                writable: false,
+            };
+            if self.poller.add(stream.fd(), token, interest).is_err() {
+                self.free.push(idx);
+                continue;
+            }
+            self.conns[idx] = Some(Conn {
+                stream,
+                token,
+                read_buf: Vec::new(),
+                discarding: false,
+                write_buf: Vec::new(),
+                written: 0,
+                inflight: 0,
+                held: HashSet::new(),
+                last_activity: Instant::now(),
+                partial_since: None,
+                read_closed: false,
+                notified_going_away: false,
+                interest,
+            });
+            self.live += 1;
+        }
+    }
+
+    fn conn_event(&mut self, ev: Event) {
+        let idx = (ev.token & u64::from(u32::MAX)) as usize;
+        let valid = |conns: &[Option<Conn>]| {
+            conns
+                .get(idx)
+                .and_then(Option::as_ref)
+                .is_some_and(|c| c.token == ev.token)
+        };
+        if !valid(&self.conns) {
+            return; // Stale event for a connection that just closed.
+        }
+        // `closed` (RDHUP/HUP/ERR) also routes through a read: the read
+        // result distinguishes half-close (Ok(0): keep until answered)
+        // from a dead socket (ECONNRESET: drop now), and it fires even
+        // when read interest is paused for backpressure.
+        if ev.readable || ev.closed {
+            self.read_conn(idx);
+        }
+        if ev.writable && valid(&self.conns) {
+            self.flush_conn(idx);
+        }
+    }
+
+    fn read_conn(&mut self, idx: usize) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        loop {
+            let step = {
+                let Some(conn) = self.conns[idx].as_mut() else {
+                    break;
+                };
+                match conn.stream.read(&mut scratch) {
+                    Ok(0) => {
+                        conn.read_closed = true;
+                        ReadStep::Eof
+                    }
+                    Ok(n) => {
+                        conn.last_activity = Instant::now();
+                        ReadStep::Data(n)
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => ReadStep::Blocked,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => ReadStep::Dead,
+                }
+            };
+            match step {
+                ReadStep::Data(n) => {
+                    // Drain discards intake: frames not yet dispatched
+                    // are not in-flight; the client gets `going_away`.
+                    if !self.draining {
+                        self.ingest(idx, &scratch[..n]);
+                    }
+                }
+                ReadStep::Eof | ReadStep::Blocked => break,
+                ReadStep::Dead => {
+                    self.close_conn(idx);
+                    break;
+                }
+            }
+        }
+        self.scratch = scratch;
+        self.maybe_finish_conn(idx);
+    }
+
+    /// Splits an incoming chunk into frames against the connection's
+    /// partial-frame buffer, enforcing the frame-size cap.
+    fn ingest(&mut self, idx: usize, mut bytes: &[u8]) {
+        loop {
+            if bytes.is_empty() {
+                return;
+            }
+            {
+                let Some(conn) = self.conns[idx].as_ref() else {
+                    return;
+                };
+                if conn.discarding {
+                    match bytes.iter().position(|&b| b == b'\n') {
+                        Some(pos) => {
+                            bytes = &bytes[pos + 1..];
+                            let conn = self.conns[idx].as_mut().expect("checked above");
+                            conn.discarding = false;
+                            conn.partial_since = None;
+                            continue;
+                        }
+                        None => return, // Still inside the oversize tail.
+                    }
+                }
+            }
+            match bytes.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    let (frame, oversize) = {
+                        let Some(conn) = self.conns[idx].as_mut() else {
+                            return;
+                        };
+                        let oversize = conn.read_buf.len() + pos > self.config.max_frame_bytes;
+                        let mut frame = std::mem::take(&mut conn.read_buf);
+                        conn.partial_since = None;
+                        if oversize {
+                            frame.clear();
+                        } else {
+                            frame.extend_from_slice(&bytes[..pos]);
+                        }
+                        (frame, oversize)
+                    };
+                    bytes = &bytes[pos + 1..];
+                    if oversize {
+                        self.reject_oversize(idx);
+                    } else {
+                        self.intake_frame(idx, &frame);
+                    }
+                }
+                None => {
+                    let Some(conn) = self.conns[idx].as_mut() else {
+                        return;
+                    };
+                    if conn.read_buf.is_empty() {
+                        conn.partial_since = Some(Instant::now());
+                    }
+                    conn.read_buf.extend_from_slice(bytes);
+                    if conn.read_buf.len() > self.config.max_frame_bytes {
+                        conn.read_buf = Vec::new();
+                        // The discard tail keeps `partial_since`: the
+                        // unfinished line is still read-deadline-bound.
+                        conn.discarding = true;
+                        self.reject_oversize(idx);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    fn reject_oversize(&mut self, idx: usize) {
+        self.c.oversize_frames += 1;
+        let max = self.config.max_frame_bytes;
+        self.queue_response(
+            idx,
+            error_response(
+                Json::Null,
+                format!("oversize frame: exceeds {max} byte cap"),
+            ),
+            true,
+        );
+    }
+
+    /// One complete frame: parse, validate/route, enforce quotas,
+    /// dispatch to the session's shard — the intake half of the old
+    /// per-connection reader thread, now running on the event loop.
+    fn intake_frame(&mut self, idx: usize, raw: &[u8]) {
+        let mut raw = raw;
+        if raw.last() == Some(&b'\r') {
+            raw = &raw[..raw.len() - 1]; // `\r\n` framing stays accepted.
+        }
+        let Ok(line) = std::str::from_utf8(raw) else {
+            self.queue_response(idx, error_response(Json::Null, MALFORMED_UTF8_ERROR), true);
+            return;
+        };
+        if line.trim().is_empty() {
+            return;
+        }
+        let request = match Json::parse(line) {
             Ok(v) => v,
             Err(e) => {
-                write_response(
-                    shared,
-                    &conn,
+                self.queue_response(
+                    idx,
                     error_response(Json::Null, format!("malformed request: {e}")),
+                    true,
                 );
-                continue;
+                return;
             }
         };
         let id = request.get("id").cloned().unwrap_or(Json::Null);
-        let slot = match shared.router.route(&id, &request) {
+        let op = request.get("op").and_then(Json::as_str).unwrap_or("");
+        if op == "health" {
+            // Answered synchronously: liveness must not depend on shard
+            // queues having room.
+            let response = self.health_response(id);
+            self.queue_response(idx, response, true);
+            return;
+        }
+        let slot = match self.shared.router.route(&id, &request) {
             Ok(slot) => slot,
             Err(response) => {
-                write_response(shared, &conn, response);
-                continue;
+                self.queue_response(idx, response, true);
+                return;
             }
         };
         // Quotas apply after validation so they only reject requests
         // that would otherwise consume shard capacity.
-        if let Some(max) = config.max_inflight_per_conn {
-            if conn.inflight.load(Ordering::Acquire) >= max {
-                shared.quota_rejections.fetch_add(1, Ordering::Relaxed);
-                write_response(
-                    shared,
-                    &conn,
+        if let Some(max) = self.config.max_inflight_per_conn {
+            let over = self.conns[idx]
+                .as_ref()
+                .is_some_and(|conn| conn.inflight >= max);
+            if over {
+                self.c.quota_rejections += 1;
+                self.queue_response(
+                    idx,
                     error_response(
                         id,
                         format!(
                             "quota exceeded: {max} request(s) already in flight on this connection"
                         ),
                     ),
+                    true,
                 );
-                continue;
+                return;
             }
         }
-        let op = request.get("op").and_then(Json::as_str).unwrap_or("");
         let session = request.get("session").and_then(Json::as_str);
+        // Session slots are accounted at dispatch: an `open` claims one
+        // (even if the design later fails to parse — admission control
+        // is deliberately pessimistic), a `close` frees it.
         if op == "open" {
-            if let (Some(max), Some(name)) = (config.max_sessions_per_conn, session) {
-                if !held.contains(name) && held.len() >= max {
-                    shared.quota_rejections.fetch_add(1, Ordering::Relaxed);
-                    write_response(
-                        shared,
-                        &conn,
+            if let (Some(max), Some(name)) = (self.config.max_sessions_per_conn, session) {
+                let over = self.conns[idx]
+                    .as_ref()
+                    .is_some_and(|conn| !conn.held.contains(name) && conn.held.len() >= max);
+                if over {
+                    self.c.quota_rejections += 1;
+                    self.queue_response(
+                        idx,
                         error_response(
                             id,
                             format!("quota exceeded: connection already holds {max} session(s)"),
                         ),
+                        true,
                     );
-                    continue;
+                    return;
                 }
             }
-            if let Some(name) = session {
-                held.insert(name.to_owned());
+            if let (Some(conn), Some(name)) = (self.conns[idx].as_mut(), session) {
+                conn.held.insert(name.to_owned());
             }
         } else if op == "close" {
-            if let Some(name) = session {
-                held.remove(name);
+            if let (Some(conn), Some(name)) = (self.conns[idx].as_mut(), session) {
+                conn.held.remove(name);
             }
         }
         let deadline = request
             .get("deadline_ms")
             .and_then(Json::as_i64)
             .map(|ms| Duration::from_millis(ms.max(0) as u64))
-            .or(config.engine.deadline);
-        conn.inflight.fetch_add(1, Ordering::AcqRel);
+            .or(self.config.engine.deadline);
+        let token = {
+            let Some(conn) = self.conns[idx].as_mut() else {
+                return;
+            };
+            conn.inflight += 1;
+            conn.token
+        };
         let job = ShardJob {
+            token,
             id,
             request,
             accepted: Instant::now(),
             deadline,
-            conn: Arc::clone(&conn),
         };
-        match senders[slot].try_send(job) {
+        match self.senders[slot].try_send(job) {
             Ok(()) => {}
             Err(TrySendError::Full(job)) => {
-                shared.shed.fetch_add(1, Ordering::Relaxed);
-                job.conn.inflight.fetch_sub(1, Ordering::AcqRel);
-                write_response(shared, &job.conn, overloaded_response(job.id));
+                self.c.shed += 1;
+                if let Some(conn) = self.conns[idx].as_mut() {
+                    conn.inflight -= 1;
+                }
+                self.queue_response(idx, overloaded_response(job.id), true);
             }
             // Possible only if a shard's supervisor itself died — answer
             // in-band rather than hanging the client.
             Err(TrySendError::Disconnected(job)) => {
-                job.conn.inflight.fetch_sub(1, Ordering::AcqRel);
-                write_response(
-                    shared,
-                    &job.conn,
+                if let Some(conn) = self.conns[idx].as_mut() {
+                    conn.inflight -= 1;
+                }
+                self.queue_response(
+                    idx,
                     error_response(job.id, "shard queue disconnected"),
+                    true,
                 );
             }
         }
+    }
+
+    /// The router's `health` body plus this transport's `net` block.
+    fn health_response(&self, id: Json) -> Json {
+        let mut response = self.shared.router.health_json(id);
+        let body = match &mut response {
+            Json::Object(pairs) => pairs
+                .iter_mut()
+                .find(|(k, _)| k == "health")
+                .map(|(_, v)| v),
+            _ => None,
+        };
+        if let Some(Json::Object(pairs)) = body {
+            pairs.push((
+                "net".to_owned(),
+                object([
+                    ("connections", Json::from(self.live)),
+                    ("draining", Json::Bool(self.draining)),
+                    ("evicted_idle", Json::from(self.c.evicted_idle)),
+                    ("evicted_deadline", Json::from(self.c.evicted_deadline)),
+                    ("evicted_slow", Json::from(self.c.evicted_slow)),
+                    ("oversize_frames", Json::from(self.c.oversize_frames)),
+                    ("going_away_sent", Json::from(self.c.going_away_sent)),
+                ]),
+            ));
+        }
+        response
+    }
+
+    /// Appends one response line to the connection's write buffer and
+    /// pushes it toward the socket. `count_request` marks lines that
+    /// answer a request (vs. `going_away`/eviction notices, which are
+    /// server-initiated and tallied separately).
+    fn queue_response(&mut self, idx: usize, response: Json, count_request: bool) {
+        if self.conns[idx].is_none() {
+            return; // Connection died while the request ran.
+        }
+        if count_request {
+            self.c.responses += 1;
+            if response.get("ok").and_then(Json::as_bool) == Some(false) {
+                self.c.errors += 1;
+            }
+        }
+        let mut line = response.render();
+        line.push('\n');
+        let conn = self.conns[idx].as_mut().expect("checked above");
+        conn.write_buf.extend_from_slice(line.as_bytes());
+        self.flush_conn(idx);
+    }
+
+    fn flush_conn(&mut self, idx: usize) {
+        let step = {
+            let Some(conn) = self.conns[idx].as_mut() else {
+                return;
+            };
+            let mut step = FlushStep::Ok;
+            while conn.written < conn.write_buf.len() {
+                match conn.stream.write(&conn.write_buf[conn.written..]) {
+                    Ok(0) => break,
+                    Ok(n) => conn.written += n,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        step = FlushStep::Dead;
+                        break;
+                    }
+                }
+            }
+            if matches!(step, FlushStep::Ok) {
+                if conn.written == conn.write_buf.len() {
+                    conn.write_buf.clear();
+                    conn.written = 0;
+                } else if conn.written >= 64 * 1024 {
+                    // Reclaim the sent prefix before it dominates the cap.
+                    conn.write_buf.drain(..conn.written);
+                    conn.written = 0;
+                }
+                if conn.pending() > self.config.write_buf_cap {
+                    step = FlushStep::SlowConsumer;
+                }
+            }
+            step
+        };
+        match step {
+            FlushStep::Dead => self.close_conn(idx),
+            FlushStep::SlowConsumer => {
+                self.c.evicted_slow += 1;
+                self.close_conn(idx);
+            }
+            FlushStep::Ok => {
+                self.update_interest(idx);
+                self.maybe_finish_conn(idx);
+            }
+        }
+    }
+
+    /// Re-registers the fd when the desired readiness set changed:
+    /// writable only while bytes are pending, readable unless EOF,
+    /// drain, or backpressure (write buffer above half its cap) paused
+    /// the intake.
+    fn update_interest(&mut self, idx: usize) {
+        let Some(conn) = self.conns[idx].as_mut() else {
+            return;
+        };
+        let desired = Interest {
+            readable: !conn.read_closed
+                && !self.draining
+                && conn.pending() < self.config.write_buf_cap / 2,
+            writable: conn.pending() > 0,
+        };
+        if desired != conn.interest
+            && self
+                .poller
+                .modify(conn.stream.fd(), conn.token, desired)
+                .is_ok()
+        {
+            conn.interest = desired;
+        }
+    }
+
+    /// Closes the connection once it owes nothing: no in-flight
+    /// requests, write buffer flushed, and either the peer already
+    /// closed or a drain said goodbye. During drain this is also where
+    /// the one-shot `going_away` notice is queued.
+    fn maybe_finish_conn(&mut self, idx: usize) {
+        let needs_notice = {
+            let Some(conn) = self.conns[idx].as_ref() else {
+                return;
+            };
+            self.draining && conn.inflight == 0 && !conn.notified_going_away
+        };
+        if needs_notice {
+            {
+                let conn = self.conns[idx].as_mut().expect("checked above");
+                conn.notified_going_away = true;
+                let mut line = error_response(Json::Null, GOING_AWAY_ERROR).render();
+                line.push('\n');
+                conn.write_buf.extend_from_slice(line.as_bytes());
+            }
+            self.c.going_away_sent += 1;
+            self.flush_conn(idx); // Re-enters here with the notice sent.
+            return;
+        }
+        let done = {
+            let Some(conn) = self.conns[idx].as_ref() else {
+                return;
+            };
+            conn.inflight == 0
+                && conn.pending() == 0
+                && (conn.read_closed || (self.draining && conn.notified_going_away))
+        };
+        if done {
+            self.close_conn(idx);
+        }
+    }
+
+    fn close_conn(&mut self, idx: usize) {
+        if let Some(conn) = self.conns[idx].take() {
+            self.poller.remove(conn.stream.fd());
+            self.gens[idx] = self.gens[idx].wrapping_add(1);
+            self.free.push(idx);
+            self.live -= 1;
+            // Dropping `conn` closes the socket and releases its held-
+            // session and inflight quota slots in one place — the only
+            // place — so abrupt disconnects can never double-free them.
+        }
+    }
+
+    /// Delivers finished responses from the shard workers to their
+    /// connections' write buffers.
+    fn handle_completions(&mut self) {
+        let batch = std::mem::take(&mut *lock_recover(&self.shared.completions));
+        for (token, response) in batch {
+            let idx = (token & u64::from(u32::MAX)) as usize;
+            let alive = self
+                .conns
+                .get(idx)
+                .and_then(Option::as_ref)
+                .is_some_and(|c| c.token == token);
+            if !alive {
+                continue; // Connection died while the request ran.
+            }
+            let conn = self.conns[idx].as_mut().expect("checked above");
+            conn.inflight -= 1;
+            // queue_response flushes, which re-evaluates interest and
+            // (during drain or after EOF) may finish the connection.
+            self.queue_response(idx, response, true);
+        }
+    }
+
+    fn begin_drain(&mut self) {
+        if self.draining {
+            return;
+        }
+        self.draining = true;
+        self.drain_deadline = self
+            .config
+            .drain_timeout
+            .map(|timeout| Instant::now() + timeout);
+        if let Some(listener) = self.listener.take() {
+            self.poller.remove(listener.fd());
+            // Dropped: new connections are refused from here on.
+        }
+        for idx in 0..self.conns.len() {
+            if self.conns[idx].is_some() {
+                self.update_interest(idx); // Intake stops.
+                self.maybe_finish_conn(idx); // Idle conns say goodbye now.
+            }
+        }
+    }
+
+    /// The deadline sweep: read deadlines, idle timeouts, and the drain
+    /// hard cutoff. Runs per tick; O(live connections).
+    fn expire(&mut self, now: Instant) {
+        if self.draining {
+            if self.drain_deadline.is_some_and(|dl| now >= dl) {
+                for idx in 0..self.conns.len() {
+                    if self.conns[idx].is_some() {
+                        self.c.drain_cutoffs += 1;
+                        self.close_conn(idx);
+                    }
+                }
+            }
+            return; // Idle/read deadlines are moot mid-drain.
+        }
+        if self.config.idle_timeout.is_none() && self.config.read_deadline.is_none() {
+            return;
+        }
+        for idx in 0..self.conns.len() {
+            let verdict = {
+                let Some(conn) = self.conns[idx].as_ref() else {
+                    continue;
+                };
+                if self
+                    .config
+                    .read_deadline
+                    .zip(conn.partial_since)
+                    .is_some_and(|(deadline, since)| now.duration_since(since) > deadline)
+                {
+                    Some(("evicted: read deadline exceeded on a partial frame", true))
+                } else if self.config.idle_timeout.is_some_and(|idle| {
+                    conn.inflight == 0
+                        && conn.read_buf.is_empty()
+                        && !conn.discarding
+                        && conn.pending() == 0
+                        && now.duration_since(conn.last_activity) > idle
+                }) {
+                    Some(("evicted: idle timeout", false))
+                } else {
+                    None
+                }
+            };
+            if let Some((msg, is_deadline)) = verdict {
+                if is_deadline {
+                    self.c.evicted_deadline += 1;
+                } else {
+                    self.c.evicted_idle += 1;
+                }
+                self.evict_with_notice(idx, msg);
+            }
+        }
+    }
+
+    /// Best-effort in-band goodbye, then close. The eviction stands even
+    /// if the notice doesn't fit the socket buffer — that's exactly the
+    /// slow client being evicted.
+    fn evict_with_notice(&mut self, idx: usize, msg: &str) {
+        if let Some(conn) = self.conns[idx].as_mut() {
+            let mut line = error_response(Json::Null, msg).render();
+            line.push('\n');
+            conn.write_buf.extend_from_slice(line.as_bytes());
+            let _ = conn.stream.write(&conn.write_buf[conn.written..]);
+        }
+        self.close_conn(idx);
     }
 }
 
@@ -479,9 +1188,8 @@ fn shard_worker(slot: usize, shared: &NetShared) {
     }
 }
 
-/// Executes one job, honoring its deadline, and answers its connection.
-/// Inflight is released before the write so a closed-loop client's next
-/// request never races its own quota.
+/// Executes one job, honoring its deadline, and hands the response back
+/// to the event loop (which owns the socket and the inflight counter).
 fn process(slot: usize, shared: &NetShared, job: ShardJob) {
     let expired = job.deadline.is_some_and(|d| job.accepted.elapsed() > d);
     let response = if expired {
@@ -489,6 +1197,6 @@ fn process(slot: usize, shared: &NetShared, job: ShardJob) {
     } else {
         shared.router.execute(slot, job.id, &job.request)
     };
-    job.conn.inflight.fetch_sub(1, Ordering::AcqRel);
-    write_response(shared, &job.conn, response);
+    lock_recover(&shared.completions).push((job.token, response));
+    shared.waker.wake();
 }

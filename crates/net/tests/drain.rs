@@ -1,0 +1,293 @@
+//! Graceful-drain lifecycle tests: in-flight requests answered, idle
+//! connections told `going_away`, the drain-timeout hard cutoff, WAL
+//! durability across a drain-then-restart, and SIGTERM as a drain
+//! trigger.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use rsched_engine::json::Json;
+use rsched_graph::failpoint::{self, FailAction};
+use rsched_net::{poll, Listen, NetConfig, NetServer, NetSummary};
+
+const DESIGN: &str =
+    "op sync unbounded\nop alu 2\nop out 1\ndep sync alu\ndep alu out\nmax alu out 4\n";
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(listen: &Listen) -> Client {
+        let Listen::Tcp(addr) = listen else {
+            panic!("expected tcp listen address")
+        };
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("timeout");
+        Client {
+            reader: BufReader::new(stream.try_clone().expect("clone")),
+            writer: stream,
+        }
+    }
+
+    // One write per frame: a separate 1-byte `\n` write can be held back
+    // by Nagle waiting on the delayed ACK of the body segment (~40ms on
+    // loopback), which makes "the frame is in flight" racy in tests.
+    fn send(&mut self, line: &str) {
+        self.writer
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("write");
+        self.writer.flush().expect("flush");
+    }
+
+    fn recv(&mut self) -> Json {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("read");
+        assert!(n > 0, "server closed connection before responding");
+        Json::parse(line.trim_end()).expect("response is json")
+    }
+
+    fn round_trip(&mut self, line: &str) -> Json {
+        self.send(line);
+        self.recv()
+    }
+
+    /// Reads to end-of-stream and returns the remaining full lines.
+    fn drain_lines(&mut self) -> Vec<Json> {
+        let mut tail = String::new();
+        self.reader.read_to_string(&mut tail).expect("eof");
+        tail.lines()
+            .map(|l| Json::parse(l.trim_end()).expect("line is json"))
+            .collect()
+    }
+}
+
+fn spawn_server(
+    config: NetConfig,
+) -> (
+    Listen,
+    rsched_net::ShutdownHandle,
+    thread::JoinHandle<NetSummary>,
+) {
+    let server = NetServer::bind(config).expect("bind");
+    let listen = server.local_addr().clone();
+    let handle = server.handle();
+    let join = thread::spawn(move || server.run().expect("run"));
+    (listen, handle, join)
+}
+
+fn loopback_config() -> NetConfig {
+    let mut config = NetConfig::new(Listen::parse("127.0.0.1:0").unwrap());
+    config.engine.workers = 1;
+    config
+}
+
+fn open_line(session: &str, id: u32) -> String {
+    format!(
+        "{{\"id\":{id},\"op\":\"open\",\"session\":\"{session}\",\"design\":{}}}",
+        Json::Str(DESIGN.to_owned()).render()
+    )
+}
+
+#[test]
+fn drain_answers_inflight_then_notifies_and_closes() {
+    let mut config = loopback_config();
+    // Stall every request after the open, so shutdown reliably lands
+    // while one is in flight.
+    let scope = 0x64726101u64;
+    config.engine.fault_scope = Some(scope);
+    let _delay = failpoint::arm(
+        "serve::handle",
+        Some(scope),
+        FailAction::Delay(Duration::from_millis(150)),
+        1,
+        None,
+    );
+
+    let (listen, handle, join) = spawn_server(config);
+    let mut busy = Client::connect(&listen);
+    let mut idle = Client::connect(&listen);
+    assert_eq!(
+        busy.round_trip(&open_line("d1", 1)).get("ok"),
+        Some(&Json::Bool(true))
+    );
+    busy.send("{\"id\":2,\"op\":\"schedule\",\"session\":\"d1\"}");
+    // Let the event loop dispatch the schedule before draining.
+    thread::sleep(Duration::from_millis(40));
+    handle.shutdown();
+    // Idempotent: a second shutdown (any thread) is a no-op.
+    handle.shutdown();
+
+    // The in-flight request is answered, then the drain notice, then EOF.
+    let mut lines = busy.drain_lines();
+    assert_eq!(lines.len(), 2, "answer + notice: {lines:?}");
+    let answer = lines.remove(0);
+    assert_eq!(answer.get("id"), Some(&Json::Int(2)));
+    assert_eq!(answer.get("ok"), Some(&Json::Bool(true)));
+    let notice = lines.remove(0);
+    assert_eq!(
+        notice.get("error").and_then(Json::as_str),
+        Some("going_away: server draining")
+    );
+
+    // The idle connection gets the notice straight away.
+    let lines = idle.drain_lines();
+    assert_eq!(lines.len(), 1, "notice only: {lines:?}");
+    assert_eq!(
+        lines[0].get("error").and_then(Json::as_str),
+        Some("going_away: server draining")
+    );
+
+    // New connections are refused (or, if they raced into the backlog
+    // before the listener closed, dropped unanswered).
+    let refused = match &listen {
+        Listen::Tcp(addr) => match TcpStream::connect(addr) {
+            Err(_) => true,
+            Ok(stream) => {
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(10)))
+                    .expect("timeout");
+                let mut reader = BufReader::new(stream);
+                let mut line = String::new();
+                reader.read_line(&mut line).map(|n| n == 0).unwrap_or(true)
+            }
+        },
+        Listen::Unix(_) => unreachable!(),
+    };
+    assert!(refused, "draining server accepted a new connection");
+
+    let summary = join.join().expect("server thread");
+    assert_eq!(summary.requests, 2);
+    assert_eq!(summary.going_away_sent, 2);
+    assert_eq!(summary.drain_cutoffs, 0);
+}
+
+#[test]
+fn drain_timeout_cuts_off_stragglers() {
+    let mut config = loopback_config();
+    config.drain_timeout = Some(Duration::from_millis(100));
+    // The open is fast; the next request stalls far past the cutoff.
+    let scope = 0x64726102u64;
+    config.engine.fault_scope = Some(scope);
+    let _delay = failpoint::arm(
+        "serve::handle",
+        Some(scope),
+        FailAction::Delay(Duration::from_millis(600)),
+        1,
+        None,
+    );
+
+    let (listen, handle, join) = spawn_server(config);
+    let mut client = Client::connect(&listen);
+    assert_eq!(
+        client.round_trip(&open_line("c1", 1)).get("ok"),
+        Some(&Json::Bool(true))
+    );
+    client.send("{\"id\":2,\"op\":\"schedule\",\"session\":\"c1\"}");
+    thread::sleep(Duration::from_millis(40));
+    let drained_at = Instant::now();
+    handle.shutdown();
+
+    // The straggler is force-closed at the cutoff: reads end without the
+    // schedule answer and without a going_away (it still owed a
+    // response, so it never reached the notify-idle state).
+    let mut tail = String::new();
+    let _ = client.reader.read_to_string(&mut tail);
+    assert_eq!(tail, "", "cutoff drops the unanswered straggler: {tail:?}");
+    assert!(
+        drained_at.elapsed() < Duration::from_millis(450),
+        "connection was cut off at the drain timeout, not held to the \
+         worker's 600ms stall"
+    );
+
+    let summary = join.join().expect("server thread");
+    assert_eq!(summary.drain_cutoffs, 1);
+    assert_eq!(summary.going_away_sent, 0);
+    assert_eq!(summary.requests, 1);
+}
+
+#[test]
+fn drain_flushes_wal_and_restart_recovers_sessions() {
+    let dir = std::env::temp_dir().join(format!("rsched-drain-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let mut config = loopback_config();
+    config.engine.workers = 2;
+    config.engine.journal_dir = Some(dir.clone());
+
+    // First life: open, edit, capture the schedule, drain.
+    let (listen, handle, join) = spawn_server(config.clone());
+    let mut client = Client::connect(&listen);
+    assert_eq!(
+        client.round_trip(&open_line("w1", 1)).get("ok"),
+        Some(&Json::Bool(true))
+    );
+    assert_eq!(
+        client
+            .round_trip(
+                "{\"id\":2,\"op\":\"edit\",\"session\":\"w1\",\"kind\":\"set_delay\",\
+                 \"vertex\":\"alu\",\"delay\":3}"
+            )
+            .get("ok"),
+        Some(&Json::Bool(true))
+    );
+    let before = client.round_trip("{\"id\":3,\"op\":\"schedule\",\"session\":\"w1\"}");
+    assert_eq!(before.get("ok"), Some(&Json::Bool(true)));
+    let offsets_before = before.get("offsets").cloned().expect("offsets");
+    handle.shutdown();
+    let _ = client.drain_lines();
+    drop(client);
+    join.join().expect("server thread");
+
+    // Second life, same journal dir: the session is rebuilt from the WAL
+    // the drain flushed, with a bit-identical schedule.
+    let (listen, handle, join) = spawn_server(config);
+    let mut client = Client::connect(&listen);
+    let after = client.round_trip("{\"id\":4,\"op\":\"schedule\",\"session\":\"w1\"}");
+    assert_eq!(
+        after.get("ok"),
+        Some(&Json::Bool(true)),
+        "restarted server recovered the session: {after:?}"
+    );
+    assert_eq!(
+        after.get("offsets"),
+        Some(&offsets_before),
+        "recovered schedule is bit-identical to the pre-drain one"
+    );
+    drop(client);
+    handle.shutdown();
+    join.join().expect("server thread");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sigterm_triggers_graceful_drain() {
+    let mut server = NetServer::bind(loopback_config()).expect("bind");
+    server.install_sigterm_drain();
+    let listen = server.local_addr().clone();
+    let join = thread::spawn(move || server.run().expect("run"));
+
+    let mut client = Client::connect(&listen);
+    assert_eq!(
+        client.round_trip(&open_line("t1", 1)).get("ok"),
+        Some(&Json::Bool(true))
+    );
+    poll::raise_sigterm();
+
+    // The signal lands as an ordinary wakeup: notice, then EOF.
+    let lines = client.drain_lines();
+    assert_eq!(lines.len(), 1, "notice only: {lines:?}");
+    assert_eq!(
+        lines[0].get("error").and_then(Json::as_str),
+        Some("going_away: server draining")
+    );
+    let summary = join.join().expect("server thread");
+    assert_eq!(summary.going_away_sent, 1);
+    assert_eq!(summary.requests, 1);
+}

@@ -2,14 +2,15 @@
 //! [`NetServer`], quota enforcement, fault injection on the accept path,
 //! and clean shutdown.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
 use std::thread;
+use std::time::{Duration, Instant};
 
 use rsched_engine::json::Json;
 use rsched_graph::failpoint::{self, FailAction};
-use rsched_net::{Listen, NetConfig, NetServer, NetSummary};
+use rsched_net::{poll, Listen, NetConfig, NetServer, NetSummary};
 
 const DESIGN: &str =
     "op sync unbounded\nop alu 2\nop out 1\ndep sync alu\ndep alu out\nmax alu out 4\n";
@@ -26,6 +27,7 @@ impl Client<TcpStream> {
             panic!("expected tcp listen address")
         };
         let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
         Client {
             reader: BufReader::new(stream.try_clone().expect("clone")),
             writer: stream,
@@ -47,9 +49,13 @@ impl Client<UnixStream> {
 }
 
 impl<S: std::io::Read + Write> Client<S> {
+    // One write per frame: a separate 1-byte `\n` write can be held back
+    // by Nagle waiting on the delayed ACK of the body segment (~40ms on
+    // loopback), leaving the server with a partial frame mid-test.
     fn send(&mut self, line: &str) {
-        self.writer.write_all(line.as_bytes()).expect("write");
-        self.writer.write_all(b"\n").expect("write");
+        self.writer
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("write");
         self.writer.flush().expect("flush");
     }
 
@@ -408,4 +414,387 @@ fn worker_kill_mid_stream_loses_no_requests() {
         summary.shards_respawned >= 1,
         "the killed shard respawned: {summary:?}"
     );
+}
+
+#[test]
+fn rst_abort_frees_connection_state_and_generation_guards_reuse() {
+    let mut config = loopback_config();
+    config.max_sessions_per_conn = Some(1);
+    config.engine.workers = 1;
+    // Stall the worker so the RST lands while a request is in flight:
+    // its completion must be dropped by the generation check, never
+    // delivered to whoever reuses the slab slot.
+    let scope = 0x6e657404u64;
+    config.engine.fault_scope = Some(scope);
+    let _delay = failpoint::arm(
+        "serve::handle",
+        Some(scope),
+        FailAction::Delay(Duration::from_millis(60)),
+        0,
+        None,
+    );
+
+    let (listen, handle, join) = spawn_server(config);
+    let mut victim = Client::connect_tcp(&listen);
+    victim.send(&open_line("r1", 1));
+    // Give the event loop a beat to read and dispatch the frame (the
+    // worker is still inside its 60 ms stall when the RST lands).
+    thread::sleep(Duration::from_millis(20));
+    // Abort with an RST (not a FIN) — exactly like a dying client.
+    poll::set_linger_abort(&victim.writer).expect("linger");
+    drop(victim);
+
+    // The replacement connection almost certainly reuses slab slot 0.
+    // Its quota must start fresh, and the dead connection's completion
+    // must not leak into this stream.
+    let mut fresh = Client::connect_tcp(&listen);
+    let open = fresh.round_trip(&open_line("r2", 10));
+    assert_eq!(open.get("id"), Some(&Json::Int(10)));
+    assert_eq!(open.get("ok"), Some(&Json::Bool(true)));
+    // One session already held; the per-connection cap of 1 applies to
+    // *this* connection's holdings only, so a second distinct session is
+    // the first rejection.
+    let rejected = fresh.round_trip(&open_line("r3", 11));
+    assert_eq!(
+        rejected.get("error").and_then(Json::as_str),
+        Some("quota exceeded: connection already holds 1 session(s)")
+    );
+    // The RST'd connection's session survived server-side (sessions are
+    // server state): re-opening it from the fresh connection is a
+    // replace of... a different connection's former holding, i.e. a new
+    // slot for us — and it was our cap, so close r2 first.
+    assert_eq!(
+        fresh
+            .round_trip("{\"id\":12,\"op\":\"close\",\"session\":\"r2\"}")
+            .get("ok"),
+        Some(&Json::Bool(true))
+    );
+    let reopened = fresh.round_trip("{\"id\":13,\"op\":\"schedule\",\"session\":\"r1\"}");
+    assert_eq!(
+        reopened.get("ok"),
+        Some(&Json::Bool(true)),
+        "session opened by the RST'd connection is still served: {reopened:?}"
+    );
+
+    drop(fresh);
+    handle.shutdown();
+    // Shutdown returning at all proves the aborted connection was reaped
+    // (drain waits for live connections and there is no drain timeout).
+    let summary = join.join().expect("server thread");
+    assert_eq!(summary.connections, 2);
+}
+
+#[test]
+fn oversize_frame_rejected_in_band_and_connection_lives() {
+    let mut config = loopback_config();
+    config.max_frame_bytes = 1024;
+    let (listen, handle, join) = spawn_server(config);
+    let mut client = Client::connect_tcp(&listen);
+
+    // 4 KiB of junk on one line: rejected with the exact shape, without
+    // buffering the line.
+    let mut big = vec![b'x'; 4096];
+    big.push(b'\n');
+    client.writer.write_all(&big).expect("write");
+    client.writer.flush().expect("flush");
+    let response = client.recv();
+    assert_eq!(response.get("ok"), Some(&Json::Bool(false)));
+    assert_eq!(response.get("id"), Some(&Json::Null));
+    assert_eq!(
+        response.get("error").and_then(Json::as_str),
+        Some("oversize frame: exceeds 1024 byte cap")
+    );
+
+    // The same connection keeps working.
+    assert_eq!(
+        client.round_trip(&open_line("o1", 2)).get("ok"),
+        Some(&Json::Bool(true))
+    );
+
+    drop(client);
+    handle.shutdown();
+    let summary = join.join().expect("server thread");
+    assert_eq!(summary.oversize_frames, 1);
+    assert_eq!(summary.requests, 2);
+    assert_eq!(summary.errors, 1);
+}
+
+#[test]
+fn binary_junk_and_nul_frames_answered_in_band() {
+    let (listen, handle, join) = spawn_server(loopback_config());
+    let mut client = Client::connect_tcp(&listen);
+
+    // Invalid UTF-8 inside the frame: the exact in-band shape the stdio
+    // loop produces for the same bytes.
+    client
+        .writer
+        .write_all(b"{\"id\":1,\"op\":\"stats\"\xC3\x28}\n")
+        .expect("write");
+    client.writer.flush().expect("flush");
+    let response = client.recv();
+    assert_eq!(response.get("id"), Some(&Json::Null));
+    assert_eq!(
+        response.get("error").and_then(Json::as_str),
+        Some("malformed request: frame is not valid UTF-8")
+    );
+
+    // NUL bytes are valid UTF-8 but hostile JSON: a malformed-request
+    // error, and the connection lives.
+    client.writer.write_all(b"\x00\x00\x00\n").expect("write");
+    client.writer.flush().expect("flush");
+    let response = client.recv();
+    assert_eq!(response.get("ok"), Some(&Json::Bool(false)));
+    assert!(
+        response
+            .get("error")
+            .and_then(Json::as_str)
+            .is_some_and(|e| e.starts_with("malformed request:")),
+        "{response:?}"
+    );
+
+    assert_eq!(
+        client.round_trip(&open_line("j1", 3)).get("ok"),
+        Some(&Json::Bool(true))
+    );
+
+    drop(client);
+    handle.shutdown();
+    let summary = join.join().expect("server thread");
+    assert_eq!(summary.requests, 3);
+    assert_eq!(summary.errors, 2);
+}
+
+#[test]
+fn frames_split_at_every_byte_boundary_still_parse() {
+    let (listen, handle, join) = spawn_server(loopback_config());
+
+    // One frame dribbled a byte at a time exercises every boundary
+    // within a frame.
+    let mut client = Client::connect_tcp(&listen);
+    let frame = format!("{}\n", open_line("t1", 1));
+    for byte in frame.as_bytes() {
+        client
+            .writer
+            .write_all(std::slice::from_ref(byte))
+            .expect("write");
+        client.writer.flush().expect("flush");
+    }
+    assert_eq!(client.recv().get("ok"), Some(&Json::Bool(true)));
+
+    // A two-frame pipeline split at every boundary exercises carries
+    // across the newline: the tail of one read starting the next frame.
+    let double = format!(
+        "{}\n{{\"id\":2,\"op\":\"schedule\",\"session\":\"t1\"}}\n",
+        open_line("t1", 1)
+    );
+    let bytes = double.as_bytes();
+    for cut in 1..bytes.len() {
+        client.writer.write_all(&bytes[..cut]).expect("write");
+        client.writer.flush().expect("flush");
+        client.writer.write_all(&bytes[cut..]).expect("write");
+        client.writer.flush().expect("flush");
+        let first = client.recv();
+        assert_eq!(first.get("id"), Some(&Json::Int(1)), "cut {cut}: {first:?}");
+        assert_eq!(first.get("ok"), Some(&Json::Bool(true)), "cut {cut}");
+        let second = client.recv();
+        assert_eq!(
+            second.get("id"),
+            Some(&Json::Int(2)),
+            "cut {cut}: {second:?}"
+        );
+        assert_eq!(second.get("ok"), Some(&Json::Bool(true)), "cut {cut}");
+    }
+
+    drop(client);
+    handle.shutdown();
+    join.join().expect("server thread");
+}
+
+#[test]
+fn health_op_reports_shard_liveness_and_connection_counters() {
+    let mut config = loopback_config();
+    config.engine.workers = 3;
+    let (listen, handle, join) = spawn_server(config);
+    let mut client = Client::connect_tcp(&listen);
+    let _idle = Client::connect_tcp(&listen);
+
+    let health = client.round_trip("{\"id\":1,\"op\":\"health\"}");
+    assert_eq!(health.get("id"), Some(&Json::Int(1)));
+    assert_eq!(health.get("ok"), Some(&Json::Bool(true)));
+    let body = health.get("health").expect("health block");
+    assert_eq!(body.get("shards"), Some(&Json::Int(3)));
+    assert_eq!(body.get("panics"), Some(&Json::Int(0)));
+    let net = body.get("net").expect("net block");
+    assert_eq!(
+        net.get("connections"),
+        Some(&Json::Int(2)),
+        "both live connections counted: {health:?}"
+    );
+    assert_eq!(net.get("draining"), Some(&Json::Bool(false)));
+    assert_eq!(net.get("evicted_idle"), Some(&Json::Int(0)));
+    assert_eq!(net.get("evicted_deadline"), Some(&Json::Int(0)));
+    assert_eq!(net.get("evicted_slow"), Some(&Json::Int(0)));
+    assert_eq!(net.get("oversize_frames"), Some(&Json::Int(0)));
+
+    drop(client);
+    drop(_idle);
+    handle.shutdown();
+    let summary = join.join().expect("server thread");
+    assert_eq!(summary.requests, 1);
+}
+
+/// A linear chain of `n` unbounded ops: every op is an anchor, so the
+/// offsets matrix is O(n²) — a compact way to make schedule responses
+/// large enough to overwhelm socket buffers.
+fn anchor_chain(n: usize) -> String {
+    let mut text = String::new();
+    for i in 0..n {
+        text.push_str(&format!("op a{i} unbounded\n"));
+    }
+    for i in 1..n {
+        text.push_str(&format!("dep a{} a{i}\n", i - 1));
+    }
+    text
+}
+
+#[test]
+fn slow_consumer_is_evicted_at_write_buffer_cap() {
+    let mut config = loopback_config();
+    config.write_buf_cap = 64 * 1024;
+    // Enough queue for the whole pipelined burst — shed responses are
+    // tiny and would dilute the volume this test needs.
+    config.engine.queue_depth = 4096;
+    let (listen, handle, join) = spawn_server(config);
+    let mut client = Client::connect_tcp(&listen);
+
+    let design = anchor_chain(60);
+    assert_eq!(
+        client
+            .round_trip(&format!(
+                "{{\"id\":1,\"op\":\"open\",\"session\":\"w1\",\"design\":{}}}",
+                Json::Str(design).render()
+            ))
+            .get("ok"),
+        Some(&Json::Bool(true))
+    );
+    // Pipeline many huge-response requests and then go silent — never
+    // reading a byte. The combined response volume (≈16 KiB × 1200)
+    // dwarfs what loopback socket buffers can absorb even fully
+    // autotuned (≈10 MiB), so the server-side write buffer must fill
+    // and trip the cap.
+    for i in 2..=1201 {
+        client.send(&format!(
+            "{{\"id\":{i},\"op\":\"schedule\",\"session\":\"w1\"}}"
+        ));
+    }
+    // A second connection watches the eviction land via `health`.
+    let mut watcher = Client::connect_tcp(&listen);
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let health = watcher.round_trip("{\"id\":1,\"op\":\"health\"}");
+        let evicted = health
+            .get("health")
+            .and_then(|h| h.get("net"))
+            .and_then(|n| n.get("evicted_slow"))
+            .and_then(Json::as_i64);
+        if evicted == Some(1) {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no slow-consumer eviction within 60s: {health:?}"
+        );
+        thread::sleep(Duration::from_millis(50));
+    }
+    // The victim's socket was closed out from under it: reads drain
+    // whatever the kernel buffered, then end (EOF or RST).
+    client
+        .writer
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("timeout");
+    let mut sink = Vec::new();
+    let _ = client.reader.get_mut().read_to_end(&mut sink);
+
+    drop(client);
+    drop(watcher);
+    handle.shutdown();
+    let summary = join.join().expect("server thread");
+    assert_eq!(
+        summary.evicted_slow, 1,
+        "the stalled reader was evicted at the write-buffer cap: {summary:?}"
+    );
+}
+
+#[test]
+fn idle_connection_is_evicted_after_timeout() {
+    let mut config = loopback_config();
+    config.idle_timeout = Some(Duration::from_millis(150));
+    let (listen, handle, join) = spawn_server(config);
+    let mut client = Client::connect_tcp(&listen);
+
+    // Activity resets the clock; the eviction fires only after silence.
+    assert_eq!(
+        client.round_trip(&open_line("i1", 1)).get("ok"),
+        Some(&Json::Bool(true))
+    );
+    let started = Instant::now();
+    let mut tail = String::new();
+    client
+        .reader
+        .get_mut()
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    client.reader.read_to_string(&mut tail).expect("notice+eof");
+    assert!(
+        started.elapsed() >= Duration::from_millis(100),
+        "evicted only after the idle window"
+    );
+    let notice = Json::parse(tail.lines().next().expect("notice")).expect("json");
+    assert_eq!(
+        notice.get("error").and_then(Json::as_str),
+        Some("evicted: idle timeout")
+    );
+
+    drop(client);
+    handle.shutdown();
+    let summary = join.join().expect("server thread");
+    assert_eq!(summary.evicted_idle, 1);
+    assert_eq!(summary.requests, 1);
+}
+
+#[test]
+fn slow_loris_partial_frame_is_evicted_at_read_deadline() {
+    let mut config = loopback_config();
+    config.read_deadline = Some(Duration::from_millis(150));
+    let (listen, handle, join) = spawn_server(config);
+    let mut client = Client::connect_tcp(&listen);
+
+    // A complete frame is unaffected by the read deadline.
+    assert_eq!(
+        client.round_trip(&open_line("l1", 1)).get("ok"),
+        Some(&Json::Bool(true))
+    );
+    // Half a frame, then silence.
+    client.writer.write_all(b"{\"id\":2,\"op\"").expect("write");
+    client.writer.flush().expect("flush");
+    let started = Instant::now();
+    let mut tail = String::new();
+    client
+        .reader
+        .get_mut()
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    client.reader.read_to_string(&mut tail).expect("notice+eof");
+    assert!(started.elapsed() >= Duration::from_millis(100));
+    let notice = Json::parse(tail.lines().next().expect("notice")).expect("json");
+    assert_eq!(
+        notice.get("error").and_then(Json::as_str),
+        Some("evicted: read deadline exceeded on a partial frame")
+    );
+
+    drop(client);
+    handle.shutdown();
+    let summary = join.join().expect("server thread");
+    assert_eq!(summary.evicted_deadline, 1);
+    assert_eq!(summary.evicted_idle, 0);
 }

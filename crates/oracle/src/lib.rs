@@ -30,7 +30,12 @@
 //!   from the accepted edits — oracle-refereed.
 //! - [`net_fuzz`] — [`fuzz_net`] replays the adversarial frame mix over
 //!   real concurrent TCP connections against the sharded socket server
-//!   and asserts the responses are bit-identical to the stdio loop.
+//!   and asserts the responses are bit-identical to the stdio loop;
+//!   [`fuzz_chaos`] adds socket-level fault injection (torn writes,
+//!   stalls, RST aborts, half-closes, hostile bytes, slow-loris) and
+//!   asserts the server survives, answers every fully-framed request,
+//!   provably enforces its read deadline, and keeps well-behaved sibling
+//!   connections bit-identical to an undisturbed control run.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,7 +51,9 @@ pub mod serve_fuzz;
 pub use cache_fuzz::{fuzz_cache, CacheFuzzConfig, CacheFuzzReport};
 pub use fault_fuzz::{fuzz_faults, FaultFuzzConfig, FaultFuzzReport};
 pub use fuzz::{fuzz, Edit, FuzzConfig, FuzzFailure, FuzzReport, GraphMutator};
-pub use net_fuzz::{fuzz_net, NetFuzzConfig, NetFuzzReport};
+pub use net_fuzz::{
+    fuzz_chaos, fuzz_net, ChaosFuzzConfig, ChaosFuzzReport, NetFuzzConfig, NetFuzzReport,
+};
 pub use optimize_fuzz::{fuzz_optimize, OptimizeFuzzConfig, OptimizeFuzzReport};
 pub use oracle::{
     anchor_roster, anchor_set_masks, check_result, positive_cycle, verify, Check, OffsetBound,
